@@ -1,0 +1,431 @@
+//! The validity axioms of Definition 4.2.
+//!
+//! A C11 execution `((D, sb), rf, mo)` is *valid* iff
+//!
+//! * **SB-Total** — `sb` orders initialising writes before everything and
+//!   is a strict total order per (non-initialising) thread;
+//! * **MO-Valid** — `mo` is a disjoint union of per-variable strict total
+//!   orders on writes, with initialising writes first;
+//! * **RF-Complete** — every read reads-from exactly one write, on the same
+//!   variable, with matching value;
+//! * **No-Thin-Air** — `sb ∪ rf` is acyclic;
+//! * **Coherence** — `hb ; eco?` and `eco` are irreflexive.
+
+use c11_core::state::C11State;
+use c11_relations::Relation;
+
+/// The five axioms of Definition 4.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axiom {
+    /// `sb` shape (totality per thread, inits first).
+    SbTotal,
+    /// `mo` shape (per-variable strict total orders on writes).
+    MoValid,
+    /// Reads-from completeness and well-formedness.
+    RfComplete,
+    /// Acyclicity of `sb ∪ rf`.
+    NoThinAir,
+    /// Irreflexivity of `hb ; eco?` and of `eco`.
+    Coherence,
+}
+
+/// A violated axiom with a human-readable explanation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which axiom failed.
+    pub axiom: Axiom,
+    /// Why (mentions event ids).
+    pub reason: String,
+}
+
+fn violation(axiom: Axiom, reason: impl Into<String>) -> Violation {
+    Violation {
+        axiom,
+        reason: reason.into(),
+    }
+}
+
+/// Checks SB-Total (Definition 4.2). Implements the paper's three clauses
+/// verbatim, plus strictness of `sb|_t` (irreflexivity/asymmetry), which
+/// Definition 3.1 demands of every C11 state.
+pub fn check_sb_total(state: &C11State) -> Result<(), Violation> {
+    let sb = state.sb();
+    let v = |r: String| Err(violation(Axiom::SbTotal, r));
+    for e in state.ids() {
+        for e2 in state.ids() {
+            let te = state.event(e).tid;
+            let te2 = state.event(e2).tid;
+            if sb.contains(e, e2) && !(te.is_init() || te == te2) {
+                return v(format!("sb edge ({e},{e2}) crosses threads"));
+            }
+            if te.is_init() && !te2.is_init() && !sb.contains(e, e2) {
+                return v(format!("init write {e} not sb-before {e2}"));
+            }
+            if !te.is_init() && te == te2 && e != e2 {
+                let fwd = sb.contains(e, e2);
+                let bwd = sb.contains(e2, e);
+                if !fwd && !bwd {
+                    return v(format!("same-thread events {e},{e2} unordered in sb"));
+                }
+                if fwd && bwd {
+                    return v(format!("sb relates {e},{e2} both ways"));
+                }
+            }
+        }
+        if sb.contains(e, e) {
+            return v(format!("sb is reflexive at {e}"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks MO-Valid (Definition 4.2): `mo` relates only writes of the same
+/// variable, is a strict order (irreflexive + transitive), orders
+/// initialising writes before other writes of their variable, and is total
+/// on distinct non-init writes per variable.
+pub fn check_mo_valid(state: &C11State) -> Result<(), Violation> {
+    let mo = state.mo();
+    let v = |r: String| Err(violation(Axiom::MoValid, r));
+    for (w, w2) in mo.pairs() {
+        let ew = state.event(w);
+        let ew2 = state.event(w2);
+        if !ew.is_write() || !ew2.is_write() {
+            return v(format!("mo edge ({w},{w2}) touches a non-write"));
+        }
+        if ew.var() != ew2.var() {
+            return v(format!("mo edge ({w},{w2}) crosses variables"));
+        }
+        if w == w2 {
+            return v(format!("mo is reflexive at {w}"));
+        }
+        if mo.contains(w2, w) {
+            return v(format!("mo relates {w},{w2} both ways"));
+        }
+    }
+    // Transitivity.
+    for (a, b) in mo.pairs() {
+        for c in mo.image(b) {
+            if !mo.contains(a, c) {
+                return v(format!("mo not transitive: ({a},{b}),({b},{c})"));
+            }
+        }
+    }
+    // Totality per variable + inits first.
+    let writes: Vec<usize> = state.writes().iter().collect();
+    for &w in &writes {
+        for &w2 in &writes {
+            if w == w2 || state.event(w).var() != state.event(w2).var() {
+                continue;
+            }
+            let iw = state.event(w).is_init();
+            let iw2 = state.event(w2).is_init();
+            if iw && !iw2 && !mo.contains(w, w2) {
+                return v(format!("init write {w} not mo-before {w2}"));
+            }
+            if !iw && !iw2 && !mo.contains(w, w2) && !mo.contains(w2, w) {
+                return v(format!("writes {w},{w2} to one variable unordered in mo"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks RF-Complete (Definition 4.2): every read has exactly one writer,
+/// and rf edges are well-formed (write→read, same variable, value match).
+pub fn check_rf_complete(state: &C11State) -> Result<(), Violation> {
+    let rf = state.rf();
+    let v = |r: String| Err(violation(Axiom::RfComplete, r));
+    for (w, r) in rf.pairs() {
+        let ew = state.event(w);
+        let er = state.event(r);
+        if !ew.is_write() || !er.is_read() {
+            return v(format!("rf edge ({w},{r}) is not write→read"));
+        }
+        if ew.var() != er.var() {
+            return v(format!("rf edge ({w},{r}) crosses variables"));
+        }
+        if ew.wrval() != er.rdval() {
+            return v(format!(
+                "rf edge ({w},{r}) value mismatch: wrote {:?}, read {:?}",
+                ew.wrval(),
+                er.rdval()
+            ));
+        }
+    }
+    for r in state.reads().iter() {
+        let writers = rf.preimage(r).count();
+        if writers != 1 {
+            return v(format!("read {r} has {writers} writers (want exactly 1)"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks No-Thin-Air (Definition 4.2): `sb ∪ rf` acyclic.
+pub fn check_no_thin_air(state: &C11State) -> Result<(), Violation> {
+    if state.sb().union(state.rf()).is_acyclic() {
+        Ok(())
+    } else {
+        Err(violation(Axiom::NoThinAir, "sb ∪ rf has a cycle"))
+    }
+}
+
+/// Checks Coherence (Definition 4.2): `hb ; eco?` and `eco` irreflexive.
+pub fn check_coherence(state: &C11State) -> Result<(), Violation> {
+    let eco = state.eco();
+    if !eco.is_irreflexive() {
+        return Err(violation(Axiom::Coherence, "eco is reflexive"));
+    }
+    let hb = state.hb();
+    if !hb.is_irreflexive() {
+        return Err(violation(Axiom::Coherence, "hb is reflexive"));
+    }
+    let hb_ecoq = hb.compose(&eco.reflexive_closure());
+    if !hb_ecoq.is_irreflexive() {
+        return Err(violation(Axiom::Coherence, "hb ; eco? is reflexive"));
+    }
+    Ok(())
+}
+
+/// Checks all five axioms, collecting every violation.
+pub fn check_validity(state: &C11State) -> Vec<Violation> {
+    [
+        check_sb_total(state),
+        check_mo_valid(state),
+        check_rf_complete(state),
+        check_no_thin_air(state),
+        check_coherence(state),
+    ]
+    .into_iter()
+    .filter_map(Result::err)
+    .collect()
+}
+
+/// `true` iff the execution satisfies Definition 4.2 entirely.
+pub fn is_valid(state: &C11State) -> bool {
+    check_validity(state).is_empty()
+}
+
+/// Validity *without* No-Thin-Air — the notion compared against canonical
+/// consistency in Appendix C (Theorem C.5 concerns candidate executions,
+/// where `sb ∪ rf` may be cyclic).
+pub fn is_valid_sans_thin_air(state: &C11State) -> bool {
+    check_sb_total(state).is_ok()
+        && check_mo_valid(state).is_ok()
+        && check_rf_complete(state).is_ok()
+        && check_coherence(state).is_ok()
+}
+
+/// A *candidate execution* in the sense of Definition C.1: RF-Complete,
+/// MO-Valid and SB-Total hold (but not necessarily coherence or
+/// no-thin-air).
+pub fn is_candidate_execution(state: &C11State) -> bool {
+    check_sb_total(state).is_ok()
+        && check_mo_valid(state).is_ok()
+        && check_rf_complete(state).is_ok()
+}
+
+/// Definition 4.3: a pre-execution state `(D, sb)` is *justifiable* iff
+/// some `rf`, `mo` make it valid. Re-exported from [`crate::justify`] in
+/// terms of the search; this helper checks a *given* justification.
+pub fn justifies(pre: &C11State, rf: &Relation, mo: &Relation) -> bool {
+    let justified = C11State::from_parts(
+        pre.events().to_vec(),
+        pre.sb().clone(),
+        rf.clone(),
+        mo.clone(),
+    );
+    is_valid(&justified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c11_core::event::Event;
+    use c11_core::semantics::{read_transitions, update_transitions, write_transitions};
+    use c11_lang::{Action, ThreadId, VarId};
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    fn wr(var: VarId, val: u32) -> Action {
+        Action::Wr {
+            var,
+            val,
+            release: false,
+        }
+    }
+
+    fn rd(var: VarId, val: u32) -> Action {
+        Action::Rd {
+            var,
+            val,
+            acquire: false,
+        }
+    }
+
+    #[test]
+    fn initial_state_is_valid() {
+        let s = C11State::initial(&[0, 0, 0]);
+        assert!(is_valid(&s), "{:?}", check_validity(&s));
+    }
+
+    #[test]
+    fn operational_steps_preserve_validity() {
+        // A small hand-driven run: t1 writes x, t2 updates x, t1 reads.
+        let s = C11State::initial(&[0, 0]);
+        let s = write_transitions(&s, T1, X, 1, true)[0].state.clone();
+        assert!(is_valid(&s));
+        for u in update_transitions(&s, T2, X, 2) {
+            assert!(is_valid(&u.state), "{:?}", check_validity(&u.state));
+            for r in read_transitions(&u.state, T1, Y, false) {
+                assert!(is_valid(&r.state));
+            }
+        }
+    }
+
+    #[test]
+    fn missing_rf_edge_is_incomplete() {
+        let s = C11State::initial(&[0]);
+        let (mut s, _r) = s.append_event(Event::new(T1, rd(X, 0)));
+        // no rf edge added
+        let errs = check_validity(&s);
+        assert!(errs.iter().any(|v| v.axiom == Axiom::RfComplete));
+        s.rf_mut().add(0, 1);
+        assert!(is_valid(&s));
+    }
+
+    #[test]
+    fn value_mismatch_in_rf_detected() {
+        let s = C11State::initial(&[0]);
+        let (mut s, r) = s.append_event(Event::new(T1, rd(X, 7)));
+        s.rf_mut().add(0, r); // init wrote 0, read claims 7
+        assert!(check_rf_complete(&s).is_err());
+    }
+
+    #[test]
+    fn cross_thread_sb_detected() {
+        let s = C11State::initial(&[0]);
+        let (s, a) = s.append_event(Event::new(T1, wr(X, 1)));
+        let (mut s, b) = s.append_event(Event::new(T2, wr(X, 2)));
+        // Corrupt: cross-thread sb edge.
+        let mut sb = s.sb().clone();
+        sb.add(a, b);
+        s = C11State::from_parts(s.events().to_vec(), sb, s.rf().clone(), s.mo().clone());
+        assert!(check_sb_total(&s).is_err());
+    }
+
+    #[test]
+    fn unordered_same_thread_events_detected() {
+        let s = C11State::initial(&[0]);
+        let events = vec![
+            Event::init_write(X, 0),
+            Event::new(T1, wr(X, 1)),
+            Event::new(T1, wr(X, 2)),
+        ];
+        // sb only has init edges, missing the same-thread order.
+        let mut sb = Relation::new(3);
+        sb.add(0, 1);
+        sb.add(0, 2);
+        let s2 = C11State::from_parts(events, sb, Relation::new(3), s.mo().clone());
+        assert!(check_sb_total(&s2).is_err());
+    }
+
+    #[test]
+    fn mo_cross_variable_detected() {
+        let s = C11State::initial(&[0, 0]);
+        let (s, a) = s.append_event(Event::new(T1, wr(X, 1)));
+        let (mut s, b) = s.append_event(Event::new(T1, wr(Y, 1)));
+        s.mo_mut().add(a, b);
+        assert!(check_mo_valid(&s).is_err());
+    }
+
+    #[test]
+    fn mo_untotal_detected() {
+        let s = C11State::initial(&[0]);
+        let (s, _a) = s.append_event(Event::new(T1, wr(X, 1)));
+        let (mut s, _b) = s.append_event(Event::new(T2, wr(X, 2)));
+        // Only init-edges in mo; the two thread writes are unordered.
+        s.mo_mut().add(0, 1);
+        s.mo_mut().add(0, 2);
+        assert!(check_mo_valid(&s).is_err());
+    }
+
+    #[test]
+    fn thin_air_cycle_detected() {
+        // r1 reads from w2, r2 reads from w1, with each write sb-after the
+        // other thread's read: a classic sb ∪ rf cycle (load buffering).
+        let events = vec![
+            Event::init_write(X, 0),
+            Event::init_write(Y, 0),
+            Event::new(T1, rd(X, 1)),  // 2
+            Event::new(T1, wr(Y, 1)),  // 3
+            Event::new(T2, rd(Y, 1)),  // 4
+            Event::new(T2, wr(X, 1)),  // 5
+        ];
+        let mut sb = Relation::new(6);
+        for i in [2, 3, 4, 5] {
+            sb.add(0, i);
+            sb.add(1, i);
+        }
+        sb.add(2, 3);
+        sb.add(4, 5);
+        let mut rf = Relation::new(6);
+        rf.add(5, 2);
+        rf.add(3, 4);
+        let mut mo = Relation::new(6);
+        mo.add(0, 5);
+        mo.add(1, 3);
+        let s = C11State::from_parts(events, sb, rf, mo);
+        assert!(check_no_thin_air(&s).is_err());
+        // The rest of the axioms hold: LB is only excluded by NoThinAir.
+        assert!(check_sb_total(&s).is_ok());
+        assert!(check_mo_valid(&s).is_ok());
+        assert!(check_rf_complete(&s).is_ok());
+        assert!(check_coherence(&s).is_ok());
+        assert!(is_valid_sans_thin_air(&s));
+        assert!(!is_valid(&s));
+    }
+
+    #[test]
+    fn coherence_violation_detected() {
+        // Read of an mo-overwritten value after hb-observing the newer
+        // write: w1 →mo w2, w2 →sb r (same thread), r reads w1.
+        let events = vec![
+            Event::init_write(X, 0),
+            Event::new(T1, wr(X, 1)), // 1 (other thread's write)
+            Event::new(T2, wr(X, 2)), // 2
+            Event::new(T2, rd(X, 1)), // 3 reads stale w1 after writing w2
+        ];
+        let mut sb = Relation::new(4);
+        sb.add(0, 1);
+        sb.add(0, 2);
+        sb.add(0, 3);
+        sb.add(2, 3);
+        let mut rf = Relation::new(4);
+        rf.add(1, 3);
+        let mut mo = Relation::new(4);
+        mo.add(0, 1);
+        mo.add(0, 2);
+        mo.add(1, 2); // w1 mo-before w2
+        let s = C11State::from_parts(events, sb, rf, mo);
+        // fr: r → w2; hb: w2 → r; so hb;eco? has cycle r → w2 → … wait:
+        // (w2, r) ∈ hb and (r, w2) ∈ fr ⊆ eco ⇒ (w2,w2) ∈ hb;eco.
+        assert!(check_coherence(&s).is_err());
+        assert!(check_rf_complete(&s).is_ok());
+    }
+
+    #[test]
+    fn justifies_checks_a_given_justification() {
+        let s = C11State::initial(&[0]);
+        let (pre, r) = s.append_event(Event::new(T1, rd(X, 0)));
+        let mut rf = Relation::new(2);
+        rf.add(0, r);
+        let mo = Relation::new(2);
+        assert!(justifies(&pre, &rf, &mo));
+        let empty = Relation::new(2);
+        assert!(!justifies(&pre, &empty, &mo));
+    }
+}

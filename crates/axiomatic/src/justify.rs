@@ -1,0 +1,330 @@
+//! Justification search: the classical two-step axiomatic procedure.
+//!
+//! Given a pre-execution `(D, sb)` (reads already carry candidate values),
+//! enumerate every `rf` (each read paired with a same-variable write of a
+//! matching value) and every `mo` (per-variable permutations of the
+//! non-initialising writes, initialising writes first), and keep the
+//! combinations that satisfy Definition 4.2. This is the *baseline* the
+//! operational semantics is measured against (experiment E13): the paper's
+//! point is precisely that validity can instead be enforced on-the-fly.
+
+use crate::axioms::is_valid;
+use c11_core::event::EventId;
+use c11_core::state::C11State;
+use c11_lang::VarId;
+use c11_relations::Relation;
+
+/// Statistics from a justification search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of `(rf, mo)` candidate pairs constructed and checked.
+    pub candidates: usize,
+    /// Number of candidates passing all axioms.
+    pub valid: usize,
+}
+
+/// Visits every candidate justification of `pre`. The visitor receives the
+/// fully-built state and returns `false` to stop early. Returns stats.
+pub fn for_each_candidate<F: FnMut(&C11State) -> bool>(pre: &C11State, mut f: F) -> SearchStats {
+    let n = pre.len();
+    // Reads, each with its candidate writer lists.
+    let reads: Vec<EventId> = pre.reads().iter().collect();
+    let writer_choices: Vec<Vec<EventId>> = reads
+        .iter()
+        .map(|&r| {
+            let er = pre.event(r);
+            pre.writes_to(er.var())
+                .filter(|&w| w != r && pre.event(w).wrval() == er.rdval())
+                .collect()
+        })
+        .collect();
+    if writer_choices.iter().any(Vec::is_empty) && !reads.is_empty() {
+        // Some read has no possible writer: zero candidates.
+        return SearchStats::default();
+    }
+    // Per-variable write lists (non-init), for mo permutations.
+    let vars: Vec<VarId> = {
+        let mut v: Vec<VarId> = pre
+            .writes()
+            .iter()
+            .map(|w| pre.event(w).var())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let var_writes: Vec<(Vec<EventId>, Vec<EventId>)> = vars
+        .iter()
+        .map(|&x| {
+            let (init, rest): (Vec<EventId>, Vec<EventId>) = pre
+                .writes_to(x)
+                .partition(|&w| pre.event(w).is_init());
+            (init, rest)
+        })
+        .collect();
+
+    let mut stats = SearchStats::default();
+    let mut rf_pick = vec![0usize; reads.len()];
+    let mut stop = false;
+
+    // Enumerate rf assignments (odometer), then mo permutations per var.
+    loop {
+        // Build rf for the current assignment.
+        let mut rf = Relation::new(n);
+        for (i, &r) in reads.iter().enumerate() {
+            rf.add(writer_choices[i][rf_pick[i]], r);
+        }
+        // Enumerate mo: product of per-variable permutations.
+        enumerate_mos(pre, &var_writes, n, &mut |mo| {
+            stats.candidates += 1;
+            let cand = C11State::from_parts(
+                pre.events().to_vec(),
+                pre.sb().clone(),
+                rf.clone(),
+                mo.clone(),
+            );
+            if is_valid(&cand) {
+                stats.valid += 1;
+                if !f(&cand) {
+                    stop = true;
+                }
+            }
+            !stop
+        });
+        if stop {
+            return stats;
+        }
+        // Advance the odometer.
+        if reads.is_empty() {
+            return stats;
+        }
+        let mut i = 0;
+        loop {
+            if i == reads.len() {
+                return stats;
+            }
+            rf_pick[i] += 1;
+            if rf_pick[i] < writer_choices[i].len() {
+                break;
+            }
+            rf_pick[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Enumerates all `mo` relations: per variable, init writes first, then
+/// every permutation of the remaining writes, all transitively closed.
+fn enumerate_mos<F: FnMut(&Relation) -> bool>(
+    _pre: &C11State,
+    var_writes: &[(Vec<EventId>, Vec<EventId>)],
+    n: usize,
+    f: &mut F,
+) {
+    fn rec<F: FnMut(&Relation) -> bool>(
+        var_writes: &[(Vec<EventId>, Vec<EventId>)],
+        idx: usize,
+        acc: &Relation,
+        f: &mut F,
+        stop: &mut bool,
+    ) {
+        if *stop {
+            return;
+        }
+        if idx == var_writes.len() {
+            if !f(acc) {
+                *stop = true;
+            }
+            return;
+        }
+        let (init, rest) = &var_writes[idx];
+        permute(rest, &mut |perm| {
+            let mut mo = acc.clone();
+            // init writes before every non-init write of this variable
+            for &i in init {
+                for &w in perm {
+                    mo.add(i, w);
+                }
+            }
+            // chain order, transitively closed by construction
+            for a in 0..perm.len() {
+                for b in (a + 1)..perm.len() {
+                    mo.add(perm[a], perm[b]);
+                }
+            }
+            rec(var_writes, idx + 1, &mo, f, stop);
+            !*stop
+        });
+    }
+    let mut stop = false;
+    rec(var_writes, 0, &Relation::new(n), f, &mut stop);
+}
+
+/// Calls `f` with each permutation of `items`; `f` returns `false` to stop.
+fn permute<F: FnMut(&[EventId]) -> bool>(items: &[EventId], f: &mut F) {
+    fn rec<F: FnMut(&[EventId]) -> bool>(
+        remaining: &mut Vec<EventId>,
+        prefix: &mut Vec<EventId>,
+        f: &mut F,
+        stop: &mut bool,
+    ) {
+        if *stop {
+            return;
+        }
+        if remaining.is_empty() {
+            if !f(prefix) {
+                *stop = true;
+            }
+            return;
+        }
+        for i in 0..remaining.len() {
+            let x = remaining.remove(i);
+            prefix.push(x);
+            rec(remaining, prefix, f, stop);
+            prefix.pop();
+            remaining.insert(i, x);
+            if *stop {
+                return;
+            }
+        }
+    }
+    let mut remaining = items.to_vec();
+    let mut prefix = Vec::with_capacity(items.len());
+    let mut stop = false;
+    rec(&mut remaining, &mut prefix, f, &mut stop);
+}
+
+/// All valid justifications of a pre-execution (Definition 4.3 witnesses).
+pub fn justifications(pre: &C11State) -> Vec<C11State> {
+    let mut out = Vec::new();
+    for_each_candidate(pre, |s| {
+        out.push(s.clone());
+        true
+    });
+    out
+}
+
+/// `true` iff some `(rf, mo)` validates the pre-execution (Definition 4.3).
+pub fn is_justifiable(pre: &C11State) -> bool {
+    let mut found = false;
+    for_each_candidate(pre, |_| {
+        found = true;
+        false
+    });
+    found
+}
+
+/// Runs the search to completion and reports how many candidates were
+/// examined vs. valid — the cost model for the generate-and-test baseline.
+pub fn search_stats(pre: &C11State) -> SearchStats {
+    for_each_candidate(pre, |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c11_core::event::Event;
+    use c11_lang::{Action, ThreadId};
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    fn wr(var: VarId, val: u32) -> Action {
+        Action::Wr {
+            var,
+            val,
+            release: false,
+        }
+    }
+
+    fn rd(var: VarId, val: u32) -> Action {
+        Action::Rd {
+            var,
+            val,
+            acquire: false,
+        }
+    }
+
+    #[test]
+    fn example_4_5_pre_execution_is_justifiable() {
+        // thread 1: z := x (reads x = 5, writes z = 5); thread 2: x := 5.
+        let s = C11State::initial(&[0, 0]); // x, z… use X and Y=z
+        let (s, _r) = s.append_event(Event::new(T1, rd(X, 5)));
+        let (s, _wz) = s.append_event(Event::new(T1, wr(Y, 5)));
+        let (pre, _wx) = s.append_event(Event::new(T2, wr(X, 5)));
+        assert!(is_justifiable(&pre));
+        let js = justifications(&pre);
+        assert!(!js.is_empty());
+        for j in &js {
+            assert!(crate::axioms::is_valid(j));
+            // The read must read from thread 2's write (the only x=5 write).
+            assert!(j.rf().contains(4, 2));
+        }
+    }
+
+    #[test]
+    fn read_of_never_written_value_unjustifiable() {
+        let s = C11State::initial(&[0]);
+        let (pre, _r) = s.append_event(Event::new(T1, rd(X, 42)));
+        assert!(!is_justifiable(&pre));
+        assert_eq!(search_stats(&pre).candidates, 0);
+    }
+
+    #[test]
+    fn stale_read_after_own_write_unjustifiable() {
+        // t1 writes x = 1 then reads x = 0: rf must come from init, but
+        // (init, w1) ∈ mo and w1 →sb r gives a coherence cycle. No
+        // justification exists.
+        let s = C11State::initial(&[0]);
+        let (s, _w) = s.append_event(Event::new(T1, wr(X, 1)));
+        let (pre, _r) = s.append_event(Event::new(T1, rd(X, 0)));
+        assert!(!is_justifiable(&pre));
+        let st = search_stats(&pre);
+        assert!(st.candidates > 0 && st.valid == 0);
+    }
+
+    #[test]
+    fn two_writers_two_mo_orders() {
+        let s = C11State::initial(&[0]);
+        let (s, _w1) = s.append_event(Event::new(T1, wr(X, 1)));
+        let (pre, _w2) = s.append_event(Event::new(T2, wr(X, 2)));
+        let js = justifications(&pre);
+        assert_eq!(js.len(), 2, "both mo interleavings are valid");
+    }
+
+    #[test]
+    fn update_must_sit_immediately_after_its_writer() {
+        // w1 = wr(x,1) by t1; u = upd(x,1,2) by t2 reading w1. mo must be
+        // init → w1 → u; the other permutation violates coherence/UPD.
+        let s = C11State::initial(&[0]);
+        let (s, w1) = s.append_event(Event::new(T1, wr(X, 1)));
+        let (pre, u) = s.append_event(Event::new(
+            T2,
+            Action::Upd {
+                var: X,
+                old: 1,
+                new: 2,
+            },
+        ));
+        let js = justifications(&pre);
+        assert_eq!(js.len(), 1);
+        assert!(js[0].mo().contains(w1, u));
+        assert!(js[0].rf().contains(w1, u));
+    }
+
+    #[test]
+    fn search_stats_counts_products() {
+        // Two reads with two possible writers each → 4 rf assignments; one
+        // variable with two non-init writes → 2 mo orders. 8 candidates.
+        let s = C11State::initial(&[0]);
+        let (s, _w1) = s.append_event(Event::new(T1, wr(X, 1)));
+        let (s, _w2) = s.append_event(Event::new(T2, wr(X, 1)));
+        let (s, _r1) = s.append_event(Event::new(T1, rd(X, 1)));
+        let (pre, _r2) = s.append_event(Event::new(T2, rd(X, 1)));
+        let st = search_stats(&pre);
+        assert_eq!(st.candidates, 8);
+        assert!(st.valid >= 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! The axiomatic side of the paper: validity of C11 executions
+//! (Definition 4.2), the weak canonical RAR consistency of Appendix C, the
+//! justification search that turns pre-executions into valid executions
+//! (the classical two-step "generate and test" procedure the paper's
+//! introduction describes — our benchmark *baseline*), and a bounded
+//! Memalloy-style equivalence checker (Appendix E).
+
+pub mod axioms;
+pub mod canonical;
+pub mod justify;
+pub mod memcheck;
+pub mod replay;
+
+pub use axioms::{check_validity, is_valid, Axiom, Violation};
+pub use canonical::{is_weakly_canonical_consistent, CanonicalAxiom};
+pub use justify::{is_justifiable, justifications};
+pub use replay::{replay, ReplayError};
+pub use memcheck::{enumerate_candidates, equivalence_check, CandidateConfig, EquivalenceReport};

@@ -1,0 +1,590 @@
+//! Bounded equivalence checking of the two axiom systems — the Rust
+//! stand-in for the paper's Memalloy mechanisation (Appendix E).
+//!
+//! The paper compared its eco-based RAR model against a simplified
+//! canonical C11 model "for models up to size 7" with Alloy. Here we
+//! *enumerate* candidate executions (Definition C.1) directly — exhaustively
+//! up to a configurable event bound with Memalloy-style symmetry breaking
+//! (threads and variables as restricted-growth strings, distinct write
+//! values, read values forced by `rf`) — and assert Theorem C.5 on each:
+//! weak canonical consistency iff eco-based Coherence. Larger sizes are
+//! covered by seeded random sampling.
+
+use crate::axioms::is_candidate_execution;
+use crate::canonical::theorem_c5_agrees;
+use c11_core::event::Event;
+use c11_core::state::C11State;
+use c11_lang::{Action, ThreadId, VarId};
+use c11_relations::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bounds for candidate-execution enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct CandidateConfig {
+    /// Number of non-initialising events (exact, per enumeration round).
+    pub events: usize,
+    /// Maximum number of threads.
+    pub max_threads: usize,
+    /// Maximum number of variables.
+    pub max_vars: usize,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        CandidateConfig {
+            events: 4,
+            max_threads: 2,
+            max_vars: 2,
+        }
+    }
+}
+
+/// Event kinds enumerated per position (updates are always RA).
+const KINDS: &[Kind] = &[
+    Kind::Write { release: false },
+    Kind::Write { release: true },
+    Kind::Read { acquire: false },
+    Kind::Read { acquire: true },
+    Kind::Update,
+];
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Write { release: bool },
+    Read { acquire: bool },
+    Update,
+}
+
+/// Result of an equivalence run.
+#[derive(Clone, Debug, Default)]
+pub struct EquivalenceReport {
+    /// Candidates examined.
+    pub candidates: usize,
+    /// Candidates where both systems said "consistent".
+    pub both_consistent: usize,
+    /// Candidates where both systems said "inconsistent".
+    pub both_inconsistent: usize,
+    /// Counterexamples to Theorem C.5 (should stay empty). At most 8 kept.
+    pub disagreements: Vec<C11State>,
+}
+
+impl EquivalenceReport {
+    /// `true` iff no disagreement was found.
+    pub fn agrees(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+
+    fn record(&mut self, state: &C11State) {
+        self.candidates += 1;
+        let (canonical, coherent) = theorem_c5_agrees(state);
+        match (canonical, coherent) {
+            (true, true) => self.both_consistent += 1,
+            (false, false) => self.both_inconsistent += 1,
+            _ => {
+                if self.disagreements.len() < 8 {
+                    self.disagreements.push(state.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Enumerates restricted-growth strings of length `len` with at most
+/// `max_labels` labels, calling `f` with each (labels are `0..`).
+fn restricted_growth<F: FnMut(&[usize]) -> bool>(len: usize, max_labels: usize, f: &mut F) {
+    fn rec<F: FnMut(&[usize]) -> bool>(
+        buf: &mut Vec<usize>,
+        len: usize,
+        max_labels: usize,
+        f: &mut F,
+        stop: &mut bool,
+    ) {
+        if *stop {
+            return;
+        }
+        if buf.len() == len {
+            if !f(buf) {
+                *stop = true;
+            }
+            return;
+        }
+        let next_fresh = buf.iter().copied().max().map_or(0, |m| m + 1);
+        for label in 0..=next_fresh.min(max_labels - 1) {
+            buf.push(label);
+            rec(buf, len, max_labels, f, stop);
+            buf.pop();
+            if *stop {
+                return;
+            }
+        }
+    }
+    let mut buf = Vec::with_capacity(len);
+    let mut stop = false;
+    rec(&mut buf, len, max_labels, f, &mut stop);
+}
+
+/// Enumerates every candidate execution within `cfg` (with symmetry
+/// breaking) and calls `f` on each; `f` returns `false` to stop. Returns
+/// the number of candidates visited.
+pub fn enumerate_candidates<F: FnMut(&C11State) -> bool>(cfg: &CandidateConfig, mut f: F) -> usize {
+    let k = cfg.events;
+    let mut count = 0usize;
+    let mut stop = false;
+    restricted_growth(k, cfg.max_threads, &mut |tids| {
+        // kinds: odometer over KINDS^k
+        let mut kind_pick = vec![0usize; k];
+        loop {
+            let kinds: Vec<Kind> = kind_pick.iter().map(|&i| KINDS[i]).collect();
+            restricted_growth(k, cfg.max_vars, &mut |vars| {
+                build_candidates(tids, &kinds, vars, &mut |state| {
+                    count += 1;
+                    if !f(state) {
+                        stop = true;
+                    }
+                    !stop
+                });
+                !stop
+            });
+            if stop {
+                return false;
+            }
+            // advance kinds odometer
+            let mut i = 0;
+            loop {
+                if i == k {
+                    return true; // done with this thread assignment
+                }
+                kind_pick[i] += 1;
+                if kind_pick[i] < KINDS.len() {
+                    break;
+                }
+                kind_pick[i] = 0;
+                i += 1;
+            }
+        }
+    });
+    count
+}
+
+/// Builds all candidate executions for a fixed skeleton (threads, kinds,
+/// variables): every rf wiring × every mo permutation.
+fn build_candidates<F: FnMut(&C11State) -> bool>(
+    tids: &[usize],
+    kinds: &[Kind],
+    vars: &[usize],
+    f: &mut F,
+) {
+    let k = tids.len();
+    let num_vars = vars.iter().copied().max().map_or(0, |m| m + 1);
+    // Arena: init writes first (value 0), then the k events.
+    // Non-init writes get distinct values 1, 2, ...
+    let base = num_vars;
+    let event_id = |i: usize| base + i;
+    // Writers per variable: inits + non-init writes.
+    let mut writers_of: Vec<Vec<usize>> = (0..num_vars).map(|v| vec![v]).collect();
+    let mut wrvals = vec![0u32; base + k];
+    let mut next_val = 1u32;
+    for i in 0..k {
+        if matches!(kinds[i], Kind::Write { .. } | Kind::Update) {
+            writers_of[vars[i]].push(event_id(i));
+            wrvals[event_id(i)] = next_val;
+            next_val += 1;
+        }
+    }
+    // Readers (reads + updates) and their candidate writers.
+    let readers: Vec<usize> = (0..k)
+        .filter(|&i| matches!(kinds[i], Kind::Read { .. } | Kind::Update))
+        .collect();
+    let reader_choices: Vec<Vec<usize>> = readers
+        .iter()
+        .map(|&i| {
+            writers_of[vars[i]]
+                .iter()
+                .copied()
+                .filter(|&w| w != event_id(i))
+                .collect()
+        })
+        .collect();
+    if reader_choices.iter().any(Vec::is_empty) && !readers.is_empty() {
+        return;
+    }
+    // sb: inits before all; per-thread position order.
+    let n = base + k;
+    let mut sb = Relation::new(n);
+    for v in 0..num_vars {
+        for i in 0..k {
+            sb.add(v, event_id(i));
+        }
+    }
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if tids[i] == tids[j] {
+                sb.add(event_id(i), event_id(j));
+            }
+        }
+    }
+    // rf odometer.
+    let mut rf_pick = vec![0usize; readers.len()];
+    loop {
+        let mut rf = Relation::new(n);
+        let mut rdvals = vec![0u32; n];
+        for (ri, &i) in readers.iter().enumerate() {
+            let w = reader_choices[ri][rf_pick[ri]];
+            rf.add(w, event_id(i));
+            rdvals[event_id(i)] = wrvals[w];
+        }
+        // Build the event list with concrete actions.
+        let mut events: Vec<Event> = (0..num_vars)
+            .map(|v| Event::init_write(VarId(v as u8), 0))
+            .collect();
+        for i in 0..k {
+            let var = VarId(vars[i] as u8);
+            let tid = ThreadId(tids[i] as u8 + 1);
+            let action = match kinds[i] {
+                Kind::Write { release } => Action::Wr {
+                    var,
+                    val: wrvals[event_id(i)],
+                    release,
+                },
+                Kind::Read { acquire } => Action::Rd {
+                    var,
+                    val: rdvals[event_id(i)],
+                    acquire,
+                },
+                Kind::Update => Action::Upd {
+                    var,
+                    old: rdvals[event_id(i)],
+                    new: wrvals[event_id(i)],
+                },
+            };
+            events.push(Event::new(tid, action));
+        }
+        // mo: per-variable permutations of the non-init writes.
+        let per_var: Vec<Vec<usize>> = (0..num_vars)
+            .map(|v| writers_of[v][1..].to_vec())
+            .collect();
+        let mut stop = false;
+        enumerate_mo_product(&per_var, n, &mut |mo| {
+            let state =
+                C11State::from_parts(events.clone(), sb.clone(), rf.clone(), mo.clone());
+            if !f(&state) {
+                stop = true;
+            }
+            !stop
+        });
+        if stop {
+            return;
+        }
+        // advance rf odometer
+        let mut i = 0;
+        loop {
+            if i == readers.len() {
+                return;
+            }
+            rf_pick[i] += 1;
+            if rf_pick[i] < reader_choices[i].len() {
+                break;
+            }
+            rf_pick[i] = 0;
+            i += 1;
+        }
+        if readers.is_empty() {
+            return;
+        }
+    }
+}
+
+/// Product over variables of permutations of their non-init writes; mo is
+/// transitively closed by construction and has inits first.
+fn enumerate_mo_product<F: FnMut(&Relation) -> bool>(
+    per_var: &[Vec<usize>],
+    n: usize,
+    f: &mut F,
+) {
+    fn rec<F: FnMut(&Relation) -> bool>(
+        per_var: &[Vec<usize>],
+        v: usize,
+        acc: Relation,
+        f: &mut F,
+        stop: &mut bool,
+    ) {
+        if *stop {
+            return;
+        }
+        if v == per_var.len() {
+            if !f(&acc) {
+                *stop = true;
+            }
+            return;
+        }
+        permutations(&per_var[v], &mut |perm| {
+            let mut mo = acc.clone();
+            for &w in perm {
+                mo.add(v, w); // init write of var v has id v
+            }
+            for a in 0..perm.len() {
+                for b in (a + 1)..perm.len() {
+                    mo.add(perm[a], perm[b]);
+                }
+            }
+            rec(per_var, v + 1, mo, f, stop);
+            !*stop
+        });
+    }
+    let mut stop = false;
+    rec(per_var, 0, Relation::new(n), f, &mut stop);
+}
+
+fn permutations<F: FnMut(&[usize]) -> bool>(items: &[usize], f: &mut F) {
+    fn rec<F: FnMut(&[usize]) -> bool>(
+        rem: &mut Vec<usize>,
+        pre: &mut Vec<usize>,
+        f: &mut F,
+        stop: &mut bool,
+    ) {
+        if *stop {
+            return;
+        }
+        if rem.is_empty() {
+            if !f(pre) {
+                *stop = true;
+            }
+            return;
+        }
+        for i in 0..rem.len() {
+            let x = rem.remove(i);
+            pre.push(x);
+            rec(rem, pre, f, stop);
+            pre.pop();
+            rem.insert(i, x);
+            if *stop {
+                return;
+            }
+        }
+    }
+    let mut rem = items.to_vec();
+    let mut pre = Vec::new();
+    let mut stop = false;
+    rec(&mut rem, &mut pre, f, &mut stop);
+}
+
+/// Exhaustive Theorem C.5 check over all candidates within `cfg`.
+pub fn equivalence_check(cfg: &CandidateConfig) -> EquivalenceReport {
+    let mut report = EquivalenceReport::default();
+    enumerate_candidates(cfg, |state| {
+        debug_assert!(is_candidate_execution(state));
+        report.record(state);
+        true
+    });
+    report
+}
+
+/// Generates one random candidate execution of `events` non-init events.
+pub fn random_candidate(
+    rng: &mut StdRng,
+    events: usize,
+    max_threads: usize,
+    max_vars: usize,
+) -> Option<C11State> {
+    let k = events;
+    let tids: Vec<usize> = (0..k).map(|_| rng.gen_range(0..max_threads)).collect();
+    let kinds: Vec<Kind> = (0..k).map(|_| KINDS[rng.gen_range(0..KINDS.len())]).collect();
+    let vars: Vec<usize> = (0..k).map(|_| rng.gen_range(0..max_vars)).collect();
+    let num_vars = max_vars;
+    let base = num_vars;
+    let event_id = |i: usize| base + i;
+    let mut writers_of: Vec<Vec<usize>> = (0..num_vars).map(|v| vec![v]).collect();
+    let mut wrvals = vec![0u32; base + k];
+    let mut next_val = 1;
+    for i in 0..k {
+        if matches!(kinds[i], Kind::Write { .. } | Kind::Update) {
+            writers_of[vars[i]].push(event_id(i));
+            wrvals[event_id(i)] = next_val;
+            next_val += 1;
+        }
+    }
+    let n = base + k;
+    let mut rf = Relation::new(n);
+    let mut rdvals = vec![0u32; n];
+    for i in 0..k {
+        if matches!(kinds[i], Kind::Read { .. } | Kind::Update) {
+            let choices: Vec<usize> = writers_of[vars[i]]
+                .iter()
+                .copied()
+                .filter(|&w| w != event_id(i))
+                .collect();
+            if choices.is_empty() {
+                return None;
+            }
+            let w = choices[rng.gen_range(0..choices.len())];
+            rf.add(w, event_id(i));
+            rdvals[event_id(i)] = wrvals[w];
+        }
+    }
+    let mut sb = Relation::new(n);
+    for v in 0..num_vars {
+        for i in 0..k {
+            sb.add(v, event_id(i));
+        }
+    }
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if tids[i] == tids[j] {
+                sb.add(event_id(i), event_id(j));
+            }
+        }
+    }
+    let mut mo = Relation::new(n);
+    for (v, writers) in writers_of.iter().enumerate().take(num_vars) {
+        let mut perm = writers[1..].to_vec();
+        // Fisher-Yates
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for &w in &perm {
+            mo.add(v, w);
+        }
+        for a in 0..perm.len() {
+            for b in (a + 1)..perm.len() {
+                mo.add(perm[a], perm[b]);
+            }
+        }
+    }
+    let mut events_vec: Vec<Event> = (0..num_vars)
+        .map(|v| Event::init_write(VarId(v as u8), 0))
+        .collect();
+    for i in 0..k {
+        let var = VarId(vars[i] as u8);
+        let tid = ThreadId(tids[i] as u8 + 1);
+        let action = match kinds[i] {
+            Kind::Write { release } => Action::Wr {
+                var,
+                val: wrvals[event_id(i)],
+                release,
+            },
+            Kind::Read { acquire } => Action::Rd {
+                var,
+                val: rdvals[event_id(i)],
+                acquire,
+            },
+            Kind::Update => Action::Upd {
+                var,
+                old: rdvals[event_id(i)],
+                new: wrvals[event_id(i)],
+            },
+        };
+        events_vec.push(Event::new(tid, action));
+    }
+    Some(C11State::from_parts(events_vec, sb, rf, mo))
+}
+
+/// Sampled Theorem C.5 check at a given size (covers sizes beyond the
+/// exhaustive bound, like the paper's size-7 Alloy runs).
+pub fn equivalence_sample(
+    seed: u64,
+    events: usize,
+    max_threads: usize,
+    max_vars: usize,
+    samples: usize,
+) -> EquivalenceReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = EquivalenceReport::default();
+    let mut produced = 0;
+    let mut attempts = 0;
+    while produced < samples && attempts < samples * 20 {
+        attempts += 1;
+        if let Some(state) = random_candidate(&mut rng, events, max_threads, max_vars) {
+            debug_assert!(is_candidate_execution(&state));
+            report.record(&state);
+            produced += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::{coherence_inclusions, eco_closed_form, is_weakly_canonical_consistent};
+
+    #[test]
+    fn exhaustive_size_2_equivalence() {
+        let cfg = CandidateConfig {
+            events: 2,
+            max_threads: 2,
+            max_vars: 2,
+        };
+        let report = equivalence_check(&cfg);
+        assert!(report.candidates > 50, "got {}", report.candidates);
+        assert!(report.agrees(), "Theorem C.5 disagreement: {:?}", report.disagreements);
+        assert!(report.both_consistent > 0);
+        assert!(report.both_inconsistent > 0);
+    }
+
+    #[test]
+    fn exhaustive_size_3_equivalence() {
+        let cfg = CandidateConfig {
+            events: 3,
+            max_threads: 2,
+            max_vars: 2,
+        };
+        let report = equivalence_check(&cfg);
+        assert!(report.agrees(), "{:?}", report.disagreements);
+        assert!(report.candidates > 1000);
+    }
+
+    #[test]
+    fn sampled_size_6_equivalence() {
+        let report = equivalence_sample(0xC11, 6, 3, 2, 300);
+        assert!(report.agrees(), "{:?}", report.disagreements);
+        assert!(report.candidates >= 250);
+    }
+
+    #[test]
+    fn every_candidate_is_a_candidate_execution() {
+        let cfg = CandidateConfig {
+            events: 2,
+            max_threads: 2,
+            max_vars: 1,
+        };
+        enumerate_candidates(&cfg, |s| {
+            assert!(is_candidate_execution(s), "{s:?}");
+            true
+        });
+    }
+
+    #[test]
+    fn lemma_c9_closed_form_on_consistent_candidates() {
+        // On UPD-satisfying candidates, eco equals its closed form.
+        let cfg = CandidateConfig {
+            events: 3,
+            max_threads: 2,
+            max_vars: 1,
+        };
+        let mut checked = 0;
+        enumerate_candidates(&cfg, |s| {
+            if is_weakly_canonical_consistent(s) {
+                assert_eq!(&eco_closed_form(s), s.eco(), "Lemma C.9 on {s:?}");
+                assert!(coherence_inclusions(s).is_ok(), "Lemma C.8 on {s:?}");
+                checked += 1;
+            }
+            true
+        });
+        assert!(checked > 100);
+    }
+
+    #[test]
+    fn random_candidates_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut made = 0;
+        for _ in 0..100 {
+            if let Some(s) = random_candidate(&mut rng, 5, 3, 2) {
+                assert!(is_candidate_execution(&s));
+                made += 1;
+            }
+        }
+        assert!(made > 50);
+    }
+}

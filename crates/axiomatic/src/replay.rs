@@ -1,0 +1,226 @@
+//! The completeness construction (Theorem 4.8), executable.
+//!
+//! Given a *valid* execution `Γ = ((D, sb), rf, mo)`, replay its non-init
+//! events through the RA event semantics in a linearization of `sb ∪ rf`
+//! (which exists by No-Thin-Air). At each step the theorem prescribes the
+//! observed write: the `rf`-writer for reads, the immediate mo-predecessor
+//! *within the replayed prefix* for writes, and both (coinciding) for
+//! updates. The replay asserts that the prescribed transition is enabled
+//! and that the reached state equals `Γ` restricted to the prefix — i.e.
+//! exactly the statement of Theorem 4.8.
+
+use crate::axioms::is_valid;
+use c11_core::event::EventId;
+use c11_core::semantics::{read_transitions, update_transitions, write_transitions};
+use c11_core::state::C11State;
+use c11_relations::{some_linearization, BitSet};
+
+/// Why a replay failed (a counterexample to completeness if the input was
+/// valid — should never occur).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The input execution is not valid (Definition 4.2).
+    InvalidInput,
+    /// `sb ∪ rf` was cyclic (cannot happen for valid inputs).
+    NoLinearization,
+    /// The prescribed transition was not enabled at step `at`.
+    TransitionNotEnabled {
+        /// Index into the linearization.
+        at: usize,
+    },
+    /// The reached prefix state differed from `Γ` restricted to the
+    /// prefix at step `at`.
+    PrefixMismatch {
+        /// Index into the linearization.
+        at: usize,
+    },
+}
+
+/// Replays `target` through the RA semantics, checking Theorem 4.8.
+/// Returns the linearization used (non-init events of `target`).
+pub fn replay(target: &C11State) -> Result<Vec<EventId>, ReplayError> {
+    if !is_valid(target) {
+        return Err(ReplayError::InvalidInput);
+    }
+    // Linearize sb ∪ rf over non-init events.
+    let non_init: BitSet = BitSet::from_iter(
+        target
+            .ids()
+            .filter(|&e| !target.event(e).is_init()),
+    );
+    let order = target.sb().union(target.rf());
+    let lin = some_linearization(&order, &non_init).ok_or(ReplayError::NoLinearization)?;
+
+    // Replay. `map[target_id]` = id in the replay arena.
+    let inits: Vec<u32> = {
+        // init writes appear first in both arenas, in variable order, by
+        // construction of C11State::initial and the enumerators.
+        let mut vals = Vec::new();
+        for e in target.ids() {
+            let ev = target.event(e);
+            if ev.is_init() {
+                let v = ev.var().0 as usize;
+                if vals.len() <= v {
+                    vals.resize(v + 1, 0);
+                }
+                vals[v] = ev.wrval().expect("init writes write");
+            }
+        }
+        vals
+    };
+    let mut cur = C11State::initial(&inits);
+    let mut map = vec![usize::MAX; target.len()];
+    for e in target.ids().filter(|&e| target.event(e).is_init()) {
+        map[e] = target.event(e).var().0 as usize;
+    }
+
+    let mut replayed: Vec<EventId> = Vec::new(); // target ids, in order
+    for (at, &e) in lin.iter().enumerate() {
+        let ev = *target.event(e);
+        let t = ev.tid;
+        let x = ev.var();
+        // The prescribed observed write, in target ids.
+        let observed_target: EventId = if ev.is_update() || ev.is_read() {
+            // rf writer (for updates this coincides with the immediate
+            // mo-predecessor by update atomicity).
+            target
+                .rf()
+                .preimage(e)
+                .next()
+                .expect("valid executions have complete rf")
+        } else {
+            // Immediate mo-predecessor within the prefix: mo-maximal among
+            // already-present writes to x that are mo-before e.
+            let candidates: Vec<EventId> = target
+                .ids()
+                .filter(|&w| {
+                    (map[w] != usize::MAX)
+                        && target.event(w).is_write()
+                        && target.event(w).var() == x
+                        && target.mo().contains(w, e)
+                })
+                .collect();
+            *candidates
+                .iter()
+                .find(|&&w| {
+                    !candidates
+                        .iter()
+                        .any(|&w2| w2 != w && target.mo().contains(w, w2))
+                })
+                .expect("a write has an mo-predecessor (at least the init)")
+        };
+        let observed_replay = map[observed_target];
+
+        let trs = if ev.is_update() {
+            update_transitions(&cur, t, x, ev.wrval().expect("update writes"))
+        } else if ev.is_read() {
+            read_transitions(&cur, t, x, ev.is_acquire())
+        } else {
+            write_transitions(
+                &cur,
+                t,
+                x,
+                ev.wrval().expect("write writes"),
+                ev.is_release(),
+            )
+        };
+        let tr = trs
+            .into_iter()
+            .find(|tr| tr.observed == observed_replay && tr.action == ev.action)
+            .ok_or(ReplayError::TransitionNotEnabled { at })?;
+        map[e] = tr.event;
+        cur = tr.state;
+        replayed.push(e);
+
+        // Prefix equality: cur ≃ target ↾ (inits ∪ replayed).
+        let mut keep = BitSet::from_iter(
+            target.ids().filter(|&i| target.event(i).is_init()),
+        );
+        for &r in &replayed {
+            keep.insert(r);
+        }
+        let prefix = target.restrict(&keep);
+        if prefix.canonical() != cur.canonical() {
+            return Err(ReplayError::PrefixMismatch { at });
+        }
+    }
+    Ok(lin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::justify::justifications;
+    use c11_core::event::Event;
+    use c11_lang::{Action, ThreadId, VarId};
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    fn wr(var: VarId, val: u32, release: bool) -> Action {
+        Action::Wr { var, val, release }
+    }
+
+    fn rd(var: VarId, val: u32, acquire: bool) -> Action {
+        Action::Rd { var, val, acquire }
+    }
+
+    #[test]
+    fn example_4_5_round_trip() {
+        // Pre-execution of Example 4.5: t1 reads x = 5 then writes z = 5;
+        // t2 writes x = 5. Justify, then replay every justification.
+        let s = C11State::initial(&[0, 0]);
+        let (s, _) = s.append_event(Event::new(T1, rd(X, 5, false)));
+        let (s, _) = s.append_event(Event::new(T1, wr(Y, 5, false)));
+        let (pre, _) = s.append_event(Event::new(T2, wr(X, 5, false)));
+        let js = justifications(&pre);
+        assert!(!js.is_empty());
+        for j in &js {
+            let lin = replay(j).expect("Theorem 4.8 replay");
+            // The read (event 2) must come after its writer (event 4).
+            let pos = |e: EventId| lin.iter().position(|&x| x == e).unwrap();
+            assert!(pos(4) < pos(2), "rf edges are respected by the order");
+        }
+    }
+
+    #[test]
+    fn invalid_input_rejected() {
+        let s = C11State::initial(&[0]);
+        let (s2, _) = s.append_event(Event::new(T1, rd(X, 3, false)));
+        assert_eq!(replay(&s2), Err(ReplayError::InvalidInput));
+    }
+
+    #[test]
+    fn replay_with_updates() {
+        let s = C11State::initial(&[0]);
+        let (s, u) = s.append_event(Event::new(
+            T1,
+            Action::Upd {
+                var: X,
+                old: 0,
+                new: 1,
+            },
+        ));
+        let (pre, _r) = s.append_event(Event::new(T2, rd(X, 1, true)));
+        let _ = u;
+        for j in justifications(&pre) {
+            replay(&j).expect("replayable");
+        }
+    }
+
+    #[test]
+    fn replay_mo_middle_insertion() {
+        // A justification where a write sits mo-between two others forces
+        // the replay to pick a middle insertion point.
+        let s = C11State::initial(&[0]);
+        let (s, _w1) = s.append_event(Event::new(T1, wr(X, 1, false)));
+        let (pre, _w2) = s.append_event(Event::new(T2, wr(X, 2, false)));
+        let js = justifications(&pre);
+        assert_eq!(js.len(), 2);
+        for j in js {
+            replay(&j).expect("both mo orders replay");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! E15/E16 — ablations: state dedup on/off, sequential vs parallel
+//! exploration, and full vs hb-only observability.
+
+use c11_bench::contended_workload;
+use c11_core::model::{RaModel, WeakObsRaModel};
+use c11_explore::{parallel_count_states, ExploreConfig, Explorer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E16/dedup");
+    g.sample_size(10);
+    let prog = contended_workload(3);
+    g.bench_function("on", |b| {
+        b.iter(|| black_box(Explorer::new(RaModel).explore(&prog, ExploreConfig::default())))
+    });
+    g.bench_function("off", |b| {
+        b.iter(|| {
+            black_box(Explorer::new(RaModel).explore(
+                &prog,
+                ExploreConfig {
+                    dedup: false,
+                    max_states: 1_000_000,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E16/parallel");
+    g.sample_size(10);
+    let prog = contended_workload(4);
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &w| b.iter(|| black_box(parallel_count_states(&RaModel, &prog, 24, w))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_observability_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E15/observability");
+    g.sample_size(10);
+    let prog = contended_workload(3);
+    g.bench_function("full(eco+hb)", |b| {
+        b.iter(|| black_box(Explorer::new(RaModel).explore(&prog, ExploreConfig::default())))
+    });
+    g.bench_function("weak(hb-only)", |b| {
+        b.iter(|| {
+            black_box(Explorer::new(WeakObsRaModel).explore(&prog, ExploreConfig::default()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dedup,
+    bench_parallel,
+    bench_observability_ablation
+);
+criterion_main!(benches);

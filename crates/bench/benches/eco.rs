@@ -1,0 +1,81 @@
+//! E2 — derived-relation computation: `eco`, `hb` and the observability
+//! sets over single-variable histories of growing length (the shape of
+//! Example 3.3).
+//!
+//! `C11State` caches derived relations per state, so each measurement
+//! rebuilds the state (cheap: vector/bitset copies) to measure the actual
+//! closure computation; the `cached` benchmarks show the hit path the
+//! explorer enjoys when revisiting a state's relations.
+
+use c11_bench::chain_state;
+use c11_core::obs::{encountered_writes, observable_writes};
+use c11_core::state::C11State;
+use c11_lang::ThreadId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Rebuilds the state (clearing the derived-relation cache).
+fn uncached(s: &C11State) -> C11State {
+    C11State::from_parts(
+        s.events().to_vec(),
+        s.sb().clone(),
+        s.rf().clone(),
+        s.mo().clone(),
+    )
+}
+
+fn bench_eco(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2/eco");
+    for len in [4usize, 8, 16, 32] {
+        let s = chain_state(len);
+        g.bench_with_input(BenchmarkId::new("compute", len), &s, |b, s| {
+            b.iter(|| {
+                let fresh = uncached(s);
+                black_box(fresh.eco().edge_count())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cached", len), &s, |b, s| {
+            let warm = uncached(s);
+            warm.eco();
+            b.iter(|| black_box(warm.eco().edge_count()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2/hb");
+    for len in [4usize, 8, 16, 32] {
+        let s = chain_state(len);
+        g.bench_with_input(BenchmarkId::new("compute", len), &s, |b, s| {
+            b.iter(|| {
+                let fresh = uncached(s);
+                black_box(fresh.hb().edge_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_observability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2/observability");
+    for len in [4usize, 8, 16, 32] {
+        let s = chain_state(len);
+        g.bench_with_input(BenchmarkId::new("EW", len), &s, |b, s| {
+            b.iter(|| {
+                let fresh = uncached(s);
+                black_box(encountered_writes(&fresh, ThreadId(2)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("OW", len), &s, |b, s| {
+            b.iter(|| {
+                let fresh = uncached(s);
+                black_box(observable_writes(&fresh, ThreadId(2)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eco, bench_hb, bench_observability);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E14 — litmus corpus evaluation throughput: full exploration + verdict
+//! per test, under the RA semantics and the SC baseline.
+
+use c11_core::model::{RaModel, ScModel};
+use c11_explore::{ExploreConfig, Explorer};
+use c11_lang::parse_program;
+use c11_litmus::{corpus, run_test};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_corpus_verdicts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E14/verdict");
+    g.sample_size(20);
+    for test in corpus() {
+        // Skip the two slowest (4-thread) shapes in the default run; the
+        // full table is produced by `cargo run --example litmus_suite`.
+        if test.name == "IRIW-ra" {
+            continue;
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(test.name.clone()), &test, |b, t| {
+            b.iter(|| black_box(run_test(t)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_models_side_by_side(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E14/explore-SB");
+    let prog = parse_program(
+        "vars x y;
+         thread t1 { x := 1; r0 <- y; }
+         thread t2 { y := 1; r0 <- x; }",
+    )
+    .unwrap();
+    g.bench_function("RA", |b| {
+        b.iter(|| black_box(Explorer::new(RaModel).explore(&prog, ExploreConfig::default())))
+    });
+    g.bench_function("SC", |b| {
+        b.iter(|| black_box(Explorer::new(ScModel).explore(&prog, ExploreConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_corpus_verdicts, bench_models_side_by_side);
+criterion_main!(benches);

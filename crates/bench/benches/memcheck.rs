@@ -1,0 +1,44 @@
+//! E8 — bounded Theorem C.5 equivalence checking: exhaustive enumeration
+//! cost by size, and per-candidate checking throughput via sampling.
+
+use c11_axiomatic::memcheck::{equivalence_check, equivalence_sample, CandidateConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E8/exhaustive");
+    g.sample_size(10);
+    for events in [2usize, 3] {
+        let cfg = CandidateConfig {
+            events,
+            max_threads: 2,
+            max_vars: 2,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(events), &cfg, |b, cfg| {
+            b.iter(|| {
+                let r = equivalence_check(cfg);
+                assert!(r.agrees());
+                black_box(r)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E8/sampled-500");
+    g.sample_size(10);
+    for events in [5usize, 6, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, &n| {
+            b.iter(|| {
+                let r = equivalence_sample(0xC11, n, 3, 2, 500);
+                assert!(r.agrees());
+                black_box(r)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exhaustive, bench_sampled);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E13 — operational on-the-fly checking vs the axiomatic generate-and-
+//! test baseline, over the widening write/read workload. The crossover and
+//! growth shape (axiomatic ∝ (values+1)^reads, operational ∝ valid
+//! behaviours) is the paper's motivating claim.
+
+use c11_axiomatic::justify::search_stats;
+use c11_bench::wide_workload;
+use c11_core::model::{PreExecutionModel, RaModel};
+use c11_explore::{ExploreConfig, Explorer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_operational(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E13/operational");
+    for k in [1usize, 2, 3] {
+        let prog = wide_workload(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &prog, |b, prog| {
+            b.iter(|| black_box(Explorer::new(RaModel).explore(prog, ExploreConfig::default())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_axiomatic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E13/axiomatic");
+    g.sample_size(10);
+    for k in [1usize, 2, 3] {
+        let prog = wide_workload(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &prog, |b, prog| {
+            b.iter(|| {
+                let model = PreExecutionModel::for_program(prog);
+                let pe = Explorer::new(model).explore(prog, ExploreConfig::default());
+                let mut total = 0usize;
+                for f in &pe.finals {
+                    total += search_stats(&f.mem).candidates;
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_operational, bench_axiomatic);
+criterion_main!(benches);

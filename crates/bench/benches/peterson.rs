@@ -1,0 +1,24 @@
+//! E11 — Peterson verification cost as the event budget grows (each +2
+//! events roughly covers one more spin iteration / lock round).
+
+use c11_verify::peterson::check_peterson;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_peterson(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E11/peterson");
+    g.sample_size(10);
+    for budget in [10usize, 12, 14] {
+        g.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &n| {
+            b.iter(|| {
+                let r = check_peterson(n);
+                assert!(r.mutual_exclusion && r.invariant_failures.is_empty());
+                black_box(r)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_peterson);
+criterion_main!(benches);

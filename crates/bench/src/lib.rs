@@ -1,0 +1,96 @@
+//! Shared workloads for the benchmark harness. Each bench target under
+//! `benches/` regenerates one experiment of `EXPERIMENTS.md`; this crate
+//! hosts the workload generators they share.
+
+use c11_core::state::C11State;
+use c11_core::Event;
+use c11_lang::{parse_program, Action, Prog, ThreadId, VarId};
+
+/// A single-variable history: `chain_len` writes by one thread, each read
+/// once by a second thread, with `rf`/`mo` fully wired. Scales the derived-
+/// relation benchmarks (E2).
+pub fn chain_state(chain_len: usize) -> C11State {
+    let x = VarId(0);
+    let mut s = C11State::initial(&[0]);
+    let mut prev = 0usize;
+    for i in 0..chain_len {
+        let (mut s2, w) = s.append_event(Event::new(
+            ThreadId(1),
+            Action::Wr {
+                var: x,
+                val: (i + 1) as u32,
+                release: i % 2 == 0,
+            },
+        ));
+        s2.mo_mut().add(prev, w);
+        // keep mo transitive
+        let preds: Vec<usize> = s2.mo().preimage(prev).collect();
+        for p in preds {
+            s2.mo_mut().add(p, w);
+        }
+        let (mut s3, r) = s2.append_event(Event::new(
+            ThreadId(2),
+            Action::Rd {
+                var: x,
+                val: (i + 1) as u32,
+                acquire: i % 2 == 0,
+            },
+        ));
+        s3.rf_mut().add(w, r);
+        prev = w;
+        s = s3;
+    }
+    s
+}
+
+/// The widening write/read workload of E13: `k` variables, one writer
+/// thread, one reader thread.
+pub fn wide_workload(k: usize) -> Prog {
+    let vars: Vec<String> = (0..k).map(|i| format!("v{i}")).collect();
+    let mut t1 = String::new();
+    let mut t2 = String::new();
+    for (i, v) in vars.iter().enumerate() {
+        t1.push_str(&format!("{v} := {}; ", i + 1));
+        t2.push_str(&format!("r{i} <- {v}; "));
+    }
+    parse_program(&format!(
+        "vars {};\nthread t1 {{ {t1} }}\nthread t2 {{ {t2} }}",
+        vars.join(" ")
+    ))
+    .expect("workload parses")
+}
+
+/// A contended workload: `k` writes by each of two threads to a single
+/// variable (mo-insertion-heavy; used by the exploration ablation E16).
+pub fn contended_workload(k: usize) -> Prog {
+    let stmt = |base: usize| {
+        (0..k)
+            .map(|i| format!("x := {}; ", base + i))
+            .collect::<String>()
+    };
+    parse_program(&format!(
+        "vars x;\nthread t1 {{ {} }}\nthread t2 {{ {} }}",
+        stmt(1),
+        stmt(100)
+    ))
+    .expect("workload parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_state_is_valid_shape() {
+        let s = chain_state(6);
+        assert_eq!(s.len(), 1 + 12);
+        assert!(s.mo().is_strict_total_order_on(&s.writes()));
+        assert!(s.eco().is_irreflexive());
+    }
+
+    #[test]
+    fn workloads_parse() {
+        assert_eq!(wide_workload(3).num_vars(), 3);
+        assert_eq!(contended_workload(2).num_threads(), 2);
+    }
+}

@@ -1,0 +1,257 @@
+//! Configurations and the interpreted semantics (paper §3.3).
+//!
+//! A configuration pairs the residual program (one command per thread plus
+//! thread-local registers) with a memory-model state. The two generic rules
+//! of the paper are implemented by [`Config::successors`]:
+//!
+//! ```text
+//!   P —τ→_t P'                    P —a→_t P'   σ —w,e→_M σ'
+//!   ─────────────────            ────────────────────────────
+//!   (P, σ) ⟹ (P', σ)             (P, σ) ⟹ (P', σ')
+//! ```
+
+use crate::model::{MemoryModel, Transition};
+use c11_lang::step::{apply_step, step_shape, RegFile, StepShape};
+use c11_lang::{Com, Prog, StepLabel, ThreadId};
+
+/// A configuration `(P, σ)` of the interpreted semantics, extended with
+/// per-thread register files.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct Config<M: MemoryModel> {
+    /// Residual command of each thread (`coms[i]` is thread `i + 1`).
+    pub coms: Vec<Com>,
+    /// Register file of each thread (same indexing).
+    pub regs: Vec<RegFile>,
+    /// The memory-model state `σ`.
+    pub mem: M::State,
+}
+
+// Manual impl: `derive(Clone)` would demand `M: Clone`, but only the state
+// needs cloning.
+impl<M: MemoryModel> Clone for Config<M> {
+    fn clone(&self) -> Self {
+        Config {
+            coms: self.coms.clone(),
+            regs: self.regs.clone(),
+            mem: self.mem.clone(),
+        }
+    }
+}
+
+/// One step of the interpreted semantics, with enough labelling for the
+/// verification crate to replay proofs: thread, label, and (for RA) the
+/// observed write and new event.
+#[derive(Clone, Debug)]
+pub struct ConfigStep<M: MemoryModel> {
+    /// The thread that stepped.
+    pub tid: ThreadId,
+    /// The step label (τ or a concrete action).
+    pub label: StepLabel,
+    /// The observed write, when the model provides one (RA).
+    pub observed: Option<usize>,
+    /// The appended event id, when the model tracks events.
+    pub event: Option<usize>,
+    /// The successor configuration.
+    pub next: Config<M>,
+}
+
+impl<M: MemoryModel> Config<M> {
+    /// The initial configuration of a program.
+    pub fn initial(model: &M, prog: &Prog) -> Config<M> {
+        Config {
+            coms: prog.threads.clone(),
+            regs: vec![RegFile::new(); prog.threads.len()],
+            mem: model.init(prog),
+        }
+    }
+
+    /// The command of thread `t`.
+    pub fn com(&self, t: ThreadId) -> &Com {
+        &self.coms[t.0 as usize - 1]
+    }
+
+    /// The register file of thread `t`.
+    pub fn reg_file(&self, t: ThreadId) -> &RegFile {
+        &self.regs[t.0 as usize - 1]
+    }
+
+    /// The program counter of thread `t` (label of its leftmost active
+    /// statement).
+    pub fn pc(&self, t: ThreadId) -> Option<u32> {
+        self.com(t).pc()
+    }
+
+    /// `true` iff every thread has terminated.
+    pub fn is_terminated(&self) -> bool {
+        self.coms.iter().all(Com::is_terminated)
+    }
+
+    /// Thread ids `1..=n`.
+    pub fn thread_ids(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        (1..=self.coms.len() as u8).map(ThreadId)
+    }
+
+    /// All successor configurations under the interpreted semantics: every
+    /// thread's enabled step, with memory transitions expanded by the
+    /// model.
+    pub fn successors(&self, model: &M) -> Vec<ConfigStep<M>> {
+        let mut out = Vec::new();
+        for t in self.thread_ids() {
+            let idx = t.0 as usize - 1;
+            let com = &self.coms[idx];
+            let regs = &self.regs[idx];
+            match step_shape(com, regs) {
+                None => {}
+                Some(StepShape::Tau) => {
+                    let res = apply_step(com, &StepLabel::Tau, regs)
+                        .expect("τ shape must apply with τ label");
+                    let mut next = self.clone();
+                    next.coms[idx] = res.com;
+                    if let Some((r, v)) = res.reg_write {
+                        next.regs[idx].set(r, v);
+                    }
+                    out.push(ConfigStep {
+                        tid: t,
+                        label: StepLabel::Tau,
+                        observed: None,
+                        event: None,
+                        next,
+                    });
+                }
+                Some(StepShape::Act(shape)) => {
+                    for Transition {
+                        action,
+                        observed,
+                        event,
+                        state,
+                    } in model.transitions(&self.mem, t, &shape)
+                    {
+                        let label = StepLabel::Act(action);
+                        let res = apply_step(com, &label, regs)
+                            .expect("model transition must match the enabled shape");
+                        let mut next = self.clone();
+                        next.coms[idx] = res.com;
+                        if let Some((r, v)) = res.reg_write {
+                            next.regs[idx].set(r, v);
+                        }
+                        next.mem = state;
+                        out.push(ConfigStep {
+                            tid: t,
+                            label,
+                            observed,
+                            event,
+                            next,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{RaModel, ScModel};
+    use c11_lang::parse_program;
+    use c11_lang::RegId;
+
+    fn mp() -> Prog {
+        parse_program(
+            "vars d f;
+             thread t1 { d := 5; f :=R 1; }
+             thread t2 { r0 <-A f; r1 <- d; }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_config() {
+        let prog = mp();
+        let cfg = Config::initial(&RaModel, &prog);
+        assert_eq!(cfg.coms.len(), 2);
+        assert!(!cfg.is_terminated());
+        assert_eq!(cfg.mem.len(), 2); // two init writes
+    }
+
+    #[test]
+    fn successors_cover_both_threads() {
+        let prog = mp();
+        let cfg = Config::initial(&RaModel, &prog);
+        let succs = cfg.successors(&RaModel);
+        // t1: one write transition (d := 5, only init insertion point).
+        // t2: one read transition (only init write of f observable).
+        assert_eq!(succs.len(), 2);
+        let tids: Vec<u8> = succs.iter().map(|s| s.tid.0).collect();
+        assert_eq!(tids, vec![1, 2]);
+    }
+
+    #[test]
+    fn run_to_termination_under_sc() {
+        let prog = mp();
+        let mut cfg = Config::initial(&ScModel, &prog);
+        let mut steps = 0;
+        while !cfg.is_terminated() {
+            // Deterministically pick the first successor (SC: t1 priority).
+            let succs = cfg.successors(&ScModel);
+            cfg = succs.into_iter().next().expect("not stuck").next;
+            steps += 1;
+            assert!(steps < 100, "runaway");
+        }
+        // t1 ran first under this schedule, so t2 read f = 1 and d = 5.
+        assert_eq!(cfg.regs[1].get(RegId(0)), 1);
+        assert_eq!(cfg.regs[1].get(RegId(1)), 5);
+    }
+
+    #[test]
+    fn ra_read_can_miss_unpublished_write() {
+        // Schedule: t1 writes d := 5 (relaxed), then t2 reads d. Both the
+        // init 0 and the new 5 are observable — two read transitions.
+        let prog = mp();
+        let cfg = Config::initial(&RaModel, &prog);
+        let w = cfg
+            .successors(&RaModel)
+            .into_iter()
+            .find(|s| s.tid == ThreadId(1))
+            .unwrap()
+            .next;
+        // advance t2's read of f = 0 (init), then the reg write-back τ …
+        let r_f = w
+            .successors(&RaModel)
+            .into_iter()
+            .find(|s| s.tid == ThreadId(2))
+            .unwrap()
+            .next;
+        // … drain t2's silent steps (write-back, skip-consumption) …
+        let mut cur = r_f;
+        while let Some(step) = cur
+            .successors(&RaModel)
+            .into_iter()
+            .find(|s| s.tid == ThreadId(2) && s.label == StepLabel::Tau)
+        {
+            cur = step.next;
+        }
+        // … now t2 reads d: both values possible.
+        let reads: Vec<_> = cur
+            .successors(&RaModel)
+            .into_iter()
+            .filter(|s| s.tid == ThreadId(2))
+            .filter_map(|s| match s.label {
+                StepLabel::Act(a) => a.rdval(),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = reads.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 5]);
+    }
+
+    #[test]
+    fn terminated_config_has_no_successors() {
+        let prog = parse_program("vars x; thread t { skip; }").unwrap();
+        let cfg = Config::initial(&ScModel, &prog);
+        assert!(cfg.is_terminated());
+        assert!(cfg.successors(&ScModel).is_empty());
+    }
+}

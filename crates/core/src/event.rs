@@ -1,0 +1,123 @@
+//! Events: tagged actions with a thread identifier (paper `Evt = G × Act × T`).
+//!
+//! The tag set `G` of the paper exists only to make events unique; here an
+//! event's identity is its index in the state's event arena, so tags are
+//! implicit and [`EventId`] plays the role of `G`.
+
+use c11_lang::{Action, ThreadId, Val, VarId};
+
+/// Index of an event in a state's arena. Doubles as the paper's tag.
+pub type EventId = usize;
+
+/// An event: an action executed by a thread.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Executing thread (`tid(e)`); thread 0 initialises.
+    pub tid: ThreadId,
+    /// The action (`act(e)`).
+    pub action: Action,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(tid: ThreadId, action: Action) -> Event {
+        Event { tid, action }
+    }
+
+    /// An initialising write of `val` to `var` (thread 0, relaxed).
+    ///
+    /// Initialising writes are plain writes of the special thread `0`; the
+    /// paper's `IWr = { w ∈ Wr | tid(w) = 0 }`.
+    pub fn init_write(var: VarId, val: Val) -> Event {
+        Event {
+            tid: ThreadId::INIT,
+            action: Action::Wr {
+                var,
+                val,
+                release: false,
+            },
+        }
+    }
+
+    /// The variable touched (`var(e)`).
+    pub fn var(&self) -> VarId {
+        self.action.var()
+    }
+
+    /// The value written, if the event writes (`wrval(e)`).
+    pub fn wrval(&self) -> Option<Val> {
+        self.action.wrval()
+    }
+
+    /// The value read, if the event reads (`rdval(e)`).
+    pub fn rdval(&self) -> Option<Val> {
+        self.action.rdval()
+    }
+
+    /// `e ∈ Wr` — writes and updates.
+    pub fn is_write(&self) -> bool {
+        self.action.is_write()
+    }
+
+    /// `e ∈ Rd` — reads and updates.
+    pub fn is_read(&self) -> bool {
+        self.action.is_read()
+    }
+
+    /// `e ∈ U` — update (RMW) events.
+    pub fn is_update(&self) -> bool {
+        self.action.is_update()
+    }
+
+    /// `e ∈ WrR` — release writes (updates included).
+    pub fn is_release(&self) -> bool {
+        self.action.is_release()
+    }
+
+    /// `e ∈ RdA` — acquire reads (updates included).
+    pub fn is_acquire(&self) -> bool {
+        self.action.is_acquire()
+    }
+
+    /// `e ∈ IWr` — initialising writes.
+    pub fn is_init(&self) -> bool {
+        self.tid.is_init()
+    }
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}@{:?}", self.action, self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_write_classification() {
+        let w = Event::init_write(VarId(0), 7);
+        assert!(w.is_init() && w.is_write() && !w.is_read());
+        assert!(!w.is_release() && !w.is_update());
+        assert_eq!(w.wrval(), Some(7));
+        assert_eq!(w.rdval(), None);
+    }
+
+    #[test]
+    fn update_is_both_read_and_write() {
+        let u = Event::new(
+            ThreadId(1),
+            Action::Upd {
+                var: VarId(0),
+                old: 1,
+                new: 2,
+            },
+        );
+        assert!(u.is_read() && u.is_write() && u.is_update());
+        assert!(u.is_release() && u.is_acquire());
+        assert!(!u.is_init());
+        assert_eq!(u.rdval(), Some(1));
+        assert_eq!(u.wrval(), Some(2));
+    }
+}

@@ -1,0 +1,37 @@
+//! The operational semantics of the RAR fragment of C11 (paper §3).
+//!
+//! A C11 state is a triple `((D, sb), rf, mo)`: events with sequenced-before,
+//! reads-from and modification order ([`state::C11State`]). The *event
+//! semantics* ([`semantics`]) adds one event per step, validating reads
+//! on-the-fly against the executing thread's *observable writes*
+//! ([`obs`]): writes not superseded (in `mo`) by any write the thread has
+//! already *encountered* through `eco? ; hb?`.
+//!
+//! The interpreted semantics ([`config`]) pairs a program with a memory
+//! model state and is generic in the memory model ([`model::MemoryModel`]),
+//! exactly as in the paper's §3.3. Three models are provided:
+//!
+//! * [`model::RaModel`] — the paper's release/acquire/relaxed semantics;
+//! * [`model::PreExecutionModel`] — pre-executions (§4.1), whose reads are
+//!   unconstrained; used by the completeness construction;
+//! * [`model::ScModel`] — a sequentially-consistent baseline (a plain
+//!   variable store), the "conventional setting" the paper's §5 contrasts
+//!   against; also the benchmark baseline.
+
+pub mod config;
+pub mod dot;
+pub mod event;
+pub mod model;
+pub mod obs;
+pub mod paper_examples;
+pub mod semantics;
+pub mod state;
+
+pub use config::Config;
+pub use event::{Event, EventId};
+pub use model::{MemoryModel, PreExecutionModel, RaModel, ScModel, Transition};
+pub use obs::{covered_writes, encountered_writes, observable_writes};
+pub use state::C11State;
+
+// Re-export the shared vocabulary so downstream crates import one place.
+pub use c11_lang::{Action, ThreadId, Val, VarId};

@@ -1,0 +1,444 @@
+//! The pluggable memory-model interface of the interpreted semantics
+//! (paper §3.3), with three instantiations: RA, pre-executions and SC.
+
+use crate::event::EventId;
+use crate::semantics::{read_transitions, update_transitions, write_transitions};
+use crate::state::C11State;
+use c11_lang::{Action, ActionShape, Prog, ThreadId, Val};
+use c11_relations::Relation;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// One enabled memory transition for an action shape.
+#[derive(Clone, Debug)]
+pub struct Transition<S> {
+    /// The concrete action (read value resolved by the model).
+    pub action: Action,
+    /// The write observed (`w` in `σ —w,e→ σ'`); `None` for models without
+    /// an observation notion (pre-executions, SC).
+    pub observed: Option<EventId>,
+    /// Id of the appended event, for models that track events.
+    pub event: Option<EventId>,
+    /// The successor memory state.
+    pub state: S,
+}
+
+/// A memory model `M` pluggable into the interpreted semantics:
+/// `(P, σ) ⟹_M (P', σ')` (paper §3.3). The model decides which concrete
+/// actions realise an action shape and how the memory state evolves.
+pub trait MemoryModel {
+    /// The model's state type (`Σ`).
+    type State: Clone + PartialEq + Eq + Hash + Debug;
+
+    /// Canonical form of a state used for deduplication during
+    /// exploration. States reachable by different interleavings of the
+    /// same execution should share a key (see [`C11State::canonical`]).
+    type CanonKey: Clone + PartialEq + Eq + Hash;
+
+    /// The initial state for a program's declared variables.
+    fn init(&self, prog: &Prog) -> Self::State;
+
+    /// All transitions enabled for thread `t` performing `shape`.
+    fn transitions(
+        &self,
+        state: &Self::State,
+        t: ThreadId,
+        shape: &ActionShape,
+    ) -> Vec<Transition<Self::State>>;
+
+    /// The canonical key of a state.
+    fn canonical_key(&self, state: &Self::State) -> Self::CanonKey;
+
+    /// A size measure used to bound exploration of growing states (event
+    /// count for event-based models; 0 for store-based models).
+    fn state_size(&self, state: &Self::State) -> usize;
+}
+
+/// The paper's operational RA semantics (§3.2 / Figure 3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RaModel;
+
+impl MemoryModel for RaModel {
+    type State = C11State;
+    type CanonKey = crate::state::CanonicalState;
+
+    fn init(&self, prog: &Prog) -> C11State {
+        C11State::initial(&prog.inits)
+    }
+
+    fn transitions(
+        &self,
+        state: &C11State,
+        t: ThreadId,
+        shape: &ActionShape,
+    ) -> Vec<Transition<C11State>> {
+        let ra = match *shape {
+            ActionShape::Read { var, acquire } => read_transitions(state, t, var, acquire),
+            ActionShape::Write { var, val, release } => {
+                write_transitions(state, t, var, val, release)
+            }
+            ActionShape::Update { var, new } => update_transitions(state, t, var, new),
+        };
+        ra.into_iter()
+            .map(|tr| Transition {
+                action: tr.action,
+                observed: Some(tr.observed),
+                event: Some(tr.event),
+                state: tr.state,
+            })
+            .collect()
+    }
+
+    fn canonical_key(&self, state: &C11State) -> Self::CanonKey {
+        state.canonical()
+    }
+
+    fn state_size(&self, state: &C11State) -> usize {
+        state.len()
+    }
+}
+
+/// The pre-execution semantics of §4.1: states are `(D, sb)` only, and a
+/// read may return *any* value from the program's value universe (reads
+/// are justified post-hoc by the axiomatic semantics).
+///
+/// Represented as a [`C11State`] whose `rf` and `mo` stay empty.
+#[derive(Clone, Debug)]
+pub struct PreExecutionModel {
+    /// Values a read may return. Built from [`Prog::value_universe`].
+    pub universe: Vec<Val>,
+}
+
+impl PreExecutionModel {
+    /// Builds the model for a program (universe = values occurring in the
+    /// program text and its initialisation).
+    pub fn for_program(prog: &Prog) -> PreExecutionModel {
+        PreExecutionModel {
+            universe: prog.value_universe(),
+        }
+    }
+}
+
+impl MemoryModel for PreExecutionModel {
+    type State = C11State;
+    type CanonKey = crate::state::CanonicalState;
+
+    fn init(&self, prog: &Prog) -> C11State {
+        C11State::initial(&prog.inits)
+    }
+
+    fn transitions(
+        &self,
+        state: &C11State,
+        t: ThreadId,
+        shape: &ActionShape,
+    ) -> Vec<Transition<C11State>> {
+        use crate::event::Event;
+        let mut out = Vec::new();
+        let mut push = |action: Action| {
+            let (next, e) = state.append_event(Event::new(t, action));
+            out.push(Transition {
+                action,
+                observed: None,
+                event: Some(e),
+                state: next,
+            });
+        };
+        match *shape {
+            ActionShape::Read { .. } | ActionShape::Update { .. } => {
+                for &v in &self.universe {
+                    push(shape.instantiate(v));
+                }
+            }
+            ActionShape::Write { .. } => push(shape.instantiate(0)),
+        }
+        out
+    }
+
+    fn canonical_key(&self, state: &C11State) -> Self::CanonKey {
+        state.canonical()
+    }
+
+    fn state_size(&self, state: &C11State) -> usize {
+        state.len()
+    }
+}
+
+/// ABLATION MODEL (experiment E15): the RA semantics with the `eco?`
+/// component of encountered-writes removed (`hb?`-only reach). Admits
+/// states that violate the Coherence axiom — exploring with this model
+/// and counting `is_valid` failures measures how load-bearing the
+/// extended coherence order is in the paper's observability definition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WeakObsRaModel;
+
+impl MemoryModel for WeakObsRaModel {
+    type State = C11State;
+    type CanonKey = crate::state::CanonicalState;
+
+    fn init(&self, prog: &Prog) -> C11State {
+        C11State::initial(&prog.inits)
+    }
+
+    fn transitions(
+        &self,
+        state: &C11State,
+        t: ThreadId,
+        shape: &ActionShape,
+    ) -> Vec<Transition<C11State>> {
+        use crate::obs::observable_writes_hb_only as weak;
+        use crate::semantics::{
+            read_transitions_using, update_transitions_using, write_transitions_using,
+        };
+        let ra = match *shape {
+            ActionShape::Read { var, acquire } => {
+                read_transitions_using(state, t, var, acquire, weak)
+            }
+            ActionShape::Write { var, val, release } => {
+                write_transitions_using(state, t, var, val, release, weak)
+            }
+            ActionShape::Update { var, new } => update_transitions_using(state, t, var, new, weak),
+        };
+        ra.into_iter()
+            .map(|tr| Transition {
+                action: tr.action,
+                observed: Some(tr.observed),
+                event: Some(tr.event),
+                state: tr.state,
+            })
+            .collect()
+    }
+
+    fn canonical_key(&self, state: &C11State) -> Self::CanonKey {
+        state.canonical()
+    }
+
+    fn state_size(&self, state: &C11State) -> usize {
+        state.len()
+    }
+}
+
+/// A sequentially consistent baseline: the "conventional setting" of the
+/// paper's §5, where the store is a simple map from variables to values.
+/// Used to contrast verdicts (a litmus behaviour allowed under RA but not
+/// SC demonstrates weak-memory effects) and as the benchmark baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScModel;
+
+/// The SC store: one value per variable.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ScState {
+    /// `mem[v]` is the current value of `VarId(v)`.
+    pub mem: Vec<Val>,
+}
+
+impl MemoryModel for ScModel {
+    type State = ScState;
+    type CanonKey = ScState;
+
+    fn init(&self, prog: &Prog) -> ScState {
+        ScState {
+            mem: prog.inits.clone(),
+        }
+    }
+
+    fn transitions(
+        &self,
+        state: &ScState,
+        _t: ThreadId,
+        shape: &ActionShape,
+    ) -> Vec<Transition<ScState>> {
+        match *shape {
+            ActionShape::Read { var, .. } => {
+                let val = state.mem[var.0 as usize];
+                vec![Transition {
+                    action: shape.instantiate(val),
+                    observed: None,
+                    event: None,
+                    state: state.clone(),
+                }]
+            }
+            ActionShape::Write { var, val, .. } => {
+                let mut next = state.clone();
+                next.mem[var.0 as usize] = val;
+                vec![Transition {
+                    action: shape.instantiate(0),
+                    observed: None,
+                    event: None,
+                    state: next,
+                }]
+            }
+            ActionShape::Update { var, new } => {
+                let old = state.mem[var.0 as usize];
+                let mut next = state.clone();
+                next.mem[var.0 as usize] = new;
+                vec![Transition {
+                    action: Action::Upd { var, old, new },
+                    observed: None,
+                    event: None,
+                    state: next,
+                }]
+            }
+        }
+    }
+
+    fn canonical_key(&self, state: &ScState) -> ScState {
+        state.clone()
+    }
+
+    fn state_size(&self, _state: &ScState) -> usize {
+        0
+    }
+}
+
+/// Checks Proposition 4.1 / 2.3 commutation on a pre-execution state: two
+/// steps by different threads can be taken in either order reaching the
+/// same final `(D, sb)` up to canonical renaming. Exposed as a helper so
+/// tests and the completeness machinery can assert it.
+pub fn pe_steps_commute(
+    state: &C11State,
+    a: (ThreadId, Action),
+    b: (ThreadId, Action),
+) -> bool {
+    use crate::event::Event;
+    if a.0 == b.0 {
+        return true; // only cross-thread commutation is claimed
+    }
+    let ab = {
+        let (s1, _) = state.append_event(Event::new(a.0, a.1));
+        let (s2, _) = s1.append_event(Event::new(b.0, b.1));
+        s2.canonical()
+    };
+    let ba = {
+        let (s1, _) = state.append_event(Event::new(b.0, b.1));
+        let (s2, _) = s1.append_event(Event::new(a.0, a.1));
+        s2.canonical()
+    };
+    ab == ba
+}
+
+/// Convenience: an `rf`-free, `mo`-free projection check — `true` iff the
+/// state is a pure pre-execution (used in assertions).
+pub fn is_pre_execution(state: &C11State) -> bool {
+    state.rf() == &Relation::new(state.len()).clone() && state.mo().is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c11_lang::{ActionShape, VarId};
+
+    const X: VarId = VarId(0);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    fn prog_xy() -> Prog {
+        Prog::new(vec![("x".into(), 0), ("y".into(), 0)], vec![])
+    }
+
+    #[test]
+    fn ra_model_wraps_event_semantics() {
+        let m = RaModel;
+        let s = m.init(&prog_xy());
+        let ts = m.transitions(
+            &s,
+            T1,
+            &ActionShape::Read {
+                var: X,
+                acquire: false,
+            },
+        );
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].action.rdval(), Some(0));
+        assert!(ts[0].observed.is_some());
+    }
+
+    #[test]
+    fn pre_execution_reads_any_universe_value() {
+        let mut prog = prog_xy();
+        prog.inits = vec![0, 9];
+        let m = PreExecutionModel::for_program(&prog);
+        let s = m.init(&prog);
+        let ts = m.transitions(
+            &s,
+            T1,
+            &ActionShape::Read {
+                var: X,
+                acquire: false,
+            },
+        );
+        let vals: Vec<Val> = ts.iter().filter_map(|t| t.action.rdval()).collect();
+        assert_eq!(vals, prog.value_universe());
+        // rf and mo stay empty in pre-executions.
+        assert!(ts.iter().all(|t| is_pre_execution(&t.state)));
+    }
+
+    #[test]
+    fn sc_model_is_deterministic() {
+        let m = ScModel;
+        let prog = prog_xy();
+        let s = m.init(&prog);
+        let w = &m.transitions(
+            &s,
+            T1,
+            &ActionShape::Write {
+                var: X,
+                val: 4,
+                release: false,
+            },
+        )[0];
+        let r = &m.transitions(
+            &w.state,
+            T2,
+            &ActionShape::Read {
+                var: X,
+                acquire: false,
+            },
+        )[0];
+        assert_eq!(r.action.rdval(), Some(4));
+        // SC has exactly one transition per shape.
+        assert_eq!(
+            m.transitions(
+                &w.state,
+                T2,
+                &ActionShape::Update { var: X, new: 6 }
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn sc_update_reads_current_value() {
+        let m = ScModel;
+        let prog = prog_xy();
+        let s = m.init(&prog);
+        let u = &m.transitions(&s, T1, &ActionShape::Update { var: X, new: 3 })[0];
+        assert_eq!(u.action.rdval(), Some(0));
+        assert_eq!(u.state.mem[0], 3);
+    }
+
+    #[test]
+    fn prop_4_1_pe_commutation() {
+        let prog = prog_xy();
+        let m = PreExecutionModel::for_program(&prog);
+        let s = m.init(&prog);
+        let a = (
+            T1,
+            Action::Wr {
+                var: X,
+                val: 1,
+                release: false,
+            },
+        );
+        let b = (
+            T2,
+            Action::Rd {
+                var: X,
+                val: 1,
+                acquire: false,
+            },
+        );
+        assert!(pe_steps_commute(&s, a, b));
+    }
+}

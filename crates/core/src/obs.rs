@@ -1,0 +1,246 @@
+//! Per-thread observability (paper §3.2): encountered, observable and
+//! covered writes.
+//!
+//! These three sets drive every rule of the event semantics:
+//!
+//! * `EW_σ(t)` — writes thread `t` is (directly or indirectly) aware of:
+//!   those `eco? ; hb?`-before one of `t`'s events.
+//! * `OW_σ(t)` — writes `t` may still observe in its next read: writes not
+//!   mo-superseded by an encountered write.
+//! * `CW_σ` — covered writes: those read by an update, into which no new
+//!   write may be mo-inserted (guaranteeing RMW atomicity).
+
+use crate::event::EventId;
+use crate::state::C11State;
+use c11_lang::ThreadId;
+use c11_relations::BitSet;
+
+/// The encountered writes `EW_σ(t)`:
+/// `{ w ∈ Wr ∩ D | ∃e ∈ D. tid(e) = t ∧ (w, e) ∈ eco? ; hb? }`.
+///
+/// Empty until the thread executes its first action; from then on it
+/// includes every initialising write (which is `sb`- hence `hb`-prior to
+/// all of the thread's events).
+pub fn encountered_writes(state: &C11State, t: ThreadId) -> BitSet {
+    let thread_events: Vec<EventId> = state.thread_events(t).collect();
+    let mut out = BitSet::with_capacity(state.len());
+    if thread_events.is_empty() {
+        return out;
+    }
+    let reach = state.eco_hb_reach();
+    for w in state.writes().iter() {
+        if thread_events.iter().any(|&e| reach.contains(w, e)) {
+            out.insert(w);
+        }
+    }
+    out
+}
+
+/// The observable writes `OW_σ(t)`:
+/// `{ w ∈ Wr ∩ D | ∀w' ∈ EW_σ(t). (w, w') ∉ mo }`.
+///
+/// A write is observable while the thread has not encountered a write that
+/// mo-supersedes it. Note: if `EW_σ(t) = ∅` (thread yet to act), *every*
+/// write is observable.
+pub fn observable_writes(state: &C11State, t: ThreadId) -> BitSet {
+    let ew = encountered_writes(state, t);
+    let mut out = BitSet::with_capacity(state.len());
+    for w in state.writes().iter() {
+        if !state.mo().row(w).iter().any(|w2| ew.contains(w2)) {
+            out.insert(w);
+        }
+    }
+    out
+}
+
+/// ABLATION (experiment E15): encountered writes with the `eco?` component
+/// dropped — only `hb?` reaches count. The paper's definition threads
+/// coherence information through `eco`; without it, stale writes remain
+/// "unencountered" and the semantics admits axiom-violating states. Not
+/// part of the paper's model; exists to measure how load-bearing `eco` is.
+pub fn encountered_writes_hb_only(state: &C11State, t: ThreadId) -> BitSet {
+    let thread_events: Vec<EventId> = state.thread_events(t).collect();
+    let mut out = BitSet::with_capacity(state.len());
+    if thread_events.is_empty() {
+        return out;
+    }
+    let hb_q = state.hb().reflexive_closure();
+    for w in state.writes().iter() {
+        if thread_events.iter().any(|&e| hb_q.contains(w, e)) {
+            out.insert(w);
+        }
+    }
+    out
+}
+
+/// ABLATION: observable writes derived from [`encountered_writes_hb_only`].
+pub fn observable_writes_hb_only(state: &C11State, t: ThreadId) -> BitSet {
+    let ew = encountered_writes_hb_only(state, t);
+    let mut out = BitSet::with_capacity(state.len());
+    for w in state.writes().iter() {
+        if !state.mo().row(w).iter().any(|w2| ew.contains(w2)) {
+            out.insert(w);
+        }
+    }
+    out
+}
+
+/// The covered writes `CW_σ = { w ∈ Wr ∩ D | ∃u ∈ U. (w, u) ∈ rf }`.
+pub fn covered_writes(state: &C11State) -> BitSet {
+    let mut out = BitSet::with_capacity(state.len());
+    for (w, r) in state.rf().pairs() {
+        if state.event(r).is_update() {
+            out.insert(w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use c11_lang::{Action, VarId};
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+    const Z: VarId = VarId(2);
+
+    fn wr(var: VarId, val: u32, release: bool) -> Action {
+        Action::Wr { var, val, release }
+    }
+
+    fn rd(var: VarId, val: u32, acquire: bool) -> Action {
+        Action::Rd { var, val, acquire }
+    }
+
+    fn upd(var: VarId, old: u32, new: u32) -> Action {
+        Action::Upd { var, old, new }
+    }
+
+    /// Builds the state of Example 3.2 and returns it together with the
+    /// named event ids.
+    ///
+    /// Events (threads 1–4, inits of x, y, z):
+    /// ```text
+    ///   t1: updRA₁(x,2,4)       t2: wr₂(y,1) ; wrR₂(x,2)
+    ///   t3: rdA₃(x,2) ; wr₃(z,3)   t4: updRA₄(y,0,5) ; rd₄(z,3)
+    /// ```
+    ///
+    /// Thread 2's order (`wr₂(y,1)` *before* `wrR₂(x,2)`) is forced by the
+    /// paper's own `EW(3)` listing, which needs the hb-path
+    /// `wr₂(y,1) →sb wrR₂(x,2) →sw rdA₃(x,2)`.
+    pub(crate) fn example_3_2() -> (C11State, [EventId; 7]) {
+        let s = C11State::initial(&[0, 0, 0]); // 0:x, 1:y, 2:z
+        let (s, u1) = s.append_event(Event::new(ThreadId(1), upd(X, 2, 4)));
+        let (s, w2y) = s.append_event(Event::new(ThreadId(2), wr(Y, 1, false)));
+        let (s, w2x) = s.append_event(Event::new(ThreadId(2), wr(X, 2, true)));
+        let (s, r3) = s.append_event(Event::new(ThreadId(3), rd(X, 2, true)));
+        let (s, w3) = s.append_event(Event::new(ThreadId(3), wr(Z, 3, false)));
+        let (s, u4) = s.append_event(Event::new(ThreadId(4), upd(Y, 0, 5)));
+        let (mut s, r4) = s.append_event(Event::new(ThreadId(4), rd(Z, 3, false)));
+        // rf edges from the example:
+        //   wrR₂(x,2) → updRA₁(x,2,4)  (the update reads 2)
+        //   wrR₂(x,2) → rdA₃(x,2)
+        //   wr0(y)    → updRA₄(y,0,5)
+        //   wr₃(z,3)  → rd₄(z,3)
+        s.rf_mut().add(w2x, u1);
+        s.rf_mut().add(w2x, r3);
+        s.rf_mut().add(1, u4);
+        s.rf_mut().add(w3, r4);
+        // mo per variable:
+        //   x: wr0x → wrR₂(x,2) → updRA₁(x,2,4)
+        //   y: wr0y → updRA₄(y,0,5) → wr₂(y,1)
+        //   z: wr0z → wr₃(z,3)
+        s.mo_mut().add(0, w2x);
+        s.mo_mut().add(0, u1);
+        s.mo_mut().add(w2x, u1);
+        s.mo_mut().add(1, u4);
+        s.mo_mut().add(1, w2y);
+        s.mo_mut().add(u4, w2y);
+        s.mo_mut().add(2, w3);
+        (s, [u1, w2y, w2x, r3, w3, u4, r4])
+    }
+
+    // The expectations below are computed from Definition §3.2 verbatim.
+    // They agree with the paper's Example 3.4 listings except where noted:
+    // the paper's printed EW(1) / OW(1) / OW(2) overlook the hb-path
+    // `wr₂(y,1) →sb wrR₂(x,2) →sw updRA₁(x,2,4)` (sw because the release
+    // write is read by an acquiring update), an erratum recorded in
+    // EXPERIMENTS.md (E1).
+
+    #[test]
+    fn example_3_4_encountered_writes() {
+        let (s, [u1, w2y, w2x, _r3, w3, u4, _r4]) = example_3_2();
+        let i: Vec<EventId> = vec![0, 1, 2];
+        let expect = |base: Vec<EventId>| {
+            let mut v = [i.clone(), base].concat();
+            v.sort_unstable();
+            v
+        };
+        // Paper: EW(1) = I ∪ {wrR₂(x,2), updRA₁}. The literal definition
+        // additionally yields wr₂(y,1) (hb: sb;sw into the update) and
+        // updRA₄ (eco: mo to wr₂(y,1), then that hb) — see erratum note.
+        let ew1: Vec<_> = encountered_writes(&s, ThreadId(1)).iter().collect();
+        assert_eq!(ew1, expect(vec![w2y, w2x, u1, u4]));
+        // EW(2) = I ∪ {wr₂(y,1), wrR₂(x,2), updRA₄(y,0,5)}   (paper ✓)
+        let ew2: Vec<_> = encountered_writes(&s, ThreadId(2)).iter().collect();
+        assert_eq!(ew2, expect(vec![w2y, w2x, u4]));
+        // EW(3) = I ∪ {wr₂(y,1), wrR₂(x,2), wr₃(z,3), updRA₄}   (paper ✓)
+        let ew3: Vec<_> = encountered_writes(&s, ThreadId(3)).iter().collect();
+        assert_eq!(ew3, expect(vec![w2y, w2x, w3, u4]));
+        // EW(4) = I ∪ {wr₃(z,3), updRA₄(y,0,5)}   (paper ✓)
+        let ew4: Vec<_> = encountered_writes(&s, ThreadId(4)).iter().collect();
+        assert_eq!(ew4, expect(vec![w3, u4]));
+    }
+
+    #[test]
+    fn example_3_4_observable_writes() {
+        let (s, [u1, w2y, w2x, _r3, w3, u4, _r4]) = example_3_2();
+        let sorted = |mut v: Vec<EventId>| {
+            v.sort_unstable();
+            v
+        };
+        // Paper: OW(1) also lists wr0(y) and updRA₄; they drop out because
+        // EW(1) contains updRA₄ / wr₂(y,1) (see erratum note above).
+        let ow1: Vec<_> = observable_writes(&s, ThreadId(1)).iter().collect();
+        assert_eq!(ow1, sorted(vec![2, w2y, w3, u1]));
+        // Paper: OW(2) omits wrR₂(x,2); but its only mo-successor is
+        // updRA₁ ∉ EW(2), so by the definition thread 2 may still read its
+        // own release write (erratum note above).
+        let ow2: Vec<_> = observable_writes(&s, ThreadId(2)).iter().collect();
+        assert_eq!(ow2, sorted(vec![2, w2y, w2x, w3, u1]));
+        // OW(3) = {wr₂(y,1), wrR₂(x,2), wr₃(z,3), updRA₁}   (paper ✓)
+        let ow3: Vec<_> = observable_writes(&s, ThreadId(3)).iter().collect();
+        assert_eq!(ow3, sorted(vec![w2y, w2x, w3, u1]));
+        // OW(4) = {wr0x, wr₂(y,1), wrR₂(x,2), wr₃(z,3), updRA₁, updRA₄} ✓
+        let ow4: Vec<_> = observable_writes(&s, ThreadId(4)).iter().collect();
+        assert_eq!(ow4, sorted(vec![0, w2y, w2x, w3, u1, u4]));
+    }
+
+    #[test]
+    fn example_3_4_covered_writes() {
+        let (s, [_u1, _w2y, w2x, _r3, _w3, _u4, _r4]) = example_3_2();
+        // CW = {wr0(y), wrR₂(x,2)} — the writes read by the two updates. ✓
+        let cw: Vec<_> = covered_writes(&s).iter().collect();
+        assert_eq!(cw, vec![1, w2x]);
+    }
+
+    #[test]
+    fn fresh_thread_has_empty_ew_and_full_ow() {
+        let (s, _) = example_3_2();
+        let t9 = ThreadId(9);
+        assert!(encountered_writes(&s, t9).is_empty());
+        // With nothing encountered, every write is observable.
+        assert_eq!(observable_writes(&s, t9), s.writes());
+    }
+
+    #[test]
+    fn initial_state_observability() {
+        let s = C11State::initial(&[0, 0]);
+        // No thread has acted: EW empty, OW = all (init) writes.
+        assert!(encountered_writes(&s, ThreadId(1)).is_empty());
+        assert_eq!(observable_writes(&s, ThreadId(1)).len(), 2);
+        assert!(covered_writes(&s).is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! The RA event semantics (paper Figure 3).
+//!
+//! Each rule appends one event `e = (a, t)` to the state and records the
+//! *observed write* `w` that justified it:
+//!
+//! * **Read** — `w ∈ OW_σ(t)` with `var(w) = x`, `wrval(w) = n`;
+//!   `rf' = rf ∪ {(w, e)}`.
+//! * **Write** — `w ∈ OW_σ(t) \ CW_σ` with `var(w) = x`;
+//!   `mo' = mo[w, e]` (insert directly after `w`).
+//! * **RMW** — `w ∈ OW_σ(t) \ CW_σ` with `var(w) = x`, `wrval(w) = m`;
+//!   both `rf'` and `mo'` updated, making the update atomic
+//!   (no write can later squeeze between `w` and `e` because `w` becomes
+//!   covered).
+//!
+//! The functions below return *all* transitions enabled for an action
+//! shape, which is what both the model checker and the completeness
+//! construction need.
+
+use crate::event::{Event, EventId};
+use crate::obs::{covered_writes, observable_writes};
+use crate::state::C11State;
+use c11_lang::{Action, ThreadId, Val, VarId};
+use c11_relations::BitSet;
+
+/// An observability function: which writes a thread may observe next.
+/// The paper's semantics uses [`observable_writes`]; the E15 ablation
+/// plugs in [`crate::obs::observable_writes_hb_only`].
+pub type ObsFn = fn(&C11State, ThreadId) -> BitSet;
+
+/// One enabled RA transition: the observed write `w`, the concrete action
+/// (read value resolved), the new event's id, and the successor state.
+#[derive(Clone, Debug)]
+pub struct RaTransition {
+    /// The write observed by the step (`w` in `σ —w,e→ σ'`).
+    pub observed: EventId,
+    /// The concrete action of the new event.
+    pub action: Action,
+    /// Id of the appended event `e` in `state`.
+    pub event: EventId,
+    /// The successor state `σ'`.
+    pub state: C11State,
+}
+
+/// All transitions of the R͟E͟A͟D͟ rule for thread `t` reading `x`:
+/// one per observable write to `x`.
+pub fn read_transitions(
+    state: &C11State,
+    t: ThreadId,
+    x: VarId,
+    acquire: bool,
+) -> Vec<RaTransition> {
+    read_transitions_using(state, t, x, acquire, observable_writes)
+}
+
+/// [`read_transitions`] with a pluggable observability function.
+pub fn read_transitions_using(
+    state: &C11State,
+    t: ThreadId,
+    x: VarId,
+    acquire: bool,
+    obs: ObsFn,
+) -> Vec<RaTransition> {
+    let ow = obs(state, t);
+    let mut out = Vec::new();
+    for w in ow.iter() {
+        let ev = state.event(w);
+        if ev.var() != x {
+            continue;
+        }
+        let n = ev.wrval().expect("observable events are writes");
+        let action = Action::Rd {
+            var: x,
+            val: n,
+            acquire,
+        };
+        let (mut next, e) = state.append_event(Event::new(t, action));
+        next.rf_mut().add(w, e);
+        out.push(RaTransition {
+            observed: w,
+            action,
+            event: e,
+            state: next,
+        });
+    }
+    out
+}
+
+/// All transitions of the W͟R͟I͟T͟E͟ rule for thread `t` writing `val` to `x`:
+/// one insertion point per observable, non-covered write to `x`.
+pub fn write_transitions(
+    state: &C11State,
+    t: ThreadId,
+    x: VarId,
+    val: Val,
+    release: bool,
+) -> Vec<RaTransition> {
+    write_transitions_using(state, t, x, val, release, observable_writes)
+}
+
+/// [`write_transitions`] with a pluggable observability function.
+pub fn write_transitions_using(
+    state: &C11State,
+    t: ThreadId,
+    x: VarId,
+    val: Val,
+    release: bool,
+    obs: ObsFn,
+) -> Vec<RaTransition> {
+    let ow = obs(state, t);
+    let cw = covered_writes(state);
+    let mut out = Vec::new();
+    for w in ow.difference(&cw).iter() {
+        if state.event(w).var() != x {
+            continue;
+        }
+        let action = Action::Wr {
+            var: x,
+            val,
+            release,
+        };
+        let (mut next, e) = state.append_event(Event::new(t, action));
+        next.mo_insert_after(w, e);
+        out.push(RaTransition {
+            observed: w,
+            action,
+            event: e,
+            state: next,
+        });
+    }
+    out
+}
+
+/// All transitions of the R͟M͟W͟ rule for thread `t` swapping `x` to `new`:
+/// one per observable, non-covered write to `x`; the value read is the
+/// observed write's value.
+pub fn update_transitions(
+    state: &C11State,
+    t: ThreadId,
+    x: VarId,
+    new: Val,
+) -> Vec<RaTransition> {
+    update_transitions_using(state, t, x, new, observable_writes)
+}
+
+/// [`update_transitions`] with a pluggable observability function.
+pub fn update_transitions_using(
+    state: &C11State,
+    t: ThreadId,
+    x: VarId,
+    new: Val,
+    obs: ObsFn,
+) -> Vec<RaTransition> {
+    let ow = obs(state, t);
+    let cw = covered_writes(state);
+    let mut out = Vec::new();
+    for w in ow.difference(&cw).iter() {
+        let ev = state.event(w);
+        if ev.var() != x {
+            continue;
+        }
+        let m = ev.wrval().expect("observable events are writes");
+        let action = Action::Upd {
+            var: x,
+            old: m,
+            new,
+        };
+        let (mut next, e) = state.append_event(Event::new(t, action));
+        next.rf_mut().add(w, e);
+        next.mo_insert_after(w, e);
+        out.push(RaTransition {
+            observed: w,
+            action,
+            event: e,
+            state: next,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    #[test]
+    fn read_from_initial_state_sees_init_value() {
+        let s = C11State::initial(&[7]);
+        let ts = read_transitions(&s, T1, X, false);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].observed, 0);
+        assert_eq!(ts[0].action.rdval(), Some(7));
+        assert!(ts[0].state.rf().contains(0, ts[0].event));
+    }
+
+    #[test]
+    fn write_appends_to_mo_and_becomes_last() {
+        let s = C11State::initial(&[0]);
+        let ts = write_transitions(&s, T1, X, 5, false);
+        assert_eq!(ts.len(), 1);
+        let s1 = &ts[0].state;
+        assert!(s1.mo().contains(0, ts[0].event));
+        assert_eq!(s1.last(X), Some(ts[0].event));
+    }
+
+    #[test]
+    fn two_writers_can_interleave_mo() {
+        // After t1 writes x=1, t2 (which hasn't encountered it) may insert
+        // its write either before or after in mo: 2 transitions.
+        let s = C11State::initial(&[0]);
+        let w1 = &write_transitions(&s, T1, X, 1, false)[0];
+        let ts = write_transitions(&w1.state, T2, X, 2, false);
+        assert_eq!(ts.len(), 2);
+        let mut mo_shapes: Vec<bool> = ts
+            .iter()
+            .map(|t| t.state.mo().contains(w1.event, t.event))
+            .collect();
+        mo_shapes.sort_unstable();
+        assert_eq!(mo_shapes, vec![false, true]);
+    }
+
+    #[test]
+    fn writer_thread_observes_only_its_own_last_write() {
+        // After t1 writes x=1 (encountering its own write), t1 can only
+        // read 1, not the init 0.
+        let s = C11State::initial(&[0]);
+        let w1 = &write_transitions(&s, T1, X, 1, false)[0];
+        let ts = read_transitions(&w1.state, T1, X, false);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].action.rdval(), Some(1));
+    }
+
+    #[test]
+    fn other_thread_may_read_old_or_new() {
+        let s = C11State::initial(&[0]);
+        let w1 = &write_transitions(&s, T1, X, 1, false)[0];
+        let ts = read_transitions(&w1.state, T2, X, false);
+        let mut vals: Vec<Val> = ts.iter().filter_map(|t| t.action.rdval()).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![0, 1]);
+    }
+
+    #[test]
+    fn update_reads_and_covers_its_write() {
+        let s = C11State::initial(&[0]);
+        let ts = update_transitions(&s, T1, X, 9);
+        assert_eq!(ts.len(), 1);
+        let tr = &ts[0];
+        assert_eq!(tr.action.rdval(), Some(0));
+        assert_eq!(tr.action.wrval(), Some(9));
+        let s1 = &tr.state;
+        assert!(s1.rf().contains(0, tr.event));
+        assert!(s1.mo().contains(0, tr.event));
+        // The init write is now covered: no write/update may observe it.
+        assert!(covered_writes(s1).contains(0));
+        assert!(write_transitions(s1, T2, X, 5, false)
+            .iter()
+            .all(|t| t.observed != 0));
+        assert!(update_transitions(s1, T2, X, 5)
+            .iter()
+            .all(|t| t.observed != 0));
+        // But a *read* may still observe a covered write (READ draws from
+        // OW, not OW \ CW).
+        assert!(read_transitions(s1, T2, X, false)
+            .iter()
+            .any(|t| t.observed == 0));
+    }
+
+    #[test]
+    fn example_3_5_no_insertion_between_covered_pairs() {
+        // Example 3.5: no thread may introduce a write between a write and
+        // the update that reads it.
+        let s = C11State::initial(&[0]);
+        let u = &update_transitions(&s, T1, X, 4)[0]; // updRA(x,0,4) covers init
+        let ts = write_transitions(&u.state, T2, X, 7, false);
+        // Only insertion point: after the update.
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].observed, u.event);
+        assert!(ts[0].state.mo().contains(u.event, ts[0].event));
+    }
+
+    #[test]
+    fn reads_never_change_mo_and_writes_never_change_rf() {
+        let s = C11State::initial(&[0, 0]);
+        let r = &read_transitions(&s, T1, X, true)[0];
+        assert_eq!(r.state.mo(), s.mo());
+        let w = &write_transitions(&s, T1, Y, 3, true)[0];
+        assert_eq!(w.state.rf(), s.rf());
+    }
+
+    #[test]
+    fn update_chain_orders_totally() {
+        // Two successive updates form a chain init → u1 → u2 in both rf
+        // and mo; u2 must read u1's value.
+        let s = C11State::initial(&[0]);
+        let u1 = &update_transitions(&s, T1, X, 1)[0];
+        let ts = update_transitions(&u1.state, T2, X, 2);
+        assert_eq!(ts.len(), 1, "init is covered; only u1 observable");
+        let u2 = &ts[0];
+        assert_eq!(u2.action.rdval(), Some(1));
+        assert!(u2.state.mo().contains(u1.event, u2.event));
+        assert!(u2.state.rf().contains(u1.event, u2.event));
+    }
+
+    #[test]
+    fn read_of_wrong_variable_yields_no_transitions() {
+        let s = C11State::initial(&[0]);
+        assert!(read_transitions(&s, T1, VarId(9), false).is_empty());
+    }
+}

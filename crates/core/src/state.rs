@@ -1,0 +1,591 @@
+//! C11 states `((D, sb), rf, mo)` and their derived relations (paper §3.1).
+
+use crate::event::{Event, EventId};
+use c11_lang::{ThreadId, Val, VarId};
+use c11_relations::{BitSet, Relation};
+use std::cell::OnceCell;
+
+/// Lazily computed derived relations. Cloned with the state (a clone is a
+/// snapshot of the same execution, so the cache stays valid) and cleared
+/// by every mutation. Excluded from equality and hashing.
+#[derive(Clone, Default)]
+struct Derived {
+    hb: OnceCell<Relation>,
+    eco: OnceCell<Relation>,
+    /// `eco? ; hb?` — the reach used by encountered-writes (§3.2).
+    reach: OnceCell<Relation>,
+}
+
+/// A C11 state: events with sequenced-before, reads-from and modification
+/// order (Definition 3.1). Immutable-by-convention: transitions produce new
+/// states. Derived relations (`hb`, `eco`, the observability reach) are
+/// cached per state.
+///
+/// ```
+/// use c11_core::state::C11State;
+/// use c11_core::semantics::write_transitions;
+/// use c11_core::{ThreadId, VarId};
+///
+/// // One shared variable initialised to 0; thread 1 writes 5.
+/// let s0 = C11State::initial(&[0]);
+/// let tr = &write_transitions(&s0, ThreadId(1), VarId(0), 5, false)[0];
+/// assert_eq!(tr.state.last(VarId(0)), Some(tr.event));
+/// assert!(tr.state.mo().contains(0, tr.event)); // init mo-before it
+/// ```
+#[derive(Clone)]
+pub struct C11State {
+    events: Vec<Event>,
+    sb: Relation,
+    rf: Relation,
+    mo: Relation,
+    derived: Derived,
+}
+
+impl PartialEq for C11State {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+            && self.sb == other.sb
+            && self.rf == other.rf
+            && self.mo == other.mo
+    }
+}
+
+impl Eq for C11State {}
+
+impl std::hash::Hash for C11State {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.events.hash(state);
+        self.sb.hash(state);
+        self.rf.hash(state);
+        self.mo.hash(state);
+    }
+}
+
+impl C11State {
+    /// The initial state `σ₀ = ((I, ∅), ∅, ∅)` with one initialising write
+    /// per variable (`inits[i]` is the initial value of `VarId(i)`).
+    pub fn initial(inits: &[Val]) -> C11State {
+        let events: Vec<Event> = inits
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Event::init_write(VarId(i as u8), v))
+            .collect();
+        let n = events.len();
+        C11State {
+            events,
+            sb: Relation::new(n),
+            rf: Relation::new(n),
+            mo: Relation::new(n),
+            derived: Derived::default(),
+        }
+    }
+
+    /// Builds a state directly from parts. Used by the axiomatic crate's
+    /// candidate-execution enumerator; the operational semantics only goes
+    /// through [`C11State::initial`] and the transition functions.
+    pub fn from_parts(events: Vec<Event>, sb: Relation, rf: Relation, mo: Relation) -> C11State {
+        let n = events.len();
+        let mut sb = sb;
+        let mut rf = rf;
+        let mut mo = mo;
+        sb.grow(n);
+        rf.grow(n);
+        mo.grow(n);
+        C11State {
+            events,
+            sb,
+            rf,
+            mo,
+            derived: Derived::default(),
+        }
+    }
+
+    /// The event arena `D`.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff the state holds no events (never the case for reachable
+    /// states, which contain the initialising writes).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The event with id `e`.
+    pub fn event(&self, e: EventId) -> &Event {
+        &self.events[e]
+    }
+
+    /// Sequenced-before.
+    pub fn sb(&self) -> &Relation {
+        &self.sb
+    }
+
+    /// Reads-from.
+    pub fn rf(&self) -> &Relation {
+        &self.rf
+    }
+
+    /// Modification order.
+    pub fn mo(&self) -> &Relation {
+        &self.mo
+    }
+
+    /// Ids of all events, in arena order.
+    pub fn ids(&self) -> impl Iterator<Item = EventId> + '_ {
+        0..self.events.len()
+    }
+
+    /// The initialising writes `I_σ = D ∩ IWr` as a bitset.
+    pub fn init_writes(&self) -> BitSet {
+        BitSet::from_iter(self.ids().filter(|&e| self.events[e].is_init()))
+    }
+
+    /// All write events (updates included) as a bitset.
+    pub fn writes(&self) -> BitSet {
+        BitSet::from_iter(self.ids().filter(|&e| self.events[e].is_write()))
+    }
+
+    /// All read events (updates included) as a bitset.
+    pub fn reads(&self) -> BitSet {
+        BitSet::from_iter(self.ids().filter(|&e| self.events[e].is_read()))
+    }
+
+    /// All update events as a bitset.
+    pub fn updates(&self) -> BitSet {
+        BitSet::from_iter(self.ids().filter(|&e| self.events[e].is_update()))
+    }
+
+    /// Write events on variable `x` (`Wr|_x`).
+    pub fn writes_to(&self, x: VarId) -> impl Iterator<Item = EventId> + '_ {
+        self.ids()
+            .filter(move |&e| self.events[e].is_write() && self.events[e].var() == x)
+    }
+
+    /// Events of thread `t`.
+    pub fn thread_events(&self, t: ThreadId) -> impl Iterator<Item = EventId> + '_ {
+        self.ids().filter(move |&e| self.events[e].tid == t)
+    }
+
+    /// The synchronises-with relation `sw = rf ∩ (WrR × RdA)`.
+    pub fn sw(&self) -> Relation {
+        let mut sw = Relation::new(self.len());
+        for (w, r) in self.rf.pairs() {
+            if self.events[w].is_release() && self.events[r].is_acquire() {
+                sw.add(w, r);
+            }
+        }
+        sw
+    }
+
+    /// Happens-before `hb = (sb ∪ sw)⁺` (cached).
+    pub fn hb(&self) -> &Relation {
+        self.derived
+            .hb
+            .get_or_init(|| self.sb.union(&self.sw()).transitive_closure())
+    }
+
+    /// From-read `fr = (rf⁻¹ ; mo) \ Id` (identity subtracted to cope with
+    /// update events, which read and write the same variable).
+    pub fn fr(&self) -> Relation {
+        self.rf
+            .inverse()
+            .compose(&self.mo)
+            .difference(&Relation::identity(self.len()))
+    }
+
+    /// Extended coherence order `eco = (fr ∪ mo ∪ rf)⁺` (cached).
+    pub fn eco(&self) -> &Relation {
+        self.derived
+            .eco
+            .get_or_init(|| self.fr().union(&self.mo).union(&self.rf).transitive_closure())
+    }
+
+    /// The observability reach `eco? ; hb?` of §3.2 (cached): a write `w`
+    /// is encountered by thread `t` iff `(w, e)` is in this relation for
+    /// one of `t`'s events.
+    pub fn eco_hb_reach(&self) -> &Relation {
+        self.derived.reach.get_or_init(|| {
+            self.eco()
+                .reflexive_closure()
+                .compose(&self.hb().reflexive_closure())
+        })
+    }
+
+    /// Clears the derived-relation cache; every mutation must call this.
+    fn invalidate(&mut self) {
+        self.derived = Derived::default();
+    }
+
+    /// `σ.last(x)`: the write or update to `x` not mo-succeeded by another
+    /// write to `x`. Unique and well-defined in every valid state; in a
+    /// malformed state the lowest-id mo-maximal write is returned.
+    pub fn last(&self, x: VarId) -> Option<EventId> {
+        self.writes_to(x)
+            .find(|&w| !self.mo.image(w).any(|w2| self.events[w2].var() == x))
+    }
+
+    /// Adds event `e` to the state, producing `(D, sb) + e`:
+    /// `sb` gains edges from every event of `e`'s thread and of the
+    /// initialising thread. Returns the new event's id. `rf` / `mo` updates
+    /// are the transition rules' business (`crate::semantics`).
+    pub fn append_event(&self, ev: Event) -> (C11State, EventId) {
+        let mut next = self.clone();
+        next.invalidate();
+        let e = next.events.len();
+        next.events.push(ev);
+        next.sb.grow(e + 1);
+        next.rf.grow(e + 1);
+        next.mo.grow(e + 1);
+        for e2 in 0..e {
+            let t2 = next.events[e2].tid;
+            if t2 == ev.tid || t2.is_init() {
+                next.sb.add(e2, e);
+            }
+        }
+        (next, e)
+    }
+
+    /// Mutable access to `rf`. Low-level: the RA transition rules and the
+    /// axiomatic crate's execution builders use this; arbitrary edits can
+    /// produce invalid states (which is exactly what the axiom tests want).
+    pub fn rf_mut(&mut self) -> &mut Relation {
+        self.invalidate();
+        &mut self.rf
+    }
+
+    /// Mutable access to `mo`. See [`C11State::rf_mut`] for the caveat.
+    pub fn mo_mut(&mut self) -> &mut Relation {
+        self.invalidate();
+        &mut self.mo
+    }
+
+    /// Inserts write `e` *directly after* write `w` in `mo` (paper
+    /// `mo[w, e] = mo ∪ (mo⁺w × {e}) ∪ ({e} × mo[w])`, where
+    /// `mo⁺w = {w} ∪ mo⁻¹[w]`).
+    pub fn mo_insert_after(&mut self, w: EventId, e: EventId) {
+        self.invalidate();
+        let before: Vec<EventId> = std::iter::once(w)
+            .chain(self.mo.preimage(w).collect::<Vec<_>>())
+            .collect();
+        let after: Vec<EventId> = self.mo.image(w).collect();
+        for b in before {
+            self.mo.add(b, e);
+        }
+        for a in after {
+            self.mo.add(e, a);
+        }
+    }
+
+    /// Restriction `σ|_E` of the state to an event subset, *relabelling*
+    /// events compactly (used by the completeness theorem's prefix states).
+    /// The kept events preserve their relative arena order.
+    pub fn restrict(&self, keep: &BitSet) -> C11State {
+        let kept: Vec<EventId> = self.ids().filter(|e| keep.contains(*e)).collect();
+        let mut renumber = vec![usize::MAX; self.len()];
+        for (new, &old) in kept.iter().enumerate() {
+            renumber[old] = new;
+        }
+        let events = kept.iter().map(|&e| self.events[e]).collect();
+        let map_rel = |r: &Relation| {
+            let mut out = Relation::new(kept.len());
+            for (a, b) in r.pairs() {
+                if keep.contains(a) && keep.contains(b) {
+                    out.add(renumber[a], renumber[b]);
+                }
+            }
+            out
+        };
+        C11State {
+            events,
+            sb: map_rel(&self.sb),
+            rf: map_rel(&self.rf),
+            mo: map_rel(&self.mo),
+            derived: Derived::default(),
+        }
+    }
+
+    /// A canonical fingerprint of the state, invariant under the order in
+    /// which *independent* events entered the arena: events are renumbered
+    /// by `(tid, position within the thread)` — well-defined because
+    /// `sb|_t` is total and the arena preserves per-thread order — and the
+    /// relations are permuted accordingly. Two states reached by different
+    /// interleavings of the same execution share a fingerprint.
+    pub fn canonical(&self) -> CanonicalState {
+        let mut order: Vec<EventId> = self.ids().collect();
+        order.sort_by_key(|&e| (self.events[e].tid, e));
+        // perm[old] = new
+        let mut perm = vec![0usize; self.len()];
+        for (new, &old) in order.iter().enumerate() {
+            perm[old] = new;
+        }
+        let events: Vec<Event> = order.iter().map(|&e| self.events[e]).collect();
+        let edges =
+            |r: &Relation| -> Vec<(u32, u32)> {
+                let mut v: Vec<(u32, u32)> = r
+                    .pairs()
+                    .map(|(a, b)| (perm[a] as u32, perm[b] as u32))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+        CanonicalState {
+            events,
+            sb: edges(&self.sb),
+            rf: edges(&self.rf),
+            mo: edges(&self.mo),
+        }
+    }
+
+    /// Pretty, multi-line rendering with variable names.
+    pub fn render(&self, var_names: &[String]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let name = |v: VarId| -> &str {
+            var_names
+                .get(v.0 as usize)
+                .map(|s| s.as_str())
+                .unwrap_or("?")
+        };
+        for (i, ev) in self.events.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  e{i}: {:?} {:?} on {}",
+                ev.tid,
+                ev.action,
+                name(ev.var())
+            );
+        }
+        let _ = writeln!(out, "  rf: {:?}", self.rf.pairs().collect::<Vec<_>>());
+        let _ = writeln!(out, "  mo: {:?}", self.mo.pairs().collect::<Vec<_>>());
+        out
+    }
+}
+
+impl std::fmt::Debug for C11State {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("C11State")
+            .field("events", &self.events)
+            .field("sb", &self.sb)
+            .field("rf", &self.rf)
+            .field("mo", &self.mo)
+            .finish()
+    }
+}
+
+/// Canonical, interleaving-insensitive form of a state. See
+/// [`C11State::canonical`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CanonicalState {
+    /// Events sorted by `(tid, per-thread order)`.
+    pub events: Vec<Event>,
+    /// Renumbered, sorted edge lists.
+    pub sb: Vec<(u32, u32)>,
+    /// Renumbered, sorted edge lists.
+    pub rf: Vec<(u32, u32)>,
+    /// Renumbered, sorted edge lists.
+    pub mo: Vec<(u32, u32)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c11_lang::Action;
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+
+    fn wr(var: VarId, val: Val) -> Action {
+        Action::Wr {
+            var,
+            val,
+            release: false,
+        }
+    }
+
+    fn rd(var: VarId, val: Val) -> Action {
+        Action::Rd {
+            var,
+            val,
+            acquire: false,
+        }
+    }
+
+    #[test]
+    fn initial_state_has_one_init_write_per_var() {
+        let s = C11State::initial(&[0, 9]);
+        assert_eq!(s.len(), 2);
+        assert!(s.events().iter().all(Event::is_init));
+        assert_eq!(s.event(0).var(), X);
+        assert_eq!(s.event(1).wrval(), Some(9));
+        assert!(s.sb().is_empty());
+        // Initialising writes are unordered amongst themselves (Ex. 3.2).
+        assert_eq!(s.last(X), Some(0));
+        assert_eq!(s.last(Y), Some(1));
+    }
+
+    #[test]
+    fn append_orders_after_init_and_own_thread() {
+        let s = C11State::initial(&[0]);
+        let (s1, e1) = s.append_event(Event::new(ThreadId(1), wr(X, 1)));
+        let (s2, e2) = s1.append_event(Event::new(ThreadId(2), wr(X, 2)));
+        let (s3, e3) = s2.append_event(Event::new(ThreadId(1), rd(X, 1)));
+        // init → everything
+        assert!(s3.sb().contains(0, e1) && s3.sb().contains(0, e2) && s3.sb().contains(0, e3));
+        // same-thread order
+        assert!(s3.sb().contains(e1, e3));
+        // no cross-thread sb
+        assert!(!s3.sb().contains(e1, e2) && !s3.sb().contains(e2, e3));
+    }
+
+    #[test]
+    fn sw_requires_release_and_acquire() {
+        let s = C11State::initial(&[0]);
+        let (s, w_rel) = s.append_event(Event::new(
+            ThreadId(1),
+            Action::Wr {
+                var: X,
+                val: 1,
+                release: true,
+            },
+        ));
+        let (s, r_rlx) = s.append_event(Event::new(ThreadId(2), rd(X, 1)));
+        let (mut s, r_acq) = s.append_event(Event::new(
+            ThreadId(3),
+            Action::Rd {
+                var: X,
+                val: 1,
+                acquire: true,
+            },
+        ));
+        s.rf_mut().add(w_rel, r_rlx);
+        s.rf_mut().add(w_rel, r_acq);
+        let sw = s.sw();
+        assert!(!sw.contains(w_rel, r_rlx)); // relaxed read: no sw
+        assert!(sw.contains(w_rel, r_acq)); // release → acquire: sw
+        // hb includes the sw edge transitively with sb.
+        assert!(s.hb().contains(0, r_acq));
+        assert!(s.hb().contains(w_rel, r_acq));
+    }
+
+    #[test]
+    fn fr_subtracts_identity_for_updates() {
+        // u reads from w0 and is mo-after w0: rf⁻¹;mo contains (u, u).
+        let s = C11State::initial(&[0]);
+        let (mut s, u) = s.append_event(Event::new(
+            ThreadId(1),
+            Action::Upd {
+                var: X,
+                old: 0,
+                new: 5,
+            },
+        ));
+        s.rf_mut().add(0, u);
+        s.mo_mut().add(0, u);
+        let fr = s.fr();
+        assert!(!fr.contains(u, u), "fr must be irreflexive for updates");
+    }
+
+    #[test]
+    fn eco_shape_of_example_3_3() {
+        // w1 →mo w2, reads r1 r1' of w1: fr edges to w2, eco transitive.
+        let s = C11State::initial(&[0]); // event 0 = w1 (init write of x)
+        let (s, w2) = s.append_event(Event::new(ThreadId(1), wr(X, 2)));
+        let (s, r1) = s.append_event(Event::new(ThreadId(2), rd(X, 0)));
+        let (mut s, r1b) = s.append_event(Event::new(ThreadId(3), rd(X, 0)));
+        s.mo_mut().add(0, w2);
+        s.rf_mut().add(0, r1);
+        s.rf_mut().add(0, r1b);
+        let eco = s.eco();
+        // rf, mo, and fr = reads-before edges all present:
+        assert!(eco.contains(0, r1) && eco.contains(0, w2));
+        assert!(eco.contains(r1, w2) && eco.contains(r1b, w2), "fr edges");
+        // reads of the same write are not eco-related to each other
+        assert!(!eco.contains(r1, r1b) && !eco.contains(r1b, r1));
+    }
+
+    #[test]
+    fn mo_insert_after_places_event_in_the_middle() {
+        // mo: w0 → w1 → w2; insert e after w1 ⇒ w0,w1 before e; e before w2.
+        let s = C11State::initial(&[0]);
+        let (s, w1) = s.append_event(Event::new(ThreadId(1), wr(X, 1)));
+        let (s, w2) = s.append_event(Event::new(ThreadId(1), wr(X, 2)));
+        let (mut s, e) = s.append_event(Event::new(ThreadId(2), wr(X, 9)));
+        s.mo_mut().add(0, w1);
+        s.mo_mut().add(0, w2);
+        s.mo_mut().add(w1, w2);
+        s.mo_insert_after(w1, e);
+        assert!(s.mo().contains(0, e) && s.mo().contains(w1, e));
+        assert!(s.mo().contains(e, w2));
+        assert!(!s.mo().contains(w2, e));
+        // mo|x stays a strict total order on writes to x.
+        assert!(s.mo().is_strict_total_order_on(&s.writes()));
+    }
+
+    #[test]
+    fn last_is_mo_maximal() {
+        let s = C11State::initial(&[0]);
+        let (s, w1) = s.append_event(Event::new(ThreadId(1), wr(X, 1)));
+        let (mut s, w2) = s.append_event(Event::new(ThreadId(1), wr(X, 2)));
+        s.mo_mut().add(0, w1);
+        s.mo_mut().add(0, w2);
+        s.mo_mut().add(w1, w2);
+        assert_eq!(s.last(X), Some(w2));
+    }
+
+    #[test]
+    fn restrict_relabels_compactly() {
+        let s = C11State::initial(&[0]);
+        let (s, w1) = s.append_event(Event::new(ThreadId(1), wr(X, 1)));
+        let (mut s, r) = s.append_event(Event::new(ThreadId(2), rd(X, 1)));
+        s.rf_mut().add(w1, r);
+        s.mo_mut().add(0, w1);
+        // Keep init + w1 only.
+        let keep = BitSet::from_iter([0, w1]);
+        let small = s.restrict(&keep);
+        assert_eq!(small.len(), 2);
+        assert!(small.mo().contains(0, 1));
+        assert!(small.rf().is_empty());
+    }
+
+    #[test]
+    fn canonical_is_interleaving_insensitive() {
+        // The same two independent writes (t1: x:=1, t2: y:=2), appended in
+        // both interleavings, produce the same canonical form.
+        let build = |t1_first: bool| {
+            let s = C11State::initial(&[0, 0]);
+            let e1 = Event::new(ThreadId(1), wr(X, 1));
+            let e2 = Event::new(ThreadId(2), wr(Y, 2));
+            let (first, second) = if t1_first { (e1, e2) } else { (e2, e1) };
+            let (s, a) = s.append_event(first);
+            let (mut s, b) = s.append_event(second);
+            let (x_w, y_w) = if t1_first { (a, b) } else { (b, a) };
+            s.mo_mut().add(0, x_w);
+            s.mo_mut().add(1, y_w);
+            s.canonical()
+        };
+        assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn canonical_distinguishes_different_rf() {
+        let build = |val: Val| {
+            let s = C11State::initial(&[0]);
+            let (s, w) = s.append_event(Event::new(ThreadId(1), wr(X, 1)));
+            let (mut s, r) = s.append_event(Event::new(ThreadId(2), rd(X, val)));
+            if val == 1 {
+                s.rf_mut().add(w, r);
+            } else {
+                s.rf_mut().add(0, r);
+            }
+            s.mo_mut().add(0, w);
+            s.canonical()
+        };
+        assert_ne!(build(0), build(1));
+    }
+}

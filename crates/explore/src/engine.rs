@@ -1,0 +1,433 @@
+//! The sequential exploration engine.
+
+use c11_core::config::{Config, ConfigStep};
+use c11_core::model::MemoryModel;
+use c11_lang::step::RegFile;
+use c11_lang::{Com, Prog, RegId, StepLabel, ThreadId, Val};
+use std::collections::{HashMap, VecDeque};
+
+/// Exploration bounds and switches.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Stop expanding a configuration whose memory state has more events
+    /// than this (bounds unrolling of spin loops). `usize::MAX` = no bound.
+    pub max_events: usize,
+    /// Hard cap on distinct configurations visited (safety net).
+    pub max_states: usize,
+    /// Cap on BFS depth (mainly for store-based models whose states do not
+    /// grow). `usize::MAX` = no bound.
+    pub max_depth: usize,
+    /// Deduplicate configurations by canonical key (ablation switch E16;
+    /// keep on for anything but measurements).
+    pub dedup: bool,
+    /// Record parent pointers so invariant violations come with traces.
+    pub record_traces: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_events: 24,
+            max_states: 1_000_000,
+            max_depth: usize::MAX,
+            dedup: true,
+            record_traces: true,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// A config with an event bound suitable for small litmus tests.
+    pub fn with_max_events(max_events: usize) -> Self {
+        ExploreConfig {
+            max_events,
+            ..Default::default()
+        }
+    }
+
+    /// A config bounded by depth instead of events (for SC exploration of
+    /// looping programs).
+    pub fn with_max_depth(max_depth: usize) -> Self {
+        ExploreConfig {
+            max_depth,
+            ..Default::default()
+        }
+    }
+}
+
+/// One step of a counterexample trace.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    /// The thread that moved.
+    pub tid: ThreadId,
+    /// The label of the move.
+    pub label: StepLabel,
+}
+
+/// Renders a counterexample trace with variable names, one step per line.
+pub fn render_trace(trace: &[TraceStep], prog: &Prog) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, step) in trace.iter().enumerate() {
+        let what = match &step.label {
+            StepLabel::Tau => "τ".to_string(),
+            StepLabel::Act(a) => {
+                let v = prog
+                    .var_names
+                    .get(a.var().0 as usize)
+                    .map(String::as_str)
+                    .unwrap_or("?");
+                format!("{a:?}").replace(&format!("{:?}", a.var()), v)
+            }
+        };
+        let _ = writeln!(out, "  {i:>3}. t{}: {what}", step.tid.0);
+    }
+    out
+}
+
+/// Final register values of all threads of a terminated configuration.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RegSnapshot {
+    regs: Vec<RegFile>,
+}
+
+impl RegSnapshot {
+    /// The value of register `r` of thread `t`; `None` if the thread does
+    /// not exist. Unwritten registers read 0.
+    pub fn get(&self, t: ThreadId, r: RegId) -> Option<Val> {
+        self.regs.get(t.0 as usize - 1).map(|f| f.get(r))
+    }
+}
+
+/// The result of an exploration.
+pub struct ExploreResult<M: MemoryModel> {
+    /// Distinct configurations visited (after dedup).
+    pub unique: usize,
+    /// Total successor configurations generated (before dedup).
+    pub generated: usize,
+    /// Terminated configurations (all threads `skip`).
+    pub finals: Vec<Config<M>>,
+    /// `true` iff some configuration was not expanded due to a bound —
+    /// verdicts on "forbidden" outcomes are then only valid up to the
+    /// bound.
+    pub truncated: bool,
+    /// Configurations violating the supplied invariant, with traces (if
+    /// recording was on).
+    pub violations: Vec<(Config<M>, Vec<TraceStep>)>,
+    /// Non-terminated configurations with no successor. The RA semantics
+    /// is deadlock-free (every variable retains at least one observable
+    /// write), so this should stay 0 — it is asserted as a property.
+    pub stuck: usize,
+}
+
+impl<M: MemoryModel> ExploreResult<M> {
+    /// Register snapshots of all terminated configurations (deduplicated).
+    pub fn final_register_states(&self) -> Vec<RegSnapshot> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for cfg in &self.finals {
+            let snap = RegSnapshot {
+                regs: cfg.regs.clone(),
+            };
+            if seen.insert(snap.clone()) {
+                out.push(snap);
+            }
+        }
+        out
+    }
+
+    /// `true` iff no invariant violation was found.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The exploration engine, parameterised by a memory model.
+pub struct Explorer<M> {
+    model: M,
+}
+
+impl<M: MemoryModel> Explorer<M> {
+    /// Creates an explorer for a model.
+    pub fn new(model: M) -> Explorer<M> {
+        Explorer { model }
+    }
+
+    /// The model (for reuse by callers).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Explores all reachable configurations of `prog` within `cfg`.
+    pub fn explore(&self, prog: &Prog, cfg: ExploreConfig) -> ExploreResult<M> {
+        self.explore_invariant(prog, cfg, |_| true)
+    }
+
+    /// Explores and checks `inv` on every reachable configuration.
+    pub fn explore_invariant<F>(
+        &self,
+        prog: &Prog,
+        cfg: ExploreConfig,
+        mut inv: F,
+    ) -> ExploreResult<M>
+    where
+        F: FnMut(&Config<M>) -> bool,
+    {
+        let mut result = ExploreResult {
+            unique: 0,
+            generated: 0,
+            finals: Vec::new(),
+            truncated: false,
+            violations: Vec::new(),
+            stuck: 0,
+        };
+        // Node store for trace reconstruction.
+        struct Node {
+            parent: usize,
+            step: Option<TraceStep>,
+        }
+        let mut nodes: Vec<Node> = Vec::new();
+        type VisitKey<M> = (Vec<Com>, Vec<RegFile>, <M as MemoryModel>::CanonKey);
+        let mut visited: HashMap<VisitKey<M>, ()> = HashMap::new();
+
+        let initial = Config::initial(&self.model, prog);
+        let key = |c: &Config<M>| {
+            (
+                c.coms.clone(),
+                c.regs.clone(),
+                self.model.canonical_key(&c.mem),
+            )
+        };
+        let mut queue: VecDeque<(Config<M>, usize, usize)> = VecDeque::new(); // (cfg, node, depth)
+        visited.insert(key(&initial), ());
+        nodes.push(Node {
+            parent: usize::MAX,
+            step: None,
+        });
+        let trace_of = |nodes: &[Node], mut idx: usize| {
+            let mut steps = Vec::new();
+            while idx != usize::MAX {
+                if let Some(s) = &nodes[idx].step {
+                    steps.push(s.clone());
+                }
+                idx = nodes[idx].parent;
+            }
+            steps.reverse();
+            steps
+        };
+        // Check the initial configuration.
+        if !inv(&initial) {
+            result.violations.push((initial.clone(), Vec::new()));
+        }
+        if initial.is_terminated() {
+            result.finals.push(initial.clone());
+        }
+        queue.push_back((initial, 0, 0));
+        result.unique = 1;
+
+        while let Some((config, node_idx, depth)) = queue.pop_front() {
+            if result.unique >= cfg.max_states {
+                result.truncated = true;
+                break;
+            }
+            if depth >= cfg.max_depth || self.model.state_size(&config.mem) >= cfg.max_events {
+                result.truncated = true;
+                continue;
+            }
+            let successors = config.successors(&self.model);
+            if successors.is_empty() && !config.is_terminated() {
+                result.stuck += 1;
+            }
+            for ConfigStep {
+                tid, label, next, ..
+            } in successors
+            {
+                result.generated += 1;
+                let k = key(&next);
+                if cfg.dedup && visited.contains_key(&k) {
+                    continue;
+                }
+                visited.insert(k, ());
+                let step = TraceStep { tid, label };
+                nodes.push(Node {
+                    parent: node_idx,
+                    step: Some(step),
+                });
+                let new_idx = nodes.len() - 1;
+                result.unique += 1;
+                if !inv(&next) {
+                    let trace = if cfg.record_traces {
+                        trace_of(&nodes, new_idx)
+                    } else {
+                        Vec::new()
+                    };
+                    result.violations.push((next.clone(), trace));
+                }
+                if next.is_terminated() {
+                    result.finals.push(next.clone());
+                }
+                queue.push_back((next, new_idx, depth + 1));
+            }
+        }
+        result
+    }
+
+    /// Calls `f` on every reachable configuration (within bounds). Returns
+    /// the number of distinct configurations visited. Convenience wrapper
+    /// used by the verification crate to quantify over transitions.
+    pub fn for_each_reachable<F>(&self, prog: &Prog, cfg: ExploreConfig, mut f: F) -> usize
+    where
+        F: FnMut(&Config<M>),
+    {
+        let result = self.explore_invariant(prog, cfg, |c| {
+            f(c);
+            true
+        });
+        result.unique
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c11_core::model::{RaModel, ScModel};
+    use c11_lang::parse_program;
+
+    #[test]
+    fn straight_line_program_terminates() {
+        let prog = parse_program("vars x; thread t { x := 1; x := 2; }").unwrap();
+        let res = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+        assert!(!res.truncated);
+        assert!(!res.finals.is_empty());
+        assert!(res.holds());
+        // Final state: mo is init → w1 → w2.
+        for f in &res.finals {
+            assert_eq!(f.mem.len(), 3);
+        }
+    }
+
+    #[test]
+    fn store_buffering_under_ra_allows_both_zero() {
+        // SB: t1: x:=1; r0<-y. t2: y:=1; r0<-x. RA (relaxed) allows
+        // r0 = r0 = 0; SC forbids it.
+        let src = "vars x y;
+             thread t1 { x := 1; r0 <- y; }
+             thread t2 { y := 1; r0 <- x; }";
+        let prog = parse_program(src).unwrap();
+        let ra = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+        assert!(!ra.truncated);
+        let both_zero = |snaps: &[RegSnapshot]| {
+            snaps.iter().any(|s| {
+                s.get(ThreadId(1), RegId(0)) == Some(0) && s.get(ThreadId(2), RegId(0)) == Some(0)
+            })
+        };
+        assert!(both_zero(&ra.final_register_states()), "RA allows 0/0");
+        let sc = Explorer::new(ScModel).explore(&prog, ExploreConfig::default());
+        assert!(!sc.truncated);
+        assert!(!both_zero(&sc.final_register_states()), "SC forbids 0/0");
+    }
+
+    #[test]
+    fn invariant_violation_comes_with_trace() {
+        let prog = parse_program("vars x; thread t { x := 1; x := 2; }").unwrap();
+        // "x never written twice" fails; the trace must have ≥ 2 steps.
+        let res = Explorer::new(RaModel).explore_invariant(
+            &prog,
+            ExploreConfig::default(),
+            |c: &Config<RaModel>| c.mem.len() < 3,
+        );
+        assert!(!res.holds());
+        // Trace: wr(x,1), τ (skip-consumption), wr(x,2).
+        let (_, trace) = &res.violations[0];
+        assert_eq!(trace.len(), 3);
+        assert!(matches!(trace[0].label, StepLabel::Act(_)));
+        assert!(matches!(trace[1].label, StepLabel::Tau));
+        assert!(matches!(trace[2].label, StepLabel::Act(_)));
+    }
+
+    #[test]
+    fn spin_loop_truncates_at_event_bound() {
+        let prog = parse_program(
+            "vars x;
+             thread t { while (x == 0) { skip; } }",
+        )
+        .unwrap();
+        let res = Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(8));
+        assert!(res.truncated, "spinning forever must hit the event bound");
+        assert!(res.finals.is_empty(), "x never becomes non-zero");
+    }
+
+    #[test]
+    fn dedup_reduces_state_count() {
+        // Two independent writers: interleavings collapse under dedup.
+        let src = "vars x y;
+             thread t1 { x := 1; x := 2; }
+             thread t2 { y := 1; y := 2; }";
+        let prog = parse_program(src).unwrap();
+        let with = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+        let without = Explorer::new(RaModel).explore(
+            &prog,
+            ExploreConfig {
+                dedup: false,
+                max_states: 100_000,
+                ..Default::default()
+            },
+        );
+        assert!(with.unique < without.unique);
+        // Same final outcomes either way.
+        assert_eq!(
+            with.final_register_states().len(),
+            without.final_register_states().len()
+        );
+    }
+
+    #[test]
+    fn message_passing_release_acquire_is_safe() {
+        let src = "vars d f;
+             thread t1 { d := 5; f :=R 1; }
+             thread t2 { r0 <-A f; if (r0 == 1) { r1 <- d; } else { r1 <- 99; } }";
+        let prog = parse_program(src).unwrap();
+        let res = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+        assert!(!res.truncated);
+        for snap in res.final_register_states() {
+            if snap.get(ThreadId(2), RegId(0)) == Some(1) {
+                assert_eq!(
+                    snap.get(ThreadId(2), RegId(1)),
+                    Some(5),
+                    "acquire of the release flag must publish d = 5"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_passing_relaxed_is_unsafe() {
+        // Without the release annotation the stale read is allowed.
+        let src = "vars d f;
+             thread t1 { d := 5; f := 1; }
+             thread t2 { r0 <-A f; if (r0 == 1) { r1 <- d; } else { r1 <- 99; } }";
+        let prog = parse_program(src).unwrap();
+        let res = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+        let stale = res.final_register_states().into_iter().any(|s| {
+            s.get(ThreadId(2), RegId(0)) == Some(1) && s.get(ThreadId(2), RegId(1)) == Some(0)
+        });
+        assert!(stale, "relaxed flag write must not publish d");
+    }
+
+    #[test]
+    fn max_states_cap_truncates() {
+        let src = "vars x y;
+             thread t1 { x := 1; x := 2; x := 3; }
+             thread t2 { y := 1; y := 2; y := 3; }";
+        let prog = parse_program(src).unwrap();
+        let res = Explorer::new(RaModel).explore(
+            &prog,
+            ExploreConfig {
+                max_states: 10,
+                ..Default::default()
+            },
+        );
+        assert!(res.truncated);
+        assert!(res.unique <= 11);
+    }
+}

@@ -1,0 +1,20 @@
+//! Exhaustive exploration (bounded model checking) of interpreted-semantics
+//! configurations.
+//!
+//! The paper's verification method reasons inductively over the transitions
+//! of the operational semantics; this crate provides the machinery to
+//! *mechanically* quantify over those transitions: breadth-first
+//! enumeration of every reachable configuration `(P, σ)` with
+//! canonical-state deduplication, invariant checking with counterexample
+//! traces, and loop bounding via the memory state's event count.
+//!
+//! Exploration is generic in the memory model (RA, pre-execution, SC), so
+//! the same engine drives the litmus runner (E14), the soundness sweep
+//! (E6), the completeness construction (E7), the Peterson verification
+//! (E11) and the benchmark baselines (E13).
+
+pub mod engine;
+pub mod par;
+
+pub use engine::{render_trace, ExploreConfig, ExploreResult, Explorer, RegSnapshot, TraceStep};
+pub use par::parallel_count_states;

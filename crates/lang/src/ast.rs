@@ -1,0 +1,454 @@
+//! Abstract syntax for expressions, commands and programs (paper §2.1).
+
+/// A shared-memory variable, interned by the program that declares it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u8);
+
+/// A thread-local register (an extension over the paper; see crate docs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub u8);
+
+/// Values are unsigned machine integers; `0` is boolean false, anything
+/// else is true (canonical true is `1`).
+pub type Val = u32;
+
+/// A thread identifier. Thread `0` is the special initialising thread of
+/// the paper; program threads are numbered from `1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// The initialising thread (paper: `0 ∈ T`).
+    pub const INIT: ThreadId = ThreadId(0);
+
+    /// `true` for the initialising thread.
+    pub fn is_init(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Debug for VarId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl std::fmt::Debug for RegId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl std::fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation: `!0 = 1`, `!n = 0` for `n ≠ 0`.
+    Not,
+}
+
+/// Binary operators. Arithmetic wraps; comparisons and logic return `0`/`1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Applies the operator to closed values.
+    pub fn apply(self, a: Val, b: Val) -> Val {
+        let bool2val = |b: bool| if b { 1 } else { 0 };
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Eq => bool2val(a == b),
+            BinOp::Ne => bool2val(a != b),
+            BinOp::Lt => bool2val(a < b),
+            BinOp::Le => bool2val(a <= b),
+            BinOp::Gt => bool2val(a > b),
+            BinOp::Ge => bool2val(a >= b),
+            BinOp::And => bool2val(a != 0 && b != 0),
+            BinOp::Or => bool2val(a != 0 || b != 0),
+        }
+    }
+}
+
+/// Expressions (paper grammar `Exp`), extended with registers.
+///
+/// `Var` is a relaxed read of a shared variable; `VarA` is an acquire read
+/// (written `x^A` in the paper, `acq(x)` in the DSL).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Exp {
+    /// A literal value.
+    Val(Val),
+    /// A relaxed read of a shared variable.
+    Var(VarId),
+    /// An acquire read of a shared variable (`Exp^A`).
+    VarA(VarId),
+    /// A thread-local register (extension; resolved without a memory event).
+    Reg(RegId),
+    /// Unary operator application.
+    Un(UnOp, Box<Exp>),
+    /// Binary operator application; operands evaluate left to right.
+    Bin(Box<Exp>, BinOp, Box<Exp>),
+}
+
+impl Exp {
+    /// Convenience constructor for binary expressions.
+    pub fn bin(lhs: Exp, op: BinOp, rhs: Exp) -> Exp {
+        Exp::Bin(Box::new(lhs), op, Box::new(rhs))
+    }
+
+    /// Convenience constructor for logical negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Exp) -> Exp {
+        Exp::Un(UnOp::Not, Box::new(e))
+    }
+
+    /// `true` iff the expression contains no shared-variable occurrence
+    /// (registers do not count: they resolve without memory events).
+    /// This is the paper's `fv(E) = ∅` test.
+    pub fn is_closed(&self) -> bool {
+        match self {
+            Exp::Val(_) | Exp::Reg(_) => true,
+            Exp::Var(_) | Exp::VarA(_) => false,
+            Exp::Un(_, e) => e.is_closed(),
+            Exp::Bin(a, _, b) => a.is_closed() && b.is_closed(),
+        }
+    }
+
+    /// Collects the free shared variables (the paper's `fv(E)`).
+    pub fn free_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Exp::Val(_) | Exp::Reg(_) => {}
+            Exp::Var(x) | Exp::VarA(x) => {
+                if !out.contains(x) {
+                    out.push(*x);
+                }
+            }
+            Exp::Un(_, e) => e.free_vars(out),
+            Exp::Bin(a, _, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+        }
+    }
+}
+
+/// Commands (paper grammar `Com`), extended with registers and labels.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Com {
+    /// The terminated / no-op command.
+    Skip,
+    /// `x := E` (relaxed) or `x :=R E` (release) — a write once `E` is
+    /// closed; read steps while `E` still mentions shared variables.
+    Assign {
+        var: VarId,
+        rhs: Exp,
+        release: bool,
+    },
+    /// `x.swap(E)^RA` — an atomic release-acquire read-modify-write that
+    /// overwrites `x` with the value of `E`. The paper writes a literal
+    /// `n`; we allow any *register-closed* expression (no shared reads),
+    /// which degenerates to the paper's form when no registers occur.
+    /// `out`, when present, receives the value the update read
+    /// (`r <- x.swap(E)` in the DSL) — the standard atomic-exchange
+    /// return value, silently written back like a register assignment.
+    Swap {
+        var: VarId,
+        new: Exp,
+        out: Option<RegId>,
+    },
+    /// `r <- E` — register assignment (extension). Generates read actions
+    /// while `E` mentions shared variables, then silently stores the value.
+    AssignReg { reg: RegId, rhs: Exp },
+    /// Sequential composition `C1 ; C2`.
+    Seq(Box<Com>, Box<Com>),
+    /// `if B then C1 else C2`.
+    If {
+        cond: Exp,
+        then_: Box<Com>,
+        else_: Box<Com>,
+    },
+    /// `while B do C`. Unfolds (by a silent step) to
+    /// `if B then (C ; while B do C) else skip`, so the original guard is
+    /// re-evaluated afresh on every iteration.
+    While { cond: Exp, body: Box<Com> },
+    /// A labelled statement: carries the line number used by the auxiliary
+    /// program-counter function `P.pc_t` of the Section 5 verification.
+    Labeled(u32, Box<Com>),
+}
+
+impl Com {
+    /// `C1 ; C2`, flattening `skip` on the left eagerly is *not* done here —
+    /// the semantics consumes it with a silent step, as in Figure 2.
+    pub fn seq(a: Com, b: Com) -> Com {
+        Com::Seq(Box::new(a), Box::new(b))
+    }
+
+    /// Sequences a list of commands.
+    pub fn block<I: IntoIterator<Item = Com>>(cmds: I) -> Com {
+        let mut iter = cmds.into_iter();
+        let first = iter.next().unwrap_or(Com::Skip);
+        iter.fold(first, Com::seq)
+    }
+
+    /// `if B then C1 else C2`.
+    pub fn if_(cond: Exp, then_: Com, else_: Com) -> Com {
+        Com::If {
+            cond,
+            then_: Box::new(then_),
+            else_: Box::new(else_),
+        }
+    }
+
+    /// `while B do C`.
+    pub fn while_(cond: Exp, body: Com) -> Com {
+        Com::While {
+            cond,
+            body: Box::new(body),
+        }
+    }
+
+    /// Labels a statement with a line number.
+    pub fn labeled(pc: u32, inner: Com) -> Com {
+        Com::Labeled(pc, Box::new(inner))
+    }
+
+    /// `true` iff the command is (structurally) terminated.
+    pub fn is_terminated(&self) -> bool {
+        matches!(self, Com::Skip)
+    }
+
+    /// The auxiliary program counter: the label of the leftmost active
+    /// statement, if any. Mirrors the paper's `P.pc_t`, which "returns `i`
+    /// when `P(t)` is the part of the program starting on line `i`".
+    ///
+    /// A `while` loop whose body starts at line `i` reports `i` (the
+    /// thread is "at" the loop head, as in Algorithm 1's outer loop). An
+    /// *unlabelled* `if` reports no line: the thread has not yet entered
+    /// either branch, so branch-local labels (e.g. a critical-section
+    /// marker) must not leak out of it.
+    pub fn pc(&self) -> Option<u32> {
+        match self {
+            Com::Labeled(n, _) => Some(*n),
+            Com::Seq(a, b) => a.pc().or_else(|| b.pc()),
+            Com::While { body, .. } => body.pc(),
+            _ => None,
+        }
+    }
+
+    /// Number of AST nodes — used as a fuzzing size metric.
+    pub fn size(&self) -> usize {
+        match self {
+            Com::Skip => 1,
+            Com::Assign { .. } | Com::Swap { .. } | Com::AssignReg { .. } => 1,
+            Com::Seq(a, b) => 1 + a.size() + b.size(),
+            Com::If { then_, else_, .. } => 1 + then_.size() + else_.size(),
+            Com::While { body, .. } => 1 + body.size(),
+            Com::Labeled(_, c) => c.size(),
+        }
+    }
+}
+
+/// A program: initialised shared variables plus one command per thread
+/// (paper: `Prog : T → Com`, concurrency at the top level only).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Prog {
+    /// Initial value of each shared variable, indexed by `VarId`.
+    pub inits: Vec<Val>,
+    /// Human-readable variable names (same indexing).
+    pub var_names: Vec<String>,
+    /// Thread bodies. `threads[i]` is thread `i + 1` (thread 0 initialises).
+    pub threads: Vec<Com>,
+}
+
+impl Prog {
+    /// Builds a program from initialised variables and thread bodies.
+    pub fn new(vars: Vec<(String, Val)>, threads: Vec<Com>) -> Prog {
+        let (var_names, inits) = vars.into_iter().unzip();
+        Prog {
+            inits,
+            var_names,
+            threads,
+        }
+    }
+
+    /// Number of shared variables.
+    pub fn num_vars(&self) -> usize {
+        self.inits.len()
+    }
+
+    /// Number of (non-initialising) threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Looks up a variable id by name.
+    pub fn var(&self, name: &str) -> Option<VarId> {
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| VarId(i as u8))
+    }
+
+    /// The name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.0 as usize]
+    }
+
+    /// The command of thread `t` (1-based; panics for the init thread).
+    pub fn thread(&self, t: ThreadId) -> &Com {
+        assert!(!t.is_init(), "init thread has no command");
+        &self.threads[t.0 as usize - 1]
+    }
+
+    /// Iterates `(ThreadId, &Com)` over program threads.
+    pub fn thread_iter(&self) -> impl Iterator<Item = (ThreadId, &Com)> {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ThreadId(i as u8 + 1), c))
+    }
+
+    /// All values that occur syntactically in the program or its
+    /// initialisation — the *value universe* used by the pre-execution
+    /// semantics, whose reads may return any value.
+    pub fn value_universe(&self) -> Vec<Val> {
+        let mut vals: Vec<Val> = self.inits.clone();
+        fn exp_vals(e: &Exp, out: &mut Vec<Val>) {
+            match e {
+                Exp::Val(v) => out.push(*v),
+                Exp::Var(_) | Exp::VarA(_) | Exp::Reg(_) => {}
+                Exp::Un(_, e) => exp_vals(e, out),
+                Exp::Bin(a, _, b) => {
+                    exp_vals(a, out);
+                    exp_vals(b, out);
+                }
+            }
+        }
+        fn com_vals(c: &Com, out: &mut Vec<Val>) {
+            match c {
+                Com::Skip => {}
+                Com::Assign { rhs, .. } => exp_vals(rhs, out),
+                Com::Swap { new, .. } => exp_vals(new, out),
+                Com::AssignReg { rhs, .. } => exp_vals(rhs, out),
+                Com::Seq(a, b) => {
+                    com_vals(a, out);
+                    com_vals(b, out);
+                }
+                Com::If { cond, then_, else_ } => {
+                    exp_vals(cond, out);
+                    com_vals(then_, out);
+                    com_vals(else_, out);
+                }
+                Com::While { cond, body } => {
+                    exp_vals(cond, out);
+                    com_vals(body, out);
+                }
+                Com::Labeled(_, c) => com_vals(c, out),
+            }
+        }
+        for t in &self.threads {
+            com_vals(t, &mut vals);
+        }
+        // Comparison results can also flow into variables.
+        vals.push(0);
+        vals.push(1);
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(2, 3), 5);
+        assert_eq!(BinOp::Sub.apply(0, 1), u32::MAX); // wrapping
+        assert_eq!(BinOp::Eq.apply(4, 4), 1);
+        assert_eq!(BinOp::Ne.apply(4, 4), 0);
+        assert_eq!(BinOp::And.apply(7, 0), 0);
+        assert_eq!(BinOp::And.apply(7, 2), 1);
+        assert_eq!(BinOp::Or.apply(0, 0), 0);
+        assert_eq!(BinOp::Lt.apply(1, 2), 1);
+        assert_eq!(BinOp::Ge.apply(2, 2), 1);
+    }
+
+    #[test]
+    fn closedness() {
+        let x = VarId(0);
+        assert!(Exp::Val(3).is_closed());
+        assert!(Exp::Reg(RegId(0)).is_closed());
+        assert!(!Exp::Var(x).is_closed());
+        assert!(!Exp::bin(Exp::Val(1), BinOp::Add, Exp::VarA(x)).is_closed());
+        let mut fv = Vec::new();
+        Exp::bin(Exp::Var(x), BinOp::Add, Exp::VarA(x)).free_vars(&mut fv);
+        assert_eq!(fv, vec![x]);
+    }
+
+    #[test]
+    fn pc_finds_leftmost_label() {
+        let c = Com::seq(
+            Com::labeled(2, Com::Skip),
+            Com::labeled(3, Com::Skip),
+        );
+        assert_eq!(c.pc(), Some(2));
+        let c2 = Com::seq(Com::Skip, Com::labeled(4, Com::Skip));
+        assert_eq!(c2.pc(), Some(4));
+        assert_eq!(Com::Skip.pc(), None);
+    }
+
+    #[test]
+    fn pc_through_while() {
+        let body = Com::labeled(2, Com::Skip);
+        let w = Com::while_(Exp::Val(1), body);
+        assert_eq!(w.pc(), Some(2));
+    }
+
+    #[test]
+    fn value_universe_collects_literals() {
+        let prog = Prog::new(
+            vec![("x".into(), 0), ("y".into(), 9)],
+            vec![Com::Assign {
+                var: VarId(0),
+                rhs: Exp::Val(5),
+                release: false,
+            }],
+        );
+        assert_eq!(prog.value_universe(), vec![0, 1, 5, 9]);
+    }
+
+    #[test]
+    fn var_lookup() {
+        let prog = Prog::new(vec![("x".into(), 0), ("y".into(), 0)], vec![]);
+        assert_eq!(prog.var("y"), Some(VarId(1)));
+        assert_eq!(prog.var("z"), None);
+        assert_eq!(prog.var_name(VarId(0)), "x");
+    }
+
+    #[test]
+    fn block_builder() {
+        let b = Com::block([Com::Skip, Com::Skip, Com::Skip]);
+        assert_eq!(b.size(), 5);
+        assert_eq!(Com::block([]), Com::Skip);
+    }
+}

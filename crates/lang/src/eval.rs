@@ -1,0 +1,190 @@
+//! Expression evaluation (paper Figure 1).
+//!
+//! Evaluation is syntax-directed and proceeds left to right: the *leftmost*
+//! shared-variable occurrence is read first, and each occurrence generates
+//! its own read action. After every substitution the expression is constant
+//! folded; folding short-circuits `&&` / `||` whose outcome is already
+//! decided, which reproduces the sequential two-test reading of Algorithm
+//! 1's guard used in the paper's Appendix D proof.
+
+use crate::ast::{BinOp, Exp, RegId, UnOp, Val, VarId};
+
+/// Replaces every register occurrence by its current value. Registers are
+/// thread-local, so this incurs no memory action.
+pub fn resolve_regs(e: &Exp, regs: &impl Fn(RegId) -> Val) -> Exp {
+    match e {
+        Exp::Val(_) | Exp::Var(_) | Exp::VarA(_) => e.clone(),
+        Exp::Reg(r) => Exp::Val(regs(*r)),
+        Exp::Un(op, inner) => Exp::Un(*op, Box::new(resolve_regs(inner, regs))),
+        Exp::Bin(a, op, b) => Exp::bin(resolve_regs(a, regs), *op, resolve_regs(b, regs)),
+    }
+}
+
+/// Constant folding with short-circuiting of decided `&&` / `||`.
+pub fn fold(e: &Exp) -> Exp {
+    match e {
+        Exp::Val(_) | Exp::Var(_) | Exp::VarA(_) | Exp::Reg(_) => e.clone(),
+        Exp::Un(op, inner) => {
+            let inner = fold(inner);
+            match (op, &inner) {
+                (UnOp::Not, Exp::Val(v)) => Exp::Val(if *v == 0 { 1 } else { 0 }),
+                _ => Exp::Un(*op, Box::new(inner)),
+            }
+        }
+        Exp::Bin(a, op, b) => {
+            let a = fold(a);
+            // Short-circuit before folding the right operand so a decided
+            // guard stops generating reads.
+            match (op, &a) {
+                (BinOp::And, Exp::Val(0)) => return Exp::Val(0),
+                (BinOp::Or, Exp::Val(v)) if *v != 0 => return Exp::Val(1),
+                _ => {}
+            }
+            let b = fold(b);
+            match (&a, &b) {
+                (Exp::Val(va), Exp::Val(vb)) => Exp::Val(op.apply(*va, *vb)),
+                _ => Exp::bin(a, *op, b),
+            }
+        }
+    }
+}
+
+/// The leftmost shared-variable occurrence still to be read, if any.
+/// Returns the variable and whether the occurrence is acquiring.
+pub fn next_read(e: &Exp) -> Option<(VarId, bool)> {
+    match e {
+        Exp::Val(_) | Exp::Reg(_) => None,
+        Exp::Var(x) => Some((*x, false)),
+        Exp::VarA(x) => Some((*x, true)),
+        Exp::Un(_, inner) => next_read(inner),
+        Exp::Bin(a, _, b) => next_read(a).or_else(|| next_read(b)),
+    }
+}
+
+/// Substitutes `val` for the *leftmost* shared-variable occurrence.
+/// Returns `None` if the expression is closed.
+pub fn subst_leftmost(e: &Exp, val: Val) -> Option<Exp> {
+    match e {
+        Exp::Val(_) | Exp::Reg(_) => None,
+        Exp::Var(_) | Exp::VarA(_) => Some(Exp::Val(val)),
+        Exp::Un(op, inner) => subst_leftmost(inner, val).map(|i| Exp::Un(*op, Box::new(i))),
+        Exp::Bin(a, op, b) => {
+            if let Some(a2) = subst_leftmost(a, val) {
+                Some(Exp::bin(a2, *op, (**b).clone()))
+            } else {
+                subst_leftmost(b, val).map(|b2| Exp::bin((**a).clone(), *op, b2))
+            }
+        }
+    }
+}
+
+/// Evaluates a closed expression (paper `[[E]]`). Returns `None` if the
+/// expression still mentions a shared variable or register.
+pub fn eval_closed(e: &Exp) -> Option<Val> {
+    match e {
+        Exp::Val(v) => Some(*v),
+        Exp::Var(_) | Exp::VarA(_) | Exp::Reg(_) => None,
+        Exp::Un(UnOp::Not, inner) => eval_closed(inner).map(|v| if v == 0 { 1 } else { 0 }),
+        Exp::Bin(a, op, b) => {
+            // NB: no short-circuit here; closed expressions have no effects.
+            let va = eval_closed(a)?;
+            let vb = eval_closed(b)?;
+            Some(op.apply(va, vb))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+
+    fn var(x: VarId) -> Exp {
+        Exp::Var(x)
+    }
+
+    #[test]
+    fn fold_constants() {
+        let e = Exp::bin(Exp::Val(2), BinOp::Add, Exp::Val(3));
+        assert_eq!(fold(&e), Exp::Val(5));
+        assert_eq!(fold(&Exp::not(Exp::Val(0))), Exp::Val(1));
+        assert_eq!(fold(&Exp::not(Exp::Val(7))), Exp::Val(0));
+    }
+
+    #[test]
+    fn fold_shortcircuits_and() {
+        // (0 && y): decided false without reading y.
+        let e = Exp::bin(Exp::Val(0), BinOp::And, var(Y));
+        assert_eq!(fold(&e), Exp::Val(0));
+        // (1 && y): still needs y.
+        let e = Exp::bin(Exp::Val(1), BinOp::And, var(Y));
+        assert!(next_read(&fold(&e)).is_some());
+    }
+
+    #[test]
+    fn fold_shortcircuits_or() {
+        let e = Exp::bin(Exp::Val(3), BinOp::Or, var(Y));
+        assert_eq!(fold(&e), Exp::Val(1));
+        let e = Exp::bin(Exp::Val(0), BinOp::Or, var(Y));
+        assert!(next_read(&fold(&e)).is_some());
+    }
+
+    #[test]
+    fn next_read_is_leftmost() {
+        let e = Exp::bin(var(Y), BinOp::Add, Exp::VarA(X));
+        assert_eq!(next_read(&e), Some((Y, false)));
+        let e2 = Exp::bin(Exp::Val(1), BinOp::Add, Exp::VarA(X));
+        assert_eq!(next_read(&e2), Some((X, true)));
+        assert_eq!(next_read(&Exp::Val(3)), None);
+    }
+
+    #[test]
+    fn subst_replaces_only_leftmost() {
+        // x + x: substituting 5 touches only the first occurrence, so the
+        // two occurrences may read different values (two loads).
+        let e = Exp::bin(var(X), BinOp::Add, var(X));
+        let e2 = subst_leftmost(&e, 5).unwrap();
+        assert_eq!(e2, Exp::bin(Exp::Val(5), BinOp::Add, var(X)));
+        let e3 = subst_leftmost(&e2, 7).unwrap();
+        assert_eq!(fold(&e3), Exp::Val(12));
+    }
+
+    #[test]
+    fn subst_closed_is_none() {
+        assert_eq!(subst_leftmost(&Exp::Val(4), 1), None);
+    }
+
+    #[test]
+    fn resolve_regs_substitutes_all() {
+        let r0 = RegId(0);
+        let e = Exp::bin(Exp::Reg(r0), BinOp::Add, Exp::Reg(r0));
+        let resolved = resolve_regs(&e, &|_r| 21);
+        assert_eq!(eval_closed(&fold(&resolved)), Some(42));
+    }
+
+    #[test]
+    fn eval_closed_rejects_open() {
+        assert_eq!(eval_closed(&var(X)), None);
+        assert_eq!(eval_closed(&Exp::Reg(RegId(0))), None);
+        assert_eq!(
+            eval_closed(&Exp::bin(Exp::Val(6), BinOp::Mul, Exp::Val(7))),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn left_to_right_evaluation_order() {
+        // ((x + y) + x): reads are x, then y, then x again.
+        let e = Exp::bin(Exp::bin(var(X), BinOp::Add, var(Y)), BinOp::Add, var(X));
+        let mut order = Vec::new();
+        let mut cur = e;
+        while let Some((v, _)) = next_read(&cur) {
+            order.push(v);
+            cur = fold(&subst_leftmost(&cur, 1).unwrap());
+        }
+        assert_eq!(order, vec![X, Y, X]);
+        assert_eq!(eval_closed(&cur), Some(3));
+    }
+}

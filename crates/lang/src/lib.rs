@@ -1,0 +1,39 @@
+//! The command language of Doherty et al. (PPoPP'19), Section 2, and its
+//! *uninterpreted* operational semantics.
+//!
+//! The uninterpreted semantics generates the read / write / update *action*
+//! for each step of a command without committing to the values that reads
+//! return (Proposition 2.2: a read step exists for every value). A memory
+//! model — plugged in by `c11-core` — then decides which of those actions
+//! are actually enabled and what the reads may return.
+//!
+//! Extensions relative to the paper, documented in `DESIGN.md`:
+//!
+//! * **Registers** (`r0`, `r1`, ...) are thread-local and generate no memory
+//!   events; they let litmus tests observe read outcomes, exactly as in the
+//!   standard litmus-test literature. A paper-faithful program simply never
+//!   uses them.
+//! * **Per-occurrence reads**: each occurrence of a shared variable in an
+//!   expression produces its own read action, evaluated left-to-right. This
+//!   is the syntax-directed reading of Figure 1 (the alternative — one read
+//!   substituting every occurrence — would make `x == x` always true, which
+//!   no weak memory model guarantees).
+//! * **Short-circuit guards**: after each read the expression is constant
+//!   folded, so `flag == 1 && turn == 2` stops reading `turn` once the flag
+//!   test is decided. This matches the two-test treatment of Algorithm 1's
+//!   guard in the paper's Appendix D proof.
+//! * **Statement labels** give the auxiliary program-counter function
+//!   `P.pc_t` used by the Section 5 invariants.
+
+pub mod action;
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod pretty;
+pub mod step;
+
+pub use action::{Action, ActionShape, StepLabel};
+pub use ast::{BinOp, Com, Exp, Prog, RegId, ThreadId, UnOp, Val, VarId};
+pub use parser::{parse_program, ParseError};
+pub use pretty::{com_to_string, exp_to_string, prog_to_string};
+pub use step::{apply_step, step_shape, RegFile, StepResult};

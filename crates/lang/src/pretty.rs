@@ -1,0 +1,288 @@
+//! Pretty-printing of expressions, commands and programs back into the
+//! DSL accepted by [`crate::parser`]. `parse(print(p)) == p` up to label
+//! placement — property-tested in the parser tests.
+
+use crate::ast::{BinOp, Com, Exp, Prog, UnOp};
+
+/// Operator precedence used to decide parenthesisation (higher binds
+/// tighter; mirrors the parser's grammar).
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul => 5,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+/// Renders an expression, using `names` for variables.
+pub fn exp_to_string(e: &Exp, names: &[String]) -> String {
+    fn go(e: &Exp, names: &[String], parent_prec: u8, out: &mut String) {
+        match e {
+            Exp::Val(v) => out.push_str(&v.to_string()),
+            Exp::Var(x) => out.push_str(
+                names
+                    .get(x.0 as usize)
+                    .map(String::as_str)
+                    .unwrap_or("?var"),
+            ),
+            Exp::VarA(x) => {
+                out.push_str("acq(");
+                out.push_str(
+                    names
+                        .get(x.0 as usize)
+                        .map(String::as_str)
+                        .unwrap_or("?var"),
+                );
+                out.push(')');
+            }
+            Exp::Reg(r) => out.push_str(&format!("r{}", r.0)),
+            Exp::Un(UnOp::Not, inner) => {
+                out.push('!');
+                // unary binds tightest; parenthesise non-atoms
+                match **inner {
+                    Exp::Val(_) | Exp::Var(_) | Exp::VarA(_) | Exp::Reg(_) => {
+                        go(inner, names, 6, out)
+                    }
+                    _ => {
+                        out.push('(');
+                        go(inner, names, 0, out);
+                        out.push(')');
+                    }
+                }
+            }
+            Exp::Bin(a, op, b) => {
+                let p = prec(*op);
+                let need = p < parent_prec
+                    // comparisons are non-associative in the grammar
+                    || (p == 3 && parent_prec == 3);
+                if need {
+                    out.push('(');
+                }
+                go(a, names, p, out);
+                out.push(' ');
+                out.push_str(op_str(*op));
+                out.push(' ');
+                // right operand: require strictly higher precedence so
+                // left-associative chains re-parse identically
+                go(b, names, p + 1, out);
+                if need {
+                    out.push(')');
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    go(e, names, 0, &mut out);
+    out
+}
+
+/// Renders a command at the given indentation.
+pub fn com_to_string(c: &Com, names: &[String], indent: usize) -> String {
+    let pad = "  ".repeat(indent);
+    match c {
+        Com::Skip => format!("{pad}skip;\n"),
+        Com::Assign { var, rhs, release } => format!(
+            "{pad}{} :={} {};\n",
+            names
+                .get(var.0 as usize)
+                .map(String::as_str)
+                .unwrap_or("?var"),
+            if *release { "R" } else { "" },
+            exp_to_string(rhs, names)
+        ),
+        Com::Swap { var, new, out } => {
+            let target = names
+                .get(var.0 as usize)
+                .map(String::as_str)
+                .unwrap_or("?var");
+            match out {
+                Some(r) => format!(
+                    "{pad}r{} <- {target}.swap({});\n",
+                    r.0,
+                    exp_to_string(new, names)
+                ),
+                None => format!("{pad}{target}.swap({});\n", exp_to_string(new, names)),
+            }
+        }
+        Com::AssignReg { reg, rhs } => {
+            // `r <-A x` sugar only when the rhs is exactly an acquire var.
+            if let Exp::VarA(x) = rhs {
+                format!(
+                    "{pad}r{} <-A {};\n",
+                    reg.0,
+                    names
+                        .get(x.0 as usize)
+                        .map(String::as_str)
+                        .unwrap_or("?var")
+                )
+            } else {
+                format!("{pad}r{} <- {};\n", reg.0, exp_to_string(rhs, names))
+            }
+        }
+        Com::Seq(a, b) => format!(
+            "{}{}",
+            com_to_string(a, names, indent),
+            com_to_string(b, names, indent)
+        ),
+        Com::If { cond, then_, else_ } => {
+            let mut s = format!(
+                "{pad}if ({}) {{\n{}{pad}}}",
+                exp_to_string(cond, names),
+                com_to_string(then_, names, indent + 1)
+            );
+            if !matches!(**else_, Com::Skip) {
+                s.push_str(&format!(
+                    " else {{\n{}{pad}}}",
+                    com_to_string(else_, names, indent + 1)
+                ));
+            }
+            s.push('\n');
+            s
+        }
+        Com::While { cond, body } => format!(
+            "{pad}while ({}) {{\n{}{pad}}}\n",
+            exp_to_string(cond, names),
+            com_to_string(body, names, indent + 1)
+        ),
+        Com::Labeled(n, inner) => {
+            let inner_s = com_to_string(inner, names, indent);
+            // splice the label after the indentation of the first line
+            match inner_s.find(|ch: char| !ch.is_whitespace()) {
+                Some(pos) => format!("{}{}: {}", &inner_s[..pos], n, &inner_s[pos..]),
+                None => inner_s,
+            }
+        }
+    }
+}
+
+/// Renders a whole program in parseable DSL form.
+pub fn prog_to_string(p: &Prog) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let decls: Vec<String> = p
+        .var_names
+        .iter()
+        .zip(&p.inits)
+        .map(|(n, &v)| {
+            if v == 0 {
+                n.clone()
+            } else {
+                format!("{n}={v}")
+            }
+        })
+        .collect();
+    let _ = writeln!(out, "vars {};", decls.join(" "));
+    for (i, t) in p.threads.iter().enumerate() {
+        let _ = writeln!(out, "thread t{} {{", i + 1);
+        out.push_str(&com_to_string(t, &p.var_names, 1));
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+impl std::fmt::Display for Prog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&prog_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn round_trip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = prog_to_string(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
+        assert_eq!(p1, p2, "round trip changed the program:\n{printed}");
+    }
+
+    #[test]
+    fn round_trip_message_passing() {
+        round_trip(
+            "vars d f;
+             thread t1 { d := 5; f :=R 1; }
+             thread t2 { r0 <-A f; r1 <- d; }",
+        );
+    }
+
+    #[test]
+    fn round_trip_peterson_shape() {
+        round_trip(
+            "vars flag1 flag2 turn=1;
+             thread t1 {
+               while (true) {
+                 2: flag1 := true;
+                 3: turn.swap(2);
+                 4: while (acq(flag2) == 1 && turn == 2) { skip; }
+                 5: skip;
+                 6: flag1 :=R false;
+               }
+             }
+             thread t2 { skip; }",
+        );
+    }
+
+    #[test]
+    fn round_trip_expressions() {
+        round_trip(
+            "vars x y;
+             thread t {
+               r0 <- 1 + 2 * 3 == 7 && !(x == 1) || y >= 2;
+               r1 <- (1 + 2) * 3 - x;
+               if (x == 1) { y := 1; } else { y := x + 1; }
+             }",
+        );
+    }
+
+    #[test]
+    fn round_trip_nested_control() {
+        round_trip(
+            "vars x;
+             thread t {
+               while (x < 3) {
+                 if (x == 0) { x := 1; }
+                 x.swap(2);
+               }
+             }",
+        );
+    }
+
+    #[test]
+    fn exp_printer_parenthesises_correctly() {
+        let names = vec!["x".to_string()];
+        // (1 + 2) * 3 needs parens; 1 + 2 * 3 does not.
+        let e1 = Exp::bin(
+            Exp::bin(Exp::Val(1), BinOp::Add, Exp::Val(2)),
+            BinOp::Mul,
+            Exp::Val(3),
+        );
+        assert_eq!(exp_to_string(&e1, &names), "(1 + 2) * 3");
+        let e2 = Exp::bin(
+            Exp::Val(1),
+            BinOp::Add,
+            Exp::bin(Exp::Val(2), BinOp::Mul, Exp::Val(3)),
+        );
+        assert_eq!(exp_to_string(&e2, &names), "1 + 2 * 3");
+    }
+}

@@ -1,0 +1,524 @@
+//! The uninterpreted operational semantics of commands (paper Figure 2).
+//!
+//! A command exposes at most one *step shape* per state: silent (`τ`), or a
+//! read / write / update action shape. Thread nondeterminism comes from the
+//! program level (which thread steps) and from read values (which write the
+//! memory model lets the read observe); the command semantics itself is
+//! deterministic once those are fixed.
+//!
+//! Two functions implement the relation `C —a→ C′`:
+//!
+//! * [`step_shape`] — the shape of the enabled step (if the command has not
+//!   terminated);
+//! * [`apply_step`] — given a concrete [`StepLabel`] matching the shape,
+//!   the successor command (plus a register write-back, for the register
+//!   extension).
+//!
+//! Proposition 2.2 holds by construction: `apply_step` accepts a read label
+//! with *any* value and the successor is uniform in it.
+
+use crate::action::{Action, ActionShape, StepLabel};
+use crate::ast::{Com, Exp, RegId, Val};
+use crate::eval::{eval_closed, fold, next_read, resolve_regs, subst_leftmost};
+
+/// The thread-local register file (extension; defaults to 0).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct RegFile {
+    vals: Vec<Val>,
+}
+
+impl RegFile {
+    /// A register file with all registers 0.
+    pub fn new() -> RegFile {
+        RegFile::default()
+    }
+
+    /// Current value of `r` (0 if never written).
+    pub fn get(&self, r: RegId) -> Val {
+        self.vals.get(r.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Writes `v` to `r`.
+    pub fn set(&mut self, r: RegId, v: Val) {
+        let idx = r.0 as usize;
+        if self.vals.len() <= idx {
+            self.vals.resize(idx + 1, 0);
+        }
+        self.vals[idx] = v;
+    }
+}
+
+/// The shape of a command step: silent or an action with open read value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StepShape {
+    /// A silent step.
+    Tau,
+    /// A memory action shape.
+    Act(ActionShape),
+}
+
+/// Result of applying a step: the successor command, plus the register
+/// write performed by a completing `r <- E` (if any).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepResult {
+    /// The successor command `C′`.
+    pub com: Com,
+    /// Register write-back, for `AssignReg` completion steps.
+    pub reg_write: Option<(RegId, Val)>,
+}
+
+impl StepResult {
+    fn pure(com: Com) -> StepResult {
+        StepResult {
+            com,
+            reg_write: None,
+        }
+    }
+}
+
+/// Prepares the right-hand side of a statement for evaluation: registers
+/// resolved, constants folded.
+fn prep(e: &Exp, regs: &RegFile) -> Exp {
+    fold(&resolve_regs(e, &|r| regs.get(r)))
+}
+
+/// The shape of the next step of `c`, or `None` if `c` has terminated.
+pub fn step_shape(c: &Com, regs: &RegFile) -> Option<StepShape> {
+    match c {
+        Com::Skip => None,
+        Com::Assign { var, rhs, release } => {
+            let rhs = prep(rhs, regs);
+            match next_read(&rhs) {
+                Some((x, acquire)) => Some(StepShape::Act(ActionShape::Read { var: x, acquire })),
+                None => Some(StepShape::Act(ActionShape::Write {
+                    var: *var,
+                    val: eval_closed(&rhs).expect("closed after prep"),
+                    release: *release,
+                })),
+            }
+        }
+        Com::Swap { var, new, .. } => {
+            let new = prep(new, regs);
+            let val = eval_closed(&new)
+                .expect("swap argument must not read shared memory (checked by the parser)");
+            Some(StepShape::Act(ActionShape::Update { var: *var, new: val }))
+        }
+        Com::AssignReg { rhs, .. } => {
+            let rhs = prep(rhs, regs);
+            match next_read(&rhs) {
+                Some((x, acquire)) => Some(StepShape::Act(ActionShape::Read { var: x, acquire })),
+                // Completion is silent: registers are thread-local.
+                None => Some(StepShape::Tau),
+            }
+        }
+        Com::Seq(a, _) if a.is_terminated() => Some(StepShape::Tau), // skip;C —τ→ C
+        Com::Seq(a, _) => step_shape(a, regs),
+        Com::If { cond, .. } => {
+            let cond = prep(cond, regs);
+            match next_read(&cond) {
+                Some((x, acquire)) => Some(StepShape::Act(ActionShape::Read { var: x, acquire })),
+                None => Some(StepShape::Tau),
+            }
+        }
+        // `while B do C` unfolds silently to `if B then (C ; while B do C)
+        // else skip`, so the pristine guard is re-evaluated each iteration.
+        Com::While { .. } => Some(StepShape::Tau),
+        // A label around a terminated body is consumed silently (this is
+        // how `5: skip` — the critical-section marker — takes its step).
+        Com::Labeled(_, inner) if inner.is_terminated() => Some(StepShape::Tau),
+        Com::Labeled(_, inner) => step_shape(inner, regs),
+    }
+}
+
+/// Applies a step with label `label` to `c`. Returns `None` if the label
+/// does not match the enabled step shape. Read labels are accepted with
+/// any value (Proposition 2.2).
+pub fn apply_step(c: &Com, label: &StepLabel, regs: &RegFile) -> Option<StepResult> {
+    match c {
+        Com::Skip => None,
+        Com::Assign { var, rhs, release } => {
+            let rhs = prep(rhs, regs);
+            match (next_read(&rhs), label) {
+                (Some((x, acq)), StepLabel::Act(Action::Rd { var: lv, val, acquire }))
+                    if *lv == x && *acquire == acq =>
+                {
+                    let rhs2 = fold(&subst_leftmost(&rhs, *val).expect("open rhs"));
+                    Some(StepResult::pure(Com::Assign {
+                        var: *var,
+                        rhs: rhs2,
+                        release: *release,
+                    }))
+                }
+                (None, StepLabel::Act(Action::Wr { var: lv, val, release: lr })) => {
+                    let expect = eval_closed(&rhs).expect("closed after prep");
+                    (*lv == *var && *val == expect && *lr == *release)
+                        .then(|| StepResult::pure(Com::Skip))
+                }
+                _ => None,
+            }
+        }
+        Com::Swap { var, new, out } => {
+            let new = prep(new, regs);
+            let expect = eval_closed(&new)?;
+            match label {
+                StepLabel::Act(Action::Upd { var: lv, old, new: lnew })
+                    if *lv == *var && *lnew == expect =>
+                {
+                    Some(StepResult {
+                        com: Com::Skip,
+                        // exchange result: the value the update read
+                        reg_write: out.map(|r| (r, *old)),
+                    })
+                }
+                _ => None,
+            }
+        }
+        Com::AssignReg { reg, rhs } => {
+            let rhs = prep(rhs, regs);
+            match (next_read(&rhs), label) {
+                (Some((x, acq)), StepLabel::Act(Action::Rd { var: lv, val, acquire }))
+                    if *lv == x && *acquire == acq =>
+                {
+                    let rhs2 = fold(&subst_leftmost(&rhs, *val).expect("open rhs"));
+                    Some(StepResult::pure(Com::AssignReg {
+                        reg: *reg,
+                        rhs: rhs2,
+                    }))
+                }
+                (None, StepLabel::Tau) => {
+                    let val = eval_closed(&rhs).expect("closed after prep");
+                    Some(StepResult {
+                        com: Com::Skip,
+                        reg_write: Some((*reg, val)),
+                    })
+                }
+                _ => None,
+            }
+        }
+        Com::Seq(a, b) if a.is_terminated() => {
+            matches!(label, StepLabel::Tau).then(|| StepResult::pure((**b).clone()))
+        }
+        Com::Seq(a, b) => {
+            let res = apply_step(a, label, regs)?;
+            Some(StepResult {
+                com: Com::seq(res.com, (**b).clone()),
+                reg_write: res.reg_write,
+            })
+        }
+        Com::If { cond, then_, else_ } => {
+            let cond = prep(cond, regs);
+            match (next_read(&cond), label) {
+                (Some((x, acq)), StepLabel::Act(Action::Rd { var: lv, val, acquire }))
+                    if *lv == x && *acquire == acq =>
+                {
+                    let cond2 = fold(&subst_leftmost(&cond, *val).expect("open cond"));
+                    Some(StepResult::pure(Com::If {
+                        cond: cond2,
+                        then_: then_.clone(),
+                        else_: else_.clone(),
+                    }))
+                }
+                (None, StepLabel::Tau) => {
+                    let v = eval_closed(&cond).expect("closed after prep");
+                    Some(StepResult::pure(if v != 0 {
+                        (**then_).clone()
+                    } else {
+                        (**else_).clone()
+                    }))
+                }
+                _ => None,
+            }
+        }
+        Com::While { cond, body } => matches!(label, StepLabel::Tau).then(|| {
+            StepResult::pure(Com::if_(
+                cond.clone(),
+                Com::seq((**body).clone(), c.clone()),
+                Com::Skip,
+            ))
+        }),
+        Com::Labeled(_, inner) if inner.is_terminated() => {
+            matches!(label, StepLabel::Tau).then(|| StepResult::pure(Com::Skip))
+        }
+        Com::Labeled(n, inner) => {
+            let res = apply_step(inner, label, regs)?;
+            let com = if res.com.is_terminated() {
+                Com::Skip
+            } else {
+                Com::labeled(*n, res.com)
+            };
+            Some(StepResult {
+                com,
+                reg_write: res.reg_write,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, VarId};
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+    const R0: RegId = RegId(0);
+
+    fn rd(var: VarId, val: Val) -> StepLabel {
+        StepLabel::Act(Action::Rd {
+            var,
+            val,
+            acquire: false,
+        })
+    }
+
+    fn wr(var: VarId, val: Val, release: bool) -> StepLabel {
+        StepLabel::Act(Action::Wr { var, val, release })
+    }
+
+    #[test]
+    fn closed_assign_is_a_write() {
+        let regs = RegFile::new();
+        let c = Com::Assign {
+            var: X,
+            rhs: Exp::Val(5),
+            release: false,
+        };
+        assert_eq!(
+            step_shape(&c, &regs),
+            Some(StepShape::Act(ActionShape::Write {
+                var: X,
+                val: 5,
+                release: false
+            }))
+        );
+        let res = apply_step(&c, &wr(X, 5, false), &regs).unwrap();
+        assert_eq!(res.com, Com::Skip);
+        // Mismatched value or release flag is rejected.
+        assert!(apply_step(&c, &wr(X, 6, false), &regs).is_none());
+        assert!(apply_step(&c, &wr(X, 5, true), &regs).is_none());
+    }
+
+    #[test]
+    fn open_assign_reads_first() {
+        let regs = RegFile::new();
+        // x := y + 1
+        let c = Com::Assign {
+            var: X,
+            rhs: Exp::bin(Exp::Var(Y), BinOp::Add, Exp::Val(1)),
+            release: true,
+        };
+        assert_eq!(
+            step_shape(&c, &regs),
+            Some(StepShape::Act(ActionShape::Read {
+                var: Y,
+                acquire: false
+            }))
+        );
+        // Any read value is accepted (Prop 2.2); continuation is uniform.
+        let r1 = apply_step(&c, &rd(Y, 3), &regs).unwrap();
+        let r2 = apply_step(&c, &rd(Y, 9), &regs).unwrap();
+        assert_eq!(
+            step_shape(&r1.com, &regs),
+            Some(StepShape::Act(ActionShape::Write {
+                var: X,
+                val: 4,
+                release: true
+            }))
+        );
+        assert_eq!(
+            step_shape(&r2.com, &regs),
+            Some(StepShape::Act(ActionShape::Write {
+                var: X,
+                val: 10,
+                release: true
+            }))
+        );
+    }
+
+    #[test]
+    fn swap_generates_update() {
+        let regs = RegFile::new();
+        let c = Com::Swap {
+            var: X,
+            new: Exp::Val(2),
+            out: None,
+        };
+        assert_eq!(
+            step_shape(&c, &regs),
+            Some(StepShape::Act(ActionShape::Update { var: X, new: 2 }))
+        );
+        // Accepts any old value.
+        for old in [0, 7, 100] {
+            let res = apply_step(
+                &c,
+                &StepLabel::Act(Action::Upd {
+                    var: X,
+                    old,
+                    new: 2,
+                }),
+                &regs,
+            )
+            .unwrap();
+            assert_eq!(res.com, Com::Skip);
+        }
+    }
+
+    #[test]
+    fn reg_assign_reads_then_writes_back_silently() {
+        let mut regs = RegFile::new();
+        let c = Com::AssignReg {
+            reg: R0,
+            rhs: Exp::Var(X),
+        };
+        assert_eq!(
+            step_shape(&c, &regs),
+            Some(StepShape::Act(ActionShape::Read {
+                var: X,
+                acquire: false
+            }))
+        );
+        let r = apply_step(&c, &rd(X, 42), &regs).unwrap();
+        assert_eq!(step_shape(&r.com, &regs), Some(StepShape::Tau));
+        let fin = apply_step(&r.com, &StepLabel::Tau, &regs).unwrap();
+        assert_eq!(fin.reg_write, Some((R0, 42)));
+        regs.set(R0, 42);
+        assert_eq!(regs.get(R0), 42);
+        assert_eq!(fin.com, Com::Skip);
+    }
+
+    #[test]
+    fn seq_steps_left_then_consumes_skip() {
+        let regs = RegFile::new();
+        let c = Com::seq(
+            Com::Assign {
+                var: X,
+                rhs: Exp::Val(1),
+                release: false,
+            },
+            Com::Assign {
+                var: Y,
+                rhs: Exp::Val(2),
+                release: false,
+            },
+        );
+        let r = apply_step(&c, &wr(X, 1, false), &regs).unwrap();
+        // skip ; (y := 2) —τ→ (y := 2)
+        assert_eq!(step_shape(&r.com, &regs), Some(StepShape::Tau));
+        let r2 = apply_step(&r.com, &StepLabel::Tau, &regs).unwrap();
+        assert_eq!(
+            step_shape(&r2.com, &regs),
+            Some(StepShape::Act(ActionShape::Write {
+                var: Y,
+                val: 2,
+                release: false
+            }))
+        );
+    }
+
+    #[test]
+    fn if_evaluates_guard_then_branches() {
+        let regs = RegFile::new();
+        let c = Com::if_(
+            Exp::bin(Exp::Var(X), BinOp::Eq, Exp::Val(1)),
+            Com::Assign {
+                var: Y,
+                rhs: Exp::Val(10),
+                release: false,
+            },
+            Com::Skip,
+        );
+        let r = apply_step(&c, &rd(X, 1), &regs).unwrap();
+        assert_eq!(step_shape(&r.com, &regs), Some(StepShape::Tau));
+        let taken = apply_step(&r.com, &StepLabel::Tau, &regs).unwrap();
+        assert!(matches!(taken.com, Com::Assign { .. }));
+
+        let r = apply_step(&c, &rd(X, 0), &regs).unwrap();
+        let not_taken = apply_step(&r.com, &StepLabel::Tau, &regs).unwrap();
+        assert_eq!(not_taken.com, Com::Skip);
+    }
+
+    #[test]
+    fn while_restores_pristine_guard_each_iteration() {
+        let regs = RegFile::new();
+        // while (x == 0) do skip
+        let guard = Exp::bin(Exp::Var(X), BinOp::Eq, Exp::Val(0));
+        let w = Com::while_(guard.clone(), Com::Skip);
+        // Unfold.
+        let unfolded = apply_step(&w, &StepLabel::Tau, &regs).unwrap().com;
+        // Read guard true → loop body; after body the guard must be open
+        // again (pristine), not the substituted one.
+        let after_read = apply_step(&unfolded, &rd(X, 0), &regs).unwrap().com;
+        let into_body = apply_step(&after_read, &StepLabel::Tau, &regs).unwrap().com;
+        // into_body = skip ; while (x == 0) skip
+        let back_to_loop = apply_step(&into_body, &StepLabel::Tau, &regs).unwrap().com;
+        assert_eq!(back_to_loop, w);
+    }
+
+    #[test]
+    fn labeled_skip_takes_a_silent_step() {
+        let regs = RegFile::new();
+        let c = Com::labeled(5, Com::Skip);
+        assert_eq!(c.pc(), Some(5));
+        assert_eq!(step_shape(&c, &regs), Some(StepShape::Tau));
+        let r = apply_step(&c, &StepLabel::Tau, &regs).unwrap();
+        assert_eq!(r.com, Com::Skip);
+    }
+
+    #[test]
+    fn label_is_dropped_when_body_terminates() {
+        let regs = RegFile::new();
+        let c = Com::labeled(
+            2,
+            Com::Assign {
+                var: X,
+                rhs: Exp::Val(1),
+                release: false,
+            },
+        );
+        assert_eq!(c.pc(), Some(2));
+        let r = apply_step(&c, &wr(X, 1, false), &regs).unwrap();
+        assert_eq!(r.com, Com::Skip);
+    }
+
+    #[test]
+    fn terminated_command_has_no_step() {
+        let regs = RegFile::new();
+        assert_eq!(step_shape(&Com::Skip, &regs), None);
+        assert!(apply_step(&Com::Skip, &StepLabel::Tau, &regs).is_none());
+    }
+
+    #[test]
+    fn register_values_feed_subsequent_statements() {
+        let mut regs = RegFile::new();
+        regs.set(R0, 41);
+        // x := r0 + 1 — closed after register resolution, writes 42.
+        let c = Com::Assign {
+            var: X,
+            rhs: Exp::bin(Exp::Reg(R0), BinOp::Add, Exp::Val(1)),
+            release: false,
+        };
+        assert_eq!(
+            step_shape(&c, &regs),
+            Some(StepShape::Act(ActionShape::Write {
+                var: X,
+                val: 42,
+                release: false
+            }))
+        );
+    }
+
+    #[test]
+    fn shortcircuit_guard_skips_second_read() {
+        let regs = RegFile::new();
+        // if (x == 1 && y == 1) ... — reading x = 0 decides the guard.
+        let guard = Exp::bin(
+            Exp::bin(Exp::Var(X), BinOp::Eq, Exp::Val(1)),
+            BinOp::And,
+            Exp::bin(Exp::Var(Y), BinOp::Eq, Exp::Val(1)),
+        );
+        let c = Com::if_(guard, Com::Skip, Com::Skip);
+        let r = apply_step(&c, &rd(X, 0), &regs).unwrap();
+        // Guard decided: next step is the τ branch, no read of y.
+        assert_eq!(step_shape(&r.com, &regs), Some(StepShape::Tau));
+    }
+}

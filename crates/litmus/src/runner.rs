@@ -1,0 +1,142 @@
+//! Evaluates litmus tests by exhaustive exploration under both models.
+
+use crate::corpus::{Cond, LitmusTest, Verdict};
+use c11_core::config::Config;
+use c11_core::model::{RaModel, ScModel};
+use c11_explore::{ExploreConfig, Explorer};
+use c11_lang::{parse_program, Prog, RegId, ThreadId};
+
+/// Result of running one test under both models.
+#[derive(Clone, Debug)]
+pub struct LitmusResult {
+    /// Test name.
+    pub name: String,
+    /// Outcome observed under RA?
+    pub observed_ra: bool,
+    /// Outcome observed under SC?
+    pub observed_sc: bool,
+    /// Distinct RA configurations visited.
+    pub states_ra: usize,
+    /// Distinct SC configurations visited.
+    pub states_sc: usize,
+    /// Did RA exploration hit a bound? (A "forbidden" verdict is only
+    /// sound when this is false.)
+    pub truncated: bool,
+    /// Verdicts match expectations?
+    pub pass: bool,
+}
+
+fn reg_conds_hold(cfg_regs: &[(u8, u8, u32)], regs: &dyn Fn(ThreadId, RegId) -> Option<u32>) -> bool {
+    cfg_regs
+        .iter()
+        .all(|&(t, r, v)| regs(ThreadId(t), RegId(r)) == Some(v))
+}
+
+fn outcome_holds_ra(test: &LitmusTest, prog: &Prog, cfg: &Config<RaModel>) -> bool {
+    test.outcome.iter().all(|c| match c {
+        Cond::Reg { thread, reg, val } => {
+            reg_conds_hold(&[(*thread, *reg, *val)], &|t, r| {
+                cfg.regs.get(t.0 as usize - 1).map(|f| f.get(r))
+            })
+        }
+        Cond::FinalVar { var, val } => {
+            let v = prog.var(var).expect("known variable");
+            cfg.mem
+                .last(v)
+                .and_then(|w| cfg.mem.event(w).wrval())
+                == Some(*val)
+        }
+    })
+}
+
+fn outcome_holds_sc(test: &LitmusTest, prog: &Prog, cfg: &Config<ScModel>) -> bool {
+    test.outcome.iter().all(|c| match c {
+        Cond::Reg { thread, reg, val } => {
+            reg_conds_hold(&[(*thread, *reg, *val)], &|t, r| {
+                cfg.regs.get(t.0 as usize - 1).map(|f| f.get(r))
+            })
+        }
+        Cond::FinalVar { var, val } => {
+            let v = prog.var(var).expect("known variable");
+            cfg.mem.mem[v.0 as usize] == *val
+        }
+    })
+}
+
+/// Runs one test under both models.
+pub fn run_test(test: &LitmusTest) -> LitmusResult {
+    let prog = parse_program(&test.source).expect("corpus programs parse");
+    let ra = Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(test.max_events));
+    let observed_ra = ra.finals.iter().any(|c| outcome_holds_ra(test, &prog, c));
+    let sc = Explorer::new(ScModel).explore(&prog, ExploreConfig::default());
+    let observed_sc = sc.finals.iter().any(|c| outcome_holds_sc(test, &prog, c));
+    let expect = |v: Verdict| v == Verdict::Allowed;
+    let pass = observed_ra == expect(test.expect_ra)
+        && observed_sc == expect(test.expect_sc)
+        && (!ra.truncated || test.expect_ra == Verdict::Allowed);
+    LitmusResult {
+        name: test.name.clone(),
+        observed_ra,
+        observed_sc,
+        states_ra: ra.unique,
+        states_sc: sc.unique,
+        truncated: ra.truncated,
+        pass,
+    }
+}
+
+/// Runs the whole corpus.
+pub fn run_corpus() -> Vec<LitmusResult> {
+    crate::corpus::corpus().iter().map(run_test).collect()
+}
+
+/// Renders results as an aligned text table (used by the example binary
+/// and EXPERIMENTS.md).
+pub fn render_table(results: &[LitmusResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>10} {:>10} {:>6}",
+        "test", "RA", "SC", "RA-states", "SC-states", "pass"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>8} {:>10} {:>10} {:>6}",
+            r.name,
+            if r.observed_ra { "observed" } else { "absent" },
+            if r.observed_sc { "observed" } else { "absent" },
+            r.states_ra,
+            r.states_sc,
+            if r.pass { "ok" } else { "FAIL" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mp_rlx_allows_stale_read() {
+        let test = crate::corpus::corpus()
+            .into_iter()
+            .find(|t| t.name == "MP-rlx")
+            .unwrap();
+        let r = run_test(&test);
+        assert!(r.observed_ra && !r.observed_sc && r.pass);
+    }
+
+    #[test]
+    fn mp_ra_forbids_stale_read() {
+        let test = crate::corpus::corpus()
+            .into_iter()
+            .find(|t| t.name == "MP-ra")
+            .unwrap();
+        let r = run_test(&test);
+        assert!(!r.observed_ra && r.pass);
+        assert!(!r.truncated);
+    }
+}

@@ -1,0 +1,350 @@
+//! A small dense bitset over `usize` indices.
+//!
+//! The C11 executions manipulated by this workspace contain tens of events,
+//! so a flat `Vec<u64>` with word-at-a-time set operations is both the
+//! simplest and the fastest representation (see the perf-book guidance on
+//! preferring contiguous storage). The bitset grows on demand; all binary
+//! operations accept operands of different capacities.
+
+const BITS: usize = 64;
+
+/// A growable set of small non-negative integers backed by 64-bit words.
+///
+/// Equality and hashing are *semantic*: two sets with the same elements are
+/// equal and hash identically regardless of internal capacity. This matters
+/// because exploration deduplicates states by hashing relations built from
+/// bitsets that grew along different paths.
+#[derive(Clone, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl PartialEq for BitSet {
+    fn eq(&self, other: &Self) -> bool {
+        let common = self.words.len().min(other.words.len());
+        self.words[..common] == other.words[..common]
+            && self.words[common..].iter().all(|&w| w == 0)
+            && other.words[common..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for BitSet {}
+
+impl std::hash::Hash for BitSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash only up to the last non-zero word so that capacity is
+        // invisible to hashing, mirroring `PartialEq`.
+        let last = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map_or(0, |i| i + 1);
+        self.words[..last].hash(state);
+    }
+}
+
+#[inline]
+fn word_index(bit: usize) -> (usize, u64) {
+    (bit / BITS, 1u64 << (bit % BITS))
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        BitSet { words: Vec::new() }
+    }
+
+    /// Creates an empty set with capacity for elements `< n` without
+    /// reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(BITS)],
+        }
+    }
+
+    /// Creates the set `{0, 1, .., n-1}`.
+    pub fn full(n: usize) -> Self {
+        let mut s = BitSet::with_capacity(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of elements (also available through
+    /// the `FromIterator` impl; the inherent method reads better at call
+    /// sites that would otherwise need a type annotation).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    fn grow_to_hold(&mut self, bit: usize) {
+        let needed = bit / BITS + 1;
+        if self.words.len() < needed {
+            self.words.resize(needed, 0);
+        }
+    }
+
+    /// Inserts `bit`; returns `true` if it was not already present.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        self.grow_to_hold(bit);
+        let (w, m) = word_index(bit);
+        let was = self.words[w] & m != 0;
+        self.words[w] |= m;
+        !was
+    }
+
+    /// Removes `bit`; returns `true` if it was present.
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let (w, m) = word_index(bit);
+        if w >= self.words.len() {
+            return false;
+        }
+        let was = self.words[w] & m != 0;
+        self.words[w] &= !m;
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, m) = word_index(bit);
+        w < self.words.len() && self.words[w] & m != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` iff the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements, keeping capacity.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// In-place union: `self ∪= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (i, a) in self.words.iter_mut().enumerate() {
+            *a &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// In-place difference: `self \= other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns `self ∪ other` as a new set.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns `self \ other` as a new set.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// `true` iff `self` and `other` share no element.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// `true` iff every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, a)| a & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Iterates elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest element, if any.
+    pub fn min(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// An arbitrary (first) element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.min()
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] in increasing order.
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * BITS + tz)
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        BitSet::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_across_word_boundaries() {
+        let mut s = BitSet::new();
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(191);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 191]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_iter([1, 2, 3, 70]);
+        let b = BitSet::from_iter([2, 3, 4]);
+        assert_eq!(a.union(&b).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 70]);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 70]);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.is_disjoint(&BitSet::from_iter([9, 100])));
+    }
+
+    #[test]
+    fn subset_with_mixed_capacity() {
+        let small = BitSet::from_iter([1, 2]);
+        let large = BitSet::from_iter([1, 2, 300]);
+        assert!(small.is_subset(&large));
+        assert!(!large.is_subset(&small));
+        // Equal sets of different capacity are subsets of each other.
+        let mut padded = BitSet::with_capacity(500);
+        padded.insert(1);
+        padded.insert(2);
+        assert!(padded.is_subset(&small));
+        assert!(small.is_subset(&padded));
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(130);
+        assert_eq!(s.len(), 130);
+        assert!(s.contains(129));
+        assert!(!s.contains(130));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn eq_ignores_trailing_zero_words() {
+        // Two sets with identical content but different internal capacity
+        // should hash/compare identically only if we never leave garbage;
+        // we compare through iterators to sidestep capacity differences.
+        let a = BitSet::from_iter([5]);
+        let mut b = BitSet::with_capacity(1000);
+        b.insert(5);
+        assert_eq!(a, b);
+        fn hash_of(s: &BitSet) -> u64 {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        }
+        assert_eq!(hash_of(&a), hash_of(&b));
+        b.remove(5);
+        assert_ne!(a, b);
+        assert_eq!(b, BitSet::new());
+    }
+
+    #[test]
+    fn min_first() {
+        assert_eq!(BitSet::new().min(), None);
+        assert_eq!(BitSet::from_iter([77, 3, 200]).min(), Some(3));
+    }
+}

@@ -1,0 +1,21 @@
+//! Finite binary relations and dense bitsets.
+//!
+//! Everything in the operational C11 semantics of Doherty et al. (PPoPP'19)
+//! is phrased in terms of binary relations over a finite set of events:
+//! sequenced-before `sb`, reads-from `rf`, modification order `mo`, and the
+//! relations derived from them (`sw`, `hb`, `fr`, `eco`). Executions in this
+//! domain are small (tens of events), so relations are represented densely:
+//! a [`Relation`] is a vector of [`BitSet`] rows, one per element of the
+//! carrier, and the algebra (composition, closures, acyclicity checks) runs
+//! over whole 64-bit blocks at a time.
+//!
+//! The crate is deliberately independent of the C11 vocabulary so it can be
+//! tested in isolation and reused by every other crate in the workspace.
+
+pub mod bitset;
+pub mod linearize;
+pub mod relation;
+
+pub use bitset::BitSet;
+pub use linearize::{all_linearizations, count_linearizations, some_linearization};
+pub use relation::Relation;

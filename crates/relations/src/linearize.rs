@@ -1,0 +1,160 @@
+//! Linearizations (linear extensions) of strict partial orders.
+//!
+//! The completeness theorem of the paper (Theorem 4.8) turns a valid
+//! axiomatic execution into an operational run by picking a *linearization*
+//! of `sb ∪ rf` and replaying events in that order. This module enumerates
+//! linearizations of an acyclic relation: one, all, or a count.
+
+use crate::bitset::BitSet;
+use crate::relation::Relation;
+
+/// Returns one linearization of `order` restricted to `carrier`, or `None`
+/// if `order` is cyclic on `carrier`.
+///
+/// A linearization of a strict order `≺` over elements `E` is a sequence
+/// `e₁ .. eₖ` covering `E` with `eᵢ ≺ eⱼ ⟹ i < j`.
+pub fn some_linearization(order: &Relation, carrier: &BitSet) -> Option<Vec<usize>> {
+    let restricted = order.restrict(carrier);
+    let topo = restricted.topo_sort()?;
+    Some(topo.into_iter().filter(|e| carrier.contains(*e)).collect())
+}
+
+/// Calls `f` with every linearization of `order` restricted to `carrier`.
+/// Returns the number of linearizations visited. If `f` returns `false`
+/// enumeration stops early.
+///
+/// The enumeration is the textbook recursive "remove a minimal element"
+/// scheme; carriers in this workspace are small (≤ ~12 events), so the
+/// factorial worst case is acceptable and bounded by callers.
+pub fn all_linearizations<F: FnMut(&[usize]) -> bool>(
+    order: &Relation,
+    carrier: &BitSet,
+    mut f: F,
+) -> usize {
+    let elems: Vec<usize> = carrier.iter().collect();
+    let restricted = order.restrict(carrier);
+    let mut remaining: Vec<usize> = elems;
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut count = 0usize;
+    let mut stop = false;
+    rec(&restricted, &mut remaining, &mut prefix, &mut f, &mut count, &mut stop);
+    count
+}
+
+fn rec<F: FnMut(&[usize]) -> bool>(
+    order: &Relation,
+    remaining: &mut Vec<usize>,
+    prefix: &mut Vec<usize>,
+    f: &mut F,
+    count: &mut usize,
+    stop: &mut bool,
+) {
+    if *stop {
+        return;
+    }
+    if remaining.is_empty() {
+        *count += 1;
+        if !f(prefix) {
+            *stop = true;
+        }
+        return;
+    }
+    for i in 0..remaining.len() {
+        let cand = remaining[i];
+        // `cand` is minimal iff no remaining element precedes it.
+        if remaining.iter().any(|&other| order.contains(other, cand)) {
+            continue;
+        }
+        remaining.remove(i);
+        prefix.push(cand);
+        rec(order, remaining, prefix, f, count, stop);
+        prefix.pop();
+        remaining.insert(i, cand);
+        if *stop {
+            return;
+        }
+    }
+}
+
+/// Counts the linearizations of `order` restricted to `carrier`.
+pub fn count_linearizations(order: &Relation, carrier: &BitSet) -> usize {
+    all_linearizations(order, carrier, |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_linearization_of_chain() {
+        let order = Relation::from_pairs(3, [(0, 1), (1, 2)]);
+        let carrier = BitSet::from_iter([0, 1, 2]);
+        assert_eq!(count_linearizations(&order, &carrier), 1);
+        assert_eq!(
+            some_linearization(&order, &carrier),
+            Some(vec![0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn antichain_has_factorial_linearizations() {
+        let order = Relation::new(4);
+        let carrier = BitSet::from_iter([0, 1, 2, 3]);
+        assert_eq!(count_linearizations(&order, &carrier), 24);
+    }
+
+    #[test]
+    fn v_shape() {
+        // 0 → 2 ← 1 : linearizations are 012 and 102.
+        let order = Relation::from_pairs(3, [(0, 2), (1, 2)]);
+        let carrier = BitSet::from_iter([0, 1, 2]);
+        let mut seen = Vec::new();
+        all_linearizations(&order, &carrier, |lin| {
+            seen.push(lin.to_vec());
+            true
+        });
+        assert_eq!(seen, vec![vec![0, 1, 2], vec![1, 0, 2]]);
+    }
+
+    #[test]
+    fn every_linearization_respects_order() {
+        let order = Relation::from_pairs(5, [(0, 3), (1, 3), (3, 4), (2, 4)]);
+        let carrier = BitSet::from_iter([0, 1, 2, 3, 4]);
+        let n = all_linearizations(&order, &carrier, |lin| {
+            let pos = |x: usize| lin.iter().position(|&y| y == x).unwrap();
+            for (a, b) in order.pairs() {
+                assert!(pos(a) < pos(b));
+            }
+            true
+        });
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn early_stop() {
+        let order = Relation::new(4);
+        let carrier = BitSet::from_iter([0, 1, 2, 3]);
+        let mut visited = 0;
+        all_linearizations(&order, &carrier, |_| {
+            visited += 1;
+            visited < 5
+        });
+        assert_eq!(visited, 5);
+    }
+
+    #[test]
+    fn cyclic_order_has_no_linearization() {
+        let order = Relation::from_pairs(2, [(0, 1), (1, 0)]);
+        let carrier = BitSet::from_iter([0, 1]);
+        assert_eq!(some_linearization(&order, &carrier), None);
+        assert_eq!(count_linearizations(&order, &carrier), 0);
+    }
+
+    #[test]
+    fn carrier_subset_ignores_outside() {
+        let order = Relation::from_pairs(4, [(0, 1), (2, 3)]);
+        let carrier = BitSet::from_iter([2, 3]);
+        assert_eq!(some_linearization(&order, &carrier), Some(vec![2, 3]));
+        assert_eq!(count_linearizations(&order, &carrier), 1);
+    }
+}

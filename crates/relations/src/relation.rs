@@ -1,0 +1,540 @@
+//! Finite binary relations over `0..n` with dense bitset rows.
+//!
+//! A [`Relation`] is an adjacency structure: `rows[a]` is the set of `b`
+//! with `(a, b) ∈ R`. All of the relational vocabulary of the paper —
+//! composition `R ; S`, inverse `R⁻¹`, transitive closure `R⁺`, reflexive
+//! closure `R?`, restriction, relational image — is provided here, together
+//! with the order-theoretic predicates the axioms need (irreflexivity,
+//! acyclicity, strict totality over a subset).
+
+use crate::bitset::BitSet;
+
+/// A binary relation over the carrier `{0, 1, .., n-1}`.
+///
+/// Like [`BitSet`], equality and hashing are *semantic*: two relations with
+/// the same edges compare equal regardless of declared carrier size, so
+/// relations that grew along different execution paths can be compared and
+/// deduplicated safely.
+#[derive(Clone, Default)]
+pub struct Relation {
+    n: usize,
+    rows: Vec<BitSet>,
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        let common = self.rows.len().min(other.rows.len());
+        self.rows[..common] == other.rows[..common]
+            && self.rows[common..].iter().all(BitSet::is_empty)
+            && other.rows[common..].iter().all(BitSet::is_empty)
+    }
+}
+
+impl Eq for Relation {}
+
+impl std::hash::Hash for Relation {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let last = self
+            .rows
+            .iter()
+            .rposition(|r| !r.is_empty())
+            .map_or(0, |i| i + 1);
+        for row in &self.rows[..last] {
+            row.hash(state);
+        }
+        last.hash(state);
+    }
+}
+
+impl Relation {
+    /// The empty relation over a carrier of size `n`.
+    pub fn new(n: usize) -> Self {
+        Relation {
+            n,
+            rows: vec![BitSet::new(); n],
+        }
+    }
+
+    /// Builds a relation from edge pairs; the carrier must accommodate the
+    /// largest endpoint.
+    pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(n: usize, pairs: I) -> Self {
+        let mut r = Relation::new(n);
+        for (a, b) in pairs {
+            r.add(a, b);
+        }
+        r
+    }
+
+    /// The identity relation over `{0, .., n-1}`.
+    pub fn identity(n: usize) -> Self {
+        let mut r = Relation::new(n);
+        for i in 0..n {
+            r.add(i, i);
+        }
+        r
+    }
+
+    /// Carrier size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the carrier is empty.
+    pub fn is_empty_carrier(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `true` iff the relation has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(BitSet::is_empty)
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.rows.iter().map(BitSet::len).sum()
+    }
+
+    /// Extends the carrier to size `n` (no-op if already large enough).
+    pub fn grow(&mut self, n: usize) {
+        if n > self.n {
+            self.n = n;
+            self.rows.resize(n, BitSet::new());
+        }
+    }
+
+    /// Adds the edge `(a, b)`.
+    pub fn add(&mut self, a: usize, b: usize) {
+        let needed = a.max(b) + 1;
+        self.grow(needed);
+        self.rows[a].insert(b);
+    }
+
+    /// Removes the edge `(a, b)` if present.
+    pub fn remove(&mut self, a: usize, b: usize) {
+        if a < self.rows.len() {
+            self.rows[a].remove(b);
+        }
+    }
+
+    /// Edge membership.
+    #[inline]
+    pub fn contains(&self, a: usize, b: usize) -> bool {
+        a < self.rows.len() && self.rows[a].contains(b)
+    }
+
+    /// The successor row of `a` — the relational image `R[{a}]`.
+    pub fn row(&self, a: usize) -> &BitSet {
+        &self.rows[a]
+    }
+
+    /// The relational image `R[a]` as an iterator.
+    pub fn image(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
+        self.rows
+            .get(a)
+            .into_iter()
+            .flat_map(|row| row.iter())
+    }
+
+    /// The pre-image `R⁻¹[b]` (computed by scanning rows).
+    pub fn preimage(&self, b: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&a| self.contains(a, b))
+    }
+
+    /// Iterates all edges `(a, b)`.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(a, row)| row.iter().map(move |b| (a, b)))
+    }
+
+    /// The set of elements with at least one outgoing edge.
+    pub fn domain(&self) -> BitSet {
+        BitSet::from_iter(
+            self.rows
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| !row.is_empty())
+                .map(|(a, _)| a),
+        )
+    }
+
+    /// The set of elements with at least one incoming edge.
+    pub fn range(&self) -> BitSet {
+        let mut out = BitSet::with_capacity(self.n);
+        for row in &self.rows {
+            out.union_with(row);
+        }
+        out
+    }
+
+    /// Returns the inverse relation `R⁻¹`.
+    pub fn inverse(&self) -> Relation {
+        let mut r = Relation::new(self.n);
+        for (a, b) in self.pairs() {
+            r.add(b, a);
+        }
+        r
+    }
+
+    /// In-place union: `self ∪= other`. Carriers are merged.
+    pub fn union_with(&mut self, other: &Relation) {
+        self.grow(other.n);
+        for (a, row) in other.rows.iter().enumerate() {
+            self.rows[a].union_with(row);
+        }
+    }
+
+    /// Returns `self ∪ other`.
+    pub fn union(&self, other: &Relation) -> Relation {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns `self ∩ other`.
+    pub fn intersection(&self, other: &Relation) -> Relation {
+        let mut out = self.clone();
+        for (a, row) in out.rows.iter_mut().enumerate() {
+            match other.rows.get(a) {
+                Some(orow) => row.intersect_with(orow),
+                None => row.clear(),
+            }
+        }
+        out
+    }
+
+    /// Returns `self \ other`.
+    pub fn difference(&self, other: &Relation) -> Relation {
+        let mut out = self.clone();
+        for (a, row) in out.rows.iter_mut().enumerate() {
+            if let Some(orow) = other.rows.get(a) {
+                row.difference_with(orow);
+            }
+        }
+        out
+    }
+
+    /// Relational composition `self ; other` (paper notation `R;S`):
+    /// `(a, c)` iff there is `b` with `(a, b) ∈ self` and `(b, c) ∈ other`.
+    pub fn compose(&self, other: &Relation) -> Relation {
+        let n = self.n.max(other.n);
+        let mut out = Relation::new(n);
+        for (a, row) in self.rows.iter().enumerate() {
+            let target = &mut out.rows[a];
+            for b in row.iter() {
+                if let Some(obrow) = other.rows.get(b) {
+                    target.union_with(obrow);
+                }
+            }
+        }
+        out
+    }
+
+    /// Reflexive closure `R?` over the carrier.
+    pub fn reflexive_closure(&self) -> Relation {
+        let mut out = self.clone();
+        for i in 0..out.n {
+            out.rows[i].insert(i);
+        }
+        out
+    }
+
+    /// Transitive closure `R⁺` via iterated row propagation
+    /// (bitset-accelerated Warshall).
+    pub fn transitive_closure(&self) -> Relation {
+        let mut out = self.clone();
+        // Warshall: for each intermediate k, every row containing k absorbs
+        // row(k). Row unions are word-parallel over the bitsets.
+        for k in 0..out.n {
+            let row_k = out.rows[k].clone();
+            if row_k.is_empty() {
+                continue;
+            }
+            for a in 0..out.n {
+                if out.rows[a].contains(k) {
+                    out.rows[a].union_with(&row_k);
+                }
+            }
+        }
+        out
+    }
+
+    /// Reflexive-transitive closure `R*`.
+    pub fn reflexive_transitive_closure(&self) -> Relation {
+        self.transitive_closure().reflexive_closure()
+    }
+
+    /// `true` iff no `(a, a)` edge exists.
+    pub fn is_irreflexive(&self) -> bool {
+        self.rows
+            .iter()
+            .enumerate()
+            .all(|(a, row)| !row.contains(a))
+    }
+
+    /// `true` iff the relation contains no cycle (equivalently, its
+    /// transitive closure is irreflexive).
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_sort().is_some()
+    }
+
+    /// `true` iff `R` is transitive.
+    pub fn is_transitive(&self) -> bool {
+        let closed = self.compose(self);
+        for (a, b) in closed.pairs() {
+            if !self.contains(a, b) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` iff `R` restricted to `set` is a strict total order on `set`:
+    /// irreflexive, transitive, and any two distinct elements are related
+    /// one way or the other.
+    pub fn is_strict_total_order_on(&self, set: &BitSet) -> bool {
+        let elems: Vec<usize> = set.iter().collect();
+        for &a in &elems {
+            if self.contains(a, a) {
+                return false;
+            }
+            for &b in &elems {
+                if a == b {
+                    continue;
+                }
+                let fwd = self.contains(a, b);
+                let bwd = self.contains(b, a);
+                if fwd == bwd {
+                    // either unrelated or related both ways
+                    return false;
+                }
+                for &c in &elems {
+                    if self.contains(a, b) && self.contains(b, c) && !self.contains(a, c) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Restricts the relation to edges with both endpoints in `set`
+    /// (paper notation `R|_E` / `R ∩ (E × E)`).
+    pub fn restrict(&self, set: &BitSet) -> Relation {
+        let mut out = Relation::new(self.n);
+        for a in set.iter() {
+            if a < self.rows.len() {
+                let mut row = self.rows[a].clone();
+                row.intersect_with(set);
+                out.rows[a] = row;
+            }
+        }
+        out
+    }
+
+    /// A topological order of the carrier consistent with the relation,
+    /// or `None` if the relation is cyclic. Elements not touched by any
+    /// edge appear in index order.
+    pub fn topo_sort(&self) -> Option<Vec<usize>> {
+        let mut indegree = vec![0usize; self.n];
+        for (_, b) in self.pairs() {
+            indegree[b] += 1;
+        }
+        // Kahn's algorithm with a stable (index-ordered) ready list.
+        let mut ready: Vec<usize> = (0..self.n).filter(|&i| indegree[i] == 0).collect();
+        ready.reverse(); // pop from the back → smallest index first
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(next) = ready.pop() {
+            order.push(next);
+            for b in self.rows[next].iter() {
+                indegree[b] -= 1;
+                if indegree[b] == 0 {
+                    // keep the ready list sorted descending for stability
+                    let pos = ready
+                        .iter()
+                        .rposition(|&x| x > b)
+                        .map(|p| p + 1)
+                        .unwrap_or(0);
+                    ready.insert(pos, b);
+                }
+            }
+        }
+        (order.len() == self.n).then_some(order)
+    }
+
+    /// Applies a permutation to the carrier: the returned relation contains
+    /// `(perm[a], perm[b])` for every `(a, b)` in `self`. Used for state
+    /// canonicalisation during exploration.
+    pub fn permute(&self, perm: &[usize]) -> Relation {
+        let mut out = Relation::new(self.n);
+        for (a, b) in self.pairs() {
+            out.add(perm[a], perm[b]);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.pairs()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(n: usize, pairs: &[(usize, usize)]) -> Relation {
+        Relation::from_pairs(n, pairs.iter().copied())
+    }
+
+    #[test]
+    fn add_contains_remove() {
+        let mut r = Relation::new(3);
+        r.add(0, 1);
+        assert!(r.contains(0, 1));
+        assert!(!r.contains(1, 0));
+        r.remove(0, 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn grows_on_add() {
+        let mut r = Relation::new(0);
+        r.add(5, 2);
+        assert_eq!(r.len(), 6);
+        assert!(r.contains(5, 2));
+    }
+
+    #[test]
+    fn compose_matches_definition() {
+        let r = rel(4, &[(0, 1), (1, 2)]);
+        let s = rel(4, &[(1, 3), (2, 0)]);
+        let c = r.compose(&s);
+        assert_eq!(c.pairs().collect::<Vec<_>>(), vec![(0, 3), (1, 0)]);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let r = rel(5, &[(0, 1), (2, 4), (3, 3)]);
+        assert_eq!(r.inverse().inverse(), r);
+    }
+
+    #[test]
+    fn transitive_closure_chain() {
+        let r = rel(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = r.transitive_closure();
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(c.contains(a, b), a < b, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_idempotent() {
+        let r = rel(5, &[(0, 1), (1, 2), (3, 1), (2, 4)]);
+        let c = r.transitive_closure();
+        assert_eq!(c.transitive_closure(), c);
+        assert!(c.is_transitive());
+    }
+
+    #[test]
+    fn closure_detects_cycle() {
+        let r = rel(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(!r.is_acyclic());
+        assert!(!r.transitive_closure().is_irreflexive());
+        let acyclic = rel(3, &[(0, 1), (1, 2)]);
+        assert!(acyclic.is_acyclic());
+        assert!(acyclic.transitive_closure().is_irreflexive());
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let r = rel(2, &[(1, 1)]);
+        assert!(!r.is_acyclic());
+        assert!(!r.is_irreflexive());
+    }
+
+    #[test]
+    fn strict_total_order_detection() {
+        let carrier = BitSet::from_iter([0, 1, 2]);
+        let total = rel(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(total.is_strict_total_order_on(&carrier));
+        let missing = rel(3, &[(0, 1), (1, 2)]); // not transitive-closed
+        assert!(!missing.is_strict_total_order_on(&carrier));
+        let partial = rel(3, &[(0, 1)]);
+        assert!(!partial.is_strict_total_order_on(&carrier));
+        // Total order on a subset ignores outside elements.
+        let sub = BitSet::from_iter([0, 2]);
+        assert!(rel(3, &[(0, 2)]).is_strict_total_order_on(&sub));
+    }
+
+    #[test]
+    fn restrict_drops_outside_edges() {
+        let r = rel(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = BitSet::from_iter([1, 2]);
+        let restricted = r.restrict(&s);
+        assert_eq!(restricted.pairs().collect::<Vec<_>>(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn topo_sort_respects_edges() {
+        let r = rel(5, &[(3, 1), (1, 4), (0, 4)]);
+        let order = r.topo_sort().unwrap();
+        let pos = |x: usize| order.iter().position(|&y| y == x).unwrap();
+        for (a, b) in r.pairs() {
+            assert!(pos(a) < pos(b));
+        }
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn topo_sort_cyclic_returns_none() {
+        assert!(rel(2, &[(0, 1), (1, 0)]).topo_sort().is_none());
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let r = rel(3, &[(0, 1), (1, 2)]);
+        let s = rel(3, &[(1, 2), (2, 0)]);
+        assert_eq!(
+            r.union(&s).pairs().collect::<Vec<_>>(),
+            vec![(0, 1), (1, 2), (2, 0)]
+        );
+        assert_eq!(r.intersection(&s).pairs().collect::<Vec<_>>(), vec![(1, 2)]);
+        assert_eq!(r.difference(&s).pairs().collect::<Vec<_>>(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn reflexive_closure_adds_diagonal() {
+        let r = rel(2, &[(0, 1)]);
+        let rc = r.reflexive_closure();
+        assert!(rc.contains(0, 0) && rc.contains(1, 1) && rc.contains(0, 1));
+    }
+
+    #[test]
+    fn domain_and_range() {
+        let r = rel(4, &[(0, 2), (1, 2), (2, 3)]);
+        assert_eq!(r.domain().iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(r.range().iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn permute_relabels() {
+        let r = rel(3, &[(0, 1), (1, 2)]);
+        let p = r.permute(&[2, 0, 1]);
+        assert_eq!(p.pairs().collect::<Vec<_>>(), vec![(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn identity_and_difference_for_fr() {
+        // fr = (rf⁻¹ ; mo) \ Id — the identity subtraction used by the paper
+        // to cope with update events.
+        let rf = rel(3, &[(0, 1)]); // w0 → r1 (r1 is an update reading w0)
+        let mo = rel(3, &[(0, 1), (0, 2), (1, 2)]);
+        let fr = rf.inverse().compose(&mo).difference(&Relation::identity(3));
+        assert_eq!(fr.pairs().collect::<Vec<_>>(), vec![(1, 2)]);
+    }
+}

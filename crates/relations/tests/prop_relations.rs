@@ -1,0 +1,162 @@
+//! Property-based tests of the relation algebra: the laws every consumer
+//! of this crate silently relies on.
+
+use c11_relations::{all_linearizations, count_linearizations, BitSet, Relation};
+use proptest::prelude::*;
+
+const N: usize = 7;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0..N, 0..N), 0..14)
+        .prop_map(|pairs| Relation::from_pairs(N, pairs))
+}
+
+fn arb_dag() -> impl Strategy<Value = Relation> {
+    // Edges only from smaller to larger indices: acyclic by construction.
+    prop::collection::vec((0..N, 0..N), 0..14).prop_map(|pairs| {
+        Relation::from_pairs(
+            N,
+            pairs
+                .into_iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| (a.min(b), a.max(b))),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn closure_is_idempotent_and_transitive(r in arb_relation()) {
+        let c = r.transitive_closure();
+        prop_assert!(c.is_transitive());
+        prop_assert_eq!(c.transitive_closure(), c.clone());
+        // The closure contains the original.
+        prop_assert!(r.difference(&c).is_empty());
+    }
+
+    #[test]
+    fn closure_is_minimal(r in arb_relation()) {
+        // Every pair in the closure is witnessed by a path in r: check by
+        // iterated composition (bounded by carrier size).
+        let c = r.transitive_closure();
+        let mut paths = r.clone();
+        let mut acc = r.clone();
+        for _ in 0..N {
+            paths = paths.compose(&r);
+            acc.union_with(&paths);
+        }
+        prop_assert_eq!(acc, c);
+    }
+
+    #[test]
+    fn compose_is_associative(a in arb_relation(), b in arb_relation(), c in arb_relation()) {
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn inverse_laws(a in arb_relation(), b in arb_relation()) {
+        prop_assert_eq!(a.inverse().inverse(), a.clone());
+        // (a ; b)⁻¹ = b⁻¹ ; a⁻¹
+        prop_assert_eq!(a.compose(&b).inverse(), b.inverse().compose(&a.inverse()));
+        // (a ∪ b)⁻¹ = a⁻¹ ∪ b⁻¹
+        prop_assert_eq!(a.union(&b).inverse(), a.inverse().union(&b.inverse()));
+    }
+
+    #[test]
+    fn union_intersection_lattice(a in arb_relation(), b in arb_relation()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert_eq!(a.intersection(&a), a.clone());
+        // Absorption.
+        prop_assert_eq!(a.union(&a.intersection(&b)), a.clone());
+        prop_assert_eq!(a.intersection(&a.union(&b)), a.clone());
+        // Difference disjointness.
+        prop_assert!(a.difference(&b).intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn acyclicity_closure_agreement(r in arb_relation()) {
+        // r is acyclic iff its transitive closure is irreflexive.
+        prop_assert_eq!(r.is_acyclic(), r.transitive_closure().is_irreflexive());
+    }
+
+    #[test]
+    fn dags_topo_sort(r in arb_dag()) {
+        let order = r.topo_sort().expect("DAGs sort");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; N];
+            for (i, &x) in order.iter().enumerate() {
+                p[x] = i;
+            }
+            p
+        };
+        for (a, b) in r.pairs() {
+            prop_assert!(pos[a] < pos[b]);
+        }
+    }
+
+    #[test]
+    fn linearizations_respect_order_and_count(r in arb_dag()) {
+        let carrier = BitSet::full(N);
+        let mut count = 0usize;
+        all_linearizations(&r, &carrier, |lin| {
+            let pos = |x: usize| lin.iter().position(|&y| y == x).unwrap();
+            for (a, b) in r.pairs() {
+                assert!(pos(a) < pos(b));
+            }
+            count += 1;
+            count < 2000 // cap the walk for dense antichains
+        });
+        if count < 2000 {
+            prop_assert_eq!(count, count_linearizations(&r, &carrier).min(2000));
+        }
+        // At least one linearization exists for a DAG.
+        prop_assert!(count >= 1);
+    }
+
+    #[test]
+    fn restrict_is_monotone(r in arb_relation(), keep in prop::collection::vec(0..N, 0..N)) {
+        let set = BitSet::from_iter(keep);
+        let restricted = r.restrict(&set);
+        // Restriction only removes edges…
+        prop_assert!(restricted.difference(&r).is_empty());
+        // …and keeps exactly those inside the set.
+        for (a, b) in r.pairs() {
+            prop_assert_eq!(
+                restricted.contains(a, b),
+                set.contains(a) && set.contains(b)
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_preserves_structure(r in arb_relation(), seed in any::<u64>()) {
+        // Build a permutation from the seed.
+        let mut perm: Vec<usize> = (0..N).collect();
+        let mut s = seed;
+        for i in (1..N).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let p = r.permute(&perm);
+        prop_assert_eq!(p.edge_count(), r.edge_count());
+        prop_assert_eq!(p.is_acyclic(), r.is_acyclic());
+        prop_assert_eq!(p.is_irreflexive(), r.is_irreflexive());
+        // Closure commutes with permutation.
+        prop_assert_eq!(
+            r.transitive_closure().permute(&perm),
+            p.transitive_closure()
+        );
+    }
+
+    #[test]
+    fn reflexive_closure_adds_exactly_diagonal(r in arb_relation()) {
+        let rc = r.reflexive_closure();
+        for i in 0..N {
+            prop_assert!(rc.contains(i, i));
+        }
+        prop_assert_eq!(rc.difference(&Relation::identity(N)), r.difference(&Relation::identity(N)));
+    }
+}

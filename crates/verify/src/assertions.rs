@@ -1,0 +1,279 @@
+//! Determinate-value and variable-ordering assertions (Definitions 5.1
+//! and 5.5).
+
+use c11_core::event::EventId;
+use c11_core::obs::observable_writes;
+use c11_core::state::C11State;
+use c11_lang::{ThreadId, Val, VarId};
+use c11_relations::BitSet;
+
+/// The happens-before cone of thread `t` in `σ` (Appendix B):
+/// `hbc(t) = I_σ ∪ { e | ∃e' . tid(e') = t ∧ (e, e') ∈ hb? }` — events that
+/// are initialising, of `t` itself, or happen-before one of `t`'s events.
+///
+/// (The paper's §5 display types the side condition as `tid(e) = t`; the
+/// accompanying prose and the Appendix B proofs make clear the bound event
+/// is `e'`, which is what we implement.)
+pub fn happens_before_cone(state: &C11State, t: ThreadId) -> BitSet {
+    let hb_q = state.hb().reflexive_closure();
+    let mut out = state.init_writes();
+    let thread_events: Vec<EventId> = state.thread_events(t).collect();
+    for e in state.ids() {
+        if thread_events.iter().any(|&e2| hb_q.contains(e, e2)) {
+            out.insert(e);
+        }
+    }
+    out
+}
+
+/// The determinate-value assertion `x =σ_t v` (Definition 5.1): `v` is the
+/// value of the mo-last write to `x`, and that write lies in `t`'s
+/// happens-before cone. Returns the determinate value if the assertion
+/// holds for *some* `v` (necessarily unique), else `None`.
+///
+/// ```
+/// use c11_core::state::C11State;
+/// use c11_core::{ThreadId, VarId};
+/// use c11_verify::assertions::determinate_value;
+///
+/// let s = C11State::initial(&[7]);
+/// // In σ₀ every thread knows the initial value (the Init rule).
+/// assert_eq!(determinate_value(&s, ThreadId(1), VarId(0)), Some(7));
+/// ```
+pub fn determinate_value(state: &C11State, t: ThreadId, x: VarId) -> Option<Val> {
+    let last = state.last(x)?;
+    let v = state.event(last).wrval()?;
+    happens_before_cone(state, t).contains(last).then_some(v)
+}
+
+///`x =σ_t v` for a specific value.
+pub fn dv_holds(state: &C11State, t: ThreadId, x: VarId, v: Val) -> bool {
+    determinate_value(state, t, x) == Some(v)
+}
+
+/// The variable-ordering assertion `x →σ y` (Definition 5.5):
+/// `(σ.last(x), σ.last(y)) ∈ σ.hb`.
+pub fn variable_order(state: &C11State, x: VarId, y: VarId) -> bool {
+    match (state.last(x), state.last(y)) {
+        (Some(lx), Some(ly)) => state.hb().contains(lx, ly),
+        _ => false,
+    }
+}
+
+/// `x` is an *update-only* variable in `σ`: every modification of `x` is an
+/// update or an initialising write (§5.1).
+pub fn update_only(state: &C11State, x: VarId) -> bool {
+    state
+        .writes_to(x)
+        .all(|w| state.event(w).is_update() || state.event(w).is_init())
+}
+
+/// Definition 5.1's consequence (3): if `x =σ_t v` then
+/// `OW_σ(t)|x = { σ.last(x) }`. Exposed for the property tests.
+pub fn dv_implies_singleton_ow(state: &C11State, t: ThreadId, x: VarId) -> bool {
+    if determinate_value(state, t, x).is_none() {
+        return true; // vacuous
+    }
+    let last = state.last(x).expect("dv implies a last write");
+    let ow: Vec<EventId> = observable_writes(state, t)
+        .iter()
+        .filter(|&w| state.event(w).var() == x)
+        .collect();
+    ow == vec![last]
+}
+
+/// Lemma 5.4 (Determinate-Value Agreement) on a concrete state: any two
+/// threads with determinate values for `x` agree.
+pub fn agreement_holds(state: &C11State, x: VarId, threads: &[ThreadId]) -> bool {
+    let vals: Vec<Val> = threads
+        .iter()
+        .filter_map(|&t| determinate_value(state, t, x))
+        .collect();
+    vals.windows(2).all(|w| w[0] == w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use c11_core::semantics::{read_transitions, write_transitions};
+
+
+    const X: VarId = VarId(0);
+    const Y: VarId = VarId(1);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    #[test]
+    fn initial_state_is_determinate_for_everyone() {
+        // The Init rule of Figure 4: in σ₀ every variable is determinate
+        // with its initial value, for every thread.
+        let s = C11State::initial(&[7, 9]);
+        for t in [T1, T2, ThreadId(5)] {
+            assert_eq!(determinate_value(&s, t, X), Some(7));
+            assert_eq!(determinate_value(&s, t, Y), Some(9));
+        }
+    }
+
+    #[test]
+    fn example_5_2_left_state_is_determinate() {
+        // Left state of Example 5.2: wr₁(x,2) sb-before wrR₁(y,1), which is
+        // read-acquired by rdA₂(y,1). Then x =_2 2 holds.
+        let s = C11State::initial(&[0, 0]);
+        let w = &write_transitions(&s, T1, X, 2, false)[0];
+        let wy = &write_transitions(&w.state, T1, Y, 1, true)[0];
+        let r = &read_transitions(&wy.state, T2, Y, true)
+            .into_iter()
+            .find(|t| t.action.rdval() == Some(1))
+            .unwrap();
+        assert!(dv_holds(&r.state, T2, X, 2));
+        assert!(dv_implies_singleton_ow(&r.state, T2, X));
+    }
+
+    #[test]
+    fn example_5_2_right_state_is_not_determinate() {
+        // Right state: x's last write is by thread 0 (init) read *relaxed*
+        // by t1; t1's own rf edge is unsynchronised, so after t2 acquires
+        // y it has no hb to the x-write … construct: t1 reads x (relaxed)
+        // from a t3 write, then releases y; t2 acquires y. The x-write is
+        // not in t2's cone because rf alone gives no hb.
+        let s = C11State::initial(&[0, 0]);
+        let wx = &write_transitions(&s, ThreadId(3), X, 2, false)[0];
+        let rx = &read_transitions(&wx.state, T1, X, false)
+            .into_iter()
+            .find(|t| t.action.rdval() == Some(2))
+            .unwrap();
+        let wy = &write_transitions(&rx.state, T1, Y, 1, true)[0];
+        let ry = &read_transitions(&wy.state, T2, Y, true)
+            .into_iter()
+            .find(|t| t.action.rdval() == Some(1))
+            .unwrap();
+        // Thread 2 can only observe the last x-write……
+        assert!(dv_implies_singleton_ow(&ry.state, T2, X));
+        // …but the determinate-value assertion fails: no hb into t2.
+        assert_eq!(determinate_value(&ry.state, T2, X), None);
+    }
+
+    #[test]
+    fn variable_order_via_sb() {
+        // x →σ y after one thread writes x then y.
+        let s = C11State::initial(&[0, 0]);
+        let wx = &write_transitions(&s, T1, X, 1, false)[0];
+        let wy = &write_transitions(&wx.state, T1, Y, 2, false)[0];
+        assert!(variable_order(&wy.state, X, Y));
+        assert!(!variable_order(&wy.state, Y, X));
+    }
+
+    #[test]
+    fn update_only_tracking() {
+        let s = C11State::initial(&[0]);
+        assert!(update_only(&s, X), "initially every variable is update-only");
+        let u = &c11_core::semantics::update_transitions(&s, T1, X, 5)[0];
+        assert!(update_only(&u.state, X));
+        let w = &write_transitions(&u.state, T2, X, 7, false)[0];
+        assert!(!update_only(&w.state, X), "a plain write breaks it");
+    }
+
+    #[test]
+    fn agreement_lemma_5_4() {
+        let s = C11State::initial(&[3]);
+        assert!(agreement_holds(&s, X, &[T1, T2]));
+        // After an unpublished write, t1 is determinate (its own write)
+        // and t2 is not — still no disagreement (vacuous for t2).
+        let w = &write_transitions(&s, T1, X, 4, false)[0];
+        assert_eq!(determinate_value(&w.state, T1, X), Some(4));
+        assert_eq!(determinate_value(&w.state, T2, X), None);
+        assert!(agreement_holds(&w.state, X, &[T1, T2]));
+    }
+
+    #[test]
+    fn cone_contains_inits_own_events_and_hb_predecessors() {
+        let s = C11State::initial(&[0, 0]);
+        let w = &write_transitions(&s, T1, X, 1, true)[0];
+        let r = &read_transitions(&w.state, T2, X, true)
+            .into_iter()
+            .find(|t| t.action.rdval() == Some(1))
+            .unwrap();
+        let cone = happens_before_cone(&r.state, T2);
+        assert!(cone.contains(0) && cone.contains(1), "inits");
+        assert!(cone.contains(w.event), "release write hb-before t2's read");
+        assert!(cone.contains(r.event), "own event");
+    }
+
+    #[test]
+    fn relaxed_rf_gives_no_cone_membership() {
+        let s = C11State::initial(&[0]);
+        let w = &write_transitions(&s, T1, X, 1, false)[0]; // relaxed write
+        let r = &read_transitions(&w.state, T2, X, false)
+            .into_iter()
+            .find(|t| t.action.rdval() == Some(1))
+            .unwrap();
+        let cone = happens_before_cone(&r.state, T2);
+        assert!(!cone.contains(w.event), "relaxed rf is not hb");
+    }
+
+    #[test]
+    fn dv_with_missing_variable_is_none() {
+        let s = C11State::initial(&[0]);
+        assert_eq!(determinate_value(&s, T1, VarId(9)), None);
+        assert!(!variable_order(&s, X, VarId(9)));
+    }
+
+    #[test]
+    fn lemma_5_3_determinate_value_read() {
+        // If x =σ_t v, a read transition by t on x returns v.
+        let s = C11State::initial(&[0, 0]);
+        let wx = &write_transitions(&s, T1, X, 2, false)[0];
+        let v = determinate_value(&wx.state, T1, X).unwrap();
+        for r in read_transitions(&wx.state, T1, X, false) {
+            assert_eq!(r.action.rdval(), Some(v));
+        }
+    }
+
+    #[test]
+    fn lemma_5_6_last_modification() {
+        // (1) If x =σ_t v, any transition by t on x observes σ.last(x).
+        let s = C11State::initial(&[0]);
+        let wx = &write_transitions(&s, T1, X, 2, false)[0];
+        assert!(dv_holds(&wx.state, T1, X, 2));
+        let last = wx.state.last(X).unwrap();
+        for tr in read_transitions(&wx.state, T1, X, false) {
+            assert_eq!(tr.observed, last);
+        }
+        for tr in write_transitions(&wx.state, T1, X, 3, false) {
+            assert_eq!(tr.observed, last);
+        }
+        // (2) If x is update-only, any write/update observes σ.last(x).
+        let s = C11State::initial(&[0]);
+        let u1 = &c11_core::semantics::update_transitions(&s, T1, X, 1)[0];
+        let u2s = c11_core::semantics::update_transitions(&u1.state, T2, X, 2);
+        assert!(update_only(&u1.state, X));
+        for tr in &u2s {
+            assert_eq!(tr.observed, u1.state.last(X).unwrap());
+        }
+    }
+
+    #[test]
+    fn dv_fails_when_thread_lags_behind() {
+        // t1 writes x twice; t2 has seen nothing: no determinate value for
+        // t2 (it can read 0, 1, or 2).
+        let s = C11State::initial(&[0]);
+        let w1 = &write_transitions(&s, T1, X, 1, false)[0];
+        let w2 = &write_transitions(&w1.state, T1, X, 2, false)[0];
+        assert_eq!(determinate_value(&w2.state, T2, X), None);
+        assert_eq!(determinate_value(&w2.state, T1, X), Some(2));
+        let vals: Vec<_> = read_transitions(&w2.state, T2, X, false)
+            .iter()
+            .filter_map(|t| t.action.rdval())
+            .collect();
+        assert_eq!(vals.len(), 3);
+    }
+
+    #[test]
+    fn example_event_ids_cover_updates() {
+        // An update's write is determinate for its own thread afterwards.
+        let s = C11State::initial(&[0]);
+        let u = &c11_core::semantics::update_transitions(&s, T1, X, 8)[0];
+        assert!(dv_holds(&u.state, T1, X, 8));
+    }
+}

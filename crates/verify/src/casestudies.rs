@@ -1,0 +1,197 @@
+//! Further case studies in the paper's §5 style, beyond Peterson.
+//!
+//! * **Test-and-set spinlock** — built from the RA `swap` (using the
+//!   atomic-exchange result `r <- l.swap(1)`). We verify bounded mutual
+//!   exclusion and the §5-style *data-protection* invariant: the lock
+//!   holder has a determinate view of the protected variable. The
+//!   invariant needs the *release* unlock (an acquire swap reading a
+//!   relaxed unlock gets no `sw` edge) — the checker shows exactly that.
+//! * **Naive flag mutex** (Dekker's first approximation / the SB shape):
+//!   raise your flag, check the other's, enter if clear. Correct under
+//!   SC; broken under RA even with release/acquire annotations, because
+//!   forbidding store buffering needs SC atomics (outside the RAR
+//!   fragment). A negative control showing the checker finds real bugs.
+
+use crate::assertions::determinate_value;
+use c11_core::config::Config;
+use c11_core::model::{RaModel, ScModel};
+use c11_explore::{ExploreConfig, Explorer};
+use c11_lang::{parse_program, Prog, ThreadId};
+
+/// A two-thread spinlock protecting a counter `d`. Line 5 is the critical
+/// section (`r1 <- d; d := r1 + 1`).
+///
+/// `release_unlock` selects `l :=R 0` (correct) vs `l := 0` (publishes
+/// nothing; the data invariant fails).
+pub fn spinlock_program(release_unlock: bool) -> Prog {
+    let unlock = if release_unlock { ":=R" } else { ":=" };
+    let thread = |_t: u8| {
+        format!(
+            "while (true) {{
+               2: do {{ r0 <- l.swap(1); }} while (r0 == 1);
+               5: r1 <- d;
+               5: d := r1 + 1;
+               6: l {unlock} 0;
+             }}"
+        )
+    };
+    parse_program(&format!(
+        "vars l d;\nthread t1 {{ {} }}\nthread t2 {{ {} }}",
+        thread(1),
+        thread(2)
+    ))
+    .expect("spinlock parses")
+}
+
+/// Verdict of the spinlock verification.
+#[derive(Clone, Debug)]
+pub struct SpinlockReport {
+    /// Distinct configurations visited.
+    pub states: usize,
+    /// Exploration truncated (the lock loops forever; always true).
+    pub truncated: bool,
+    /// No configuration had both threads at line 5.
+    pub mutual_exclusion: bool,
+    /// In every configuration with a thread at line 5 *holding the lock*,
+    /// that thread had a determinate view of `d` (the §5-style lock
+    /// invariant). Holds with a release unlock; fails relaxed.
+    pub data_protected: bool,
+}
+
+/// Model-checks the spinlock within an event budget.
+pub fn check_spinlock(max_events: usize, release_unlock: bool) -> SpinlockReport {
+    let prog = spinlock_program(release_unlock);
+    let d = prog.var("d").unwrap();
+    let mut mutual_exclusion = true;
+    let mut data_protected = true;
+    let res = Explorer::new(RaModel).explore_invariant(
+        &prog,
+        ExploreConfig {
+            max_events,
+            record_traces: false,
+            ..Default::default()
+        },
+        |cfg: &Config<RaModel>| {
+            let in_cs = |t: ThreadId| cfg.pc(t) == Some(5);
+            if in_cs(ThreadId(1)) && in_cs(ThreadId(2)) {
+                mutual_exclusion = false;
+            }
+            for t in [ThreadId(1), ThreadId(2)] {
+                if in_cs(t) && determinate_value(&cfg.mem, t, d).is_none() {
+                    data_protected = false;
+                }
+            }
+            mutual_exclusion
+        },
+    );
+    SpinlockReport {
+        states: res.unique,
+        truncated: res.truncated,
+        mutual_exclusion,
+        data_protected,
+    }
+}
+
+/// The naive flag mutex (store-buffering shape): raise flag, check the
+/// other, enter if clear. `annotated` adds release writes and acquire
+/// reads — which does *not* rescue it in the RAR fragment.
+pub fn naive_flag_mutex(annotated: bool) -> Prog {
+    let (w, rd_open, rd_close) = if annotated {
+        (":=R", "acq(", ")")
+    } else {
+        (":=", "", "")
+    };
+    let thread = |mine: u8, theirs: u8| {
+        format!(
+            "2: flag{mine} {w} 1;
+             4: r0 <- {rd_open}flag{theirs}{rd_close};
+             if (r0 == 0) {{ 5: skip; }}
+             6: flag{mine} {w} 0;"
+        )
+    };
+    parse_program(&format!(
+        "vars flag1 flag2;\nthread t1 {{ {} }}\nthread t2 {{ {} }}",
+        thread(1, 2),
+        thread(2, 1)
+    ))
+    .expect("naive mutex parses")
+}
+
+/// Bounded mutual-exclusion check (pc = 5 marks the critical section)
+/// under RA. Returns `(holds, states)`.
+pub fn naive_mutex_holds_ra(prog: &Prog, max_events: usize) -> (bool, usize) {
+    let mut holds = true;
+    let res = Explorer::new(RaModel).explore_invariant(
+        prog,
+        ExploreConfig {
+            max_events,
+            record_traces: false,
+            ..Default::default()
+        },
+        |cfg: &Config<RaModel>| {
+            let bad = cfg.pc(ThreadId(1)) == Some(5) && cfg.pc(ThreadId(2)) == Some(5);
+            if bad {
+                holds = false;
+            }
+            !bad
+        },
+    );
+    (holds, res.unique)
+}
+
+/// The same check under the SC baseline.
+pub fn naive_mutex_holds_sc(prog: &Prog) -> bool {
+    let mut holds = true;
+    Explorer::new(ScModel).explore_invariant(
+        prog,
+        ExploreConfig::default(),
+        |cfg: &Config<ScModel>| {
+            let bad = cfg.pc(ThreadId(1)) == Some(5) && cfg.pc(ThreadId(2)) == Some(5);
+            if bad {
+                holds = false;
+            }
+            !bad
+        },
+    );
+    holds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spinlock_with_release_unlock_is_correct() {
+        let report = check_spinlock(16, true);
+        assert!(report.mutual_exclusion, "TAS mutual exclusion");
+        assert!(report.data_protected, "release unlock publishes d");
+        assert!(report.states > 100);
+    }
+
+    #[test]
+    fn spinlock_with_relaxed_unlock_leaks_data() {
+        let report = check_spinlock(16, false);
+        // Mutual exclusion still holds (the exchange itself is atomic)…
+        assert!(report.mutual_exclusion);
+        // …but the CS no longer sees the previous holder's writes.
+        assert!(
+            !report.data_protected,
+            "relaxed unlock must break the data invariant"
+        );
+    }
+
+    #[test]
+    fn naive_mutex_broken_under_ra_even_annotated() {
+        for annotated in [false, true] {
+            let prog = naive_flag_mutex(annotated);
+            let (holds, _) = naive_mutex_holds_ra(&prog, 14);
+            assert!(!holds, "SB-shaped mutex must fail (annotated={annotated})");
+        }
+    }
+
+    #[test]
+    fn naive_mutex_correct_under_sc() {
+        let prog = naive_flag_mutex(false);
+        assert!(naive_mutex_holds_sc(&prog), "SC forbids the SB outcome");
+    }
+}

@@ -1,0 +1,130 @@
+//! The message-passing proof of Example 5.7, replayed mechanically.
+//!
+//! ```text
+//! Init: f = 0 ∧ d = 0
+//! thread 1: 1: d := 5;              thread 2: 1: while ¬fᴬ do skip;
+//!           2: f :=R 1;                       2: r := d;
+//! ```
+//!
+//! The paper's proof sketch: after thread 1's line 2, `d =_1 5 ∧ d → f`
+//! (rules NoMod, ModLast, WOrd); the program invariant "any write of 1 to
+//! `f` is thread 1's release and is `last(f)`" feeds the Transfer rule, so
+//! when thread 2's acquire loop exits, `d =_2 5`. We model-check both the
+//! assertion network and the end-to-end result.
+
+use crate::assertions::{determinate_value, variable_order};
+use c11_core::config::Config;
+use c11_core::model::RaModel;
+use c11_explore::{ExploreConfig, Explorer};
+use c11_lang::{parse_program, Prog, RegId, ThreadId};
+
+/// The message-passing program, with labels mirroring Example 5.7.
+pub fn mp_program() -> Prog {
+    parse_program(
+        "vars d f;
+         thread t1 { 1: d := 5; 2: f :=R 1; }
+         thread t2 { 1: while (acq(f) == 0) { skip; } 2: r0 <- d; }",
+    )
+    .expect("MP source parses")
+}
+
+/// Report of the mechanical Example 5.7 check.
+#[derive(Clone, Debug)]
+pub struct MpReport {
+    /// States visited.
+    pub states: usize,
+    /// Whether exploration hit the event bound (spinning).
+    pub truncated: bool,
+    /// The intermediate assertion `pc₁ done ⇒ d =_1 5 ∧ d → f` held
+    /// everywhere.
+    pub writer_assertions: bool,
+    /// The Transfer conclusion `pc₂ = 2 ⇒ d =_2 5` held everywhere.
+    pub reader_assertion: bool,
+    /// Every terminated run ended with r0 = 5.
+    pub end_to_end: bool,
+}
+
+/// Model-checks the Example 5.7 assertion network.
+pub fn check_mp(max_events: usize) -> MpReport {
+    let prog = mp_program();
+    let d = prog.var("d").unwrap();
+    let f = prog.var("f").unwrap();
+    let explorer = Explorer::new(RaModel);
+    let mut writer_assertions = true;
+    let mut reader_assertion = true;
+    let res = explorer.explore_invariant(
+        &prog,
+        ExploreConfig {
+            max_events,
+            record_traces: false,
+            ..Default::default()
+        },
+        |cfg: &Config<RaModel>| {
+            let s = &cfg.mem;
+            // Thread 1 finished both lines ⇔ its command terminated.
+            if cfg.com(ThreadId(1)).is_terminated()
+                && (determinate_value(s, ThreadId(1), d) != Some(5) || !variable_order(s, d, f))
+            {
+                writer_assertions = false;
+            }
+            // Thread 2 at line 2 ⇒ d =_2 5 (the Transfer conclusion).
+            if cfg.pc(ThreadId(2)) == Some(2) && determinate_value(s, ThreadId(2), d) != Some(5) {
+                reader_assertion = false;
+            }
+            writer_assertions && reader_assertion
+        },
+    );
+    let end_to_end = res
+        .final_register_states()
+        .iter()
+        .all(|snap| snap.get(ThreadId(2), RegId(0)) == Some(5));
+    MpReport {
+        states: res.unique,
+        truncated: res.truncated,
+        writer_assertions,
+        reader_assertion,
+        end_to_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_5_7_holds() {
+        let report = check_mp(14);
+        assert!(report.writer_assertions, "d =_1 5 ∧ d → f after line 2");
+        assert!(report.reader_assertion, "d =_2 5 at line 2 of thread 2");
+        assert!(report.end_to_end, "r0 = 5 in every terminated run");
+        assert!(report.states > 50);
+    }
+
+    #[test]
+    fn relaxed_flag_breaks_the_proof() {
+        // Negative control: drop the release annotation; the reader
+        // assertion fails (stale d = 0 becomes readable at line 2).
+        let prog = parse_program(
+            "vars d f;
+             thread t1 { 1: d := 5; 2: f := 1; }
+             thread t2 { 1: while (acq(f) == 0) { skip; } 2: r0 <- d; }",
+        )
+        .unwrap();
+        let d = prog.var("d").unwrap();
+        let explorer = Explorer::new(RaModel);
+        let mut reader_assertion = true;
+        explorer.explore_invariant(
+            &prog,
+            ExploreConfig::with_max_events(14),
+            |cfg: &Config<RaModel>| {
+                if cfg.pc(ThreadId(2)) == Some(2)
+                    && determinate_value(&cfg.mem, ThreadId(2), d) != Some(5)
+                {
+                    reader_assertion = false;
+                }
+                true
+            },
+        );
+        assert!(!reader_assertion);
+    }
+}

@@ -1,0 +1,285 @@
+//! Peterson's mutual-exclusion algorithm under release-acquire C11
+//! (Algorithm 1) and its verification (Theorem 5.8, invariants (4)–(10),
+//! Lemma D.1).
+//!
+//! The paper proves the invariants by hand over the proof rules; here the
+//! same invariants are *model-checked*: every reachable configuration of
+//! the operational semantics (bounded by an event budget, since the
+//! algorithm loops forever) is tested against each invariant, and the
+//! mutual-exclusion theorem is checked directly.
+
+use crate::assertions::{determinate_value, update_only, variable_order};
+use c11_core::config::Config;
+use c11_core::model::RaModel;
+use c11_explore::{ExploreConfig, Explorer};
+use c11_lang::{parse_program, Prog, ThreadId, VarId};
+
+/// Line numbers follow Algorithm 1: 2 = raise flag, 3 = swap turn,
+/// 4 = await, 5 = critical section, 6 = lower flag.
+///
+/// The guard reads the other flag with *acquire* and `turn` relaxed, and
+/// short-circuits exactly like the paper's two-test treatment.
+pub fn peterson_program() -> Prog {
+    parse_program(
+        "vars flag1 flag2 turn=1;
+         thread t1 {
+           while (true) {
+             2: flag1 := true;
+             3: turn.swap(2);
+             4: while (acq(flag2) == 1 && turn == 2) { skip; }
+             5: skip;
+             6: flag1 :=R false;
+           }
+         }
+         thread t2 {
+           while (true) {
+             2: flag2 := true;
+             3: turn.swap(1);
+             4: while (acq(flag1) == 1 && turn == 1) { skip; }
+             5: skip;
+             6: flag2 :=R false;
+           }
+         }",
+    )
+    .expect("Peterson source parses")
+}
+
+/// Verdict of the bounded Peterson verification.
+#[derive(Clone, Debug)]
+pub struct PetersonReport {
+    /// Distinct configurations visited.
+    pub states: usize,
+    /// Whether the event bound truncated exploration (it always does — the
+    /// algorithm loops forever; the bound controls how many lock rounds
+    /// and spin iterations are covered).
+    pub truncated: bool,
+    /// Mutual exclusion (Theorem 5.8) held in every visited configuration.
+    pub mutual_exclusion: bool,
+    /// Invariants (4)–(10) held in every visited configuration; violations
+    /// are listed by invariant label.
+    pub invariant_failures: Vec<String>,
+}
+
+/// The other thread (`t̂` in the paper).
+fn hat(t: ThreadId) -> ThreadId {
+    ThreadId(3 - t.0)
+}
+
+/// Context for evaluating the invariants on a configuration.
+pub struct Vars {
+    /// `flag1`, `flag2`.
+    flag: [VarId; 2],
+    /// `turn`.
+    turn: VarId,
+}
+
+impl Vars {
+    /// Looks up the three Peterson variables in a program.
+    pub fn of(prog: &Prog) -> Vars {
+        Vars {
+            flag: [prog.var("flag1").unwrap(), prog.var("flag2").unwrap()],
+            turn: prog.var("turn").unwrap(),
+        }
+    }
+
+    fn flag_of(&self, t: ThreadId) -> VarId {
+        self.flag[t.0 as usize - 1]
+    }
+}
+
+/// Evaluates invariants (4)–(10) of §5.2 on a configuration, returning the
+/// labels of the failing ones.
+pub fn invariant_failures(cfg: &Config<RaModel>, vars: &Vars) -> Vec<String> {
+    let mut fails = Vec::new();
+    let s = &cfg.mem;
+    let pc = |t: ThreadId| cfg.pc(t).unwrap_or(0);
+    let dv = |t: ThreadId, x: VarId| determinate_value(s, t, x);
+
+    // (4) turn is update-only.
+    if !update_only(s, vars.turn) {
+        fails.push("(4) turn update-only".to_string());
+    }
+    // (5) turn =_1 2 ∨ turn =_2 1.
+    if !(dv(ThreadId(1), vars.turn) == Some(2) || dv(ThreadId(2), vars.turn) == Some(1)) {
+        fails.push("(5) turn =_1 2 ∨ turn =_2 1".to_string());
+    }
+    for t in [ThreadId(1), ThreadId(2)] {
+        let th = hat(t);
+        let pct = pc(t);
+        let pcth = pc(th);
+        // (6) pc_t ∈ {3,4,5,6} ⇒ flag_t =_t true
+        if (3..=6).contains(&pct) && dv(t, vars.flag_of(t)) != Some(1) {
+            fails.push(format!("(6) t={t:?}"));
+        }
+        // (7) pc_t ∈ {4,5,6} ⇒ flag_t → turn
+        if (4..=6).contains(&pct) && !variable_order(s, vars.flag_of(t), vars.turn) {
+            fails.push(format!("(7) t={t:?}"));
+        }
+        // (8) pc_t,pc_t̂ ∈ {4,5,6} ⇒ flag_t̂ =_t true ∨ turn =_t̂ t
+        if (4..=6).contains(&pct)
+            && (4..=6).contains(&pcth)
+            && !(dv(t, vars.flag_of(th)) == Some(1) || dv(th, vars.turn) == Some(t.0 as u32))
+        {
+            fails.push(format!("(8) t={t:?}"));
+        }
+        // (9) pc_t = 5 ∧ pc_t̂ ∈ {4,5,6} ⇒ turn =_t̂ t
+        if pct == 5 && (4..=6).contains(&pcth) && dv(th, vars.turn) != Some(t.0 as u32) {
+            fails.push(format!("(9) t={t:?}"));
+        }
+        // (10) pc_t = 2 ⇒ flag_t =_t false
+        if pct == 2 && dv(t, vars.flag_of(t)) != Some(0) {
+            fails.push(format!("(10) t={t:?}"));
+        }
+    }
+    fails
+}
+
+/// Model-checks Peterson within an event budget.
+pub fn check_peterson(max_events: usize) -> PetersonReport {
+    let prog = peterson_program();
+    let vars = Vars::of(&prog);
+    let mut mutual_exclusion = true;
+    let mut failures: Vec<String> = Vec::new();
+    let explorer = Explorer::new(RaModel);
+    let res = explorer.explore_invariant(
+        &prog,
+        ExploreConfig {
+            max_events,
+            record_traces: false,
+            ..Default::default()
+        },
+        |cfg: &Config<RaModel>| {
+            if cfg.pc(ThreadId(1)) == Some(5) && cfg.pc(ThreadId(2)) == Some(5) {
+                mutual_exclusion = false;
+            }
+            let fs = invariant_failures(cfg, &vars);
+            let ok = fs.is_empty();
+            failures.extend(fs);
+            ok
+        },
+    );
+    PetersonReport {
+        states: res.unique,
+        truncated: res.truncated,
+        mutual_exclusion,
+        invariant_failures: {
+            failures.sort();
+            failures.dedup();
+            failures
+        },
+    }
+}
+
+/// A deliberately broken Peterson variant (all annotations relaxed; the
+/// swap replaced by a plain write): mutual exclusion fails. Used as a
+/// negative control (the checker *can* find the bug the annotations
+/// prevent).
+pub fn peterson_relaxed_program() -> Prog {
+    parse_program(
+        "vars flag1 flag2 turn=1;
+         thread t1 {
+           while (true) {
+             2: flag1 := true;
+             3: turn := 2;
+             4: while (flag2 == 1 && turn == 2) { skip; }
+             5: skip;
+             6: flag1 := false;
+           }
+         }
+         thread t2 {
+           while (true) {
+             2: flag2 := true;
+             3: turn := 1;
+             4: while (flag1 == 1 && turn == 1) { skip; }
+             5: skip;
+             6: flag2 := false;
+           }
+         }",
+    )
+    .expect("relaxed Peterson parses")
+}
+
+/// Like [`mutual_exclusion_holds`], but returns the counterexample trace
+/// (thread/label per step) when mutual exclusion fails.
+pub fn find_mutex_violation(
+    prog: &Prog,
+    max_events: usize,
+) -> Option<Vec<c11_explore::TraceStep>> {
+    let explorer = Explorer::new(RaModel);
+    let res = explorer.explore_invariant(
+        &prog.clone(),
+        ExploreConfig {
+            max_events,
+            ..Default::default()
+        },
+        |cfg: &Config<RaModel>| {
+            !(cfg.pc(ThreadId(1)) == Some(5) && cfg.pc(ThreadId(2)) == Some(5))
+        },
+    );
+    res.violations.into_iter().next().map(|(_, trace)| trace)
+}
+
+/// Bounded mutual-exclusion check for an arbitrary 2-thread program using
+/// pc = 5 as the critical-section marker. Returns `(holds, states)`.
+pub fn mutual_exclusion_holds(prog: &Prog, max_events: usize) -> (bool, usize) {
+    let explorer = Explorer::new(RaModel);
+    let mut holds = true;
+    let res = explorer.explore_invariant(
+        &prog.clone(),
+        ExploreConfig {
+            max_events,
+            record_traces: false,
+            ..Default::default()
+        },
+        |cfg: &Config<RaModel>| {
+            let bad = cfg.pc(ThreadId(1)) == Some(5) && cfg.pc(ThreadId(2)) == Some(5);
+            if bad {
+                holds = false;
+            }
+            !bad
+        },
+    );
+    (holds, res.unique)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peterson_parses_with_labels() {
+        let prog = peterson_program();
+        assert_eq!(prog.num_threads(), 2);
+        assert_eq!(prog.thread(ThreadId(1)).pc(), Some(2));
+        assert_eq!(prog.inits, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn initial_configuration_satisfies_invariants() {
+        let prog = peterson_program();
+        let vars = Vars::of(&prog);
+        let cfg = Config::initial(&RaModel, &prog);
+        assert!(invariant_failures(&cfg, &vars).is_empty());
+    }
+
+    #[test]
+    fn peterson_small_budget() {
+        // Small smoke budget; the full-budget run lives in the integration
+        // suite (tests/peterson.rs) and the bench (E11).
+        let report = check_peterson(12);
+        assert!(report.mutual_exclusion, "mutual exclusion violated");
+        assert!(
+            report.invariant_failures.is_empty(),
+            "invariant failures: {:?}",
+            report.invariant_failures
+        );
+        assert!(report.states > 100);
+    }
+
+    #[test]
+    fn relaxed_peterson_violates_mutual_exclusion() {
+        let prog = peterson_relaxed_program();
+        let (holds, _) = mutual_exclusion_holds(&prog, 16);
+        assert!(!holds, "fully-relaxed Peterson must fail");
+    }
+}

@@ -1,0 +1,6 @@
+fn main() {
+    let results = c11_litmus::run_corpus();
+    println!("{}", c11_litmus::runner::render_table(&results));
+    let fails: Vec<_> = results.iter().filter(|r| !r.pass).collect();
+    if !fails.is_empty() { std::process::exit(1); }
+}

@@ -1,0 +1,216 @@
+//! `c11check` — explore a program under the RAR C11 operational semantics
+//! (or the SC baseline) and report reachable outcomes, axiom validity and
+//! optional DOT renderings of the final executions.
+//!
+//! ```sh
+//! c11check program.c11 [--sc] [--max-events N] [--dot] [--quiet]
+//! echo 'vars x; thread t { x := 1; }' | c11check -
+//! ```
+
+use c11_operational::core::dot::to_dot;
+use c11_operational::prelude::*;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+struct Opts {
+    path: String,
+    sc: bool,
+    max_events: usize,
+    dot: bool,
+    quiet: bool,
+    litmus: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        path: String::new(),
+        sc: false,
+        max_events: 24,
+        dot: false,
+        quiet: false,
+        litmus: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sc" => opts.sc = true,
+            "--litmus" => opts.litmus = true,
+            "--dot" => opts.dot = true,
+            "--quiet" => opts.quiet = true,
+            "--max-events" => {
+                opts.max_events = args
+                    .next()
+                    .ok_or("--max-events needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-events: {e}"))?;
+            }
+            "-h" | "--help" => {
+                return Err(
+                    "usage: c11check <program.c11 | - | dir> [--litmus] [--sc] \
+                     [--max-events N] [--dot] [--quiet]\n\
+                     --litmus: treat the input as a .litmus file (or a \
+                     directory of them) and check expected verdicts"
+                        .to_string(),
+                )
+            }
+            p if opts.path.is_empty() => opts.path = p.to_string(),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err("no input file (use - for stdin); see --help".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.litmus {
+        return run_litmus_mode(&opts);
+    }
+    let src = if opts.path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("failed to read stdin");
+            return ExitCode::from(2);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&opts.path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", opts.path);
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let prog = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    if opts.sc {
+        let res = Explorer::new(ScModel)
+            .explore(&prog, ExploreConfig::with_max_depth(10 * opts.max_events));
+        report_outcomes(&prog, res.unique, res.truncated, &res.final_register_states());
+        return ExitCode::SUCCESS;
+    }
+
+    let res =
+        Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(opts.max_events));
+    if !opts.quiet {
+        println!(
+            "explored {} configurations ({} terminated){}",
+            res.unique,
+            res.finals.len(),
+            if res.truncated {
+                " — TRUNCATED at event bound (outcomes are a lower bound)"
+            } else {
+                ""
+            }
+        );
+    }
+    // Theorem 4.4 as a runtime self-check.
+    let mut invalid = 0;
+    for cfg in &res.finals {
+        if !is_valid(&cfg.mem) {
+            invalid += 1;
+        }
+    }
+    if invalid > 0 {
+        eprintln!("INTERNAL ERROR: {invalid} invalid final states (soundness bug)");
+        return ExitCode::from(3);
+    }
+    report_outcomes(&prog, res.unique, res.truncated, &res.final_register_states());
+    if opts.dot {
+        for (i, cfg) in res.finals.iter().enumerate().take(4) {
+            println!("// final execution {i}\n{}", to_dot(&cfg.mem, &prog.var_names));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_litmus_mode(opts: &Opts) -> ExitCode {
+    use c11_operational::litmus::{load_litmus_dir, load_litmus_file, run_test};
+    let path = std::path::Path::new(&opts.path);
+    let tests = if path.is_dir() {
+        match load_litmus_dir(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        match load_litmus_file(path) {
+            Ok(t) => vec![t],
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(1);
+            }
+        }
+    };
+    let mut failed = 0;
+    println!(
+        "{:<14} {:>9} {:>9} {:>10} {:>6}",
+        "test", "RA", "SC", "RA-states", "pass"
+    );
+    for t in &tests {
+        let r = run_test(t);
+        println!(
+            "{:<14} {:>9} {:>9} {:>10} {:>6}",
+            r.name,
+            if r.observed_ra { "observed" } else { "absent" },
+            if r.observed_sc { "observed" } else { "absent" },
+            r.states_ra,
+            if r.pass { "ok" } else { "FAIL" }
+        );
+        if !r.pass {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn report_outcomes(
+    prog: &Prog,
+    states: usize,
+    truncated: bool,
+    snaps: &[c11_operational::explore::RegSnapshot],
+) {
+    println!("states: {states}   truncated: {truncated}");
+    println!("distinct terminated register outcomes: {}", snaps.len());
+    for snap in snaps.iter().take(32) {
+        let mut parts = Vec::new();
+        for t in 1..=prog.num_threads() as u8 {
+            for r in 0..4u8 {
+                if let Some(v) = snap.get(ThreadId(t), RegId(r)) {
+                    if v != 0 {
+                        parts.push(format!("t{t}.r{r}={v}"));
+                    }
+                }
+            }
+        }
+        println!(
+            "  {{ {} }}",
+            if parts.is_empty() {
+                "all registers 0".to_string()
+            } else {
+                parts.join(", ")
+            }
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! # c11-operational
+//!
+//! A Rust reproduction of *"Verifying C11 Programs Operationally"*
+//! (Doherty, Dongol, Wehrheim, Derrick — PPoPP 2019): an operational
+//! semantics for the release/acquire/relaxed (RAR) fragment of the C11
+//! memory model, validated against the axiomatic semantics, together with
+//! the paper's invariant-based proof calculus and its case studies.
+//!
+//! This façade crate re-exports the workspace crates:
+//!
+//! * [`relations`] — finite relations and bitsets (substrate).
+//! * [`lang`] — the command language and its uninterpreted semantics
+//!   (paper §2).
+//! * [`core`] — C11 states, observability, and the RA event semantics
+//!   (paper §3), plus the pluggable [`core::model::MemoryModel`] interface
+//!   with pre-execution and SC instantiations.
+//! * [`axiomatic`] — the validity axioms, justification search, weak
+//!   canonical consistency and the bounded Memalloy-style equivalence
+//!   checker (paper §4 + Appendix C/E).
+//! * [`explore`] — an exhaustive model checker over configurations.
+//! * [`verify`] — determinate-value / variable-ordering assertions and the
+//!   Figure-4 rule engine (paper §5), with the Peterson and message-passing
+//!   proofs.
+//! * [`litmus`] — a corpus of litmus tests with expected RAR verdicts.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use c11_operational::prelude::*;
+//!
+//! // Message passing: t1 publishes data then raises a release flag;
+//! // t2 spins on an acquire read of the flag, then reads the data.
+//! let program = parse_program(
+//!     "vars d f;
+//!      thread t1 { d := 5; f :=R 1; }
+//!      thread t2 { do { r0 <-A f; } while (r0 == 0); r1 <- d; }",
+//! )
+//! .unwrap();
+//!
+//! let result = Explorer::new(RaModel).explore(&program, ExploreConfig::default());
+//! // In the RAR fragment every terminated execution reads d = 5.
+//! assert!(result
+//!     .final_register_states()
+//!     .iter()
+//!     .all(|regs| regs.get(ThreadId(2), RegId(1)) == Some(5)));
+//! ```
+
+pub use c11_axiomatic as axiomatic;
+pub use c11_core as core;
+pub use c11_explore as explore;
+pub use c11_lang as lang;
+pub use c11_litmus as litmus;
+pub use c11_relations as relations;
+pub use c11_verify as verify;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use c11_axiomatic::axioms::{check_validity, is_valid, Axiom, Violation};
+    pub use c11_core::event::{Event, EventId};
+    pub use c11_core::model::{MemoryModel, PreExecutionModel, RaModel, ScModel, Transition};
+    pub use c11_core::state::C11State;
+    pub use c11_core::{Action, ThreadId};
+    pub use c11_explore::{ExploreConfig, Explorer, RegSnapshot};
+    pub use c11_lang::ast::{BinOp, Com, Exp, Prog, RegId, Val, VarId};
+    pub use c11_lang::parser::parse_program;
+    pub use c11_verify::assertions::{determinate_value, update_only, variable_order};
+}

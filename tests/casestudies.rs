@@ -1,0 +1,72 @@
+//! E17 — case studies beyond the paper: the test-and-set spinlock (with
+//! the §5-style data-protection invariant) and the naive flag mutex
+//! (Dekker's first approximation) as a negative control.
+
+use c11_operational::verify::casestudies::{
+    check_spinlock, naive_flag_mutex, naive_mutex_holds_ra, naive_mutex_holds_sc,
+};
+
+#[test]
+fn e17_spinlock_release_unlock_correct() {
+    let report = check_spinlock(16, true);
+    assert!(report.mutual_exclusion, "TAS lock mutual exclusion");
+    assert!(
+        report.data_protected,
+        "lock holder must have a determinate view of the protected data"
+    );
+    assert!(report.truncated, "lock loops forever");
+    assert!(report.states > 1_000);
+}
+
+#[test]
+fn e17_spinlock_relaxed_unlock_breaks_data_invariant() {
+    let report = check_spinlock(16, false);
+    assert!(report.mutual_exclusion, "the exchange itself stays atomic");
+    assert!(
+        !report.data_protected,
+        "without the release unlock the CS sees stale data"
+    );
+}
+
+/// Non-vacuity for the spinlock: both threads enter the critical section
+/// in some execution, and the counter actually advances past 1.
+#[test]
+fn e17_spinlock_non_vacuous() {
+    use c11_operational::prelude::*;
+    use c11_operational::verify::casestudies::spinlock_program;
+    let prog = spinlock_program(true);
+    let d = prog.var("d").unwrap();
+    let explorer = Explorer::new(RaModel);
+    let mut t1_cs = false;
+    let mut t2_cs = false;
+    let mut counter_reached_2 = false;
+    explorer.for_each_reachable(
+        &prog,
+        ExploreConfig {
+            max_events: 18,
+            record_traces: false,
+            ..Default::default()
+        },
+        |cfg| {
+            t1_cs |= cfg.pc(ThreadId(1)) == Some(5);
+            t2_cs |= cfg.pc(ThreadId(2)) == Some(5);
+            if let Some(w) = cfg.mem.last(d) {
+                counter_reached_2 |= cfg.mem.event(w).wrval() == Some(2);
+            }
+        },
+    );
+    assert!(t1_cs && t2_cs, "both threads enter the critical section");
+    assert!(counter_reached_2, "two increments complete within the budget");
+}
+
+#[test]
+fn e17_naive_mutex_sc_vs_ra() {
+    // The store-buffering shape: SC-correct, RA-broken — even annotated.
+    let plain = naive_flag_mutex(false);
+    assert!(naive_mutex_holds_sc(&plain), "correct under SC");
+    let (ra, _) = naive_mutex_holds_ra(&plain, 14);
+    assert!(!ra, "broken under RA");
+    let annotated = naive_flag_mutex(true);
+    let (ra, _) = naive_mutex_holds_ra(&annotated, 14);
+    assert!(!ra, "release/acquire cannot rescue the SB shape");
+}

@@ -1,0 +1,46 @@
+//! E14 — the litmus corpus: every expected verdict matches under both the
+//! RA semantics and the SC baseline.
+
+use c11_operational::litmus::{corpus, run_corpus, run_test, Verdict};
+
+#[test]
+fn e14_all_verdicts_match() {
+    let results = run_corpus();
+    let failures: Vec<_> = results.iter().filter(|r| !r.pass).collect();
+    assert!(failures.is_empty(), "verdict mismatches: {failures:#?}");
+    assert!(results.len() >= 15);
+}
+
+#[test]
+fn e14_ra_weaker_than_sc() {
+    // On every test, behaviours observed under SC are also observed under
+    // RA (SC executions are RA executions: reads of the globally-latest
+    // write are always observable).
+    for r in run_corpus() {
+        if r.observed_sc {
+            assert!(r.observed_ra, "{}: SC-observed but RA-absent", r.name);
+        }
+    }
+}
+
+#[test]
+fn e14_forbidden_verdicts_are_exhaustive() {
+    // "Forbidden" verdicts must come from *complete* exploration.
+    for test in corpus() {
+        let r = run_test(&test);
+        if test.expect_ra == Verdict::Forbidden {
+            assert!(!r.truncated, "{}: truncated forbidden verdict", r.name);
+        }
+    }
+}
+
+#[test]
+fn e14_weak_behaviours_exist() {
+    // Sanity: the corpus distinguishes the models — some outcome is
+    // RA-allowed and SC-forbidden.
+    let results = run_corpus();
+    assert!(
+        results.iter().any(|r| r.observed_ra && !r.observed_sc),
+        "corpus must exhibit weak behaviours"
+    );
+}

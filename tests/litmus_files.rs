@@ -1,0 +1,30 @@
+//! E14 (extension) — the file-based litmus tests under `litmus/` load and
+//! pass their expected verdicts.
+
+use c11_operational::litmus::{load_litmus_dir, run_test};
+use std::path::Path;
+
+#[test]
+fn litmus_files_load_and_pass() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus");
+    let tests = load_litmus_dir(&dir).expect("litmus dir loads");
+    assert!(tests.len() >= 4, "expected the shipped corpus files");
+    for test in &tests {
+        let r = run_test(test);
+        assert!(
+            r.pass,
+            "{}: observed_ra={} observed_sc={} truncated={}",
+            test.name, r.observed_ra, r.observed_sc, r.truncated
+        );
+    }
+}
+
+#[test]
+fn litmus_file_names_are_unique() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus");
+    let tests = load_litmus_dir(&dir).unwrap();
+    let mut names: Vec<_> = tests.iter().map(|t| t.name.clone()).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), tests.len());
+}

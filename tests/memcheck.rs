@@ -1,0 +1,56 @@
+//! E8 — the Appendix C / Memalloy experiment: eco-based Coherence agrees
+//! with weak canonical RAR consistency on every candidate execution.
+//! Exhaustive at small sizes; seeded random sampling at size 6–7 (the
+//! paper's Alloy bound).
+
+use c11_operational::axiomatic::memcheck::{
+    equivalence_check, equivalence_sample, CandidateConfig,
+};
+
+#[test]
+fn e8_exhaustive_size_3_two_threads_two_vars() {
+    let report = equivalence_check(&CandidateConfig {
+        events: 3,
+        max_threads: 2,
+        max_vars: 2,
+    });
+    assert!(report.agrees(), "Theorem C.5 refuted: {:?}", report.disagreements);
+    assert!(report.candidates > 1_000);
+    assert!(report.both_consistent > 0 && report.both_inconsistent > 0);
+}
+
+#[test]
+fn e8_exhaustive_size_4_two_threads() {
+    let report = equivalence_check(&CandidateConfig {
+        events: 4,
+        max_threads: 2,
+        max_vars: 2,
+    });
+    assert!(report.agrees(), "{:?}", report.disagreements);
+    assert!(report.candidates > 20_000);
+}
+
+#[test]
+fn e8_exhaustive_size_3_three_threads() {
+    let report = equivalence_check(&CandidateConfig {
+        events: 3,
+        max_threads: 3,
+        max_vars: 2,
+    });
+    assert!(report.agrees(), "{:?}", report.disagreements);
+}
+
+#[test]
+fn e8_sampled_size_6() {
+    let report = equivalence_sample(0xC11_2019, 6, 3, 2, 500);
+    assert!(report.agrees(), "{:?}", report.disagreements);
+    assert!(report.candidates >= 400);
+}
+
+#[test]
+fn e8_sampled_size_7() {
+    // The paper's Memalloy run covered models up to size 7.
+    let report = equivalence_sample(0x7EAF, 7, 3, 3, 500);
+    assert!(report.agrees(), "{:?}", report.disagreements);
+    assert!(report.candidates >= 400);
+}

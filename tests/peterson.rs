@@ -1,0 +1,187 @@
+//! E11 — the Peterson verification (Theorem 5.8 + Lemma D.1), and
+//! E4 — the Example 3.6 snapshot.
+
+use c11_operational::core::semantics::{read_transitions, update_transitions};
+use c11_operational::core::Config;
+use c11_operational::prelude::*;
+use c11_operational::verify::peterson::{
+    check_peterson, mutual_exclusion_holds, peterson_program, peterson_relaxed_program,
+};
+
+/// Theorem 5.8 and invariants (4)–(10), bounded model checking at a budget
+/// that covers full lock rounds of both threads plus spinning.
+#[test]
+fn e11_peterson_mutual_exclusion_and_invariants() {
+    let report = check_peterson(18);
+    assert!(report.mutual_exclusion, "Theorem 5.8 violated");
+    assert!(
+        report.invariant_failures.is_empty(),
+        "Lemma D.1 invariants failed: {:?}",
+        report.invariant_failures
+    );
+    assert!(report.truncated, "Peterson loops forever; bound expected");
+    assert!(report.states > 10_000);
+}
+
+/// Negative control: with all annotations relaxed, mutual exclusion fails
+/// (the checker can find the bug the RA annotations prevent).
+#[test]
+fn e11_relaxed_peterson_fails() {
+    let (holds, _states) = mutual_exclusion_holds(&peterson_relaxed_program(), 16);
+    assert!(!holds);
+}
+
+/// A half-weakened variant: keep the RA swap but drop the acquire on the
+/// flag read and the release on the flag reset. FINDING (recorded in
+/// EXPERIMENTS.md, E11): within our bounds mutual exclusion *still holds*
+/// — the RA swap chain alone publishes the flag writes (each swap reads
+/// the previous one, and the flag write is sb-before its thread's swap).
+/// The load-bearing annotation is the swap: replacing it by a plain write
+/// breaks mutual exclusion (`e11_relaxed_peterson_fails`). The flag
+/// annotations are what the paper's *proof* (rules Transfer/AcqRd) and
+/// real-hardware fencing rely on, not bounded safety in the RAR model.
+#[test]
+fn e11_flag_relaxed_peterson_still_safe_within_bound() {
+    let prog = parse_program(
+        "vars flag1 flag2 turn=1;
+         thread t1 {
+           while (true) {
+             2: flag1 := true;
+             3: turn.swap(2);
+             4: while (flag2 == 1 && turn == 2) { skip; }
+             5: skip;
+             6: flag1 := false;
+           }
+         }
+         thread t2 {
+           while (true) {
+             2: flag2 := true;
+             3: turn.swap(1);
+             4: while (flag1 == 1 && turn == 1) { skip; }
+             5: skip;
+             6: flag2 := false;
+           }
+         }",
+    )
+    .unwrap();
+    let (holds, states) = mutual_exclusion_holds(&prog, 18);
+    assert!(holds, "see FINDING above — checked to 22 events offline");
+    assert!(states > 10_000);
+}
+
+/// E4 — Example 3.6: the state where thread 1 has reached the guard and
+/// thread 2 is about to swap `turn`.
+#[test]
+fn e4_example_3_6_snapshot() {
+    // Build the snapshot operationally: t1: flag1:=1; turn.swap(2);
+    // t2: flag2:=1; then t2's swap (the boxed event).
+    let prog = peterson_program();
+    let f1 = prog.var("flag1").unwrap();
+    let f2 = prog.var("flag2").unwrap();
+    let turn = prog.var("turn").unwrap();
+    let s = C11State::initial(&[0, 0, 1]); // flag1, flag2, turn=1
+
+    let w1 = &c11_operational::core::semantics::write_transitions(
+        &s,
+        ThreadId(1),
+        f1,
+        1,
+        false,
+    )[0];
+    let u1 = &update_transitions(&w1.state, ThreadId(1), turn, 2)[0];
+    let w2 = &c11_operational::core::semantics::write_transitions(
+        &u1.state,
+        ThreadId(2),
+        f2,
+        1,
+        false,
+    )[0];
+
+    // Before the boxed event: thread 2 can read turn from wr0(turn,1) via
+    // a READ, but cannot update over it — wr0 is covered by t1's update.
+    let pre_box = &w2.state;
+    assert!(read_transitions(pre_box, ThreadId(2), turn, false)
+        .iter()
+        .any(|t| t.observed == 2)); // event 2 = init write of turn
+    let u2s = update_transitions(pre_box, ThreadId(2), turn, 1);
+    assert_eq!(u2s.len(), 1, "only t1's update is uncovered");
+    assert_eq!(u2s[0].observed, u1.event);
+    assert_eq!(u2s[0].action.rdval(), Some(2), "turn updated from 2 to 1");
+
+    // After the boxed event:
+    let post = &u2s[0].state;
+    // Thread 2 has encountered wr1(flag1,1) — wait, it has *not*; but it
+    // HAS encountered its own swap, which reads t1's update, which is
+    // sb-after wr1(flag1,1): t2 can no longer observe wr0(flag1,0).
+    let reads_f1: Vec<_> = read_transitions(post, ThreadId(2), f1, true)
+        .iter()
+        .map(|t| t.action.rdval().unwrap())
+        .collect();
+    assert_eq!(reads_f1, vec![1], "t2's guard must read flag1 = 1");
+    // And t2 can only observe its own update of turn (t1's is superseded).
+    let reads_turn: Vec<_> = read_transitions(post, ThreadId(2), turn, false)
+        .iter()
+        .map(|t| t.action.rdval().unwrap())
+        .collect();
+    assert_eq!(reads_turn, vec![1], "t2 spins: guard evaluates true");
+
+    // Thread 1, in contrast, has not encountered wr2(flag2,1) or t2's
+    // update: it may read flag2 ∈ {0, 1} and turn ∈ {2, 1}.
+    let mut reads_f2: Vec<_> = read_transitions(post, ThreadId(1), f2, true)
+        .iter()
+        .map(|t| t.action.rdval().unwrap())
+        .collect();
+    reads_f2.sort_unstable();
+    assert_eq!(reads_f2, vec![0, 1], "t1 may exit or spin");
+    let mut reads_turn1: Vec<_> = read_transitions(post, ThreadId(1), turn, false)
+        .iter()
+        .map(|t| t.action.rdval().unwrap())
+        .collect();
+    reads_turn1.sort_unstable();
+    assert_eq!(reads_turn1, vec![1, 2]);
+}
+
+/// Non-vacuity: the mutual-exclusion result is meaningful only if each
+/// thread actually reaches the critical section in some execution, and
+/// both can complete full lock rounds within the budget.
+#[test]
+fn e11_critical_section_is_reachable() {
+    let prog = peterson_program();
+    let explorer = Explorer::new(RaModel);
+    let mut t1_in_cs = false;
+    let mut t2_in_cs = false;
+    let mut t1_second_round = false;
+    explorer.for_each_reachable(
+        &prog,
+        ExploreConfig {
+            max_events: 18,
+            record_traces: false,
+            ..Default::default()
+        },
+        |cfg| {
+            t1_in_cs |= cfg.pc(ThreadId(1)) == Some(5);
+            t2_in_cs |= cfg.pc(ThreadId(2)) == Some(5);
+            // A second round of t1 shows the loop re-entry works: t1 back
+            // at line 2 with its release reset already in memory.
+            if cfg.pc(ThreadId(1)) == Some(2) && cfg.mem.len() > 8 {
+                t1_second_round = true;
+            }
+        },
+    );
+    assert!(t1_in_cs, "thread 1 must reach its critical section");
+    assert!(t2_in_cs, "thread 2 must reach its critical section");
+    assert!(t1_second_round, "the budget must cover loop re-entry");
+}
+
+/// The initial Peterson configuration satisfies the paper's initial
+/// conditions (Appendix D: pc = 2, turn ∈ {1,2}, flags false).
+#[test]
+fn peterson_initial_conditions() {
+    let prog = peterson_program();
+    let cfg = Config::initial(&RaModel, &prog);
+    assert_eq!(cfg.pc(ThreadId(1)), Some(2));
+    assert_eq!(cfg.pc(ThreadId(2)), Some(2));
+    let turn = prog.var("turn").unwrap();
+    let v = cfg.mem.last(turn).and_then(|w| cfg.mem.event(w).wrval());
+    assert!(v == Some(1) || v == Some(2));
+}

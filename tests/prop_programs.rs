@@ -1,0 +1,133 @@
+//! Property-based tests over randomly generated programs: soundness
+//! (Theorem 4.4), the determinate-value lemmas, and the
+//! justifiability of RA-reachable executions — each checked on every
+//! reachable state of each generated program.
+
+use c11_operational::axiomatic::justify::justifications;
+use c11_operational::prelude::*;
+use c11_operational::verify::assertions::{agreement_holds, dv_implies_singleton_ow};
+use proptest::prelude::*;
+
+const VARS: [VarId; 2] = [VarId(0), VarId(1)];
+const THREADS: [ThreadId; 2] = [ThreadId(1), ThreadId(2)];
+
+fn arb_stmt() -> impl Strategy<Value = Com> {
+    let var = prop::sample::select(VARS.to_vec());
+    let val = 1..4u32;
+    prop_oneof![
+        // x := v  /  x :=R v
+        (var.clone(), val.clone(), any::<bool>()).prop_map(|(var, v, release)| Com::Assign {
+            var,
+            rhs: Exp::Val(v),
+            release,
+        }),
+        // r <- x  /  r <-A x
+        (var.clone(), 0..2u8, any::<bool>()).prop_map(|(var, r, acq)| Com::AssignReg {
+            reg: RegId(r),
+            rhs: if acq { Exp::VarA(var) } else { Exp::Var(var) },
+        }),
+        // x.swap(v)  /  r <- x.swap(v)
+        (var, val, prop::option::of(0..2u8)).prop_map(|(var, v, out)| Com::Swap {
+            var,
+            new: Exp::Val(v),
+            out: out.map(RegId),
+        }),
+    ]
+}
+
+fn arb_thread() -> impl Strategy<Value = Com> {
+    prop::collection::vec(arb_stmt(), 1..4).prop_map(Com::block)
+}
+
+fn arb_prog() -> impl Strategy<Value = Prog> {
+    (arb_thread(), arb_thread()).prop_map(|(t1, t2)| {
+        Prog::new(vec![("x".into(), 0), ("y".into(), 0)], vec![t1, t2])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 4.4 on random programs: every reachable state is valid.
+    #[test]
+    fn prop_soundness(prog in arb_prog()) {
+        let explorer = Explorer::new(RaModel);
+        explorer.for_each_reachable(&prog, ExploreConfig::default(), |cfg| {
+            let errs = check_validity(&cfg.mem);
+            assert!(errs.is_empty(), "{errs:?}");
+        });
+    }
+
+    /// Lemma 5.4 + Definition 5.1(3) on every reachable state.
+    #[test]
+    fn prop_determinate_value_lemmas(prog in arb_prog()) {
+        let explorer = Explorer::new(RaModel);
+        explorer.for_each_reachable(&prog, ExploreConfig::default(), |cfg| {
+            for x in VARS {
+                assert!(agreement_holds(&cfg.mem, x, &THREADS));
+                for t in THREADS {
+                    assert!(dv_implies_singleton_ow(&cfg.mem, t, x));
+                }
+            }
+        });
+    }
+
+    /// Every RA-final execution is justifiable, i.e. appears in its own
+    /// skeleton's justification set (soundness at the execution level).
+    #[test]
+    fn prop_ra_finals_are_justifiable(prog in arb_prog()) {
+        let explorer = Explorer::new(RaModel);
+        let res = explorer.explore(&prog, ExploreConfig::default());
+        prop_assert!(!res.truncated);
+        for f in res.finals.iter().take(8) {
+            // Strip rf/mo to recover the pre-execution skeleton.
+            let pre = C11State::from_parts(
+                f.mem.events().to_vec(),
+                f.mem.sb().clone(),
+                Default::default(),
+                Default::default(),
+            );
+            let js = justifications(&pre);
+            let canon = f.mem.canonical();
+            prop_assert!(
+                js.iter().any(|j| j.canonical() == canon),
+                "final state not in its own justification set"
+            );
+        }
+    }
+
+    /// Dedup is sound: the set of final register snapshots is unchanged.
+    #[test]
+    fn prop_dedup_preserves_outcomes(prog in arb_prog()) {
+        let explorer = Explorer::new(RaModel);
+        let with = explorer.explore(&prog, ExploreConfig::default());
+        let without = explorer.explore(&prog, ExploreConfig {
+            dedup: false,
+            max_states: 200_000,
+            ..Default::default()
+        });
+        prop_assert!(!with.truncated && !without.truncated);
+        let snaps = |r: &c11_operational::explore::ExploreResult<RaModel>| {
+            let mut v = r.final_register_states();
+            v.sort_by_key(|s| format!("{s:?}"));
+            v
+        };
+        prop_assert_eq!(snaps(&with), snaps(&without));
+    }
+
+    /// The SC baseline is a refinement: every SC outcome is an RA outcome.
+    #[test]
+    fn prop_sc_refines_ra(prog in arb_prog()) {
+        let ra: std::collections::HashSet<_> = Explorer::new(RaModel)
+            .explore(&prog, ExploreConfig::default())
+            .final_register_states()
+            .into_iter()
+            .collect();
+        let sc = Explorer::new(ScModel)
+            .explore(&prog, ExploreConfig::default())
+            .final_register_states();
+        for snap in sc {
+            prop_assert!(ra.contains(&snap), "SC outcome missing under RA");
+        }
+    }
+}

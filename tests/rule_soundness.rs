@@ -1,0 +1,141 @@
+//! E9/E10 — soundness of the Figure 4 proof rules and Lemmas 5.3/5.4/5.6,
+//! quantified over every reachable transition of a program corpus.
+
+use c11_operational::core::config::{Config, ConfigStep};
+use c11_operational::prelude::*;
+use c11_operational::verify::assertions::{
+    agreement_holds, determinate_value, dv_implies_singleton_ow, update_only,
+};
+use c11_operational::verify::rules::{check_init_rule, check_rules_on_transition};
+
+/// Sweeps every reachable RA transition of `src`, checking the rules and
+/// lemmas on each. Returns the number of transitions checked.
+fn sweep(src: &str, max_events: usize) -> usize {
+    let prog = parse_program(src).unwrap();
+    let vars: Vec<VarId> = (0..prog.num_vars() as u8).map(VarId).collect();
+    let threads: Vec<ThreadId> = (1..=prog.num_threads() as u8).map(ThreadId).collect();
+    let explorer = Explorer::new(RaModel);
+    let mut transitions = 0usize;
+
+    // Init rule on the initial state.
+    let init_cfg = Config::initial(&RaModel, &prog);
+    assert!(check_init_rule(&init_cfg.mem, &vars, &threads).is_empty());
+
+    explorer.for_each_reachable(
+        &prog,
+        ExploreConfig {
+            max_events,
+            record_traces: false,
+            ..Default::default()
+        },
+        |cfg| {
+            // Lemma 5.4 and the singleton-OW consequence on the state.
+            for &x in &vars {
+                assert!(agreement_holds(&cfg.mem, x, &threads), "Lemma 5.4");
+                for &t in &threads {
+                    assert!(dv_implies_singleton_ow(&cfg.mem, t, x), "Def 5.1 (3)");
+                }
+            }
+            for ConfigStep {
+                label,
+                observed,
+                event,
+                next,
+                ..
+            } in cfg.successors(&RaModel)
+            {
+                let (Some(m), Some(e)) = (observed, event) else {
+                    continue; // τ steps have no memory transition
+                };
+                transitions += 1;
+                // Figure 4 rules.
+                let violations =
+                    check_rules_on_transition(&cfg.mem, m, e, &next.mem, &vars, &threads);
+                assert!(violations.is_empty(), "{violations:?}");
+                // Lemma 5.3: determinate-value read.
+                if let StepLabel::Act(a) = label {
+                    if let Some(rv) = a.rdval() {
+                        let t = next.mem.event(e).tid;
+                        if let Some(v) = determinate_value(&cfg.mem, t, a.var()) {
+                            assert_eq!(rv, v, "Lemma 5.3");
+                        }
+                        // Lemma 5.6 (1): with a determinate value, the
+                        // observed write is σ.last(x).
+                        if determinate_value(&cfg.mem, t, a.var()).is_some() {
+                            assert_eq!(Some(m), cfg.mem.last(a.var()), "Lemma 5.6(1)");
+                        }
+                    }
+                    // Lemma 5.6 (2): writes/updates to update-only
+                    // variables observe σ.last(x).
+                    let ev = next.mem.event(e);
+                    if ev.is_write() && update_only(&cfg.mem, a.var()) {
+                        assert_eq!(Some(m), cfg.mem.last(a.var()), "Lemma 5.6(2)");
+                    }
+                }
+            }
+        },
+    );
+    transitions
+}
+
+use c11_operational::lang::StepLabel;
+
+#[test]
+fn e9_rules_sound_on_message_passing() {
+    let n = sweep(
+        "vars d f;
+         thread t1 { d := 5; f :=R 1; }
+         thread t2 { r0 <-A f; r1 <- d; }",
+        24,
+    );
+    assert!(n > 20);
+}
+
+#[test]
+fn e9_rules_sound_on_store_buffering() {
+    let n = sweep(
+        "vars x y;
+         thread t1 { x :=R 1; r0 <-A y; }
+         thread t2 { y :=R 1; r0 <-A x; }",
+        24,
+    );
+    assert!(n > 20);
+}
+
+#[test]
+fn e9_rules_sound_on_update_mix() {
+    let n = sweep(
+        "vars x y;
+         thread t1 { x.swap(1); y :=R 1; r0 <- y; }
+         thread t2 { r0 <-A y; x.swap(2); }",
+        20,
+    );
+    assert!(n > 30);
+}
+
+#[test]
+fn e9_rules_sound_on_peterson_prefix() {
+    // The real thing, bounded smaller than E11 since rule checking per
+    // transition is quadratic in variables.
+    let n = sweep(
+        "vars flag1 flag2 turn=1;
+         thread t1 { flag1 := true; turn.swap(2);
+                     r0 <-A flag2; r1 <- turn; flag1 :=R false; }
+         thread t2 { flag2 := true; turn.swap(1);
+                     r0 <-A flag1; r1 <- turn; flag2 :=R false; }",
+        18,
+    );
+    assert!(n > 100);
+}
+
+#[test]
+fn e9_rules_sound_on_three_threads() {
+    let n = sweep(
+        "vars x y;
+         thread t1 { x := 1; y :=R 1; }
+         thread t2 { r0 <-A y; r1 <- x; }
+         thread t3 { y := 2; }",
+        18,
+    );
+    assert!(n > 100);
+}
