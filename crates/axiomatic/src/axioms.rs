@@ -360,10 +360,10 @@ mod tests {
         let events = vec![
             Event::init_write(X, 0),
             Event::init_write(Y, 0),
-            Event::new(T1, rd(X, 1)),  // 2
-            Event::new(T1, wr(Y, 1)),  // 3
-            Event::new(T2, rd(Y, 1)),  // 4
-            Event::new(T2, wr(X, 1)),  // 5
+            Event::new(T1, rd(X, 1)), // 2
+            Event::new(T1, wr(Y, 1)), // 3
+            Event::new(T2, rd(Y, 1)), // 4
+            Event::new(T2, wr(X, 1)), // 5
         ];
         let mut sb = Relation::new(6);
         for i in [2, 3, 4, 5] {

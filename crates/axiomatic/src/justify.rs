@@ -44,11 +44,7 @@ pub fn for_each_candidate<F: FnMut(&C11State) -> bool>(pre: &C11State, mut f: F)
     }
     // Per-variable write lists (non-init), for mo permutations.
     let vars: Vec<VarId> = {
-        let mut v: Vec<VarId> = pre
-            .writes()
-            .iter()
-            .map(|w| pre.event(w).var())
-            .collect();
+        let mut v: Vec<VarId> = pre.writes().iter().map(|w| pre.event(w).var()).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -56,9 +52,8 @@ pub fn for_each_candidate<F: FnMut(&C11State) -> bool>(pre: &C11State, mut f: F)
     let var_writes: Vec<(Vec<EventId>, Vec<EventId>)> = vars
         .iter()
         .map(|&x| {
-            let (init, rest): (Vec<EventId>, Vec<EventId>) = pre
-                .writes_to(x)
-                .partition(|&w| pre.event(w).is_init());
+            let (init, rest): (Vec<EventId>, Vec<EventId>) =
+                pre.writes_to(x).partition(|&w| pre.event(w).is_init());
             (init, rest)
         })
         .collect();

@@ -14,5 +14,5 @@ pub mod replay;
 pub use axioms::{check_validity, is_valid, Axiom, Violation};
 pub use canonical::{is_weakly_canonical_consistent, CanonicalAxiom};
 pub use justify::{is_justifiable, justifications};
-pub use replay::{replay, ReplayError};
 pub use memcheck::{enumerate_candidates, equivalence_check, CandidateConfig, EquivalenceReport};
+pub use replay::{replay, ReplayError};

@@ -261,13 +261,10 @@ fn build_candidates<F: FnMut(&C11State) -> bool>(
             events.push(Event::new(tid, action));
         }
         // mo: per-variable permutations of the non-init writes.
-        let per_var: Vec<Vec<usize>> = (0..num_vars)
-            .map(|v| writers_of[v][1..].to_vec())
-            .collect();
+        let per_var: Vec<Vec<usize>> = (0..num_vars).map(|v| writers_of[v][1..].to_vec()).collect();
         let mut stop = false;
         enumerate_mo_product(&per_var, n, &mut |mo| {
-            let state =
-                C11State::from_parts(events.clone(), sb.clone(), rf.clone(), mo.clone());
+            let state = C11State::from_parts(events.clone(), sb.clone(), rf.clone(), mo.clone());
             if !f(&state) {
                 stop = true;
             }
@@ -297,11 +294,7 @@ fn build_candidates<F: FnMut(&C11State) -> bool>(
 
 /// Product over variables of permutations of their non-init writes; mo is
 /// transitively closed by construction and has inits first.
-fn enumerate_mo_product<F: FnMut(&Relation) -> bool>(
-    per_var: &[Vec<usize>],
-    n: usize,
-    f: &mut F,
-) {
+fn enumerate_mo_product<F: FnMut(&Relation) -> bool>(per_var: &[Vec<usize>], n: usize, f: &mut F) {
     fn rec<F: FnMut(&Relation) -> bool>(
         per_var: &[Vec<usize>],
         v: usize,
@@ -389,7 +382,9 @@ pub fn random_candidate(
 ) -> Option<C11State> {
     let k = events;
     let tids: Vec<usize> = (0..k).map(|_| rng.gen_range(0..max_threads)).collect();
-    let kinds: Vec<Kind> = (0..k).map(|_| KINDS[rng.gen_range(0..KINDS.len())]).collect();
+    let kinds: Vec<Kind> = (0..k)
+        .map(|_| KINDS[rng.gen_range(0..KINDS.len())])
+        .collect();
     let vars: Vec<usize> = (0..k).map(|_| rng.gen_range(0..max_vars)).collect();
     let num_vars = max_vars;
     let base = num_vars;
@@ -518,7 +513,11 @@ mod tests {
         };
         let report = equivalence_check(&cfg);
         assert!(report.candidates > 50, "got {}", report.candidates);
-        assert!(report.agrees(), "Theorem C.5 disagreement: {:?}", report.disagreements);
+        assert!(
+            report.agrees(),
+            "Theorem C.5 disagreement: {:?}",
+            report.disagreements
+        );
         assert!(report.both_consistent > 0);
         assert!(report.both_inconsistent > 0);
     }

@@ -43,11 +43,7 @@ pub fn replay(target: &C11State) -> Result<Vec<EventId>, ReplayError> {
         return Err(ReplayError::InvalidInput);
     }
     // Linearize sb ∪ rf over non-init events.
-    let non_init: BitSet = BitSet::from_iter(
-        target
-            .ids()
-            .filter(|&e| !target.event(e).is_init()),
-    );
+    let non_init: BitSet = BitSet::from_iter(target.ids().filter(|&e| !target.event(e).is_init()));
     let order = target.sb().union(target.rf());
     let lin = some_linearization(&order, &non_init).ok_or(ReplayError::NoLinearization)?;
 
@@ -133,9 +129,7 @@ pub fn replay(target: &C11State) -> Result<Vec<EventId>, ReplayError> {
         replayed.push(e);
 
         // Prefix equality: cur ≃ target ↾ (inits ∪ replayed).
-        let mut keep = BitSet::from_iter(
-            target.ids().filter(|&i| target.event(i).is_init()),
-        );
+        let mut keep = BitSet::from_iter(target.ids().filter(|&i| target.event(i).is_init()));
         for &r in &replayed {
             keep.insert(r);
         }

@@ -34,11 +34,9 @@ fn bench_parallel(c: &mut Criterion) {
     g.sample_size(10);
     let prog = contended_workload(4);
     for workers in [1usize, 2, 4] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, &w| b.iter(|| black_box(parallel_count_states(&RaModel, &prog, 24, w))),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(parallel_count_states(&RaModel, &prog, 24, w)))
+        });
     }
     g.finish();
 }
@@ -51,9 +49,7 @@ fn bench_observability_ablation(c: &mut Criterion) {
         b.iter(|| black_box(Explorer::new(RaModel).explore(&prog, ExploreConfig::default())))
     });
     g.bench_function("weak(hb-only)", |b| {
-        b.iter(|| {
-            black_box(Explorer::new(WeakObsRaModel).explore(&prog, ExploreConfig::default()))
-        })
+        b.iter(|| black_box(Explorer::new(WeakObsRaModel).explore(&prog, ExploreConfig::default())))
     });
     g.finish();
 }

@@ -17,9 +17,11 @@ fn bench_corpus_verdicts(c: &mut Criterion) {
         if test.name == "IRIW-ra" {
             continue;
         }
-        g.bench_with_input(BenchmarkId::from_parameter(test.name.clone()), &test, |b, t| {
-            b.iter(|| black_box(run_test(t)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(test.name.clone()),
+            &test,
+            |b, t| b.iter(|| black_box(run_test(t))),
+        );
     }
     g.finish();
 }

@@ -36,7 +36,8 @@ pub fn to_dot(state: &C11State, var_names: &[String]) -> String {
             if ev.tid != t {
                 continue;
             }
-            let act = format!("{:?}", ev.action).replace(&format!("{:?}", ev.var()), &name(ev.var()));
+            let act =
+                format!("{:?}", ev.action).replace(&format!("{:?}", ev.var()), &name(ev.var()));
             let _ = writeln!(out, "    e{e} [label=\"e{e}: {act}\"];");
         }
         let _ = writeln!(out, "  }}");
@@ -60,15 +61,18 @@ pub fn to_dot(state: &C11State, var_names: &[String]) -> String {
     }
     // mo: transitive reduction per variable.
     for (a, b) in state.mo().pairs() {
-        let between = state.ids().any(|c| {
-            c != a && c != b && state.mo().contains(a, c) && state.mo().contains(c, b)
-        });
+        let between = state
+            .ids()
+            .any(|c| c != a && c != b && state.mo().contains(a, c) && state.mo().contains(c, b));
         if !between {
             let _ = writeln!(out, "  e{a} -> e{b} [label=\"mo\", color=crimson];");
         }
     }
     for (w, r) in state.sw().pairs() {
-        let _ = writeln!(out, "  e{w} -> e{r} [label=\"sw\", color=blue, style=dashed];");
+        let _ = writeln!(
+            out,
+            "  e{w} -> e{r} [label=\"sw\", color=blue, style=dashed];"
+        );
     }
     let _ = writeln!(out, "}}");
     out

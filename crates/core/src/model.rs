@@ -295,11 +295,7 @@ impl MemoryModel for ScModel {
 /// steps by different threads can be taken in either order reaching the
 /// same final `(D, sb)` up to canonical renaming. Exposed as a helper so
 /// tests and the completeness machinery can assert it.
-pub fn pe_steps_commute(
-    state: &C11State,
-    a: (ThreadId, Action),
-    b: (ThreadId, Action),
-) -> bool {
+pub fn pe_steps_commute(state: &C11State, a: (ThreadId, Action), b: (ThreadId, Action)) -> bool {
     use crate::event::Event;
     if a.0 == b.0 {
         return true; // only cross-thread commutation is claimed
@@ -398,12 +394,8 @@ mod tests {
         assert_eq!(r.action.rdval(), Some(4));
         // SC has exactly one transition per shape.
         assert_eq!(
-            m.transitions(
-                &w.state,
-                T2,
-                &ActionShape::Update { var: X, new: 6 }
-            )
-            .len(),
+            m.transitions(&w.state, T2, &ActionShape::Update { var: X, new: 6 })
+                .len(),
             1
         );
     }

@@ -31,12 +31,26 @@ pub fn example_3_2() -> (C11State, [EventId; 7]) {
     let wr = |var, val, release| Action::Wr { var, val, release };
     let rd = |var, val, acquire| Action::Rd { var, val, acquire };
     let s = C11State::initial(&[0, 0, 0]);
-    let (s, u1) = s.append_event(Event::new(ThreadId(1), Action::Upd { var: X, old: 2, new: 4 }));
+    let (s, u1) = s.append_event(Event::new(
+        ThreadId(1),
+        Action::Upd {
+            var: X,
+            old: 2,
+            new: 4,
+        },
+    ));
     let (s, w2y) = s.append_event(Event::new(ThreadId(2), wr(Y, 1, false)));
     let (s, w2x) = s.append_event(Event::new(ThreadId(2), wr(X, 2, true)));
     let (s, r3) = s.append_event(Event::new(ThreadId(3), rd(X, 2, true)));
     let (s, w3) = s.append_event(Event::new(ThreadId(3), wr(Z, 3, false)));
-    let (s, u4) = s.append_event(Event::new(ThreadId(4), Action::Upd { var: Y, old: 0, new: 5 }));
+    let (s, u4) = s.append_event(Event::new(
+        ThreadId(4),
+        Action::Upd {
+            var: Y,
+            old: 0,
+            new: 5,
+        },
+    ));
     let (mut s, r4) = s.append_event(Event::new(ThreadId(4), rd(Z, 3, false)));
     s.rf_mut().add(w2x, u1);
     s.rf_mut().add(w2x, r3);
@@ -58,12 +72,27 @@ pub fn example_3_2() -> (C11State, [EventId; 7]) {
 /// (The update reads `w₃`.) Returns the state.
 pub fn example_3_3() -> C11State {
     let t = ThreadId(1); // one writer thread; readers on others
-    let wr = |val| Action::Wr { var: X, val, release: false };
-    let rd = |val| Action::Rd { var: X, val, acquire: false };
+    let wr = |val| Action::Wr {
+        var: X,
+        val,
+        release: false,
+    };
+    let rd = |val| Action::Rd {
+        var: X,
+        val,
+        acquire: false,
+    };
     let s = C11State::initial(&[1]); // w1 = init write (value 1)
     let (s, w2) = s.append_event(Event::new(t, wr(2)));
     let (s, w3) = s.append_event(Event::new(t, wr(3)));
-    let (s, u) = s.append_event(Event::new(t, Action::Upd { var: X, old: 3, new: 4 }));
+    let (s, u) = s.append_event(Event::new(
+        t,
+        Action::Upd {
+            var: X,
+            old: 3,
+            new: 4,
+        },
+    ));
     let (s, w4) = s.append_event(Event::new(t, wr(5)));
     let (s, r1) = s.append_event(Event::new(ThreadId(2), rd(1)));
     let (s, r1b) = s.append_event(Event::new(ThreadId(3), rd(1)));

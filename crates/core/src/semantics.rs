@@ -133,12 +133,7 @@ pub fn write_transitions_using(
 /// All transitions of the R͟M͟W͟ rule for thread `t` swapping `x` to `new`:
 /// one per observable, non-covered write to `x`; the value read is the
 /// observed write's value.
-pub fn update_transitions(
-    state: &C11State,
-    t: ThreadId,
-    x: VarId,
-    new: Val,
-) -> Vec<RaTransition> {
+pub fn update_transitions(state: &C11State, t: ThreadId, x: VarId, new: Val) -> Vec<RaTransition> {
     update_transitions_using(state, t, x, new, observable_writes)
 }
 

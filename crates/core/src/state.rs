@@ -201,9 +201,12 @@ impl C11State {
 
     /// Extended coherence order `eco = (fr ∪ mo ∪ rf)⁺` (cached).
     pub fn eco(&self) -> &Relation {
-        self.derived
-            .eco
-            .get_or_init(|| self.fr().union(&self.mo).union(&self.rf).transitive_closure())
+        self.derived.eco.get_or_init(|| {
+            self.fr()
+                .union(&self.mo)
+                .union(&self.rf)
+                .transitive_closure()
+        })
     }
 
     /// The observability reach `eco? ; hb?` of §3.2 (cached): a write `w`
@@ -325,15 +328,14 @@ impl C11State {
             perm[old] = new;
         }
         let events: Vec<Event> = order.iter().map(|&e| self.events[e]).collect();
-        let edges =
-            |r: &Relation| -> Vec<(u32, u32)> {
-                let mut v: Vec<(u32, u32)> = r
-                    .pairs()
-                    .map(|(a, b)| (perm[a] as u32, perm[b] as u32))
-                    .collect();
-                v.sort_unstable();
-                v
-            };
+        let edges = |r: &Relation| -> Vec<(u32, u32)> {
+            let mut v: Vec<(u32, u32)> = r
+                .pairs()
+                .map(|(a, b)| (perm[a] as u32, perm[b] as u32))
+                .collect();
+            v.sort_unstable();
+            v
+        };
         CanonicalState {
             events,
             sb: edges(&self.sb),
@@ -468,7 +470,7 @@ mod tests {
         let sw = s.sw();
         assert!(!sw.contains(w_rel, r_rlx)); // relaxed read: no sw
         assert!(sw.contains(w_rel, r_acq)); // release → acquire: sw
-        // hb includes the sw edge transitively with sb.
+                                            // hb includes the sw edge transitively with sb.
         assert!(s.hb().contains(0, r_acq));
         assert!(s.hb().contains(w_rel, r_acq));
     }

@@ -100,8 +100,7 @@ where
                                     regs_hash(&next),
                                     model.canonical_key(&next.mem),
                                 );
-                                let fresh =
-                                    shared.visited[shard_of(&k)].lock().insert(k);
+                                let fresh = shared.visited[shard_of(&k)].lock().insert(k);
                                 if fresh {
                                     shared.unique.fetch_add(1, Ordering::Relaxed);
                                     shared.in_flight.fetch_add(1, Ordering::SeqCst);
@@ -152,10 +151,7 @@ mod tests {
 
     #[test]
     fn parallel_reports_truncation() {
-        let prog = parse_program(
-            "vars x; thread t { while (x == 0) { skip; } }",
-        )
-        .unwrap();
+        let prog = parse_program("vars x; thread t { while (x == 0) { skip; } }").unwrap();
         let (_, truncated) = parallel_count_states(&RaModel, &prog, 6, 2);
         assert!(truncated);
     }

@@ -157,11 +157,7 @@ pub enum Com {
     Skip,
     /// `x := E` (relaxed) or `x :=R E` (release) — a write once `E` is
     /// closed; read steps while `E` still mentions shared variables.
-    Assign {
-        var: VarId,
-        rhs: Exp,
-        release: bool,
-    },
+    Assign { var: VarId, rhs: Exp, release: bool },
     /// `x.swap(E)^RA` — an atomic release-acquire read-modify-write that
     /// overwrites `x` with the value of `E`. The paper writes a literal
     /// `n`; we allow any *register-closed* expression (no shared reads),
@@ -407,10 +403,7 @@ mod tests {
 
     #[test]
     fn pc_finds_leftmost_label() {
-        let c = Com::seq(
-            Com::labeled(2, Com::Skip),
-            Com::labeled(3, Com::Skip),
-        );
+        let c = Com::seq(Com::labeled(2, Com::Skip), Com::labeled(3, Com::Skip));
         assert_eq!(c.pc(), Some(2));
         let c2 = Com::seq(Com::Skip, Com::labeled(4, Com::Skip));
         assert_eq!(c2.pc(), Some(4));

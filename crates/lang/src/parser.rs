@@ -100,7 +100,8 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
             {
                 i += 1;
             }
@@ -340,9 +341,7 @@ impl Parser {
                                 self.expect_sym(")")?;
                                 self.expect_sym(";")?;
                                 if !new.is_closed() {
-                                    return self.err(
-                                        "swap argument may not read shared memory",
-                                    );
+                                    return self.err("swap argument may not read shared memory");
                                 }
                                 return Ok(Com::Swap {
                                     var,
@@ -371,10 +370,15 @@ impl Parser {
                         self.expect_sym(")")?;
                         self.expect_sym(";")?;
                         if !new.is_closed() {
-                            return self
-                                .err("swap argument may not read shared memory (paper: x.swap(n))");
+                            return self.err(
+                                "swap argument may not read shared memory (paper: x.swap(n))",
+                            );
                         }
-                        Ok(Com::Swap { var, new, out: None })
+                        Ok(Com::Swap {
+                            var,
+                            new,
+                            out: None,
+                        })
                     } else if self.eat_sym(":=R") {
                         let rhs = self.parse_exp()?;
                         self.expect_sym(";")?;
@@ -588,7 +592,13 @@ mod tests {
         .unwrap();
         match p.thread(ThreadId(1)) {
             Com::Seq(a, b) => {
-                assert!(matches!(**a, Com::AssignReg { rhs: Exp::VarA(_), .. }));
+                assert!(matches!(
+                    **a,
+                    Com::AssignReg {
+                        rhs: Exp::VarA(_),
+                        ..
+                    }
+                ));
                 assert!(matches!(**b, Com::AssignReg { .. }));
             }
             other => panic!("unexpected shape: {other:?}"),
@@ -698,7 +708,9 @@ mod tests {
         for _ in 0..500 {
             let mut src = String::new();
             for _ in 0..40 {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let b = (seed >> 33) as u8;
                 src.push((b % 94 + 32) as char);
             }

@@ -101,7 +101,10 @@ pub fn step_shape(c: &Com, regs: &RegFile) -> Option<StepShape> {
             let new = prep(new, regs);
             let val = eval_closed(&new)
                 .expect("swap argument must not read shared memory (checked by the parser)");
-            Some(StepShape::Act(ActionShape::Update { var: *var, new: val }))
+            Some(StepShape::Act(ActionShape::Update {
+                var: *var,
+                new: val,
+            }))
         }
         Com::AssignReg { rhs, .. } => {
             let rhs = prep(rhs, regs);
@@ -139,9 +142,14 @@ pub fn apply_step(c: &Com, label: &StepLabel, regs: &RegFile) -> Option<StepResu
         Com::Assign { var, rhs, release } => {
             let rhs = prep(rhs, regs);
             match (next_read(&rhs), label) {
-                (Some((x, acq)), StepLabel::Act(Action::Rd { var: lv, val, acquire }))
-                    if *lv == x && *acquire == acq =>
-                {
+                (
+                    Some((x, acq)),
+                    StepLabel::Act(Action::Rd {
+                        var: lv,
+                        val,
+                        acquire,
+                    }),
+                ) if *lv == x && *acquire == acq => {
                     let rhs2 = fold(&subst_leftmost(&rhs, *val).expect("open rhs"));
                     Some(StepResult::pure(Com::Assign {
                         var: *var,
@@ -149,7 +157,14 @@ pub fn apply_step(c: &Com, label: &StepLabel, regs: &RegFile) -> Option<StepResu
                         release: *release,
                     }))
                 }
-                (None, StepLabel::Act(Action::Wr { var: lv, val, release: lr })) => {
+                (
+                    None,
+                    StepLabel::Act(Action::Wr {
+                        var: lv,
+                        val,
+                        release: lr,
+                    }),
+                ) => {
                     let expect = eval_closed(&rhs).expect("closed after prep");
                     (*lv == *var && *val == expect && *lr == *release)
                         .then(|| StepResult::pure(Com::Skip))
@@ -161,9 +176,11 @@ pub fn apply_step(c: &Com, label: &StepLabel, regs: &RegFile) -> Option<StepResu
             let new = prep(new, regs);
             let expect = eval_closed(&new)?;
             match label {
-                StepLabel::Act(Action::Upd { var: lv, old, new: lnew })
-                    if *lv == *var && *lnew == expect =>
-                {
+                StepLabel::Act(Action::Upd {
+                    var: lv,
+                    old,
+                    new: lnew,
+                }) if *lv == *var && *lnew == expect => {
                     Some(StepResult {
                         com: Com::Skip,
                         // exchange result: the value the update read
@@ -176,9 +193,14 @@ pub fn apply_step(c: &Com, label: &StepLabel, regs: &RegFile) -> Option<StepResu
         Com::AssignReg { reg, rhs } => {
             let rhs = prep(rhs, regs);
             match (next_read(&rhs), label) {
-                (Some((x, acq)), StepLabel::Act(Action::Rd { var: lv, val, acquire }))
-                    if *lv == x && *acquire == acq =>
-                {
+                (
+                    Some((x, acq)),
+                    StepLabel::Act(Action::Rd {
+                        var: lv,
+                        val,
+                        acquire,
+                    }),
+                ) if *lv == x && *acquire == acq => {
                     let rhs2 = fold(&subst_leftmost(&rhs, *val).expect("open rhs"));
                     Some(StepResult::pure(Com::AssignReg {
                         reg: *reg,
@@ -208,9 +230,14 @@ pub fn apply_step(c: &Com, label: &StepLabel, regs: &RegFile) -> Option<StepResu
         Com::If { cond, then_, else_ } => {
             let cond = prep(cond, regs);
             match (next_read(&cond), label) {
-                (Some((x, acq)), StepLabel::Act(Action::Rd { var: lv, val, acquire }))
-                    if *lv == x && *acquire == acq =>
-                {
+                (
+                    Some((x, acq)),
+                    StepLabel::Act(Action::Rd {
+                        var: lv,
+                        val,
+                        acquire,
+                    }),
+                ) if *lv == x && *acquire == acq => {
                     let cond2 = fold(&subst_leftmost(&cond, *val).expect("open cond"));
                     Some(StepResult::pure(Com::If {
                         cond: cond2,

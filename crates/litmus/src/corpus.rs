@@ -69,7 +69,8 @@ pub fn corpus() -> Vec<LitmusTest> {
             description: "message passing, all relaxed: stale data readable".into(),
             source: "vars d f;
                      thread t1 { d := 5; f := 1; }
-                     thread t2 { r0 <- f; r1 <- d; }".into(),
+                     thread t2 { r0 <- f; r1 <- d; }"
+                .into(),
             outcome: vec![reg(2, 0, 1), reg(2, 1, 0)],
             expect_ra: Allowed,
             expect_sc: Forbidden,
@@ -80,7 +81,8 @@ pub fn corpus() -> Vec<LitmusTest> {
             description: "message passing, release/acquire: publication works".into(),
             source: "vars d f;
                      thread t1 { d := 5; f :=R 1; }
-                     thread t2 { r0 <-A f; r1 <- d; }".into(),
+                     thread t2 { r0 <-A f; r1 <- d; }"
+                .into(),
             outcome: vec![reg(2, 0, 1), reg(2, 1, 0)],
             expect_ra: Forbidden,
             expect_sc: Forbidden,
@@ -91,7 +93,8 @@ pub fn corpus() -> Vec<LitmusTest> {
             description: "release write but relaxed read: no synchronisation".into(),
             source: "vars d f;
                      thread t1 { d := 5; f :=R 1; }
-                     thread t2 { r0 <- f; r1 <- d; }".into(),
+                     thread t2 { r0 <- f; r1 <- d; }"
+                .into(),
             outcome: vec![reg(2, 0, 1), reg(2, 1, 0)],
             expect_ra: Allowed,
             expect_sc: Forbidden,
@@ -102,7 +105,8 @@ pub fn corpus() -> Vec<LitmusTest> {
             description: "store buffering, relaxed: both reads may miss".into(),
             source: "vars x y;
                      thread t1 { x := 1; r0 <- y; }
-                     thread t2 { y := 1; r0 <- x; }".into(),
+                     thread t2 { y := 1; r0 <- x; }"
+                .into(),
             outcome: vec![reg(1, 0, 0), reg(2, 0, 0)],
             expect_ra: Allowed,
             expect_sc: Forbidden,
@@ -111,10 +115,12 @@ pub fn corpus() -> Vec<LitmusTest> {
         LitmusTest {
             name: "SB-ra".into(),
             description: "store buffering with RA annotations: still allowed \
-                          (RA is weaker than SC; forbidding SB needs SC atomics)".into(),
+                          (RA is weaker than SC; forbidding SB needs SC atomics)"
+                .into(),
             source: "vars x y;
                      thread t1 { x :=R 1; r0 <-A y; }
-                     thread t2 { y :=R 1; r0 <-A x; }".into(),
+                     thread t2 { y :=R 1; r0 <-A x; }"
+                .into(),
             outcome: vec![reg(1, 0, 0), reg(2, 0, 0)],
             expect_ra: Allowed,
             expect_sc: Forbidden,
@@ -123,10 +129,12 @@ pub fn corpus() -> Vec<LitmusTest> {
         LitmusTest {
             name: "SB-rmw".into(),
             description: "store buffering via RMWs: updates are RA, outcome \
-                          remains allowed (cross-variable)".into(),
+                          remains allowed (cross-variable)"
+                .into(),
             source: "vars x y;
                      thread t1 { x.swap(1); r0 <- y; }
-                     thread t2 { y.swap(1); r0 <- x; }".into(),
+                     thread t2 { y.swap(1); r0 <- x; }"
+                .into(),
             outcome: vec![reg(1, 0, 0), reg(2, 0, 0)],
             expect_ra: Allowed,
             expect_sc: Forbidden,
@@ -137,7 +145,8 @@ pub fn corpus() -> Vec<LitmusTest> {
             description: "load buffering: excluded by NoThinAir (sb ∪ rf acyclic)".into(),
             source: "vars x y;
                      thread t1 { r0 <- x; y := 1; }
-                     thread t2 { r0 <- y; x := 1; }".into(),
+                     thread t2 { r0 <- y; x := 1; }"
+                .into(),
             outcome: vec![reg(1, 0, 1), reg(2, 0, 1)],
             expect_ra: Forbidden,
             expect_sc: Forbidden,
@@ -148,7 +157,8 @@ pub fn corpus() -> Vec<LitmusTest> {
             description: "read-read coherence: values cannot go backwards in mo".into(),
             source: "vars x;
                      thread t1 { x := 1; x := 2; }
-                     thread t2 { r0 <- x; r1 <- x; }".into(),
+                     thread t2 { r0 <- x; r1 <- x; }"
+                .into(),
             outcome: vec![reg(2, 0, 2), reg(2, 1, 1)],
             expect_ra: Forbidden,
             expect_sc: Forbidden,
@@ -160,7 +170,8 @@ pub fn corpus() -> Vec<LitmusTest> {
             source: "vars x;
                      thread t1 { x := 1; }
                      thread t2 { x := 2; }
-                     thread t3 { r0 <- x; r1 <- x; r2 <- x; }".into(),
+                     thread t3 { r0 <- x; r1 <- x; r2 <- x; }"
+                .into(),
             outcome: vec![reg(3, 0, 1), reg(3, 1, 2), reg(3, 2, 1)],
             expect_ra: Forbidden,
             expect_sc: Forbidden,
@@ -169,9 +180,11 @@ pub fn corpus() -> Vec<LitmusTest> {
         LitmusTest {
             name: "CoWR".into(),
             description: "write-read coherence: a thread cannot read a value \
-                          older than its own write".into(),
+                          older than its own write"
+                .into(),
             source: "vars x;
-                     thread t1 { x := 1; r0 <- x; }".into(),
+                     thread t1 { x := 1; r0 <- x; }"
+                .into(),
             outcome: vec![reg(1, 0, 0)],
             expect_ra: Forbidden,
             expect_sc: Forbidden,
@@ -181,12 +194,14 @@ pub fn corpus() -> Vec<LitmusTest> {
             name: "IRIW-ra".into(),
             description: "independent reads of independent writes, all RA: \
                           threads 3 and 4 may disagree on the write order \
-                          (forbidding IRIW needs SC atomics)".into(),
+                          (forbidding IRIW needs SC atomics)"
+                .into(),
             source: "vars x y;
                      thread t1 { x :=R 1; }
                      thread t2 { y :=R 1; }
                      thread t3 { r0 <-A x; r1 <-A y; }
-                     thread t4 { r0 <-A y; r1 <-A x; }".into(),
+                     thread t4 { r0 <-A y; r1 <-A x; }"
+                .into(),
             outcome: vec![reg(3, 0, 1), reg(3, 1, 0), reg(4, 0, 1), reg(4, 1, 0)],
             expect_ra: Allowed,
             expect_sc: Forbidden,
@@ -195,13 +210,21 @@ pub fn corpus() -> Vec<LitmusTest> {
         LitmusTest {
             name: "2+2W".into(),
             description: "two threads write both variables in opposite order: \
-                          the 'crossed final values' are allowed relaxed".into(),
+                          the 'crossed final values' are allowed relaxed"
+                .into(),
             source: "vars x y;
                      thread t1 { x := 1; y := 2; }
-                     thread t2 { y := 1; x := 2; }".into(),
+                     thread t2 { y := 1; x := 2; }"
+                .into(),
             outcome: vec![
-                Cond::FinalVar { var: "x".into(), val: 1 },
-                Cond::FinalVar { var: "y".into(), val: 1 },
+                Cond::FinalVar {
+                    var: "x".into(),
+                    val: 1,
+                },
+                Cond::FinalVar {
+                    var: "y".into(),
+                    val: 1,
+                },
             ],
             expect_ra: Allowed,
             expect_sc: Forbidden,
@@ -210,11 +233,13 @@ pub fn corpus() -> Vec<LitmusTest> {
         LitmusTest {
             name: "WRC-ra".into(),
             description: "write-to-read causality with a release chain: the \
-                          final read cannot miss the original write".into(),
+                          final read cannot miss the original write"
+                .into(),
             source: "vars x y;
                      thread t1 { x := 1; }
                      thread t2 { r0 <- x; y :=R r0; }
-                     thread t3 { r0 <-A y; r1 <- x; }".into(),
+                     thread t3 { r0 <-A y; r1 <- x; }"
+                .into(),
             outcome: vec![reg(2, 0, 1), reg(3, 0, 1), reg(3, 1, 0)],
             expect_ra: Forbidden,
             expect_sc: Forbidden,
@@ -223,10 +248,12 @@ pub fn corpus() -> Vec<LitmusTest> {
         LitmusTest {
             name: "MP-swap".into(),
             description: "message passing where the flag is raised by an RMW: \
-                          updates synchronise like releases".into(),
+                          updates synchronise like releases"
+                .into(),
             source: "vars d f;
                      thread t1 { d := 5; f.swap(1); }
-                     thread t2 { r0 <-A f; r1 <- d; }".into(),
+                     thread t2 { r0 <-A f; r1 <- d; }"
+                .into(),
             outcome: vec![reg(2, 0, 1), reg(2, 1, 0)],
             expect_ra: Forbidden,
             expect_sc: Forbidden,
@@ -235,13 +262,16 @@ pub fn corpus() -> Vec<LitmusTest> {
         LitmusTest {
             name: "RMW-excl".into(),
             description: "two RMWs on one variable cannot both read the \
-                          initial value (update atomicity)".into(),
+                          initial value (update atomicity)"
+                .into(),
             source: "vars x;
                      thread t1 { x.swap(1); r0 <- x; }
-                     thread t2 { x.swap(2); r0 <- x; }".into(),
-            outcome: vec![
-                Cond::FinalVar { var: "x".into(), val: 0 },
-            ],
+                     thread t2 { x.swap(2); r0 <- x; }"
+                .into(),
+            outcome: vec![Cond::FinalVar {
+                var: "x".into(),
+                val: 0,
+            }],
             expect_ra: Forbidden,
             expect_sc: Forbidden,
             max_events: 24,
@@ -249,10 +279,12 @@ pub fn corpus() -> Vec<LitmusTest> {
         LitmusTest {
             name: "RMW-atomic".into(),
             description: "two exchanges on one variable cannot both see the \
-                          initial value (RMW atomicity via covered writes)".into(),
+                          initial value (RMW atomicity via covered writes)"
+                .into(),
             source: "vars x;
                      thread t1 { r0 <- x.swap(1); }
-                     thread t2 { r0 <- x.swap(2); }".into(),
+                     thread t2 { r0 <- x.swap(2); }"
+                .into(),
             outcome: vec![reg(1, 0, 0), reg(2, 0, 0)],
             expect_ra: Forbidden,
             expect_sc: Forbidden,
@@ -261,11 +293,13 @@ pub fn corpus() -> Vec<LitmusTest> {
         LitmusTest {
             name: "ISA2".into(),
             description: "release chains compose: x published through two \
-                          release/acquire hops stays visible".into(),
+                          release/acquire hops stays visible"
+                .into(),
             source: "vars x y z;
                      thread t1 { x := 1; y :=R 1; }
                      thread t2 { r0 <-A y; z :=R r0; }
-                     thread t3 { r1 <-A z; r2 <- x; }".into(),
+                     thread t3 { r1 <-A z; r2 <- x; }"
+                .into(),
             outcome: vec![reg(2, 0, 1), reg(3, 1, 1), reg(3, 2, 0)],
             expect_ra: Forbidden,
             expect_sc: Forbidden,
@@ -274,13 +308,18 @@ pub fn corpus() -> Vec<LitmusTest> {
         LitmusTest {
             name: "S".into(),
             description: "write-write coherence through hb: the hb-later \
-                          write cannot be mo-earlier".into(),
+                          write cannot be mo-earlier"
+                .into(),
             source: "vars x y;
                      thread t1 { x := 2; y :=R 1; }
-                     thread t2 { r0 <-A y; x := 1; }".into(),
+                     thread t2 { r0 <-A y; x := 1; }"
+                .into(),
             outcome: vec![
                 reg(2, 0, 1),
-                Cond::FinalVar { var: "x".into(), val: 2 },
+                Cond::FinalVar {
+                    var: "x".into(),
+                    val: 2,
+                },
             ],
             expect_ra: Forbidden,
             expect_sc: Forbidden,
@@ -290,8 +329,12 @@ pub fn corpus() -> Vec<LitmusTest> {
             name: "CoWW".into(),
             description: "write-write coherence within a thread: sb forces mo".into(),
             source: "vars x;
-                     thread t1 { x := 1; x := 2; }".into(),
-            outcome: vec![Cond::FinalVar { var: "x".into(), val: 1 }],
+                     thread t1 { x := 1; x := 2; }"
+                .into(),
+            outcome: vec![Cond::FinalVar {
+                var: "x".into(),
+                val: 1,
+            }],
             expect_ra: Forbidden,
             expect_sc: Forbidden,
             max_events: 24,
@@ -299,10 +342,12 @@ pub fn corpus() -> Vec<LitmusTest> {
         LitmusTest {
             name: "R-own-write".into(),
             description: "a thread reading its own unordered write sees no \
-                          synchronisation: allowed under both models".into(),
+                          synchronisation: allowed under both models"
+                .into(),
             source: "vars x y;
                      thread t1 { x := 1; y :=R 1; }
-                     thread t2 { y := 2; r0 <-A y; r1 <- x; }".into(),
+                     thread t2 { y := 2; r0 <-A y; r1 <- x; }"
+                .into(),
             outcome: vec![reg(2, 0, 2), reg(2, 1, 0)],
             expect_ra: Allowed,
             expect_sc: Allowed,
@@ -311,10 +356,12 @@ pub fn corpus() -> Vec<LitmusTest> {
         LitmusTest {
             name: "R-ra".into(),
             description: "the R shape: release write vs relaxed write race, \
-                          then an acquire read on the second thread".into(),
+                          then an acquire read on the second thread"
+                .into(),
             source: "vars x y;
                      thread t1 { x := 1; y :=R 1; }
-                     thread t2 { y := 2; r0 <-A y; r1 <- x; }".into(),
+                     thread t2 { y := 2; r0 <-A y; r1 <- x; }"
+                .into(),
             outcome: vec![reg(2, 0, 1), reg(2, 1, 0)],
             expect_ra: Forbidden,
             expect_sc: Forbidden,

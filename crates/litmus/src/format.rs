@@ -50,17 +50,12 @@ fn parse_verdict(v: &str) -> Result<Verdict, FormatError> {
 
 fn parse_cond(c: &str) -> Result<Cond, FormatError> {
     let c = c.trim();
-    let (lhs, rhs) = c
-        .split_once('=')
-        .ok_or_else(|| FormatError {
-            msg: format!("condition {c:?} needs `=`"),
-        })?;
-    let val: u32 = rhs
-        .trim()
-        .parse()
-        .map_err(|e| FormatError {
-            msg: format!("bad value in {c:?}: {e}"),
-        })?;
+    let (lhs, rhs) = c.split_once('=').ok_or_else(|| FormatError {
+        msg: format!("condition {c:?} needs `=`"),
+    })?;
+    let val: u32 = rhs.trim().parse().map_err(|e| FormatError {
+        msg: format!("bad value in {c:?}: {e}"),
+    })?;
     let lhs = lhs.trim();
     if let Some(var) = lhs.strip_prefix("final:") {
         return Ok(Cond::FinalVar {

@@ -18,4 +18,4 @@ pub mod runner;
 
 pub use corpus::{corpus, Cond, LitmusTest, Verdict};
 pub use format::{load_litmus_dir, load_litmus_file, parse_litmus, FormatError};
-pub use runner::{run_test, run_corpus, LitmusResult};
+pub use runner::{run_corpus, run_test, LitmusResult};

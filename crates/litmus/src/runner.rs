@@ -26,7 +26,10 @@ pub struct LitmusResult {
     pub pass: bool,
 }
 
-fn reg_conds_hold(cfg_regs: &[(u8, u8, u32)], regs: &dyn Fn(ThreadId, RegId) -> Option<u32>) -> bool {
+fn reg_conds_hold(
+    cfg_regs: &[(u8, u8, u32)],
+    regs: &dyn Fn(ThreadId, RegId) -> Option<u32>,
+) -> bool {
     cfg_regs
         .iter()
         .all(|&(t, r, v)| regs(ThreadId(t), RegId(r)) == Some(v))
@@ -34,28 +37,21 @@ fn reg_conds_hold(cfg_regs: &[(u8, u8, u32)], regs: &dyn Fn(ThreadId, RegId) -> 
 
 fn outcome_holds_ra(test: &LitmusTest, prog: &Prog, cfg: &Config<RaModel>) -> bool {
     test.outcome.iter().all(|c| match c {
-        Cond::Reg { thread, reg, val } => {
-            reg_conds_hold(&[(*thread, *reg, *val)], &|t, r| {
-                cfg.regs.get(t.0 as usize - 1).map(|f| f.get(r))
-            })
-        }
+        Cond::Reg { thread, reg, val } => reg_conds_hold(&[(*thread, *reg, *val)], &|t, r| {
+            cfg.regs.get(t.0 as usize - 1).map(|f| f.get(r))
+        }),
         Cond::FinalVar { var, val } => {
             let v = prog.var(var).expect("known variable");
-            cfg.mem
-                .last(v)
-                .and_then(|w| cfg.mem.event(w).wrval())
-                == Some(*val)
+            cfg.mem.last(v).and_then(|w| cfg.mem.event(w).wrval()) == Some(*val)
         }
     })
 }
 
 fn outcome_holds_sc(test: &LitmusTest, prog: &Prog, cfg: &Config<ScModel>) -> bool {
     test.outcome.iter().all(|c| match c {
-        Cond::Reg { thread, reg, val } => {
-            reg_conds_hold(&[(*thread, *reg, *val)], &|t, r| {
-                cfg.regs.get(t.0 as usize - 1).map(|f| f.get(r))
-            })
-        }
+        Cond::Reg { thread, reg, val } => reg_conds_hold(&[(*thread, *reg, *val)], &|t, r| {
+            cfg.regs.get(t.0 as usize - 1).map(|f| f.get(r))
+        }),
         Cond::FinalVar { var, val } => {
             let v = prog.var(var).expect("known variable");
             cfg.mem.mem[v.0 as usize] == *val

@@ -37,7 +37,14 @@ pub fn all_linearizations<F: FnMut(&[usize]) -> bool>(
     let mut prefix: Vec<usize> = Vec::new();
     let mut count = 0usize;
     let mut stop = false;
-    rec(&restricted, &mut remaining, &mut prefix, &mut f, &mut count, &mut stop);
+    rec(
+        &restricted,
+        &mut remaining,
+        &mut prefix,
+        &mut f,
+        &mut count,
+        &mut stop,
+    );
     count
 }
 
@@ -90,10 +97,7 @@ mod tests {
         let order = Relation::from_pairs(3, [(0, 1), (1, 2)]);
         let carrier = BitSet::from_iter([0, 1, 2]);
         assert_eq!(count_linearizations(&order, &carrier), 1);
-        assert_eq!(
-            some_linearization(&order, &carrier),
-            Some(vec![0, 1, 2])
-        );
+        assert_eq!(some_linearization(&order, &carrier), Some(vec![0, 1, 2]));
     }
 
     #[test]

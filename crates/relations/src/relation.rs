@@ -129,10 +129,7 @@ impl Relation {
 
     /// The relational image `R[a]` as an iterator.
     pub fn image(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
-        self.rows
-            .get(a)
-            .into_iter()
-            .flat_map(|row| row.iter())
+        self.rows.get(a).into_iter().flat_map(|row| row.iter())
     }
 
     /// The pre-image `R⁻¹[b]` (computed by scanning rows).

@@ -7,8 +7,7 @@ use proptest::prelude::*;
 const N: usize = 7;
 
 fn arb_relation() -> impl Strategy<Value = Relation> {
-    prop::collection::vec((0..N, 0..N), 0..14)
-        .prop_map(|pairs| Relation::from_pairs(N, pairs))
+    prop::collection::vec((0..N, 0..N), 0..14).prop_map(|pairs| Relation::from_pairs(N, pairs))
 }
 
 fn arb_dag() -> impl Strategy<Value = Relation> {

@@ -98,7 +98,6 @@ mod tests {
 
     use c11_core::semantics::{read_transitions, write_transitions};
 
-
     const X: VarId = VarId(0);
     const Y: VarId = VarId(1);
     const T1: ThreadId = ThreadId(1);
@@ -167,7 +166,10 @@ mod tests {
     #[test]
     fn update_only_tracking() {
         let s = C11State::initial(&[0]);
-        assert!(update_only(&s, X), "initially every variable is update-only");
+        assert!(
+            update_only(&s, X),
+            "initially every variable is update-only"
+        );
         let u = &c11_core::semantics::update_transitions(&s, T1, X, 5)[0];
         assert!(update_only(&u.state, X));
         let w = &write_transitions(&u.state, T2, X, 7, false)[0];

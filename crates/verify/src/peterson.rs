@@ -201,10 +201,7 @@ pub fn peterson_relaxed_program() -> Prog {
 
 /// Like [`mutual_exclusion_holds`], but returns the counterexample trace
 /// (thread/label per step) when mutual exclusion fails.
-pub fn find_mutex_violation(
-    prog: &Prog,
-    max_events: usize,
-) -> Option<Vec<c11_explore::TraceStep>> {
+pub fn find_mutex_violation(prog: &Prog, max_events: usize) -> Option<Vec<c11_explore::TraceStep>> {
     let explorer = Explorer::new(RaModel);
     let res = explorer.explore_invariant(
         &prog.clone(),
@@ -212,9 +209,7 @@ pub fn find_mutex_violation(
             max_events,
             ..Default::default()
         },
-        |cfg: &Config<RaModel>| {
-            !(cfg.pc(ThreadId(1)) == Some(5) && cfg.pc(ThreadId(2)) == Some(5))
-        },
+        |cfg: &Config<RaModel>| !(cfg.pc(ThreadId(1)) == Some(5) && cfg.pc(ThreadId(2)) == Some(5)),
     );
     res.violations.into_iter().next().map(|(_, trace)| trace)
 }

@@ -78,10 +78,7 @@ pub fn check_rules_on_transition(
         if e_is_write && e_var == x && sigma.last(x) == Some(m) {
             let want = ev.wrval();
             if determinate_value(sigma2, e_tid, x) != want {
-                fail(
-                    Rule::ModLast,
-                    format!("x={x:?} e={e} expected {want:?}"),
-                );
+                fail(Rule::ModLast, format!("x={x:?} e={e} expected {want:?}"));
             }
         }
 
@@ -173,7 +170,11 @@ pub fn check_rules_on_transition(
 
 /// The Init rule: in an initial state, every variable is determinate (with
 /// its initial value) for every thread.
-pub fn check_init_rule(state: &C11State, vars: &[VarId], threads: &[ThreadId]) -> Vec<RuleViolation> {
+pub fn check_init_rule(
+    state: &C11State,
+    vars: &[VarId],
+    threads: &[ThreadId],
+) -> Vec<RuleViolation> {
     let mut out = Vec::new();
     for &x in vars {
         let want = state.last(x).and_then(|w| state.event(w).wrval());

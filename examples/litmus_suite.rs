@@ -2,5 +2,7 @@ fn main() {
     let results = c11_litmus::run_corpus();
     println!("{}", c11_litmus::runner::render_table(&results));
     let fails: Vec<_> = results.iter().filter(|r| !r.pass).collect();
-    if !fails.is_empty() { std::process::exit(1); }
+    if !fails.is_empty() {
+        std::process::exit(1);
+    }
 }

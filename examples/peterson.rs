@@ -42,7 +42,11 @@ fn main() {
     println!(
         "  mutual exclusion:    {} {}",
         holds,
-        if holds { "(UNEXPECTED)" } else { "(violation found, as the paper predicts)" }
+        if holds {
+            "(UNEXPECTED)"
+        } else {
+            "(violation found, as the paper predicts)"
+        }
     );
     println!("  wall time:           {:?}", t0.elapsed());
 

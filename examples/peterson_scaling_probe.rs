@@ -2,7 +2,13 @@ fn main() {
     for budget in [14usize, 16, 18] {
         let t0 = std::time::Instant::now();
         let r = c11_verify::peterson::check_peterson(budget);
-        println!("budget={budget} states={} truncated={} mutex={} fails={:?} time={:?}",
-            r.states, r.truncated, r.mutual_exclusion, r.invariant_failures, t0.elapsed());
+        println!(
+            "budget={budget} states={} truncated={} mutex={} fails={:?} time={:?}",
+            r.states,
+            r.truncated,
+            r.mutual_exclusion,
+            r.invariant_failures,
+            t0.elapsed()
+        );
     }
 }

@@ -1,5 +1,5 @@
-use c11_operational::verify::peterson::{mutual_exclusion_holds, peterson_relaxed_program};
 use c11_operational::prelude::*;
+use c11_operational::verify::peterson::{mutual_exclusion_holds, peterson_relaxed_program};
 
 fn main() {
     let flag_relaxed = parse_program(
@@ -8,11 +8,15 @@ fn main() {
              4: while (flag2 == 1 && turn == 2) { skip; } 5: skip; 6: flag1 := false; } }
          thread t2 { while (true) { 2: flag2 := true; 3: turn.swap(1);
              4: while (flag1 == 1 && turn == 1) { skip; } 5: skip; 6: flag2 := false; } }",
-    ).unwrap();
+    )
+    .unwrap();
     for budget in [18usize, 20, 22] {
         let t0 = std::time::Instant::now();
         let (holds, states) = mutual_exclusion_holds(&flag_relaxed, budget);
-        println!("flag-relaxed budget={budget} mutex={holds} states={states} time={:?}", t0.elapsed());
+        println!(
+            "flag-relaxed budget={budget} mutex={holds} states={states} time={:?}",
+            t0.elapsed()
+        );
     }
     let (holds, states) = mutual_exclusion_holds(&peterson_relaxed_program(), 16);
     println!("all-relaxed budget=16 mutex={holds} states={states}");

@@ -19,8 +19,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(18);
 
-    for (label, release) in [("release unlock (l :=R 0)", true), ("relaxed unlock (l := 0)", false)]
-    {
+    for (label, release) in [
+        ("release unlock (l :=R 0)", true),
+        ("relaxed unlock (l := 0)", false),
+    ] {
         let t0 = std::time::Instant::now();
         let r = check_spinlock(budget, release);
         println!("== TAS spinlock, {label} ==");

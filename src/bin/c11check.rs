@@ -45,13 +45,11 @@ fn parse_args() -> Result<Opts, String> {
                     .map_err(|e| format!("bad --max-events: {e}"))?;
             }
             "-h" | "--help" => {
-                return Err(
-                    "usage: c11check <program.c11 | - | dir> [--litmus] [--sc] \
+                return Err("usage: c11check <program.c11 | - | dir> [--litmus] [--sc] \
                      [--max-events N] [--dot] [--quiet]\n\
                      --litmus: treat the input as a .litmus file (or a \
                      directory of them) and check expected verdicts"
-                        .to_string(),
-                )
+                    .to_string())
             }
             p if opts.path.is_empty() => opts.path = p.to_string(),
             other => return Err(format!("unknown argument {other:?}")),
@@ -101,7 +99,12 @@ fn main() -> ExitCode {
     if opts.sc {
         let res = Explorer::new(ScModel)
             .explore(&prog, ExploreConfig::with_max_depth(10 * opts.max_events));
-        report_outcomes(&prog, res.unique, res.truncated, &res.final_register_states());
+        report_outcomes(
+            &prog,
+            res.unique,
+            res.truncated,
+            &res.final_register_states(),
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -130,10 +133,18 @@ fn main() -> ExitCode {
         eprintln!("INTERNAL ERROR: {invalid} invalid final states (soundness bug)");
         return ExitCode::from(3);
     }
-    report_outcomes(&prog, res.unique, res.truncated, &res.final_register_states());
+    report_outcomes(
+        &prog,
+        res.unique,
+        res.truncated,
+        &res.final_register_states(),
+    );
     if opts.dot {
         for (i, cfg) in res.finals.iter().enumerate().take(4) {
-            println!("// final execution {i}\n{}", to_dot(&cfg.mem, &prog.var_names));
+            println!(
+                "// final execution {i}\n{}",
+                to_dot(&cfg.mem, &prog.var_names)
+            );
         }
     }
     ExitCode::SUCCESS

@@ -32,7 +32,10 @@ fn e15_weak_observability_admits_invalid_states() {
             invalid += 1;
         }
     });
-    assert!(invalid > 0, "hb-only observability must admit invalid states");
+    assert!(
+        invalid > 0,
+        "hb-only observability must admit invalid states"
+    );
     assert!(total > invalid);
 
     // The full semantics on the same program: zero invalid states.
@@ -70,12 +73,9 @@ fn e15_weak_observability_breaks_corr() {
 fn e16_parallel_matches_sequential() {
     for test in c11_operational::litmus::corpus().into_iter().take(6) {
         let prog = parse_program(&test.source).unwrap();
-        let seq = Explorer::new(RaModel).explore(
-            &prog,
-            ExploreConfig::with_max_events(test.max_events),
-        );
-        let (par, truncated) =
-            parallel_count_states(&RaModel, &prog, test.max_events, 4);
+        let seq =
+            Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(test.max_events));
+        let (par, truncated) = parallel_count_states(&RaModel, &prog, test.max_events, 4);
         assert_eq!(par, seq.unique, "{}", test.name);
         assert_eq!(truncated, seq.truncated, "{}", test.name);
     }

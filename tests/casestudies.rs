@@ -56,7 +56,10 @@ fn e17_spinlock_non_vacuous() {
         },
     );
     assert!(t1_cs && t2_cs, "both threads enter the critical section");
-    assert!(counter_reached_2, "two increments complete within the budget");
+    assert!(
+        counter_reached_2,
+        "two increments complete within the budget"
+    );
 }
 
 #[test]

@@ -26,7 +26,10 @@ fn completeness_round_trip(src: &str) -> (usize, usize) {
     for f in &pe_res.finals {
         for j in justifications(&f.mem) {
             replay(&j).unwrap_or_else(|e| {
-                panic!("completeness violated: {e:?} for\n{}", j.render(&prog.var_names))
+                panic!(
+                    "completeness violated: {e:?} for\n{}",
+                    j.render(&prog.var_names)
+                )
             });
             justified.insert(j.canonical());
             replayed += 1;

@@ -81,12 +81,9 @@ fn example_3_2_successors_stay_valid() {
     let (s, _) = example_3_2();
     for t in 1..=4u8 {
         for var in [VarId(0), VarId(1), VarId(2)] {
-            for tr in c11_operational::core::semantics::read_transitions(
-                &s,
-                ThreadId(t),
-                var,
-                t % 2 == 0,
-            ) {
+            for tr in
+                c11_operational::core::semantics::read_transitions(&s, ThreadId(t), var, t % 2 == 0)
+            {
                 assert!(is_valid(&tr.state), "{:?}", check_validity(&tr.state));
             }
             for tr in write_transitions(&s, ThreadId(t), var, 7, t % 2 == 1) {

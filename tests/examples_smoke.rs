@@ -1,0 +1,41 @@
+//! Smoke tests that exercise the shipped examples end-to-end, so the
+//! `cargo run --example` paths in the README cannot rot. Each test drives
+//! the example through cargo itself (serialised by cargo's own file lock)
+//! and checks both the exit status and a load-bearing line of output.
+
+use std::process::Command;
+
+fn run_example(name: &str) -> (bool, String) {
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn quickstart_example_runs() {
+    let (ok, text) = run_example("quickstart");
+    assert!(ok, "quickstart exited nonzero:\n{text}");
+    // The quickstart's punchline: RA publication forbids the stale read.
+    assert!(
+        text.contains("stale read (flag=1, data=0): forbidden"),
+        "quickstart output changed:\n{text}"
+    );
+}
+
+#[test]
+fn peterson_example_runs() {
+    let (ok, text) = run_example("peterson");
+    assert!(ok, "peterson exited nonzero:\n{text}");
+    assert!(
+        text.to_lowercase().contains("mutual exclusion"),
+        "peterson output changed:\n{text}"
+    );
+}

@@ -14,7 +14,11 @@ fn e8_exhaustive_size_3_two_threads_two_vars() {
         max_threads: 2,
         max_vars: 2,
     });
-    assert!(report.agrees(), "Theorem C.5 refuted: {:?}", report.disagreements);
+    assert!(
+        report.agrees(),
+        "Theorem C.5 refuted: {:?}",
+        report.disagreements
+    );
     assert!(report.candidates > 1_000);
     assert!(report.both_consistent > 0 && report.both_inconsistent > 0);
 }

@@ -1,13 +1,16 @@
 //! E12 — Example 5.7 (message passing), the proof replayed mechanically.
 
-use c11_operational::verify::mp::{check_mp, mp_program};
 use c11_operational::prelude::*;
+use c11_operational::verify::mp::{check_mp, mp_program};
 
 #[test]
 fn e12_example_5_7() {
     let report = check_mp(16);
     assert!(report.writer_assertions, "d =_1 5 ∧ d → f after thread 1");
-    assert!(report.reader_assertion, "d =_2 5 when thread 2 reaches line 2");
+    assert!(
+        report.reader_assertion,
+        "d =_2 5 when thread 2 reaches line 2"
+    );
     assert!(report.end_to_end, "every terminated run reads r = 5");
     assert!(report.states > 100);
 }
@@ -19,18 +22,14 @@ fn e12_flag_invariant() {
     let prog = mp_program();
     let f = prog.var("f").unwrap();
     let explorer = Explorer::new(RaModel);
-    explorer.for_each_reachable(
-        &prog,
-        ExploreConfig::with_max_events(14),
-        |cfg| {
-            for w in cfg.mem.writes_to(f) {
-                let ev = cfg.mem.event(w);
-                if ev.wrval() == Some(1) {
-                    assert_eq!(ev.tid, ThreadId(1));
-                    assert!(ev.is_release());
-                    assert_eq!(cfg.mem.last(f), Some(w), "f=1 write is last(f)");
-                }
+    explorer.for_each_reachable(&prog, ExploreConfig::with_max_events(14), |cfg| {
+        for w in cfg.mem.writes_to(f) {
+            let ev = cfg.mem.event(w);
+            if ev.wrval() == Some(1) {
+                assert_eq!(ev.tid, ThreadId(1));
+                assert!(ev.is_release());
+                assert_eq!(cfg.mem.last(f), Some(w), "f=1 write is last(f)");
             }
-        },
-    );
+        }
+    });
 }

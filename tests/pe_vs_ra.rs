@@ -79,10 +79,7 @@ fn e5_example_4_5_round_trip() {
     assert!(justified_runs >= 2, "x=0 and x=5 runs both justify");
     // And some pre-execution (the one reading garbage, e.g. 1) has no
     // justification at all.
-    assert!(res
-        .finals
-        .iter()
-        .any(|f| justifications(&f.mem).is_empty()));
+    assert!(res.finals.iter().any(|f| justifications(&f.mem).is_empty()));
 }
 
 /// Lemma 4.7: every linearization of `sb` of a pre-execution run is itself
@@ -125,9 +122,7 @@ fn lemma_4_7_all_sb_linearizations_replay() {
             acquire: true,
         },
     ));
-    let non_init = BitSet::from_iter(
-        target.ids().filter(|&e| !target.event(e).is_init()),
-    );
+    let non_init = BitSet::from_iter(target.ids().filter(|&e| !target.event(e).is_init()));
     let canon = target.canonical();
     let mut count = 0usize;
     all_linearizations(target.sb(), &non_init, |lin| {

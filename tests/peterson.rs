@@ -81,21 +81,11 @@ fn e4_example_3_6_snapshot() {
     let turn = prog.var("turn").unwrap();
     let s = C11State::initial(&[0, 0, 1]); // flag1, flag2, turn=1
 
-    let w1 = &c11_operational::core::semantics::write_transitions(
-        &s,
-        ThreadId(1),
-        f1,
-        1,
-        false,
-    )[0];
+    let w1 = &c11_operational::core::semantics::write_transitions(&s, ThreadId(1), f1, 1, false)[0];
     let u1 = &update_transitions(&w1.state, ThreadId(1), turn, 2)[0];
-    let w2 = &c11_operational::core::semantics::write_transitions(
-        &u1.state,
-        ThreadId(2),
-        f2,
-        1,
-        false,
-    )[0];
+    let w2 =
+        &c11_operational::core::semantics::write_transitions(&u1.state, ThreadId(2), f2, 1, false)
+            [0];
 
     // Before the boxed event: thread 2 can read turn from wr0(turn,1) via
     // a READ, but cannot update over it — wr0 is covered by t1's update.

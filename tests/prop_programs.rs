@@ -40,9 +40,8 @@ fn arb_thread() -> impl Strategy<Value = Com> {
 }
 
 fn arb_prog() -> impl Strategy<Value = Prog> {
-    (arb_thread(), arb_thread()).prop_map(|(t1, t2)| {
-        Prog::new(vec![("x".into(), 0), ("y".into(), 0)], vec![t1, t2])
-    })
+    (arb_thread(), arb_thread())
+        .prop_map(|(t1, t2)| Prog::new(vec![("x".into(), 0), ("y".into(), 0)], vec![t1, t2]))
 }
 
 proptest! {

@@ -1,0 +1,235 @@
+//! Offline shim for the slice of the `criterion` API this workspace uses.
+//!
+//! It is a real harness, not a stub: `Bencher::iter` times the closure over
+//! `sample_size` samples after a short warm-up and reports min / mean / max
+//! per iteration. There is no statistical outlier analysis, HTML report, or
+//! baseline comparison — swap in real criterion for those.
+//!
+//! Environment knobs:
+//! * `BENCH_SAMPLE_SIZE` — override every group's sample size (CI smoke runs).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: Some(name.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: None,
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.name {
+            Some(n) => format!("{n}/{}", self.parameter),
+            None => self.parameter.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId::from_parameter(s)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId::from_parameter(s)
+    }
+}
+
+/// Hands the measurement closure to the benchmark body.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample after one untimed warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let samples = self
+            .criterion
+            .sample_size_override
+            .unwrap_or(self.sample_size);
+        let mut bencher = Bencher {
+            samples,
+            durations: Vec::with_capacity(samples),
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.label()), &bencher.durations);
+    }
+}
+
+fn report(label: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let min = durations.iter().min().unwrap();
+    let max = durations.iter().max().unwrap();
+    let mean = durations.iter().sum::<Duration>() / durations.len() as u32;
+    println!(
+        "{label:<48} time: [{} {} {}]",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The harness entry point, created by `criterion_main!`.
+pub struct Criterion {
+    sample_size_override: Option<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_size_override = std::env::var("BENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        Criterion {
+            sample_size_override,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("run", f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a group function that runs each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target. Arguments passed by
+/// `cargo bench` (e.g. `--bench`, filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("compute", 8).label(), "compute/8");
+        assert_eq!(BenchmarkId::from_parameter("SB").label(), "SB");
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            durations: Vec::new(),
+        };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        assert_eq!(b.durations.len(), 5);
+        assert_eq!(count, 6); // 5 samples + 1 warm-up
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline shim for the slice of the `rand` 0.8 API this workspace uses:
+//! `SeedableRng::seed_from_u64`, `Rng::gen_range` over half-open and
+//! inclusive integer ranges, and `rngs::StdRng`.
+//!
+//! The generator is splitmix64 — deterministic, seedable, and statistically
+//! fine for sampling candidate executions; it is NOT the real `StdRng`
+//! (ChaCha12) and must not be used for anything security-relevant.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core of every generator: a source of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Range sampling, mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        // The casts are identities for the widest types in the list.
+        #[allow(clippy::unnecessary_cast)]
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        #[allow(clippy::unnecessary_cast)]
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                // Widen before the +1: for a full-width u64/usize range the
+                // span wraps to 0, which selects the every-value branch
+                // instead of overflowing in debug builds.
+                let span = ((hi - lo) as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// User-facing convenience methods, auto-implemented for every generator.
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..9usize);
+            assert!((3..9).contains(&x));
+            let y = rng.gen_range(0..=4u32);
+            assert!(y <= 4);
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range_does_not_overflow() {
+        // Regression: the span `+ 1` used to overflow in debug builds for
+        // full-width inclusive ranges before reaching the every-value branch.
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rng.gen_range(0..=u64::MAX);
+        let _ = rng.gen_range(0..=usize::MAX);
+        let x = rng.gen_range(250..=u8::MAX);
+        assert!(x >= 250);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<usize> = (0..16).map(|_| a.gen_range(0..1_000_000)).collect();
+        let vb: Vec<usize> = (0..16).map(|_| b.gen_range(0..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+}
