@@ -1,0 +1,241 @@
+//! E13-style end-to-end exploration benchmark: wall-clock state-space
+//! throughput over the litmus corpus and the scaling workloads, plus the
+//! `transitive_closure` microbenches that dominate the per-transition cost.
+//!
+//! Unlike the criterion targets this is a hand-rolled harness (`harness =
+//! false` + own `main`) so it can emit machine-readable JSON: run with
+//!
+//! ```sh
+//! cargo bench --bench explore_e2e -- --json BENCH_explore_e2e.json
+//! cargo bench --bench explore_e2e -- --quick        # CI smoke mode
+//! ```
+//!
+//! The JSON lands in `BENCH_*.json` files that record the performance
+//! trajectory across PRs (see README § Performance).
+
+use c11_bench::{chain_state, contended_workload, wide_workload};
+use c11_core::model::RaModel;
+use c11_explore::{parallel_count_states, ExploreConfig, Explorer};
+use c11_litmus::{corpus, run_test};
+use std::time::Instant;
+
+/// One benchmark row: a label, a size measure (states or carrier), and the
+/// best-of-`reps` wall time in nanoseconds.
+struct Row {
+    group: &'static str,
+    name: String,
+    size: usize,
+    nanos: u128,
+}
+
+impl Row {
+    fn per_sec(&self) -> f64 {
+        if self.nanos == 0 {
+            f64::INFINITY
+        } else {
+            self.size as f64 * 1e9 / self.nanos as f64
+        }
+    }
+}
+
+/// Times `f` `reps` times and returns the best run in nanos (min over reps
+/// filters scheduler noise; the shim criterion reports min too).
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+fn bench_corpus(reps: usize, rows: &mut Vec<Row>) {
+    for test in corpus() {
+        let mut states = 0usize;
+        let nanos = best_of(reps, || {
+            let r = run_test(&test);
+            assert!(r.pass, "{} regressed during benchmarking", r.name);
+            states = r.states_ra + r.states_sc;
+            r
+        });
+        rows.push(Row {
+            group: "corpus",
+            name: test.name.clone(),
+            size: states,
+            nanos,
+        });
+    }
+}
+
+fn bench_scaling(reps: usize, quick: bool, rows: &mut Vec<Row>) {
+    let wide: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4] };
+    for &k in wide {
+        let prog = wide_workload(k);
+        let mut states = 0usize;
+        let nanos = best_of(reps, || {
+            let res =
+                Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(2 * k + 4));
+            states = res.unique;
+            res
+        });
+        rows.push(Row {
+            group: "wide",
+            name: format!("E13-wide-{k}"),
+            size: states,
+            nanos,
+        });
+    }
+    let contended: &[usize] = if quick { &[3] } else { &[3, 4] };
+    for &k in contended {
+        let prog = contended_workload(k);
+        let mut states = 0usize;
+        let nanos = best_of(reps, || {
+            let res = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+            states = res.unique;
+            res
+        });
+        rows.push(Row {
+            group: "contended",
+            name: format!("E16-contended-{k}"),
+            size: states,
+            nanos,
+        });
+    }
+}
+
+fn bench_parallel(reps: usize, quick: bool, rows: &mut Vec<Row>) {
+    let k = if quick { 3 } else { 4 };
+    let prog = contended_workload(k);
+    let seq = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+    for workers in [1usize, 2, 4] {
+        let mut states = 0usize;
+        let nanos = best_of(reps, || {
+            let (unique, truncated) = parallel_count_states(&RaModel, &prog, 24, workers);
+            assert_eq!(
+                unique, seq.unique,
+                "parallel count diverged from sequential at {workers} workers"
+            );
+            assert_eq!(truncated, seq.truncated);
+            states = unique;
+            unique
+        });
+        rows.push(Row {
+            group: "parallel",
+            name: format!("E16-par-w{workers}"),
+            size: states,
+            nanos,
+        });
+    }
+}
+
+fn bench_closure_micro(reps: usize, rows: &mut Vec<Row>) {
+    for n in [16usize, 32, 64] {
+        let s = chain_state(n);
+        let base = s.sb().union(s.rf()).union(s.mo());
+        let edges = base.edge_count();
+        let nanos = best_of(reps.max(100), || base.transitive_closure());
+        rows.push(Row {
+            group: "closure",
+            name: format!("warshall-{}", s.len()),
+            size: edges,
+            nanos,
+        });
+        // Incremental absorption: start from the closed relation and absorb
+        // one fresh sink edge per iteration — the explorer's steady state.
+        let closed = base.transitive_closure();
+        let m = closed.len();
+        let nanos = best_of(reps.max(100), || {
+            let mut r = closed.clone();
+            r.add_edge_transitive(m - 2, m + 1);
+            r
+        });
+        rows.push(Row {
+            group: "closure",
+            name: format!("incremental-{}", s.len()),
+            size: edges,
+            nanos,
+        });
+    }
+}
+
+/// Anchors relative output paths at the workspace root: `cargo bench`
+/// runs harness=false binaries with cwd = `crates/bench`, which would
+/// otherwise scatter `BENCH_*.json` files away from where CI and the
+/// README expect them.
+fn resolve_output(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+fn emit_json(path: &std::path::Path, rows: &[Row]) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"bench\": \"explore_e2e\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"size\": {}, \"nanos\": {}, \"per_sec\": {:.1}}}{}",
+            r.group,
+            r.name,
+            r.size,
+            r.nanos,
+            r.per_sec(),
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let mut json: Option<String> = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = Some(args.next().expect("--json needs a path")),
+            "--quick" => quick = true,
+            // `cargo bench` passes --bench through to harness=false targets.
+            "--bench" => {}
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let reps = if quick { 2 } else { 5 };
+    let mut rows = Vec::new();
+    bench_corpus(reps, &mut rows);
+    bench_scaling(reps, quick, &mut rows);
+    bench_parallel(reps, quick, &mut rows);
+    bench_closure_micro(reps, &mut rows);
+
+    println!(
+        "{:<12} {:<18} {:>10} {:>14} {:>14}",
+        "group", "name", "size", "time", "size/s"
+    );
+    for r in &rows {
+        let (t, unit) = if r.nanos >= 1_000_000 {
+            (r.nanos as f64 / 1e6, "ms")
+        } else {
+            (r.nanos as f64 / 1e3, "us")
+        };
+        println!(
+            "{:<12} {:<18} {:>10} {:>11.2} {} {:>14.0}",
+            r.group,
+            r.name,
+            r.size,
+            t,
+            unit,
+            r.per_sec()
+        );
+    }
+    if let Some(path) = json {
+        let path = resolve_output(&path);
+        emit_json(&path, &rows).expect("write JSON results");
+        println!("wrote {}", path.display());
+    }
+}

@@ -129,18 +129,26 @@ impl<M: MemoryModel> Config<M> {
                         let label = StepLabel::Act(action);
                         let res = apply_step(com, &label, regs)
                             .expect("model transition must match the enabled shape");
-                        let mut next = self.clone();
-                        next.coms[idx] = res.com;
+                        // Assemble the successor directly: the transition
+                        // already produced the new memory state, so cloning
+                        // `self.mem` only to overwrite it would waste the
+                        // most expensive copy of the hot loop.
+                        let mut coms = self.coms.clone();
+                        coms[idx] = res.com;
+                        let mut regs = self.regs.clone();
                         if let Some((r, v)) = res.reg_write {
-                            next.regs[idx].set(r, v);
+                            regs[idx].set(r, v);
                         }
-                        next.mem = state;
                         out.push(ConfigStep {
                             tid: t,
                             label,
                             observed,
                             event,
-                            next,
+                            next: Config {
+                                coms,
+                                regs,
+                                mem: state,
+                            },
                         });
                     }
                 }

@@ -1,0 +1,155 @@
+//! Fixed-seed 128-bit fingerprints for exploration dedup keys.
+//!
+//! The explorer used to deduplicate configurations by cloning the whole
+//! `(coms, regs, CanonicalState)` tuple into a hash map. These helpers
+//! replace that with a 128-bit fingerprint: two independent 64-bit lanes,
+//! each a fixed-seed FNV-1a fold finished with a splitmix64 avalanche.
+//!
+//! Collision stance: keys are 128 bits, so two distinct canonical states
+//! colliding is a ~2⁻⁶⁴ event even after billions of states (birthday
+//! bound), far below the chance of a hardware fault during the same run.
+//! Dedup by fingerprint can therefore *undercount* states only with
+//! negligible probability and can never produce unsound "allowed"
+//! verdicts (a merged state was still reached by a real execution).
+
+use std::hash::{Hash, Hasher};
+
+/// The splitmix64 finaliser: a cheap full-avalanche bijection on `u64`.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A `std::hash::Hasher` running FNV-1a from a caller-chosen seed, with a
+/// splitmix64 finaliser. Deterministic across runs and processes (unlike
+/// `DefaultHasher`'s documented-unstable initial state), which keeps
+/// fingerprints comparable between the sequential and parallel engines.
+pub struct SeededFnv {
+    state: u64,
+}
+
+impl SeededFnv {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher whose initial state is `seed` folded into the
+    /// standard FNV offset basis.
+    pub fn new(seed: u64) -> SeededFnv {
+        SeededFnv {
+            state: 0xcbf2_9ce4_8422_2325 ^ seed,
+        }
+    }
+}
+
+impl Hasher for SeededFnv {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        splitmix64(self.state)
+    }
+}
+
+/// Hashes any `Hash` value into 128 bits via two differently-seeded lanes.
+pub fn hash128_of<T: Hash + ?Sized>(value: &T) -> u128 {
+    let mut lo = SeededFnv::new(0x243f_6a88_85a3_08d3); // π digits
+    let mut hi = SeededFnv::new(0x1319_8a2e_0370_7344);
+    value.hash(&mut lo);
+    value.hash(&mut hi);
+    ((hi.finish() as u128) << 64) | lo.finish() as u128
+}
+
+/// Mixes several 128-bit fingerprints (e.g. coms / regs / memory state)
+/// into one, order-sensitively.
+pub fn combine128(parts: &[u128]) -> u128 {
+    let mut lo: u64 = 0x4528_21e6_38d0_1377;
+    let mut hi: u64 = 0xbe54_66cf_34e9_0c6c;
+    for &p in parts {
+        lo = splitmix64(lo ^ p as u64);
+        hi = splitmix64(hi ^ (p >> 64) as u64);
+    }
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// An order-insensitive 128-bit accumulator for edge multisets: each
+/// record is avalanche-mixed per lane and then folded in with wrapping
+/// addition, so permuting the insertion order cannot change the result.
+/// Used by [`crate::state::C11State::fingerprint`] to hash the permuted
+/// `sb`/`rf`/`mo` edge sets without sorting (hence without allocating).
+#[derive(Clone, Copy, Default)]
+pub struct SetFold {
+    lo: u64,
+    hi: u64,
+}
+
+impl SetFold {
+    /// Folds one record into both lanes.
+    #[inline]
+    pub fn absorb(&mut self, record: u64) {
+        self.lo = self
+            .lo
+            .wrapping_add(splitmix64(record ^ 0x9216_d5d9_8979_fb1b));
+        self.hi = self
+            .hi
+            .wrapping_add(splitmix64(record ^ 0xd131_0ba6_98df_b5ac));
+    }
+
+    /// The accumulated 128-bit digest.
+    pub fn digest(&self) -> u128 {
+        ((splitmix64(self.hi) as u128) << 64) | splitmix64(self.lo) as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_fnv_is_deterministic_and_seed_sensitive() {
+        let h = |seed: u64, data: &[u8]| {
+            let mut f = SeededFnv::new(seed);
+            f.write(data);
+            f.finish()
+        };
+        assert_eq!(h(1, b"abc"), h(1, b"abc"));
+        assert_ne!(h(1, b"abc"), h(2, b"abc"));
+        assert_ne!(h(1, b"abc"), h(1, b"abd"));
+    }
+
+    #[test]
+    fn hash128_distinguishes_values() {
+        assert_eq!(hash128_of(&[1u32, 2, 3]), hash128_of(&[1u32, 2, 3]));
+        assert_ne!(hash128_of(&[1u32, 2, 3]), hash128_of(&[1u32, 3, 2]));
+        assert_ne!(hash128_of(&1u64), hash128_of(&2u64));
+    }
+
+    #[test]
+    fn set_fold_is_order_insensitive() {
+        let mut a = SetFold::default();
+        let mut b = SetFold::default();
+        for x in [3u64, 1, 4, 1, 5] {
+            a.absorb(x);
+        }
+        for x in [5u64, 1, 4, 3, 1] {
+            b.absorb(x);
+        }
+        assert_eq!(a.digest(), b.digest());
+        let mut c = SetFold::default();
+        for x in [3u64, 1, 4, 1] {
+            c.absorb(x);
+        }
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine128(&[1, 2]), combine128(&[2, 1]));
+        assert_eq!(combine128(&[1, 2]), combine128(&[1, 2]));
+    }
+}

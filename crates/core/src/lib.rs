@@ -21,6 +21,7 @@
 pub mod config;
 pub mod dot;
 pub mod event;
+pub mod fingerprint;
 pub mod model;
 pub mod obs;
 pub mod paper_examples;

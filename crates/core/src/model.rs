@@ -49,6 +49,16 @@ pub trait MemoryModel {
     /// The canonical key of a state.
     fn canonical_key(&self, state: &Self::State) -> Self::CanonKey;
 
+    /// A 128-bit fingerprint of the state's canonical form — the
+    /// exploration dedup key. Two states with equal canonical keys must
+    /// fingerprint equal; distinct keys collide only with ~2⁻¹²⁸
+    /// probability (see `c11_core::fingerprint`). The default hashes the
+    /// materialised canonical key; models override it when they can
+    /// fingerprint without materialising (see [`C11State::fingerprint`]).
+    fn state_fingerprint(&self, state: &Self::State) -> u128 {
+        crate::fingerprint::hash128_of(&self.canonical_key(state))
+    }
+
     /// A size measure used to bound exploration of growing states (event
     /// count for event-based models; 0 for store-based models).
     fn state_size(&self, state: &Self::State) -> usize;
@@ -91,6 +101,10 @@ impl MemoryModel for RaModel {
 
     fn canonical_key(&self, state: &C11State) -> Self::CanonKey {
         state.canonical()
+    }
+
+    fn state_fingerprint(&self, state: &C11State) -> u128 {
+        state.fingerprint()
     }
 
     fn state_size(&self, state: &C11State) -> usize {
@@ -159,6 +173,10 @@ impl MemoryModel for PreExecutionModel {
         state.canonical()
     }
 
+    fn state_fingerprint(&self, state: &C11State) -> u128 {
+        state.fingerprint()
+    }
+
     fn state_size(&self, state: &C11State) -> usize {
         state.len()
     }
@@ -211,6 +229,10 @@ impl MemoryModel for WeakObsRaModel {
 
     fn canonical_key(&self, state: &C11State) -> Self::CanonKey {
         state.canonical()
+    }
+
+    fn state_fingerprint(&self, state: &C11State) -> u128 {
+        state.fingerprint()
     }
 
     fn state_size(&self, state: &C11State) -> usize {

@@ -10,7 +10,6 @@
 //! * `CW_σ` — covered writes: those read by an update, into which no new
 //!   write may be mo-inserted (guaranteeing RMW atomicity).
 
-use crate::event::EventId;
 use crate::state::C11State;
 use c11_lang::ThreadId;
 use c11_relations::BitSet;
@@ -22,14 +21,19 @@ use c11_relations::BitSet;
 /// includes every initialising write (which is `sb`- hence `hb`-prior to
 /// all of the thread's events).
 pub fn encountered_writes(state: &C11State, t: ThreadId) -> BitSet {
-    let thread_events: Vec<EventId> = state.thread_events(t).collect();
+    let mut thread_events = BitSet::with_capacity(state.len());
+    for e in state.thread_events(t) {
+        thread_events.insert(e);
+    }
     let mut out = BitSet::with_capacity(state.len());
     if thread_events.is_empty() {
         return out;
     }
     let reach = state.eco_hb_reach();
     for w in state.writes().iter() {
-        if thread_events.iter().any(|&e| reach.contains(w, e)) {
+        // `(w, e) ∈ eco? ; hb?` for some event `e` of `t`: one
+        // word-parallel row intersection instead of per-event lookups.
+        if !reach.row(w).is_disjoint(&thread_events) {
             out.insert(w);
         }
     }
@@ -59,14 +63,17 @@ pub fn observable_writes(state: &C11State, t: ThreadId) -> BitSet {
 /// "unencountered" and the semantics admits axiom-violating states. Not
 /// part of the paper's model; exists to measure how load-bearing `eco` is.
 pub fn encountered_writes_hb_only(state: &C11State, t: ThreadId) -> BitSet {
-    let thread_events: Vec<EventId> = state.thread_events(t).collect();
+    let mut thread_events = BitSet::with_capacity(state.len());
+    for e in state.thread_events(t) {
+        thread_events.insert(e);
+    }
     let mut out = BitSet::with_capacity(state.len());
     if thread_events.is_empty() {
         return out;
     }
     let hb_q = state.hb().reflexive_closure();
     for w in state.writes().iter() {
-        if thread_events.iter().any(|&e| hb_q.contains(w, e)) {
+        if !hb_q.row(w).is_disjoint(&thread_events) {
             out.insert(w);
         }
     }
@@ -99,7 +106,7 @@ pub fn covered_writes(state: &C11State) -> BitSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::Event;
+    use crate::event::{Event, EventId};
     use c11_lang::{Action, VarId};
 
     const X: VarId = VarId(0);

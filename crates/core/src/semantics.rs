@@ -74,7 +74,7 @@ pub fn read_transitions_using(
             acquire,
         };
         let (mut next, e) = state.append_event(Event::new(t, action));
-        next.rf_mut().add(w, e);
+        next.rf_add(w, e);
         out.push(RaTransition {
             observed: w,
             action,
@@ -160,7 +160,7 @@ pub fn update_transitions_using(
             new,
         };
         let (mut next, e) = state.append_event(Event::new(t, action));
-        next.rf_mut().add(w, e);
+        next.rf_add(w, e);
         next.mo_insert_after(w, e);
         out.push(RaTransition {
             observed: w,

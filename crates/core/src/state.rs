@@ -1,13 +1,18 @@
 //! C11 states `((D, sb), rf, mo)` and their derived relations (paper §3.1).
 
 use crate::event::{Event, EventId};
+use crate::fingerprint::{combine128, SetFold};
 use c11_lang::{ThreadId, Val, VarId};
 use c11_relations::{BitSet, Relation};
 use std::cell::OnceCell;
 
 /// Lazily computed derived relations. Cloned with the state (a clone is a
-/// snapshot of the same execution, so the cache stays valid) and cleared
-/// by every mutation. Excluded from equality and hashing.
+/// snapshot of the same execution, so the cache stays valid). The RA
+/// transition rules *update* populated caches incrementally (every edge
+/// they add is incident to the freshly appended event, so the closures can
+/// absorb the delta in O(n²/64) — see [`Relation::absorb_star`]); only the
+/// arbitrary-mutation escape hatches ([`C11State::rf_mut`] /
+/// [`C11State::mo_mut`]) clear them. Excluded from equality and hashing.
 #[derive(Clone, Default)]
 struct Derived {
     hb: OnceCell<Relation>,
@@ -38,6 +43,13 @@ pub struct C11State {
     sb: Relation,
     rf: Relation,
     mo: Relation,
+    /// Per-variable write index (`writes_by_var[x]` = ids of writes to
+    /// `VarId(x)`, in arena order): lets `last`, `writes_to` and the
+    /// observability queries avoid scanning the whole arena. Derived from
+    /// `events`, so excluded from equality/hashing.
+    writes_by_var: Vec<Vec<EventId>>,
+    /// Per-thread event index (same conventions).
+    events_by_tid: Vec<Vec<EventId>>,
     derived: Derived,
 }
 
@@ -71,13 +83,17 @@ impl C11State {
             .map(|(i, &v)| Event::init_write(VarId(i as u8), v))
             .collect();
         let n = events.len();
-        C11State {
+        let mut s = C11State {
             events,
             sb: Relation::new(n),
             rf: Relation::new(n),
             mo: Relation::new(n),
+            writes_by_var: Vec::new(),
+            events_by_tid: Vec::new(),
             derived: Derived::default(),
-        }
+        };
+        s.rebuild_index();
+        s
     }
 
     /// Builds a state directly from parts. Used by the axiomatic crate's
@@ -91,12 +107,42 @@ impl C11State {
         sb.grow(n);
         rf.grow(n);
         mo.grow(n);
-        C11State {
+        let mut s = C11State {
             events,
             sb,
             rf,
             mo,
+            writes_by_var: Vec::new(),
+            events_by_tid: Vec::new(),
             derived: Derived::default(),
+        };
+        s.rebuild_index();
+        s
+    }
+
+    /// Re-derives the per-variable and per-thread indexes from `events`.
+    fn rebuild_index(&mut self) {
+        self.writes_by_var.clear();
+        self.events_by_tid.clear();
+        for e in 0..self.events.len() {
+            self.index_event(e);
+        }
+    }
+
+    /// Registers event `e` (already in the arena) in the indexes.
+    fn index_event(&mut self, e: EventId) {
+        let ev = self.events[e];
+        let t = ev.tid.0 as usize;
+        if self.events_by_tid.len() <= t {
+            self.events_by_tid.resize(t + 1, Vec::new());
+        }
+        self.events_by_tid[t].push(e);
+        if ev.is_write() {
+            let x = ev.var().0 as usize;
+            if self.writes_by_var.len() <= x {
+                self.writes_by_var.resize(x + 1, Vec::new());
+            }
+            self.writes_by_var[x].push(e);
         }
     }
 
@@ -148,7 +194,11 @@ impl C11State {
 
     /// All write events (updates included) as a bitset.
     pub fn writes(&self) -> BitSet {
-        BitSet::from_iter(self.ids().filter(|&e| self.events[e].is_write()))
+        let mut out = BitSet::with_capacity(self.len());
+        for &w in self.writes_by_var.iter().flatten() {
+            out.insert(w);
+        }
+        out
     }
 
     /// All read events (updates included) as a bitset.
@@ -161,15 +211,23 @@ impl C11State {
         BitSet::from_iter(self.ids().filter(|&e| self.events[e].is_update()))
     }
 
-    /// Write events on variable `x` (`Wr|_x`).
+    /// Write events on variable `x` (`Wr|_x`), in arena order — served by
+    /// the per-variable index, no arena scan.
     pub fn writes_to(&self, x: VarId) -> impl Iterator<Item = EventId> + '_ {
-        self.ids()
-            .filter(move |&e| self.events[e].is_write() && self.events[e].var() == x)
+        self.writes_by_var
+            .get(x.0 as usize)
+            .into_iter()
+            .flatten()
+            .copied()
     }
 
-    /// Events of thread `t`.
+    /// Events of thread `t`, in arena order (index-served).
     pub fn thread_events(&self, t: ThreadId) -> impl Iterator<Item = EventId> + '_ {
-        self.ids().filter(move |&e| self.events[e].tid == t)
+        self.events_by_tid
+            .get(t.0 as usize)
+            .into_iter()
+            .flatten()
+            .copied()
     }
 
     /// The synchronises-with relation `sw = rf ∩ (WrR × RdA)`.
@@ -220,43 +278,154 @@ impl C11State {
         })
     }
 
-    /// Clears the derived-relation cache; every mutation must call this.
+    /// Clears the derived-relation cache. Called by the arbitrary-mutation
+    /// escape hatches; the RA transition paths update the caches in place
+    /// through [`C11State::derived_update`] instead.
     fn invalidate(&mut self) {
         self.derived = Derived::default();
     }
 
+    /// Incrementally updates whichever derived-relation caches are
+    /// populated after new edges *incident to event `v`* entered the
+    /// underlying relations. `eco_new` / `hb_new` are the direct new
+    /// `(preds × {v}, {v} × succs)` edge stars of the respective derived
+    /// relation (`None` = that relation is unchanged). Populated caches
+    /// absorb the star in O(n²/64); absent caches stay absent and are
+    /// recomputed from scratch on next access. The `reach` cache is
+    /// re-derived from the delta rectangles, or dropped when a dependency
+    /// changed without a live cache to compute the delta from.
+    fn derived_update(
+        &mut self,
+        v: EventId,
+        eco_new: Option<(BitSet, BitSet)>,
+        hb_new: Option<(BitSet, BitSet)>,
+    ) {
+        let n = self.len();
+        let hb_changed = hb_new.is_some();
+        let eco_changed = eco_new.is_some();
+        let hb_rect = hb_new.and_then(|(p, s)| {
+            self.derived.hb.get_mut().map(|hb| {
+                hb.grow(n);
+                hb.absorb_star(v, &p, &s)
+            })
+        });
+        let eco_rect = eco_new.and_then(|(p, s)| {
+            self.derived.eco.get_mut().map(|eco| {
+                eco.grow(n);
+                eco.absorb_star(v, &p, &s)
+            })
+        });
+        // reach = eco? ; hb? — propagating the deltas needs both
+        // dependency caches live and every change's rectangle known.
+        let delta_lost = (hb_changed && hb_rect.is_none()) || (eco_changed && eco_rect.is_none());
+        let deps_live = self.derived.hb.get().is_some() && self.derived.eco.get().is_some();
+        if delta_lost || !deps_live {
+            self.derived.reach.take();
+            return;
+        }
+        let Some(mut reach) = self.derived.reach.take() else {
+            return;
+        };
+        reach.grow(n);
+        let hb = self.derived.hb.get().expect("checked live");
+        let eco = self.derived.eco.get().expect("checked live");
+        // Every new eco pair lies in (pe ∪ {v}) × (se ∪ {v}); compose it
+        // with hb? on the right: each new source reaches hb?[se ∪ {v}].
+        if let Some((pe, se)) = eco_rect {
+            let mut se_plus = se;
+            se_plus.insert(v);
+            let mut b1 = hb.image_set(&se_plus);
+            b1.union_with(&se_plus);
+            let mut pe_plus = pe;
+            pe_plus.insert(v);
+            for p in pe_plus.iter() {
+                reach.union_into_row(p, &b1);
+            }
+        }
+        // Every new hb pair lies in (ph ∪ {v}) × (sh ∪ {v}); compose with
+        // eco? on the left: every eco?-predecessor of a new source reaches
+        // the new targets.
+        if let Some((ph, sh)) = hb_rect {
+            let mut ph_plus = ph;
+            ph_plus.insert(v);
+            let mut a2 = eco.preimage_set(&ph_plus);
+            a2.union_with(&ph_plus);
+            let mut sh_plus = sh;
+            sh_plus.insert(v);
+            for x in a2.iter() {
+                reach.union_into_row(x, &sh_plus);
+            }
+        }
+        let _ = self.derived.reach.set(reach);
+    }
+
     /// `σ.last(x)`: the write or update to `x` not mo-succeeded by another
     /// write to `x`. Unique and well-defined in every valid state; in a
-    /// malformed state the lowest-id mo-maximal write is returned.
+    /// malformed state the lowest-id mo-maximal write is returned. Only
+    /// the per-variable write list is consulted, not the whole arena.
     pub fn last(&self, x: VarId) -> Option<EventId> {
-        self.writes_to(x)
-            .find(|&w| !self.mo.image(w).any(|w2| self.events[w2].var() == x))
+        let ws = self.writes_by_var.get(x.0 as usize)?;
+        ws.iter()
+            .copied()
+            .find(|&w| !ws.iter().any(|&w2| self.mo.contains(w, w2)))
     }
 
     /// Adds event `e` to the state, producing `(D, sb) + e`:
     /// `sb` gains edges from every event of `e`'s thread and of the
     /// initialising thread. Returns the new event's id. `rf` / `mo` updates
     /// are the transition rules' business (`crate::semantics`).
+    ///
+    /// Populated derived-relation caches are carried over and updated
+    /// incrementally: the new `sb` edges all point *into* the fresh sink
+    /// `e`, so `hb` absorbs one star and `eco` is untouched.
     pub fn append_event(&self, ev: Event) -> (C11State, EventId) {
         let mut next = self.clone();
-        next.invalidate();
         let e = next.events.len();
         next.events.push(ev);
         next.sb.grow(e + 1);
         next.rf.grow(e + 1);
         next.mo.grow(e + 1);
+        let mut sb_preds = BitSet::with_capacity(e + 1);
         for e2 in 0..e {
             let t2 = next.events[e2].tid;
             if t2 == ev.tid || t2.is_init() {
                 next.sb.add(e2, e);
+                sb_preds.insert(e2);
             }
         }
+        next.index_event(e);
+        next.derived_update(e, None, Some((sb_preds, BitSet::new())));
         (next, e)
     }
 
-    /// Mutable access to `rf`. Low-level: the RA transition rules and the
-    /// axiomatic crate's execution builders use this; arbitrary edits can
-    /// produce invalid states (which is exactly what the axiom tests want).
+    /// Adds the reads-from edge `(w, e)` — the R͟E͟A͟D͟ / R͟M͟W͟ rules' `rf`
+    /// update — maintaining the derived-relation caches incrementally:
+    /// `eco` gains the `rf` edge plus the induced from-read edges
+    /// `{e} × mo[w]`, and `hb` gains the synchronises-with edge when the
+    /// pair is release/acquire. All of these are incident to `e`.
+    pub fn rf_add(&mut self, w: EventId, e: EventId) {
+        self.rf.add(w, e);
+        let mut preds = BitSet::with_capacity(self.len());
+        preds.insert(w);
+        let mut succs = BitSet::with_capacity(self.len());
+        for m in self.mo.image(w) {
+            if m != e {
+                succs.insert(m);
+            }
+        }
+        let hb_new = (self.events[w].is_release() && self.events[e].is_acquire()).then(|| {
+            let mut p = BitSet::with_capacity(self.len());
+            p.insert(w);
+            (p, BitSet::new())
+        });
+        self.derived_update(e, Some((preds, succs)), hb_new);
+    }
+
+    /// Mutable access to `rf`. Low-level: the axiomatic crate's execution
+    /// builders use this; arbitrary edits can produce invalid states
+    /// (which is exactly what the axiom tests want). Drops the derived
+    /// caches — the transition rules use [`C11State::rf_add`] /
+    /// [`C11State::mo_insert_after`], which keep them.
     pub fn rf_mut(&mut self) -> &mut Relation {
         self.invalidate();
         &mut self.rf
@@ -271,18 +440,45 @@ impl C11State {
     /// Inserts write `e` *directly after* write `w` in `mo` (paper
     /// `mo[w, e] = mo ∪ (mo⁺w × {e}) ∪ ({e} × mo[w])`, where
     /// `mo⁺w = {w} ∪ mo⁻¹[w]`).
+    ///
+    /// Derived caches are updated in place: the new `mo` edges and the
+    /// from-read edges they induce (readers of `e`'s new `mo`-predecessors
+    /// now read-before `e`) are all incident to `e`. The one shape that
+    /// is not — `e` already having readers of its own — falls back to
+    /// invalidation (it never arises in the transition rules, where `e`
+    /// is freshly appended).
     pub fn mo_insert_after(&mut self, w: EventId, e: EventId) {
-        self.invalidate();
         let before: Vec<EventId> = std::iter::once(w)
             .chain(self.mo.preimage(w).collect::<Vec<_>>())
             .collect();
         let after: Vec<EventId> = self.mo.image(w).collect();
-        for b in before {
+        for &b in &before {
             self.mo.add(b, e);
         }
-        for a in after {
+        for &a in &after {
             self.mo.add(e, a);
         }
+        if self.rf.image(e).next().is_some() {
+            self.invalidate();
+            return;
+        }
+        let mut preds = BitSet::with_capacity(self.len());
+        let mut succs = BitSet::with_capacity(self.len());
+        for &b in &before {
+            preds.insert(b);
+            // New from-read edges: every read of `b` is now fr-before `e`.
+            for r in self.rf.image(b) {
+                if r != e {
+                    preds.insert(r);
+                }
+            }
+        }
+        for &a in &after {
+            if a != e {
+                succs.insert(a);
+            }
+        }
+        self.derived_update(e, Some((preds, succs)), None);
     }
 
     /// Restriction `σ|_E` of the state to an event subset, *relabelling*
@@ -304,13 +500,17 @@ impl C11State {
             }
             out
         };
-        C11State {
+        let mut out = C11State {
             events,
             sb: map_rel(&self.sb),
             rf: map_rel(&self.rf),
             mo: map_rel(&self.mo),
+            writes_by_var: Vec::new(),
+            events_by_tid: Vec::new(),
             derived: Derived::default(),
-        }
+        };
+        out.rebuild_index();
+        out
     }
 
     /// A canonical fingerprint of the state, invariant under the order in
@@ -342,6 +542,81 @@ impl C11State {
             rf: edges(&self.rf),
             mo: edges(&self.mo),
         }
+    }
+
+    /// A 128-bit canonical fingerprint: the same renumbering as
+    /// [`C11State::canonical`] — events sorted by `(tid, per-thread
+    /// order)`, relations permuted accordingly — but hashed on the fly
+    /// instead of materialised. The permutation comes from a counting
+    /// sort over thread ids (stack-allocated for the sizes exploration
+    /// reaches) and the permuted edge sets are folded with an
+    /// order-insensitive accumulator, so no sorting and no per-state edge
+    /// vectors are needed. Two states with equal [`CanonicalState`]s get
+    /// equal fingerprints; the converse holds up to 128-bit hash
+    /// collisions (see [`crate::fingerprint`] for the collision stance).
+    pub fn fingerprint(&self) -> u128 {
+        let n = self.len();
+        let mut stack = [0usize; 128];
+        let mut heap = Vec::new();
+        let perm: &mut [usize] = if n <= 128 {
+            &mut stack[..n]
+        } else {
+            heap.resize(n, 0);
+            &mut heap[..]
+        };
+        // Counting sort by tid: new id = rank under (tid, arena order).
+        let mut start = [0usize; 257];
+        for ev in &self.events {
+            start[ev.tid.0 as usize + 1] += 1;
+        }
+        for i in 1..257 {
+            start[i] += start[i - 1];
+        }
+        for (old, ev) in self.events.iter().enumerate() {
+            let slot = &mut start[ev.tid.0 as usize];
+            perm[old] = *slot;
+            *slot += 1;
+        }
+        // Events: position-tagged records folded order-insensitively
+        // (the canonical position is baked into each record, so the fold
+        // still distinguishes orderings).
+        let mut events = SetFold::default();
+        for (old, ev) in self.events.iter().enumerate() {
+            let (kind, var, a, b) = match ev.action {
+                c11_lang::Action::Rd { var, val, acquire } => {
+                    (1u64, var.0, val as u64, acquire as u64)
+                }
+                c11_lang::Action::Wr { var, val, release } => {
+                    (2u64, var.0, val as u64, release as u64)
+                }
+                c11_lang::Action::Upd { var, old, new } => (3u64, var.0, old as u64, new as u64),
+            };
+            // `a` / `b` are full u32 values (e.g. an update's old/new), so
+            // they are avalanche-mixed with distinct asymmetric constants
+            // rather than packed into the structured head word — packing
+            // would bleed values ≥ 2⁸ into the var/tid/kind fields.
+            let head =
+                (perm[old] as u64) << 32 | kind << 24 | (ev.tid.0 as u64) << 16 | (var as u64) << 8;
+            let payload = a.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17)
+                ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f).rotate_left(39);
+            events.absorb(head ^ payload);
+        }
+        // Edge sets: permuted pairs tagged by relation, folded without
+        // materialising or sorting them.
+        let edge_fold = |r: &Relation, tag: u64| -> u128 {
+            let mut fold = SetFold::default();
+            for (a, b) in r.pairs() {
+                fold.absorb(tag << 60 | (perm[a] as u64) << 30 | perm[b] as u64);
+            }
+            fold.digest()
+        };
+        combine128(&[
+            n as u128,
+            events.digest(),
+            edge_fold(&self.sb, 1),
+            edge_fold(&self.rf, 2),
+            edge_fold(&self.mo, 3),
+        ])
     }
 
     /// Pretty, multi-line rendering with variable names.
@@ -572,6 +847,25 @@ mod tests {
             s.canonical()
         };
         assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_wide_update_values() {
+        // Regression: an update's u32 values must not be packed into the
+        // 8-bit slots of the event record — Upd{var:1, new:0} and
+        // Upd{var:0, new:256} would alias (1 << 8 == 256).
+        let build = |var: VarId, new: Val| {
+            let s = C11State::initial(&[0, 0]);
+            let (s, _) = s.append_event(Event::new(ThreadId(1), Action::Upd { var, old: 5, new }));
+            s
+        };
+        let a = build(VarId(1), 0);
+        let b = build(VarId(0), 256);
+        assert_ne!(a.canonical(), b.canonical());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // tid field vs value bleed (65536 == 1 << 16).
+        let c = build(VarId(0), 65536);
+        assert_ne!(build(VarId(0), 0).fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -1,10 +1,25 @@
 //! The sequential exploration engine.
 
 use c11_core::config::{Config, ConfigStep};
+use c11_core::fingerprint::{combine128, hash128_of};
 use c11_core::model::MemoryModel;
 use c11_lang::step::RegFile;
-use c11_lang::{Com, Prog, RegId, StepLabel, ThreadId, Val};
-use std::collections::{HashMap, VecDeque};
+use c11_lang::{Prog, RegId, StepLabel, ThreadId, Val};
+use std::collections::{HashSet, VecDeque};
+
+/// The 128-bit visited key of a configuration: fixed-seed fingerprints of
+/// the residual commands, the register files and the memory state's
+/// canonical form, mixed together. Replaces the old cloned
+/// `(Vec<Com>, Vec<RegFile>, CanonKey)` tuples — no per-successor
+/// allocation, and the same key works across worker threads (see
+/// `c11_core::fingerprint` for the collision stance).
+pub(crate) fn config_fingerprint<M: MemoryModel>(model: &M, c: &Config<M>) -> u128 {
+    combine128(&[
+        hash128_of(&c.coms),
+        hash128_of(&c.regs),
+        model.state_fingerprint(&c.mem),
+    ])
+}
 
 /// Exploration bounds and switches.
 #[derive(Clone, Debug)]
@@ -187,19 +202,14 @@ impl<M: MemoryModel> Explorer<M> {
             step: Option<TraceStep>,
         }
         let mut nodes: Vec<Node> = Vec::new();
-        type VisitKey<M> = (Vec<Com>, Vec<RegFile>, <M as MemoryModel>::CanonKey);
-        let mut visited: HashMap<VisitKey<M>, ()> = HashMap::new();
+        let mut visited: HashSet<u128> = HashSet::new();
 
         let initial = Config::initial(&self.model, prog);
-        let key = |c: &Config<M>| {
-            (
-                c.coms.clone(),
-                c.regs.clone(),
-                self.model.canonical_key(&c.mem),
-            )
-        };
+        let key = |c: &Config<M>| config_fingerprint(&self.model, c);
         let mut queue: VecDeque<(Config<M>, usize, usize)> = VecDeque::new(); // (cfg, node, depth)
-        visited.insert(key(&initial), ());
+        if cfg.dedup {
+            visited.insert(key(&initial));
+        }
         nodes.push(Node {
             parent: usize::MAX,
             step: None,
@@ -220,9 +230,13 @@ impl<M: MemoryModel> Explorer<M> {
             result.violations.push((initial.clone(), Vec::new()));
         }
         if initial.is_terminated() {
-            result.finals.push(initial.clone());
+            // Terminated configurations have no successors: move them
+            // straight to `finals` instead of cycling them through the
+            // queue.
+            result.finals.push(initial);
+        } else {
+            queue.push_back((initial, 0, 0));
         }
-        queue.push_back((initial, 0, 0));
         result.unique = 1;
 
         while let Some((config, node_idx, depth)) = queue.pop_front() {
@@ -243,11 +257,9 @@ impl<M: MemoryModel> Explorer<M> {
             } in successors
             {
                 result.generated += 1;
-                let k = key(&next);
-                if cfg.dedup && visited.contains_key(&k) {
+                if cfg.dedup && !visited.insert(key(&next)) {
                     continue;
                 }
-                visited.insert(k, ());
                 let step = TraceStep { tid, label };
                 nodes.push(Node {
                     parent: node_idx,
@@ -264,9 +276,12 @@ impl<M: MemoryModel> Explorer<M> {
                     result.violations.push((next.clone(), trace));
                 }
                 if next.is_terminated() {
-                    result.finals.push(next.clone());
+                    // Move — terminated configurations have no successors,
+                    // so only `finals` needs this value.
+                    result.finals.push(next);
+                } else {
+                    queue.push_back((next, new_idx, depth + 1));
                 }
-                queue.push_back((next, new_idx, depth + 1));
             }
         }
         result

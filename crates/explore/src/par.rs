@@ -5,50 +5,73 @@
 //! and deduplicates states; it does not reconstruct traces (use the
 //! sequential engine for verification runs, which need determinism and
 //! counterexamples).
+//!
+//! Layout: each worker owns a deque and pushes the successors it generates
+//! there; an idle worker steals from the *back* of a victim's deque. The
+//! visited set holds the same 128-bit configuration fingerprints as the
+//! sequential engine, sharded across `SHARDS` mutexes by a fixed-seed
+//! FNV-1a of the key, so dedup contention is spread instead of funnelled
+//! through one lock.
 
+use crate::engine::config_fingerprint;
 use c11_core::config::Config;
 use c11_core::model::MemoryModel;
-use c11_lang::{Com, Prog};
+use c11_lang::Prog;
 use parking_lot::Mutex;
-use std::collections::HashSet;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-
-/// Shared exploration state: a work queue and a visited set, both sharded
-/// behind mutexes (contention is modest at litmus scale; correctness and
-/// simplicity first, cf. the Rust atomics guidance on starting with locks).
-/// Dedup key: commands, register-file hash, canonical memory key.
-type ParKey<M> = (Vec<Com>, u64, <M as MemoryModel>::CanonKey);
-
-struct Shared<M: MemoryModel> {
-    queue: Mutex<VecDeque<Config<M>>>,
-    visited: Vec<Mutex<HashSet<ParKey<M>>>>,
-    in_flight: AtomicUsize,
-    truncated: AtomicBool,
-    unique: AtomicUsize,
-}
 
 const SHARDS: usize = 16;
 
-fn shard_of<K: std::hash::Hash>(k: &K) -> usize {
-    use std::hash::{BuildHasher, Hasher};
-    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
-    // RandomState would differ per call; use a fixed-seed FNV instead.
-    let _ = &mut h;
+/// Shard selector: one fixed-seed FNV-1a pass over the 16 key bytes. The
+/// key is already a fingerprint, but its low bits feed the hash-set's
+/// bucketing — folding all 128 bits keeps shard choice independent of it.
+fn shard_of(key: u128) -> usize {
     let mut fnv: u64 = 0xcbf29ce484222325;
-    let mut buf = std::collections::hash_map::DefaultHasher::new();
-    k.hash(&mut buf);
-    let bytes = buf.finish().to_le_bytes();
-    for b in bytes {
+    for b in key.to_le_bytes() {
         fnv ^= b as u64;
         fnv = fnv.wrapping_mul(0x100000001b3);
     }
     (fnv as usize) % SHARDS
 }
 
+struct Shared<M: MemoryModel> {
+    /// One work deque per worker (owner pushes/pops the front, thieves
+    /// take from the back).
+    queues: Vec<Mutex<VecDeque<Config<M>>>>,
+    visited: Vec<Mutex<HashSet<u128>>>,
+    /// Configurations queued but not yet fully expanded; 0 ⇒ done.
+    in_flight: AtomicUsize,
+    truncated: AtomicBool,
+    unique: AtomicUsize,
+}
+
+impl<M: MemoryModel> Shared<M> {
+    /// Inserts the fingerprint into its shard; `true` iff it was fresh.
+    fn mark_visited(&self, key: u128) -> bool {
+        self.visited[shard_of(key)].lock().insert(key)
+    }
+
+    /// Pops local work, or steals from the back of another worker's deque.
+    fn find_work(&self, me: usize) -> Option<Config<M>> {
+        if let Some(c) = self.queues[me].lock().pop_front() {
+            return Some(c);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            if let Some(c) = self.queues[(me + off) % n].lock().pop_back() {
+                return Some(c);
+            }
+        }
+        None
+    }
+}
+
 /// Counts distinct reachable configurations of `prog` under `model` with
 /// `workers` threads, bounding memory states at `max_events` events.
-/// Returns `(unique_states, truncated)`.
+/// Returns `(unique_states, truncated)`. Agrees with the sequential
+/// engine's `unique` count for any worker count (asserted corpus-wide by
+/// `tests/fingerprint_dedup.rs`).
 pub fn parallel_count_states<M>(
     model: &M,
     prog: &Prog,
@@ -58,53 +81,42 @@ pub fn parallel_count_states<M>(
 where
     M: MemoryModel + Sync,
     M::State: Send,
-    M::CanonKey: Send,
 {
+    let workers = workers.max(1);
     let shared: Shared<M> = Shared {
-        queue: Mutex::new(VecDeque::new()),
+        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
         visited: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
         in_flight: AtomicUsize::new(0),
         truncated: AtomicBool::new(false),
         unique: AtomicUsize::new(0),
     };
     let initial = Config::initial(model, prog);
-    let regs_hash = |c: &Config<M>| {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        c.regs.hash(&mut h);
-        h.finish()
-    };
-    let key0 = (
-        initial.coms.clone(),
-        regs_hash(&initial),
-        model.canonical_key(&initial.mem),
-    );
-    shared.visited[shard_of(&key0)].lock().insert(key0);
+    shared.mark_visited(config_fingerprint(model, &initial));
     shared.unique.fetch_add(1, Ordering::Relaxed);
     shared.in_flight.fetch_add(1, Ordering::SeqCst);
-    shared.queue.lock().push_back(initial);
+    shared.queues[0].lock().push_back(initial);
 
     crossbeam::scope(|scope| {
-        for _ in 0..workers.max(1) {
-            scope.spawn(|_| loop {
-                let item = shared.queue.lock().pop_front();
-                match item {
+        for me in 0..workers {
+            let shared = &shared;
+            scope.spawn(move |_| loop {
+                match shared.find_work(me) {
                     Some(config) => {
                         if model.state_size(&config.mem) >= max_events {
                             shared.truncated.store(true, Ordering::Relaxed);
                         } else {
                             for step in config.successors(model) {
                                 let next = step.next;
-                                let k = (
-                                    next.coms.clone(),
-                                    regs_hash(&next),
-                                    model.canonical_key(&next.mem),
-                                );
-                                let fresh = shared.visited[shard_of(&k)].lock().insert(k);
-                                if fresh {
+                                if shared.mark_visited(config_fingerprint(model, &next)) {
                                     shared.unique.fetch_add(1, Ordering::Relaxed);
-                                    shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                                    shared.queue.lock().push_back(next);
+                                    // Terminated configurations have no
+                                    // successors — count them, skip the
+                                    // queue (mirrors the sequential
+                                    // engine).
+                                    if !next.is_terminated() {
+                                        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                                        shared.queues[me].lock().push_back(next);
+                                    }
                                 }
                             }
                         }
@@ -154,5 +166,14 @@ mod tests {
         let prog = parse_program("vars x; thread t { while (x == 0) { skip; } }").unwrap();
         let (_, truncated) = parallel_count_states(&RaModel, &prog, 6, 2);
         assert!(truncated);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for k in [0u128, 1, u128::MAX, 0xdead_beef] {
+            let s = shard_of(k);
+            assert!(s < SHARDS);
+            assert_eq!(s, shard_of(k));
+        }
     }
 }

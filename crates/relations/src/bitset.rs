@@ -1,14 +1,20 @@
 //! A small dense bitset over `usize` indices.
 //!
 //! The C11 executions manipulated by this workspace contain tens of events,
-//! so a flat `Vec<u64>` with word-at-a-time set operations is both the
+//! so word-at-a-time set operations over contiguous storage are both the
 //! simplest and the fastest representation (see the perf-book guidance on
-//! preferring contiguous storage). The bitset grows on demand; all binary
-//! operations accept operands of different capacities.
+//! preferring contiguous storage). The first word lives *inline*: the
+//! explorer clones relation rows millions of times, and executions with
+//! up to 64 events (every litmus bound in the corpus) then never touch the
+//! heap for a row. Words beyond the first spill into a `Vec`. The bitset
+//! grows on demand; all binary operations accept operands of different
+//! capacities.
 
 const BITS: usize = 64;
 
-/// A growable set of small non-negative integers backed by 64-bit words.
+/// A growable set of small non-negative integers backed by 64-bit words,
+/// the first of which is stored inline (allocation-free for elements
+/// `< 64`).
 ///
 /// Equality and hashing are *semantic*: two sets with the same elements are
 /// equal and hash identically regardless of internal capacity. This matters
@@ -16,15 +22,17 @@ const BITS: usize = 64;
 /// bitsets that grew along different paths.
 #[derive(Clone, Default)]
 pub struct BitSet {
-    words: Vec<u64>,
+    head: u64,
+    tail: Vec<u64>,
 }
 
 impl PartialEq for BitSet {
     fn eq(&self, other: &Self) -> bool {
-        let common = self.words.len().min(other.words.len());
-        self.words[..common] == other.words[..common]
-            && self.words[common..].iter().all(|&w| w == 0)
-            && other.words[common..].iter().all(|&w| w == 0)
+        let common = self.tail.len().min(other.tail.len());
+        self.head == other.head
+            && self.tail[..common] == other.tail[..common]
+            && self.tail[common..].iter().all(|&w| w == 0)
+            && other.tail[common..].iter().all(|&w| w == 0)
     }
 }
 
@@ -34,12 +42,9 @@ impl std::hash::Hash for BitSet {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         // Hash only up to the last non-zero word so that capacity is
         // invisible to hashing, mirroring `PartialEq`.
-        let last = self
-            .words
-            .iter()
-            .rposition(|&w| w != 0)
-            .map_or(0, |i| i + 1);
-        self.words[..last].hash(state);
+        let last = self.tail.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        self.head.hash(state);
+        self.tail[..last].hash(state);
     }
 }
 
@@ -51,14 +56,15 @@ fn word_index(bit: usize) -> (usize, u64) {
 impl BitSet {
     /// Creates an empty set.
     pub fn new() -> Self {
-        BitSet { words: Vec::new() }
+        BitSet::default()
     }
 
     /// Creates an empty set with capacity for elements `< n` without
     /// reallocating.
     pub fn with_capacity(n: usize) -> Self {
         BitSet {
-            words: vec![0; n.div_ceil(BITS)],
+            head: 0,
+            tail: vec![0; n.div_ceil(BITS).saturating_sub(1)],
         }
     }
 
@@ -83,10 +89,35 @@ impl BitSet {
         s
     }
 
+    /// Number of 64-bit words in use (inline head included).
+    #[inline]
+    fn num_words(&self) -> usize {
+        1 + self.tail.len()
+    }
+
+    /// The `i`-th word, 0 when past the capacity.
+    #[inline]
+    fn word(&self, i: usize) -> u64 {
+        if i == 0 {
+            self.head
+        } else {
+            self.tail.get(i - 1).copied().unwrap_or(0)
+        }
+    }
+
+    #[inline]
+    fn word_mut(&mut self, i: usize) -> &mut u64 {
+        if i == 0 {
+            &mut self.head
+        } else {
+            &mut self.tail[i - 1]
+        }
+    }
+
     fn grow_to_hold(&mut self, bit: usize) {
         let needed = bit / BITS + 1;
-        if self.words.len() < needed {
-            self.words.resize(needed, 0);
+        if self.num_words() < needed {
+            self.tail.resize(needed - 1, 0);
         }
     }
 
@@ -94,19 +125,21 @@ impl BitSet {
     pub fn insert(&mut self, bit: usize) -> bool {
         self.grow_to_hold(bit);
         let (w, m) = word_index(bit);
-        let was = self.words[w] & m != 0;
-        self.words[w] |= m;
+        let word = self.word_mut(w);
+        let was = *word & m != 0;
+        *word |= m;
         !was
     }
 
     /// Removes `bit`; returns `true` if it was present.
     pub fn remove(&mut self, bit: usize) -> bool {
         let (w, m) = word_index(bit);
-        if w >= self.words.len() {
+        if w >= self.num_words() {
             return false;
         }
-        let was = self.words[w] & m != 0;
-        self.words[w] &= !m;
+        let word = self.word_mut(w);
+        let was = *word & m != 0;
+        *word &= !m;
         was
     }
 
@@ -114,46 +147,55 @@ impl BitSet {
     #[inline]
     pub fn contains(&self, bit: usize) -> bool {
         let (w, m) = word_index(bit);
-        w < self.words.len() && self.words[w] & m != 0
+        self.word(w) & m != 0
     }
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.head.count_ones() as usize
+            + self
+                .tail
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
     }
 
     /// `true` iff the set has no elements.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.head == 0 && self.tail.iter().all(|&w| w == 0)
     }
 
     /// Removes all elements, keeping capacity.
     pub fn clear(&mut self) {
-        for w in &mut self.words {
+        self.head = 0;
+        for w in &mut self.tail {
             *w = 0;
         }
     }
 
     /// In-place union: `self ∪= other`.
     pub fn union_with(&mut self, other: &BitSet) {
-        if self.words.len() < other.words.len() {
-            self.words.resize(other.words.len(), 0);
+        self.head |= other.head;
+        if self.tail.len() < other.tail.len() {
+            self.tail.resize(other.tail.len(), 0);
         }
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+        for (a, b) in self.tail.iter_mut().zip(other.tail.iter()) {
             *a |= b;
         }
     }
 
     /// In-place intersection: `self ∩= other`.
     pub fn intersect_with(&mut self, other: &BitSet) {
-        for (i, a) in self.words.iter_mut().enumerate() {
-            *a &= other.words.get(i).copied().unwrap_or(0);
+        self.head &= other.head;
+        for (i, a) in self.tail.iter_mut().enumerate() {
+            *a &= other.tail.get(i).copied().unwrap_or(0);
         }
     }
 
     /// In-place difference: `self \= other`.
     pub fn difference_with(&mut self, other: &BitSet) {
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+        self.head &= !other.head;
+        for (a, b) in self.tail.iter_mut().zip(other.tail.iter()) {
             *a &= !b;
         }
     }
@@ -181,26 +223,42 @@ impl BitSet {
 
     /// `true` iff `self` and `other` share no element.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .all(|(a, b)| a & b == 0)
+        self.head & other.head == 0
+            && self
+                .tail
+                .iter()
+                .zip(other.tail.iter())
+                .all(|(a, b)| a & b == 0)
     }
 
     /// `true` iff every element of `self` is in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .enumerate()
-            .all(|(i, a)| a & !other.words.get(i).copied().unwrap_or(0) == 0)
+        self.head & !other.head == 0
+            && self
+                .tail
+                .iter()
+                .enumerate()
+                .all(|(i, a)| a & !other.tail.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// `true` iff every element of `self ∩ mask` is in `other` — a
+    /// word-parallel subset test restricted to a carrier subset, without
+    /// materialising the intersection.
+    pub fn is_subset_within(&self, mask: &BitSet, other: &BitSet) -> bool {
+        self.head & mask.head & !other.head == 0
+            && self.tail.iter().enumerate().all(|(i, a)| {
+                let m = mask.tail.get(i).copied().unwrap_or(0);
+                let o = other.tail.get(i).copied().unwrap_or(0);
+                a & m & !o == 0
+            })
     }
 
     /// Iterates elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
-            words: &self.words,
+            set: self,
             word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            current: self.head,
         }
     }
 
@@ -217,7 +275,7 @@ impl BitSet {
 
 /// Iterator over the elements of a [`BitSet`] in increasing order.
 pub struct Iter<'a> {
-    words: &'a [u64],
+    set: &'a BitSet,
     word_idx: usize,
     current: u64,
 }
@@ -228,10 +286,10 @@ impl Iterator for Iter<'_> {
     fn next(&mut self) -> Option<usize> {
         while self.current == 0 {
             self.word_idx += 1;
-            if self.word_idx >= self.words.len() {
+            if self.word_idx >= self.set.num_words() {
                 return None;
             }
-            self.current = self.words[self.word_idx];
+            self.current = self.set.word(self.word_idx);
         }
         let tz = self.current.trailing_zeros() as usize;
         self.current &= self.current - 1;
@@ -287,6 +345,18 @@ mod tests {
     }
 
     #[test]
+    fn inline_head_stays_heap_free() {
+        let mut s = BitSet::new();
+        for i in 0..64 {
+            s.insert(i);
+        }
+        assert_eq!(s.tail.capacity(), 0, "elements < 64 must not allocate");
+        s.insert(64);
+        assert!(!s.tail.is_empty());
+        assert_eq!(s.len(), 65);
+    }
+
+    #[test]
     fn set_algebra() {
         let a = BitSet::from_iter([1, 2, 3, 70]);
         let b = BitSet::from_iter([2, 3, 4]);
@@ -295,6 +365,35 @@ mod tests {
         assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 70]);
         assert!(!a.is_disjoint(&b));
         assert!(a.is_disjoint(&BitSet::from_iter([9, 100])));
+    }
+
+    #[test]
+    fn algebra_across_word_boundary_capacities() {
+        // Mixed-capacity operands: the shorter one behaves as zero-padded.
+        let small = BitSet::from_iter([1, 63]);
+        let large = BitSet::from_iter([1, 64, 130]);
+        assert_eq!(
+            small.union(&large).iter().collect::<Vec<_>>(),
+            vec![1, 63, 64, 130]
+        );
+        assert_eq!(
+            large.union(&small).iter().collect::<Vec<_>>(),
+            vec![1, 63, 64, 130]
+        );
+        assert_eq!(
+            small.intersection(&large).iter().collect::<Vec<_>>(),
+            vec![1]
+        );
+        assert_eq!(
+            large.intersection(&small).iter().collect::<Vec<_>>(),
+            vec![1]
+        );
+        assert_eq!(
+            large.difference(&small).iter().collect::<Vec<_>>(),
+            vec![64, 130]
+        );
+        assert!(small.is_subset_within(&BitSet::from_iter([63]), &BitSet::from_iter([63, 64])));
+        assert!(!large.is_subset_within(&BitSet::from_iter([130]), &small));
     }
 
     #[test]

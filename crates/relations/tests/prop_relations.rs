@@ -151,6 +151,69 @@ proptest! {
     }
 
     #[test]
+    fn add_edge_transitive_equals_recomputed_closure(
+        r in arb_relation(),
+        a in 0..N,
+        b in 0..N,
+    ) {
+        let mut incremental = r.transitive_closure();
+        incremental.add_edge_transitive(a, b);
+        let mut direct = r.clone();
+        direct.add(a, b);
+        prop_assert_eq!(incremental, direct.transitive_closure());
+    }
+
+    #[test]
+    fn absorb_star_equals_recomputed_closure(
+        r in arb_relation(),
+        v in 0..N,
+        preds in prop::collection::vec(0..N, 0..4),
+        succs in prop::collection::vec(0..N, 0..4),
+    ) {
+        let mut incremental = r.transitive_closure();
+        let (all_p, all_s) = incremental.absorb_star(
+            v,
+            &BitSet::from_iter(preds.iter().copied()),
+            &BitSet::from_iter(succs.iter().copied()),
+        );
+        let mut direct = r.clone();
+        for &p in &preds {
+            direct.add(p, v);
+        }
+        for &s in &succs {
+            direct.add(v, s);
+        }
+        let full = direct.transitive_closure();
+        prop_assert_eq!(&incremental, &full);
+        // The returned delta rectangle is exactly v's closed neighbourhood.
+        prop_assert_eq!(all_p, BitSet::from_iter(full.preimage(v)));
+        prop_assert_eq!(all_s, full.row(v).clone());
+    }
+
+    #[test]
+    fn strict_total_order_agrees_with_naive(r in arb_relation(), keep in prop::collection::vec(0..N, 0..N)) {
+        let set = BitSet::from_iter(keep);
+        let naive = {
+            let elems: Vec<usize> = set.iter().collect();
+            let irrefl = elems.iter().all(|&a| !r.contains(a, a));
+            let total = elems.iter().all(|&a| {
+                elems
+                    .iter()
+                    .all(|&b| a == b || (r.contains(a, b) != r.contains(b, a)))
+            });
+            let trans = elems.iter().all(|&a| {
+                elems.iter().all(|&b| {
+                    elems.iter().all(|&c| {
+                        !(r.contains(a, b) && r.contains(b, c)) || r.contains(a, c)
+                    })
+                })
+            });
+            irrefl && total && trans
+        };
+        prop_assert_eq!(r.is_strict_total_order_on(&set), naive);
+    }
+
+    #[test]
     fn reflexive_closure_adds_exactly_diagonal(r in arb_relation()) {
         let rc = r.reflexive_closure();
         for i in 0..N {

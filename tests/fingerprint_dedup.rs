@@ -1,0 +1,82 @@
+//! Corpus-wide equivalence of the fingerprint dedup with the old
+//! full-key dedup: exploring every litmus test must visit exactly the same
+//! number of distinct configurations and terminated configurations as a
+//! reference BFS that deduplicates by the materialised
+//! `(coms, regs, CanonicalState)` tuple — i.e. the 128-bit fingerprints
+//! neither collide on this corpus nor distinguish states the canonical
+//! form identifies.
+
+use c11_operational::core::config::Config;
+use c11_operational::core::model::MemoryModel;
+use c11_operational::core::state::CanonicalState;
+use c11_operational::explore::parallel_count_states;
+use c11_operational::lang::step::RegFile;
+use c11_operational::litmus::corpus;
+use c11_operational::prelude::*;
+use std::collections::{HashSet, VecDeque};
+
+/// Reference explorer: breadth-first with the pre-fingerprint visited key
+/// (cloned commands + register files + canonical memory state), mirroring
+/// the engine's bounds. Returns `(unique, finals)`.
+fn full_key_explore(prog: &Prog, max_events: usize) -> (usize, usize) {
+    type Key = (Vec<Com>, Vec<RegFile>, CanonicalState);
+    let model = RaModel;
+    let key = |c: &Config<RaModel>| -> Key {
+        (c.coms.clone(), c.regs.clone(), model.canonical_key(&c.mem))
+    };
+    let initial = Config::initial(&model, prog);
+    let mut visited: HashSet<Key> = HashSet::new();
+    visited.insert(key(&initial));
+    let mut unique = 1usize;
+    let mut finals = 0usize;
+    let mut queue: VecDeque<Config<RaModel>> = VecDeque::new();
+    if initial.is_terminated() {
+        finals += 1;
+    } else {
+        queue.push_back(initial);
+    }
+    while let Some(config) = queue.pop_front() {
+        if model.state_size(&config.mem) >= max_events {
+            continue;
+        }
+        for step in config.successors(&model) {
+            let next = step.next;
+            if !visited.insert(key(&next)) {
+                continue;
+            }
+            unique += 1;
+            if next.is_terminated() {
+                finals += 1;
+            } else {
+                queue.push_back(next);
+            }
+        }
+    }
+    (unique, finals)
+}
+
+#[test]
+fn fingerprint_dedup_matches_full_key_dedup_on_corpus() {
+    for test in corpus() {
+        let prog = parse_program(&test.source).expect("corpus parses");
+        let res =
+            Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(test.max_events));
+        let (unique, finals) = full_key_explore(&prog, test.max_events);
+        assert_eq!(res.unique, unique, "{}: unique diverged", test.name);
+        assert_eq!(res.finals.len(), finals, "{}: finals diverged", test.name);
+    }
+}
+
+#[test]
+fn parallel_fingerprint_counts_match_sequential_on_corpus() {
+    for test in corpus() {
+        let prog = parse_program(&test.source).expect("corpus parses");
+        let seq =
+            Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(test.max_events));
+        for workers in [1usize, 2, 4] {
+            let (par, truncated) = parallel_count_states(&RaModel, &prog, test.max_events, workers);
+            assert_eq!(par, seq.unique, "{} at {workers} workers", test.name);
+            assert_eq!(truncated, seq.truncated, "{} truncation", test.name);
+        }
+    }
+}
