@@ -1,0 +1,1017 @@
+//! The one front door: a `CheckRequest → CheckReport` session API over
+//! every engine in the workspace.
+//!
+//! The paper's value is *one semantics answered many ways* — exhaustive RA
+//! exploration, the SC baseline, invariant proofs, litmus verdicts. This
+//! crate gives those ways a single structured request/response surface:
+//!
+//! ```
+//! use c11_api::{Backend, CheckReport, CheckRequest, ModelChoice, Mode};
+//!
+//! let report = CheckRequest::program(
+//!     "vars d f;
+//!      thread t1 { d := 5; f :=R 1; }
+//!      thread t2 { r0 <-A f; r1 <- d; }",
+//! )
+//! .model(ModelChoice::Ra)
+//! .backend(Backend::Parallel { workers: 2 })
+//! .mode(Mode::Outcomes)
+//! .run()
+//! .unwrap();
+//!
+//! let CheckReport::Outcomes(o) = &report else { unreachable!() };
+//! assert!(!o.stats.truncated);
+//! assert!(report.to_json().starts_with("{\"schema\":\"c11check/v1\""));
+//! ```
+//!
+//! Every run produces a [`CheckReport`] carrying the shared
+//! [`Stats`] vocabulary and a hand-rolled, offline-safe
+//! [`CheckReport::to_json`] (schema documented in the README).
+
+pub mod json;
+
+use c11_axiomatic::axioms::is_valid;
+use c11_core::config::Config;
+use c11_core::dot::to_dot;
+use c11_core::model::{MemoryModel, PreExecutionModel, RaModel, ScModel};
+use c11_explore::{
+    ExploreBackend, ExploreConfig, ExploreResult, ParallelBackend, RegSnapshot, SequentialBackend,
+    Stats,
+};
+use c11_lang::step::RegFile;
+use c11_lang::{parse_program, Prog, RegId, ThreadId, Val};
+use c11_litmus::{run_test_configured, LitmusTest, Verdict};
+use json::Json;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which memory model answers the request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ModelChoice {
+    /// The paper's operational RA semantics (§3).
+    #[default]
+    Ra,
+    /// The sequentially consistent baseline (§5's "conventional setting").
+    Sc,
+    /// The pre-execution semantics (§4.1; reads return any universe value).
+    PreExecution,
+}
+
+impl ModelChoice {
+    fn as_str(&self) -> &'static str {
+        match self {
+            ModelChoice::Ra => "ra",
+            ModelChoice::Sc => "sc",
+            ModelChoice::PreExecution => "pre-execution",
+        }
+    }
+}
+
+/// Exploration bounds, mirroring [`ExploreConfig`]'s knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bounds {
+    /// Stop expanding states with this many events (spin-loop bound).
+    pub max_events: usize,
+    /// Hard cap on distinct configurations visited.
+    pub max_states: usize,
+    /// BFS depth cap (store-based models whose states do not grow).
+    pub max_depth: usize,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        let d = ExploreConfig::default();
+        Bounds {
+            max_events: d.max_events,
+            max_states: d.max_states,
+            max_depth: d.max_depth,
+        }
+    }
+}
+
+impl Bounds {
+    /// Sets the event bound (chainable).
+    pub fn max_events(mut self, n: usize) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Sets the state cap (chainable).
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Sets the depth bound (chainable).
+    pub fn max_depth(mut self, n: usize) -> Self {
+        self.max_depth = n;
+        self
+    }
+
+    fn explore_config(&self) -> ExploreConfig {
+        ExploreConfig::default()
+            .max_events(self.max_events)
+            .max_states(self.max_states)
+            .max_depth(self.max_depth)
+    }
+}
+
+/// Which exploration engine runs the request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The sequential BFS reference engine (deterministic).
+    #[default]
+    Sequential,
+    /// The work-stealing parallel engine.
+    Parallel {
+        /// Worker threads (clamped to ≥ 1).
+        workers: usize,
+    },
+}
+
+impl Backend {
+    fn json(&self) -> Json {
+        match self {
+            Backend::Sequential => Json::obj(vec![("kind", Json::str("sequential"))]),
+            Backend::Parallel { workers } => Json::obj(vec![
+                ("kind", Json::str("parallel")),
+                ("workers", Json::from(workers.max(&1).to_owned())),
+            ]),
+        }
+    }
+
+    fn run_invariant<M>(
+        &self,
+        model: &M,
+        prog: &Prog,
+        cfg: &ExploreConfig,
+        inv: &(dyn Fn(&Config<M>) -> bool + Sync),
+    ) -> ExploreResult<M>
+    where
+        M: MemoryModel + Sync,
+        M::State: Send,
+    {
+        match self {
+            Backend::Sequential => SequentialBackend.run_invariant(model, prog, cfg, inv),
+            Backend::Parallel { workers } => {
+                ParallelBackend::new(*workers).run_invariant(model, prog, cfg, inv)
+            }
+        }
+    }
+}
+
+/// A model-agnostic view of a configuration for invariant checking:
+/// program counters and register files (the vocabulary pc-style mutual
+/// exclusion properties are written in).
+pub struct ConfigView<'a> {
+    pcs: Vec<Option<u32>>,
+    regs: &'a [RegFile],
+}
+
+impl<'a> ConfigView<'a> {
+    fn of<M: MemoryModel>(c: &'a Config<M>) -> ConfigView<'a> {
+        ConfigView {
+            pcs: c.thread_ids().map(|t| c.pc(t)).collect(),
+            regs: &c.regs,
+        }
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Program counter of thread `t` (label of its leftmost active
+    /// statement), `None` when terminated/unlabelled.
+    pub fn pc(&self, t: ThreadId) -> Option<u32> {
+        self.pcs.get(t.0 as usize - 1).copied().flatten()
+    }
+
+    /// Current value of register `r` of thread `t`.
+    pub fn reg(&self, t: ThreadId, r: RegId) -> Option<Val> {
+        self.regs.get(t.0 as usize - 1).map(|f| f.get(r))
+    }
+}
+
+/// A named predicate over [`ConfigView`]s, checked on every reachable
+/// configuration in [`Mode::Invariant`].
+#[derive(Clone)]
+pub struct Invariant {
+    name: String,
+    pred: Arc<dyn Fn(&ConfigView) -> bool + Send + Sync>,
+}
+
+impl Invariant {
+    /// A named invariant from a predicate.
+    pub fn new(
+        name: impl Into<String>,
+        pred: impl Fn(&ConfigView) -> bool + Send + Sync + 'static,
+    ) -> Invariant {
+        Invariant {
+            name: name.into(),
+            pred: Arc::new(pred),
+        }
+    }
+
+    /// The invariant's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Invariant({:?})", self.name)
+    }
+}
+
+/// What question the request asks.
+#[derive(Clone, Debug, Default)]
+pub enum Mode {
+    /// Enumerate final register outcomes (with optional witness traces).
+    #[default]
+    Outcomes,
+    /// Count distinct configurations only (cheapest; sweeps).
+    CountOnly,
+    /// Check a named invariant on every reachable configuration.
+    Invariant(Invariant),
+    /// Evaluate a litmus test's expected verdicts under RA and SC
+    /// (requires [`CheckRequest::litmus`] input).
+    LitmusVerdict,
+}
+
+/// How a request can fail before producing a report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// The program source failed to parse.
+    Parse(String),
+    /// The mode/input combination is not supported.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Parse(e) => write!(f, "parse error: {e}"),
+            CheckError::Unsupported(e) => write!(f, "unsupported request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// A program input: source text (parsed by [`CheckRequest::run`]) or an
+/// already-parsed [`Prog`].
+#[derive(Clone, Debug)]
+pub enum ProgramInput {
+    /// DSL source text.
+    Source(String),
+    /// A parsed program.
+    Parsed(Prog),
+}
+
+impl From<&str> for ProgramInput {
+    fn from(s: &str) -> ProgramInput {
+        ProgramInput::Source(s.to_string())
+    }
+}
+
+impl From<String> for ProgramInput {
+    fn from(s: String) -> ProgramInput {
+        ProgramInput::Source(s)
+    }
+}
+
+impl From<Prog> for ProgramInput {
+    fn from(p: Prog) -> ProgramInput {
+        ProgramInput::Parsed(p)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Input {
+    Program(ProgramInput),
+    Litmus(LitmusTest),
+}
+
+/// A checking session request — the builder every consumer (CLI, tests,
+/// examples, future batch service) goes through.
+#[derive(Clone, Debug)]
+pub struct CheckRequest {
+    input: Input,
+    model: ModelChoice,
+    bounds: Bounds,
+    backend: Backend,
+    mode: Mode,
+    traces: Option<bool>,
+    dot: usize,
+}
+
+impl CheckRequest {
+    /// A request over a program (source text or parsed [`Prog`]).
+    pub fn program(p: impl Into<ProgramInput>) -> CheckRequest {
+        CheckRequest {
+            input: Input::Program(p.into()),
+            model: ModelChoice::default(),
+            bounds: Bounds::default(),
+            backend: Backend::default(),
+            mode: Mode::default(),
+            traces: None,
+            dot: 0,
+        }
+    }
+
+    /// A request over a litmus test. The test's event bound seeds
+    /// `bounds.max_events` (override with [`CheckRequest::bounds`]).
+    pub fn litmus(test: LitmusTest) -> CheckRequest {
+        let bounds = Bounds::default().max_events(test.max_events);
+        CheckRequest {
+            input: Input::Litmus(test),
+            model: ModelChoice::default(),
+            bounds,
+            backend: Backend::default(),
+            mode: Mode::LitmusVerdict,
+            traces: None,
+            dot: 0,
+        }
+    }
+
+    /// Selects the memory model (ignored by [`Mode::LitmusVerdict`], which
+    /// always contrasts RA against SC).
+    pub fn model(mut self, m: ModelChoice) -> Self {
+        self.model = m;
+        self
+    }
+
+    /// Sets the exploration bounds.
+    pub fn bounds(mut self, b: Bounds) -> Self {
+        self.bounds = b;
+        self
+    }
+
+    /// Selects the exploration backend.
+    pub fn backend(mut self, b: Backend) -> Self {
+        self.backend = b;
+        self
+    }
+
+    /// Selects the question to answer.
+    pub fn mode(mut self, m: Mode) -> Self {
+        self.mode = m;
+        self
+    }
+
+    /// Requests (or suppresses) traces: witness schedules per outcome in
+    /// [`Mode::Outcomes`], counterexample traces in [`Mode::Invariant`]
+    /// (on by default there).
+    pub fn traces(mut self, on: bool) -> Self {
+        self.traces = Some(on);
+        self
+    }
+
+    /// Renders up to `n` final executions as DOT (event-based models).
+    pub fn dot(mut self, n: usize) -> Self {
+        self.dot = n;
+        self
+    }
+
+    /// Runs the request.
+    pub fn run(self) -> Result<CheckReport, CheckError> {
+        let meta = Meta {
+            model: self.model,
+            backend: self.backend,
+        };
+        if let Mode::LitmusVerdict = self.mode {
+            let Input::Litmus(test) = self.input else {
+                return Err(CheckError::Unsupported(
+                    "LitmusVerdict mode needs CheckRequest::litmus input".to_string(),
+                ));
+            };
+            // The request's bounds (seeded from the test's own event
+            // bound in `CheckRequest::litmus`, overridable via
+            // `.bounds(..)`) govern both explorations.
+            let cfg = self.bounds.explore_config().record_traces(false);
+            let result = match self.backend {
+                Backend::Sequential => {
+                    run_test_configured(&test, &SequentialBackend, &SequentialBackend, &cfg, &cfg)
+                }
+                Backend::Parallel { workers } => {
+                    let par = ParallelBackend::new(workers);
+                    run_test_configured(&test, &par, &par, &cfg, &cfg)
+                }
+            };
+            return Ok(CheckReport::Litmus(LitmusVerdictReport {
+                meta,
+                name: result.name.clone(),
+                expect_ra: test.expect_ra,
+                expect_sc: test.expect_sc,
+                observed_ra: result.observed_ra,
+                observed_sc: result.observed_sc,
+                ra: result.ra,
+                sc: result.sc,
+                pass: result.pass,
+            }));
+        }
+        let prog = match self.input {
+            Input::Program(ProgramInput::Parsed(p)) => p,
+            Input::Program(ProgramInput::Source(src)) => {
+                parse_program(&src).map_err(|e| CheckError::Parse(e.to_string()))?
+            }
+            Input::Litmus(test) => {
+                parse_program(&test.source).map_err(|e| CheckError::Parse(e.to_string()))?
+            }
+        };
+        let req = RunSpec {
+            meta,
+            bounds: self.bounds,
+            backend: self.backend,
+            mode: self.mode,
+            traces: self.traces,
+            dot: self.dot,
+        };
+        Ok(match self.model {
+            ModelChoice::Ra => req.run_on(
+                &RaModel,
+                &prog,
+                Some(&|c: &Config<RaModel>| is_valid(&c.mem)),
+                Some(&|c: &Config<RaModel>| to_dot(&c.mem, &prog.var_names)),
+            ),
+            ModelChoice::Sc => req.run_on(&ScModel, &prog, None, None),
+            ModelChoice::PreExecution => {
+                let model = PreExecutionModel::for_program(&prog);
+                let dot = |c: &Config<PreExecutionModel>| to_dot(&c.mem, &prog.var_names);
+                req.run_on(&model, &prog, None, Some(&dot))
+            }
+        })
+    }
+}
+
+/// A borrowed per-configuration hook (validity self-check, DOT renderer)
+/// passed into the monomorphised run.
+type ConfigFn<'a, M, R> = &'a dyn Fn(&Config<M>) -> R;
+
+/// The mode-independent pieces of a resolved request (everything `run_on`
+/// needs once the model has been monomorphised).
+struct RunSpec {
+    meta: Meta,
+    bounds: Bounds,
+    backend: Backend,
+    mode: Mode,
+    traces: Option<bool>,
+    dot: usize,
+}
+
+impl RunSpec {
+    fn run_on<M>(
+        &self,
+        model: &M,
+        prog: &Prog,
+        valid: Option<ConfigFn<'_, M, bool>>,
+        dot: Option<ConfigFn<'_, M, String>>,
+    ) -> CheckReport
+    where
+        M: MemoryModel + Sync,
+        M::State: Send,
+    {
+        match &self.mode {
+            Mode::LitmusVerdict => unreachable!("handled before model dispatch"),
+            Mode::CountOnly => {
+                let cfg = self.bounds.explore_config().record_traces(false);
+                let t0 = Instant::now();
+                let res = self.backend.run_invariant(model, prog, &cfg, &|_| true);
+                CheckReport::Count(CountReport {
+                    meta: self.meta,
+                    stats: res.stats(t0.elapsed()),
+                })
+            }
+            Mode::Outcomes => {
+                let witness = self.traces.unwrap_or(false);
+                let cfg = self
+                    .bounds
+                    .explore_config()
+                    .record_traces(false)
+                    .witness_traces(witness);
+                let t0 = Instant::now();
+                let res = self.backend.run_invariant(model, prog, &cfg, &|_| true);
+                let stats = res.stats(t0.elapsed());
+                let invalid_finals = valid
+                    .map(|v| res.finals.iter().filter(|c| !v(c)).count())
+                    .unwrap_or(0);
+                let dot = dot
+                    .map(|d| res.finals.iter().take(self.dot).map(d).collect())
+                    .unwrap_or_default();
+                CheckReport::Outcomes(OutcomesReport {
+                    meta: self.meta,
+                    stats,
+                    outcomes: aggregate_outcomes(&res, prog, witness),
+                    invalid_finals,
+                    dot,
+                })
+            }
+            Mode::Invariant(inv) => {
+                let cfg = self
+                    .bounds
+                    .explore_config()
+                    .record_traces(self.traces.unwrap_or(true));
+                let pred = inv.pred.clone();
+                let adapter = move |c: &Config<M>| pred(&ConfigView::of(c));
+                let t0 = Instant::now();
+                let res = self.backend.run_invariant(model, prog, &cfg, &adapter);
+                let stats = res.stats(t0.elapsed());
+                let violations = res
+                    .violations
+                    .iter()
+                    .map(|(c, trace)| ViolationRow {
+                        pcs: c.thread_ids().map(|t| c.pc(t)).collect(),
+                        trace: trace.iter().map(|s| s.render(prog)).collect(),
+                    })
+                    .collect();
+                CheckReport::Invariant(InvariantReport {
+                    meta: self.meta,
+                    stats,
+                    invariant: inv.name.clone(),
+                    holds: res.holds(),
+                    violations,
+                })
+            }
+        }
+    }
+}
+
+/// Aggregates the finals into a deterministic multiset of outcome rows
+/// (sorted by register values, so sequential and parallel backends emit
+/// identical reports).
+fn aggregate_outcomes<M: MemoryModel>(
+    res: &ExploreResult<M>,
+    prog: &Prog,
+    witness: bool,
+) -> Vec<OutcomeRow> {
+    let mut map: BTreeMap<RegSnapshot, (usize, Option<Vec<String>>)> = BTreeMap::new();
+    for (i, snap) in res.final_snapshots().into_iter().enumerate() {
+        let entry = map.entry(snap).or_insert((0, None));
+        entry.0 += 1;
+        if witness && entry.1.is_none() {
+            if let Some(trace) = res.final_traces.get(i) {
+                entry.1 = Some(trace.iter().map(|s| s.render(prog)).collect());
+            }
+        }
+    }
+    map.into_iter()
+        .map(|(snap, (count, witness))| OutcomeRow {
+            count,
+            threads: (1..=snap.num_threads() as u8)
+                .map(|t| snap.thread_regs(ThreadId(t)))
+                .collect(),
+            witness,
+        })
+        .collect()
+}
+
+/// What the report was computed with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Meta {
+    /// The memory model.
+    pub model: ModelChoice,
+    /// The exploration backend.
+    pub backend: Backend,
+}
+
+/// One distinct final register outcome (a multiset row).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutcomeRow {
+    /// How many distinct terminated configurations share these values.
+    pub count: usize,
+    /// `threads[i]` is thread `i + 1`'s written registers.
+    pub threads: Vec<Vec<(RegId, Val)>>,
+    /// A witness schedule (rendered steps), when traces were requested.
+    pub witness: Option<Vec<String>>,
+}
+
+impl OutcomeRow {
+    /// Renders the row like the CLI does: `{ t1.r0=1, t2.r0=1 }` with
+    /// zero-valued registers elided.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, regs) in self.threads.iter().enumerate() {
+            for (r, v) in regs {
+                if *v != 0 {
+                    parts.push(format!("t{}.r{}={v}", i + 1, r.0));
+                }
+            }
+        }
+        if parts.is_empty() {
+            "{ all registers 0 }".to_string()
+        } else {
+            format!("{{ {} }}", parts.join(", "))
+        }
+    }
+}
+
+/// Outcome-enumeration report.
+#[derive(Clone, Debug)]
+pub struct OutcomesReport {
+    /// Request metadata.
+    pub meta: Meta,
+    /// Exploration stats.
+    pub stats: Stats,
+    /// The distinct final register outcomes (deterministically sorted).
+    pub outcomes: Vec<OutcomeRow>,
+    /// Finals failing the RA validity axioms (Theorem 4.4 self-check;
+    /// always 0 unless the semantics has a soundness bug, and only
+    /// computed under [`ModelChoice::Ra`]).
+    pub invalid_finals: usize,
+    /// DOT renderings of the first `n` final executions (when requested).
+    pub dot: Vec<String>,
+}
+
+/// Count-only report.
+#[derive(Clone, Debug)]
+pub struct CountReport {
+    /// Request metadata.
+    pub meta: Meta,
+    /// Exploration stats.
+    pub stats: Stats,
+}
+
+/// One invariant violation.
+#[derive(Clone, Debug)]
+pub struct ViolationRow {
+    /// Program counters of the violating configuration.
+    pub pcs: Vec<Option<u32>>,
+    /// Rendered counterexample trace (empty if traces were suppressed).
+    pub trace: Vec<String>,
+}
+
+/// Invariant-checking report.
+#[derive(Clone, Debug)]
+pub struct InvariantReport {
+    /// Request metadata.
+    pub meta: Meta,
+    /// Exploration stats.
+    pub stats: Stats,
+    /// The invariant's name.
+    pub invariant: String,
+    /// `true` iff no reachable configuration violated it (up to bounds —
+    /// see `stats.truncated`).
+    pub holds: bool,
+    /// The violations found.
+    pub violations: Vec<ViolationRow>,
+}
+
+/// Litmus-verdict report (RA vs SC).
+#[derive(Clone, Debug)]
+pub struct LitmusVerdictReport {
+    /// Request metadata (`meta.model` is nominal: this mode always runs
+    /// both RA and SC).
+    pub meta: Meta,
+    /// Test name.
+    pub name: String,
+    /// Expected verdict under RA.
+    pub expect_ra: Verdict,
+    /// Expected verdict under SC.
+    pub expect_sc: Verdict,
+    /// Outcome observed under RA?
+    pub observed_ra: bool,
+    /// Outcome observed under SC?
+    pub observed_sc: bool,
+    /// RA exploration stats.
+    pub ra: Stats,
+    /// SC exploration stats.
+    pub sc: Stats,
+    /// Verdicts matched expectations?
+    pub pass: bool,
+}
+
+/// The unified response: one enum, every engine and question.
+#[derive(Clone, Debug)]
+pub enum CheckReport {
+    /// Final register outcomes.
+    Outcomes(OutcomesReport),
+    /// State count only.
+    Count(CountReport),
+    /// Invariant verdict with counterexamples.
+    Invariant(InvariantReport),
+    /// Litmus verdict (RA vs SC).
+    Litmus(LitmusVerdictReport),
+}
+
+fn verdict_str(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Allowed => "allowed",
+        Verdict::Forbidden => "forbidden",
+    }
+}
+
+fn stats_json(s: &Stats) -> Json {
+    Json::obj(vec![
+        ("unique", Json::from(s.unique)),
+        ("generated", Json::from(s.generated)),
+        ("finals", Json::from(s.finals)),
+        ("truncated", Json::from(s.truncated)),
+        ("stuck", Json::from(s.stuck)),
+        ("wall_micros", Json::from(s.wall_micros)),
+    ])
+}
+
+impl CheckReport {
+    /// The report's stats (RA + SC merged for litmus verdicts).
+    pub fn stats(&self) -> Stats {
+        match self {
+            CheckReport::Outcomes(r) => r.stats,
+            CheckReport::Count(r) => r.stats,
+            CheckReport::Invariant(r) => r.stats,
+            CheckReport::Litmus(r) => r.ra.merged(&r.sc),
+        }
+    }
+
+    /// The mode tag used in the JSON encoding.
+    pub fn mode_str(&self) -> &'static str {
+        match self {
+            CheckReport::Outcomes(_) => "outcomes",
+            CheckReport::Count(_) => "count",
+            CheckReport::Invariant(_) => "invariant",
+            CheckReport::Litmus(_) => "litmus",
+        }
+    }
+
+    /// Renders the report as a single-line JSON document
+    /// (`c11check/v1` schema; see README § JSON report schema). Offline
+    /// hand-rolled writer — no serde.
+    pub fn to_json(&self) -> String {
+        self.json_value().render()
+    }
+
+    /// The report as a [`Json`] tree (for embedding in larger documents,
+    /// e.g. the CLI's litmus-directory array).
+    pub fn json_value(&self) -> Json {
+        let mut pairs: Vec<(&str, Json)> = vec![
+            ("schema", Json::str("c11check/v1")),
+            ("mode", Json::str(self.mode_str())),
+        ];
+        match self {
+            CheckReport::Outcomes(r) => {
+                pairs.push(("model", Json::str(r.meta.model.as_str())));
+                pairs.push(("backend", r.meta.backend.json()));
+                pairs.push(("stats", stats_json(&r.stats)));
+                pairs.push(("invalid_finals", Json::from(r.invalid_finals)));
+                let rows = r
+                    .outcomes
+                    .iter()
+                    .map(|row| {
+                        let threads = row
+                            .threads
+                            .iter()
+                            .enumerate()
+                            .map(|(i, regs)| {
+                                let regs_obj = Json::Obj(
+                                    regs.iter()
+                                        .map(|(r, v)| (format!("r{}", r.0), Json::from(*v)))
+                                        .collect(),
+                                );
+                                Json::obj(vec![("thread", Json::from(i + 1)), ("regs", regs_obj)])
+                            })
+                            .collect();
+                        let mut row_pairs = vec![
+                            ("count", Json::from(row.count)),
+                            ("threads", Json::Arr(threads)),
+                        ];
+                        if let Some(w) = &row.witness {
+                            row_pairs
+                                .push(("witness", Json::Arr(w.iter().map(Json::str).collect())));
+                        }
+                        Json::obj(row_pairs)
+                    })
+                    .collect();
+                pairs.push(("outcomes", Json::Arr(rows)));
+                if !r.dot.is_empty() {
+                    pairs.push(("dot", Json::Arr(r.dot.iter().map(Json::str).collect())));
+                }
+            }
+            CheckReport::Count(r) => {
+                pairs.push(("model", Json::str(r.meta.model.as_str())));
+                pairs.push(("backend", r.meta.backend.json()));
+                pairs.push(("stats", stats_json(&r.stats)));
+            }
+            CheckReport::Invariant(r) => {
+                pairs.push(("model", Json::str(r.meta.model.as_str())));
+                pairs.push(("backend", r.meta.backend.json()));
+                pairs.push(("stats", stats_json(&r.stats)));
+                pairs.push(("invariant", Json::str(&r.invariant)));
+                pairs.push(("holds", Json::from(r.holds)));
+                let rows = r
+                    .violations
+                    .iter()
+                    .map(|v| {
+                        Json::obj(vec![
+                            (
+                                "pcs",
+                                Json::Arr(
+                                    v.pcs
+                                        .iter()
+                                        .map(|pc| pc.map(Json::from).unwrap_or(Json::Null))
+                                        .collect(),
+                                ),
+                            ),
+                            ("trace", Json::Arr(v.trace.iter().map(Json::str).collect())),
+                        ])
+                    })
+                    .collect();
+                pairs.push(("violations", Json::Arr(rows)));
+            }
+            CheckReport::Litmus(r) => {
+                pairs.push(("backend", r.meta.backend.json()));
+                pairs.push(("name", Json::str(&r.name)));
+                pairs.push(("expect_ra", Json::str(verdict_str(r.expect_ra))));
+                pairs.push(("expect_sc", Json::str(verdict_str(r.expect_sc))));
+                pairs.push(("observed_ra", Json::from(r.observed_ra)));
+                pairs.push(("observed_sc", Json::from(r.observed_sc)));
+                pairs.push(("pass", Json::from(r.pass)));
+                pairs.push(("ra", stats_json(&r.ra)));
+                pairs.push(("sc", stats_json(&r.sc)));
+            }
+        }
+        Json::obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SB: &str = "vars x y;
+         thread t1 { x := 1; r0 <- y; }
+         thread t2 { y := 1; r0 <- x; }";
+
+    #[test]
+    fn outcomes_sequential_and_parallel_agree() {
+        let seq = CheckRequest::program(SB).run().unwrap();
+        let par = CheckRequest::program(SB)
+            .backend(Backend::Parallel { workers: 4 })
+            .run()
+            .unwrap();
+        let (CheckReport::Outcomes(a), CheckReport::Outcomes(b)) = (&seq, &par) else {
+            panic!("expected outcome reports");
+        };
+        assert_eq!(a.stats.unique, b.stats.unique);
+        assert_eq!(a.stats.finals, b.stats.finals);
+        // The deterministic multiset rows must be identical.
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.invalid_finals, 0);
+    }
+
+    #[test]
+    fn outcomes_with_witness_traces() {
+        let report = CheckRequest::program(SB).traces(true).run().unwrap();
+        let CheckReport::Outcomes(o) = report else {
+            panic!()
+        };
+        assert!(o.outcomes.iter().all(|r| r.witness.is_some()));
+        let w = o.outcomes[0].witness.as_ref().unwrap();
+        assert!(w.iter().any(|s| s.starts_with("t1:")));
+    }
+
+    #[test]
+    fn count_mode_matches_outcomes_unique() {
+        let a = CheckRequest::program(SB).run().unwrap();
+        let b = CheckRequest::program(SB)
+            .mode(Mode::CountOnly)
+            .run()
+            .unwrap();
+        assert_eq!(a.stats().unique, b.stats().unique);
+        assert!(matches!(b, CheckReport::Count(_)));
+    }
+
+    #[test]
+    fn sc_model_shrinks_the_outcome_set() {
+        let ra = CheckRequest::program(SB).run().unwrap();
+        let sc = CheckRequest::program(SB)
+            .model(ModelChoice::Sc)
+            .run()
+            .unwrap();
+        let (CheckReport::Outcomes(ra), CheckReport::Outcomes(sc)) = (&ra, &sc) else {
+            panic!()
+        };
+        // SB: RA allows 0/0, SC forbids it — strictly fewer SC outcomes.
+        assert!(sc.outcomes.len() < ra.outcomes.len());
+    }
+
+    const SB_LABELED: &str = "vars x y;
+         thread t1 { 1: x := 1; 2: r0 <- y; }
+         thread t2 { 1: y := 1; 2: r0 <- x; }";
+
+    #[test]
+    fn invariant_mode_finds_violations_with_traces() {
+        // "Both threads are never at line 2 together" fails on SB (they
+        // can both be between their write and their read).
+        let inv = Invariant::new("never-both-at-2", |v: &ConfigView| {
+            !(v.pc(ThreadId(1)) == Some(2) && v.pc(ThreadId(2)) == Some(2))
+        });
+        let report = CheckRequest::program(SB_LABELED)
+            .mode(Mode::Invariant(inv))
+            .run()
+            .unwrap();
+        let CheckReport::Invariant(r) = report else {
+            panic!()
+        };
+        assert!(!r.holds);
+        assert!(!r.violations.is_empty());
+        assert!(!r.violations[0].trace.is_empty(), "traces on by default");
+    }
+
+    #[test]
+    fn invariant_mode_parallel_agrees_on_verdict() {
+        let mk = || {
+            Invariant::new("never-both-at-2", |v: &ConfigView| {
+                !(v.pc(ThreadId(1)) == Some(2) && v.pc(ThreadId(2)) == Some(2))
+            })
+        };
+        let seq = CheckRequest::program(SB_LABELED)
+            .mode(Mode::Invariant(mk()))
+            .run()
+            .unwrap();
+        let par = CheckRequest::program(SB_LABELED)
+            .mode(Mode::Invariant(mk()))
+            .backend(Backend::Parallel { workers: 2 })
+            .run()
+            .unwrap();
+        let (CheckReport::Invariant(a), CheckReport::Invariant(b)) = (&seq, &par) else {
+            panic!()
+        };
+        assert_eq!(a.holds, b.holds);
+        assert!(!a.holds, "RA allows the SB weak outcome");
+    }
+
+    #[test]
+    fn litmus_mode_reproduces_runner_verdicts() {
+        for test in c11_litmus::corpus().into_iter().take(3) {
+            let expect = c11_litmus::run_test(&test);
+            let report = CheckRequest::litmus(test).run().unwrap();
+            let CheckReport::Litmus(r) = report else {
+                panic!()
+            };
+            assert_eq!(r.pass, expect.pass, "{}", r.name);
+            assert_eq!(r.observed_ra, expect.observed_ra, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn litmus_mode_honours_bounds_override() {
+        // A forbidden test re-checked at a tiny event bound must come
+        // back truncated (the verdict is only valid up to the bound).
+        let test = c11_litmus::corpus()
+            .into_iter()
+            .find(|t| t.name == "MP-ra")
+            .unwrap();
+        let report = CheckRequest::litmus(test)
+            .bounds(Bounds::default().max_events(3))
+            .run()
+            .unwrap();
+        let CheckReport::Litmus(r) = report else {
+            panic!()
+        };
+        assert!(r.ra.truncated, ".bounds(..) must override the test bound");
+    }
+
+    #[test]
+    fn litmus_mode_requires_litmus_input() {
+        let err = CheckRequest::program(SB).mode(Mode::LitmusVerdict).run();
+        assert!(matches!(err, Err(CheckError::Unsupported(_))));
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let err = CheckRequest::program("vars x; thread t { y := 1; }").run();
+        assert!(matches!(err, Err(CheckError::Parse(_))));
+    }
+
+    #[test]
+    fn dot_renders_final_executions() {
+        let report = CheckRequest::program("vars x; thread t { x := 1; }")
+            .dot(2)
+            .run()
+            .unwrap();
+        let CheckReport::Outcomes(o) = report else {
+            panic!()
+        };
+        assert_eq!(o.dot.len(), 1, "one final execution");
+        assert!(o.dot[0].contains("digraph"));
+    }
+
+    #[test]
+    fn json_is_stable_across_backends() {
+        let mut reports = Vec::new();
+        for backend in [Backend::Sequential, Backend::Parallel { workers: 4 }] {
+            let r = CheckRequest::program(SB).backend(backend).run().unwrap();
+            let CheckReport::Outcomes(mut o) = r else {
+                panic!()
+            };
+            // Stats carry wall time and backend identity — normalise.
+            o.stats.wall_micros = 0;
+            o.meta.backend = Backend::Sequential;
+            reports.push(CheckReport::Outcomes(o).to_json());
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert!(reports[0].contains("\"schema\":\"c11check/v1\""));
+    }
+}

@@ -56,7 +56,7 @@ fn bench_corpus(reps: usize, rows: &mut Vec<Row>) {
         let nanos = best_of(reps, || {
             let r = run_test(&test);
             assert!(r.pass, "{} regressed during benchmarking", r.name);
-            states = r.states_ra + r.states_sc;
+            states = r.ra.unique + r.sc.unique;
             r
         });
         rows.push(Row {
@@ -74,8 +74,8 @@ fn bench_scaling(reps: usize, quick: bool, rows: &mut Vec<Row>) {
         let prog = wide_workload(k);
         let mut states = 0usize;
         let nanos = best_of(reps, || {
-            let res =
-                Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(2 * k + 4));
+            let res = Explorer::new(RaModel)
+                .explore(&prog, ExploreConfig::default().max_events(2 * k + 4));
             states = res.unique;
             res
         });

@@ -1,0 +1,146 @@
+//! The backend abstraction: one exploration contract, many engines.
+//!
+//! [`ExploreBackend`] is the seam the api crate's `CheckRequest` plugs
+//! into: every engine that can enumerate the reachable configurations of a
+//! program under a memory model implements it and returns the same
+//! [`ExploreResult`]. Two implementations ship today — the sequential BFS
+//! ([`SequentialBackend`]) and the work-stealing parallel engine
+//! ([`ParallelBackend`]); DPOR-style reduced backends slot in behind the
+//! same trait.
+
+use crate::engine::{explore_invariant_with, ExploreConfig, ExploreResult};
+use crate::par::parallel_explore_invariant;
+use c11_core::config::Config;
+use c11_core::model::MemoryModel;
+use c11_lang::Prog;
+
+/// An exploration engine for a memory model `M`.
+///
+/// The invariant closure is `Fn + Sync` (not `FnMut`) so one contract
+/// covers both sequential and parallel engines; accumulate findings
+/// through interior mutability (or use [`ExploreResult::violations`],
+/// which every backend fills).
+pub trait ExploreBackend<M: MemoryModel> {
+    /// A short human-readable name ("sequential", "parallel(4)").
+    fn name(&self) -> String;
+
+    /// Explores all reachable configurations within `cfg`'s bounds,
+    /// checking `inv` on each.
+    fn run_invariant(
+        &self,
+        model: &M,
+        prog: &Prog,
+        cfg: &ExploreConfig,
+        inv: &(dyn Fn(&Config<M>) -> bool + Sync),
+    ) -> ExploreResult<M>;
+
+    /// Explores without an invariant.
+    fn run(&self, model: &M, prog: &Prog, cfg: &ExploreConfig) -> ExploreResult<M> {
+        self.run_invariant(model, prog, cfg, &|_| true)
+    }
+}
+
+/// The sequential BFS engine (deterministic; the reference).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequentialBackend;
+
+impl<M: MemoryModel> ExploreBackend<M> for SequentialBackend {
+    fn name(&self) -> String {
+        "sequential".to_string()
+    }
+
+    fn run_invariant(
+        &self,
+        model: &M,
+        prog: &Prog,
+        cfg: &ExploreConfig,
+        inv: &(dyn Fn(&Config<M>) -> bool + Sync),
+    ) -> ExploreResult<M> {
+        explore_invariant_with(model, prog, cfg, |c| inv(c))
+    }
+}
+
+/// The work-stealing parallel engine (see [`crate::par`]). Requires the
+/// model and its states to cross threads; always deduplicates.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelBackend {
+    /// Number of worker threads (clamped to ≥ 1).
+    pub workers: usize,
+}
+
+impl ParallelBackend {
+    /// A parallel backend with `workers` threads.
+    pub fn new(workers: usize) -> ParallelBackend {
+        ParallelBackend { workers }
+    }
+}
+
+impl<M> ExploreBackend<M> for ParallelBackend
+where
+    M: MemoryModel + Sync,
+    M::State: Send,
+{
+    fn name(&self) -> String {
+        format!("parallel({})", self.workers.max(1))
+    }
+
+    fn run_invariant(
+        &self,
+        model: &M,
+        prog: &Prog,
+        cfg: &ExploreConfig,
+        inv: &(dyn Fn(&Config<M>) -> bool + Sync),
+    ) -> ExploreResult<M> {
+        parallel_explore_invariant(model, prog, cfg, self.workers, inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c11_core::model::{RaModel, ScModel};
+    use c11_lang::parse_program;
+
+    /// Both backends through the trait object surface the api crate uses.
+    #[test]
+    fn backends_agree_through_the_trait() {
+        let prog = parse_program(
+            "vars x y;
+             thread t1 { x := 1; r0 <- y; }
+             thread t2 { y := 1; r0 <- x; }",
+        )
+        .unwrap();
+        let cfg = ExploreConfig::default();
+        let backends: Vec<Box<dyn ExploreBackend<RaModel>>> = vec![
+            Box::new(SequentialBackend),
+            Box::new(ParallelBackend::new(2)),
+        ];
+        let reference = SequentialBackend.run(&RaModel, &prog, &cfg);
+        for b in &backends {
+            let res = b.run(&RaModel, &prog, &cfg);
+            assert_eq!(res.unique, reference.unique, "{}", b.name());
+            assert_eq!(res.finals.len(), reference.finals.len(), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn trait_covers_store_based_models_too() {
+        let prog = parse_program("vars x; thread t { x := 1; r0 <- x; }").unwrap();
+        let cfg = ExploreConfig::default();
+        let seq = SequentialBackend.run(&ScModel, &prog, &cfg);
+        let par = ParallelBackend::new(2).run(&ScModel, &prog, &cfg);
+        assert_eq!(seq.unique, par.unique);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(
+            ExploreBackend::<RaModel>::name(&SequentialBackend),
+            "sequential"
+        );
+        assert_eq!(
+            ExploreBackend::<RaModel>::name(&ParallelBackend::new(4)),
+            "parallel(4)"
+        );
+    }
+}

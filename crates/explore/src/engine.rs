@@ -22,6 +22,8 @@ pub(crate) fn config_fingerprint<M: MemoryModel>(model: &M, c: &Config<M>) -> u1
 }
 
 /// Exploration bounds and switches.
+///
+/// Built by chaining: `ExploreConfig::default().max_events(16).dedup(false)`.
 #[derive(Clone, Debug)]
 pub struct ExploreConfig {
     /// Stop expanding a configuration whose memory state has more events
@@ -37,6 +39,10 @@ pub struct ExploreConfig {
     pub dedup: bool,
     /// Record parent pointers so invariant violations come with traces.
     pub record_traces: bool,
+    /// Additionally materialise a witness trace for every *terminated*
+    /// configuration (see [`ExploreResult::final_traces`]). Off by
+    /// default: witnesses cost memory proportional to `finals × depth`.
+    pub witness_traces: bool,
 }
 
 impl Default for ExploreConfig {
@@ -47,26 +53,59 @@ impl Default for ExploreConfig {
             max_depth: usize::MAX,
             dedup: true,
             record_traces: true,
+            witness_traces: false,
         }
     }
 }
 
 impl ExploreConfig {
+    /// Sets the event bound (chainable).
+    pub fn max_events(mut self, n: usize) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Sets the distinct-configuration cap (chainable).
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Sets the BFS depth bound (chainable).
+    pub fn max_depth(mut self, n: usize) -> Self {
+        self.max_depth = n;
+        self
+    }
+
+    /// Switches canonical-key deduplication (chainable).
+    pub fn dedup(mut self, on: bool) -> Self {
+        self.dedup = on;
+        self
+    }
+
+    /// Switches violation-trace recording (chainable).
+    pub fn record_traces(mut self, on: bool) -> Self {
+        self.record_traces = on;
+        self
+    }
+
+    /// Switches witness traces for terminated configurations (chainable).
+    pub fn witness_traces(mut self, on: bool) -> Self {
+        self.witness_traces = on;
+        self
+    }
+
     /// A config with an event bound suitable for small litmus tests.
+    #[deprecated(since = "0.1.0", note = "use `ExploreConfig::default().max_events(n)`")]
     pub fn with_max_events(max_events: usize) -> Self {
-        ExploreConfig {
-            max_events,
-            ..Default::default()
-        }
+        ExploreConfig::default().max_events(max_events)
     }
 
     /// A config bounded by depth instead of events (for SC exploration of
     /// looping programs).
+    #[deprecated(since = "0.1.0", note = "use `ExploreConfig::default().max_depth(n)`")]
     pub fn with_max_depth(max_depth: usize) -> Self {
-        ExploreConfig {
-            max_depth,
-            ..Default::default()
-        }
+        ExploreConfig::default().max_depth(max_depth)
     }
 }
 
@@ -79,12 +118,10 @@ pub struct TraceStep {
     pub label: StepLabel,
 }
 
-/// Renders a counterexample trace with variable names, one step per line.
-pub fn render_trace(trace: &[TraceStep], prog: &Prog) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    for (i, step) in trace.iter().enumerate() {
-        let what = match &step.label {
+impl TraceStep {
+    /// Renders the step with variable names resolved (`t2: Rd(f, 1)`).
+    pub fn render(&self, prog: &Prog) -> String {
+        let what = match &self.label {
             StepLabel::Tau => "τ".to_string(),
             StepLabel::Act(a) => {
                 let v = prog
@@ -95,22 +132,51 @@ pub fn render_trace(trace: &[TraceStep], prog: &Prog) -> String {
                 format!("{a:?}").replace(&format!("{:?}", a.var()), v)
             }
         };
-        let _ = writeln!(out, "  {i:>3}. t{}: {what}", step.tid.0);
+        format!("t{}: {what}", self.tid.0)
+    }
+}
+
+/// Renders a counterexample trace with variable names, one step per line.
+pub fn render_trace(trace: &[TraceStep], prog: &Prog) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, step) in trace.iter().enumerate() {
+        let _ = writeln!(out, "  {i:>3}. {}", step.render(prog));
     }
     out
 }
 
 /// Final register values of all threads of a terminated configuration.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegSnapshot {
     regs: Vec<RegFile>,
 }
 
 impl RegSnapshot {
+    /// The snapshot of a configuration's register files.
+    pub fn of<M: MemoryModel>(cfg: &Config<M>) -> RegSnapshot {
+        RegSnapshot {
+            regs: cfg.regs.clone(),
+        }
+    }
+
     /// The value of register `r` of thread `t`; `None` if the thread does
     /// not exist. Unwritten registers read 0.
     pub fn get(&self, t: ThreadId, r: RegId) -> Option<Val> {
         self.regs.get(t.0 as usize - 1).map(|f| f.get(r))
+    }
+
+    /// Number of threads in the snapshot.
+    pub fn num_threads(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// The written registers of thread `t` as `(register, value)` pairs.
+    pub fn thread_regs(&self, t: ThreadId) -> Vec<(RegId, Val)> {
+        self.regs
+            .get(t.0 as usize - 1)
+            .map(|f| f.iter().collect())
+            .unwrap_or_default()
     }
 }
 
@@ -122,6 +188,10 @@ pub struct ExploreResult<M: MemoryModel> {
     pub generated: usize,
     /// Terminated configurations (all threads `skip`).
     pub finals: Vec<Config<M>>,
+    /// When [`ExploreConfig::witness_traces`] is on, `final_traces[i]` is
+    /// a trace from the initial configuration to `finals[i]`; empty
+    /// otherwise.
+    pub final_traces: Vec<Vec<TraceStep>>,
     /// `true` iff some configuration was not expanded due to a bound —
     /// verdicts on "forbidden" outcomes are then only valid up to the
     /// bound.
@@ -140,10 +210,7 @@ impl<M: MemoryModel> ExploreResult<M> {
     pub fn final_register_states(&self) -> Vec<RegSnapshot> {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
-        for cfg in &self.finals {
-            let snap = RegSnapshot {
-                regs: cfg.regs.clone(),
-            };
+        for snap in self.final_snapshots() {
             if seen.insert(snap.clone()) {
                 out.push(snap);
             }
@@ -151,10 +218,151 @@ impl<M: MemoryModel> ExploreResult<M> {
         out
     }
 
+    /// Register snapshots of all terminated configurations, one per final
+    /// (a *multiset*: distinct final configurations may share register
+    /// values). Index-aligned with `finals` and `final_traces`.
+    pub fn final_snapshots(&self) -> Vec<RegSnapshot> {
+        self.finals.iter().map(RegSnapshot::of).collect()
+    }
+
+    /// The stats of this result, stamped with a wall time.
+    pub fn stats(&self, wall: std::time::Duration) -> crate::stats::Stats {
+        crate::stats::Stats::of(self, wall)
+    }
+
     /// `true` iff no invariant violation was found.
     pub fn holds(&self) -> bool {
         self.violations.is_empty()
     }
+}
+
+/// Explores all reachable configurations of `prog` under `model`, checking
+/// `inv` on each. The free-function form the [`crate::ExploreBackend`]
+/// trait and the [`Explorer`] wrapper both delegate to.
+pub fn explore_invariant_with<M, F>(
+    model: &M,
+    prog: &Prog,
+    cfg: &ExploreConfig,
+    mut inv: F,
+) -> ExploreResult<M>
+where
+    M: MemoryModel,
+    F: FnMut(&Config<M>) -> bool,
+{
+    let mut result = ExploreResult {
+        unique: 0,
+        generated: 0,
+        finals: Vec::new(),
+        final_traces: Vec::new(),
+        truncated: false,
+        violations: Vec::new(),
+        stuck: 0,
+    };
+    // Node store for trace reconstruction — only fed when someone will
+    // read the parent pointers back (mirrors the parallel engine's
+    // `track` guard; an untracked run does no per-state bookkeeping).
+    let track = cfg.record_traces || cfg.witness_traces;
+    struct Node {
+        parent: usize,
+        step: Option<TraceStep>,
+    }
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut visited: HashSet<u128> = HashSet::new();
+    // Node index of each final (for witness-trace materialisation).
+    let mut final_nodes: Vec<usize> = Vec::new();
+
+    let initial = Config::initial(model, prog);
+    let key = |c: &Config<M>| config_fingerprint(model, c);
+    let mut queue: VecDeque<(Config<M>, usize, usize)> = VecDeque::new(); // (cfg, node, depth)
+    if cfg.dedup {
+        visited.insert(key(&initial));
+    }
+    nodes.push(Node {
+        parent: usize::MAX,
+        step: None,
+    });
+    let trace_of = |nodes: &[Node], mut idx: usize| {
+        let mut steps = Vec::new();
+        while idx != usize::MAX {
+            if let Some(s) = &nodes[idx].step {
+                steps.push(s.clone());
+            }
+            idx = nodes[idx].parent;
+        }
+        steps.reverse();
+        steps
+    };
+    // Check the initial configuration.
+    if !inv(&initial) {
+        result.violations.push((initial.clone(), Vec::new()));
+    }
+    if initial.is_terminated() {
+        // Terminated configurations have no successors: move them
+        // straight to `finals` instead of cycling them through the
+        // queue.
+        result.finals.push(initial);
+        final_nodes.push(0);
+    } else {
+        queue.push_back((initial, 0, 0));
+    }
+    result.unique = 1;
+
+    while let Some((config, node_idx, depth)) = queue.pop_front() {
+        if result.unique >= cfg.max_states {
+            result.truncated = true;
+            break;
+        }
+        if depth >= cfg.max_depth || model.state_size(&config.mem) >= cfg.max_events {
+            result.truncated = true;
+            continue;
+        }
+        let successors = config.successors(model);
+        if successors.is_empty() && !config.is_terminated() {
+            result.stuck += 1;
+        }
+        for ConfigStep {
+            tid, label, next, ..
+        } in successors
+        {
+            result.generated += 1;
+            if cfg.dedup && !visited.insert(key(&next)) {
+                continue;
+            }
+            let new_idx = if track {
+                nodes.push(Node {
+                    parent: node_idx,
+                    step: Some(TraceStep { tid, label }),
+                });
+                nodes.len() - 1
+            } else {
+                0 // the root; never dereferenced when tracking is off
+            };
+            result.unique += 1;
+            if !inv(&next) {
+                let trace = if cfg.record_traces {
+                    trace_of(&nodes, new_idx)
+                } else {
+                    Vec::new()
+                };
+                result.violations.push((next.clone(), trace));
+            }
+            if next.is_terminated() {
+                // Move — terminated configurations have no successors,
+                // so only `finals` needs this value.
+                result.finals.push(next);
+                final_nodes.push(new_idx);
+            } else {
+                queue.push_back((next, new_idx, depth + 1));
+            }
+        }
+    }
+    if cfg.witness_traces {
+        result.final_traces = final_nodes
+            .into_iter()
+            .map(|idx| trace_of(&nodes, idx))
+            .collect();
+    }
+    result
 }
 
 /// The exploration engine, parameterised by a memory model.
@@ -179,112 +387,11 @@ impl<M: MemoryModel> Explorer<M> {
     }
 
     /// Explores and checks `inv` on every reachable configuration.
-    pub fn explore_invariant<F>(
-        &self,
-        prog: &Prog,
-        cfg: ExploreConfig,
-        mut inv: F,
-    ) -> ExploreResult<M>
+    pub fn explore_invariant<F>(&self, prog: &Prog, cfg: ExploreConfig, inv: F) -> ExploreResult<M>
     where
         F: FnMut(&Config<M>) -> bool,
     {
-        let mut result = ExploreResult {
-            unique: 0,
-            generated: 0,
-            finals: Vec::new(),
-            truncated: false,
-            violations: Vec::new(),
-            stuck: 0,
-        };
-        // Node store for trace reconstruction.
-        struct Node {
-            parent: usize,
-            step: Option<TraceStep>,
-        }
-        let mut nodes: Vec<Node> = Vec::new();
-        let mut visited: HashSet<u128> = HashSet::new();
-
-        let initial = Config::initial(&self.model, prog);
-        let key = |c: &Config<M>| config_fingerprint(&self.model, c);
-        let mut queue: VecDeque<(Config<M>, usize, usize)> = VecDeque::new(); // (cfg, node, depth)
-        if cfg.dedup {
-            visited.insert(key(&initial));
-        }
-        nodes.push(Node {
-            parent: usize::MAX,
-            step: None,
-        });
-        let trace_of = |nodes: &[Node], mut idx: usize| {
-            let mut steps = Vec::new();
-            while idx != usize::MAX {
-                if let Some(s) = &nodes[idx].step {
-                    steps.push(s.clone());
-                }
-                idx = nodes[idx].parent;
-            }
-            steps.reverse();
-            steps
-        };
-        // Check the initial configuration.
-        if !inv(&initial) {
-            result.violations.push((initial.clone(), Vec::new()));
-        }
-        if initial.is_terminated() {
-            // Terminated configurations have no successors: move them
-            // straight to `finals` instead of cycling them through the
-            // queue.
-            result.finals.push(initial);
-        } else {
-            queue.push_back((initial, 0, 0));
-        }
-        result.unique = 1;
-
-        while let Some((config, node_idx, depth)) = queue.pop_front() {
-            if result.unique >= cfg.max_states {
-                result.truncated = true;
-                break;
-            }
-            if depth >= cfg.max_depth || self.model.state_size(&config.mem) >= cfg.max_events {
-                result.truncated = true;
-                continue;
-            }
-            let successors = config.successors(&self.model);
-            if successors.is_empty() && !config.is_terminated() {
-                result.stuck += 1;
-            }
-            for ConfigStep {
-                tid, label, next, ..
-            } in successors
-            {
-                result.generated += 1;
-                if cfg.dedup && !visited.insert(key(&next)) {
-                    continue;
-                }
-                let step = TraceStep { tid, label };
-                nodes.push(Node {
-                    parent: node_idx,
-                    step: Some(step),
-                });
-                let new_idx = nodes.len() - 1;
-                result.unique += 1;
-                if !inv(&next) {
-                    let trace = if cfg.record_traces {
-                        trace_of(&nodes, new_idx)
-                    } else {
-                        Vec::new()
-                    };
-                    result.violations.push((next.clone(), trace));
-                }
-                if next.is_terminated() {
-                    // Move — terminated configurations have no successors,
-                    // so only `finals` needs this value.
-                    result.finals.push(next);
-                } else {
-                    queue.push_back((next, new_idx, depth + 1));
-                }
-            }
-        }
-        result
+        explore_invariant_with(&self.model, prog, &cfg, inv)
     }
 
     /// Calls `f` on every reachable configuration (within bounds). Returns
@@ -367,7 +474,7 @@ mod tests {
              thread t { while (x == 0) { skip; } }",
         )
         .unwrap();
-        let res = Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(8));
+        let res = Explorer::new(RaModel).explore(&prog, ExploreConfig::default().max_events(8));
         assert!(res.truncated, "spinning forever must hit the event bound");
         assert!(res.finals.is_empty(), "x never becomes non-zero");
     }
@@ -382,11 +489,7 @@ mod tests {
         let with = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
         let without = Explorer::new(RaModel).explore(
             &prog,
-            ExploreConfig {
-                dedup: false,
-                max_states: 100_000,
-                ..Default::default()
-            },
+            ExploreConfig::default().dedup(false).max_states(100_000),
         );
         assert!(with.unique < without.unique);
         // Same final outcomes either way.
@@ -435,14 +538,41 @@ mod tests {
              thread t1 { x := 1; x := 2; x := 3; }
              thread t2 { y := 1; y := 2; y := 3; }";
         let prog = parse_program(src).unwrap();
-        let res = Explorer::new(RaModel).explore(
-            &prog,
-            ExploreConfig {
-                max_states: 10,
-                ..Default::default()
-            },
-        );
+        let res = Explorer::new(RaModel).explore(&prog, ExploreConfig::default().max_states(10));
         assert!(res.truncated);
         assert!(res.unique <= 11);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let a = ExploreConfig::with_max_events(9);
+        let b = ExploreConfig::default().max_events(9);
+        assert_eq!(a.max_events, b.max_events);
+        assert_eq!(a.max_states, b.max_states);
+        let c = ExploreConfig::with_max_depth(7);
+        assert_eq!(c.max_depth, 7);
+        assert_eq!(c.max_events, ExploreConfig::default().max_events);
+    }
+
+    #[test]
+    fn witness_traces_replay_to_the_final() {
+        let src = "vars x y;
+             thread t1 { x := 1; r0 <- y; }
+             thread t2 { y := 1; r0 <- x; }";
+        let prog = parse_program(src).unwrap();
+        let res =
+            Explorer::new(RaModel).explore(&prog, ExploreConfig::default().witness_traces(true));
+        assert_eq!(res.final_traces.len(), res.finals.len());
+        for trace in &res.final_traces {
+            // Each final is reached by a non-empty schedule whose action
+            // steps cover both threads.
+            assert!(!trace.is_empty());
+            let tids: std::collections::HashSet<u8> = trace.iter().map(|s| s.tid.0).collect();
+            assert_eq!(tids.len(), 2);
+        }
+        // Off by default.
+        let res = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+        assert!(res.final_traces.is_empty());
     }
 }

@@ -13,8 +13,15 @@
 //! (E6), the completeness construction (E7), the Peterson verification
 //! (E11) and the benchmark baselines (E13).
 
+pub mod backend;
 pub mod engine;
 pub mod par;
+pub mod stats;
 
-pub use engine::{render_trace, ExploreConfig, ExploreResult, Explorer, RegSnapshot, TraceStep};
-pub use par::parallel_count_states;
+pub use backend::{ExploreBackend, ParallelBackend, SequentialBackend};
+pub use engine::{
+    explore_invariant_with, render_trace, ExploreConfig, ExploreResult, Explorer, RegSnapshot,
+    TraceStep,
+};
+pub use par::{parallel_count_states, parallel_explore, parallel_explore_invariant};
+pub use stats::Stats;

@@ -1,19 +1,27 @@
-//! Parallel breadth-style exploration with crossbeam scoped workers.
+//! Parallel exploration with crossbeam scoped workers — a full backend.
 //!
-//! Used by the ablation experiment E16 (sequential vs parallel state-space
-//! counting) and available for large sweeps. The parallel engine counts
-//! and deduplicates states; it does not reconstruct traces (use the
-//! sequential engine for verification runs, which need determinism and
-//! counterexamples).
+//! Historically this module only *counted* states; it now returns the same
+//! [`ExploreResult`] as the sequential engine: final configurations are
+//! collected per worker and merged, invariants can be checked (with
+//! violation traces), and witness traces for terminated configurations are
+//! reconstructed from cross-worker parent pointers. This closes the
+//! ROADMAP item "extend the parallel engine to full trace reconstruction".
 //!
 //! Layout: each worker owns a deque and pushes the successors it generates
 //! there; an idle worker steals from the *back* of a victim's deque. The
 //! visited set holds the same 128-bit configuration fingerprints as the
 //! sequential engine, sharded across `SHARDS` mutexes by a fixed-seed
 //! FNV-1a of the key, so dedup contention is spread instead of funnelled
-//! through one lock.
+//! through one lock. Parent pointers live in per-worker arenas; a trace
+//! step is addressed by `(worker, index)`, so chains may hop arenas when
+//! work is stolen.
+//!
+//! One deliberate divergence from the sequential engine: deduplication is
+//! always on (`ExploreConfig::dedup` is ignored) — cross-worker
+//! termination detection relies on the visited set, and the dedup-off
+//! ablation (E16) is a sequential measurement.
 
-use crate::engine::config_fingerprint;
+use crate::engine::{config_fingerprint, ExploreConfig, ExploreResult, TraceStep};
 use c11_core::config::Config;
 use c11_core::model::MemoryModel;
 use c11_lang::Prog;
@@ -35,15 +43,53 @@ fn shard_of(key: u128) -> usize {
     (fnv as usize) % SHARDS
 }
 
+/// A cross-arena parent pointer: `(worker, index into that worker's
+/// arena)`. `NodeRef::NONE` marks the root.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct NodeRef {
+    worker: u32,
+    idx: u32,
+}
+
+impl NodeRef {
+    const NONE: NodeRef = NodeRef {
+        worker: u32::MAX,
+        idx: u32::MAX,
+    };
+}
+
+/// One parent-pointer node in a worker's arena.
+struct Node {
+    parent: NodeRef,
+    step: Option<TraceStep>,
+}
+
+/// A queued unit of work: the configuration, its trace node and its BFS
+/// depth.
+type Item<M> = (Config<M>, NodeRef, usize);
+
+/// One worker's collected terminated configurations with their trace
+/// nodes.
+type Finals<M> = Vec<(Config<M>, NodeRef)>;
+
 struct Shared<M: MemoryModel> {
     /// One work deque per worker (owner pushes/pops the front, thieves
     /// take from the back).
-    queues: Vec<Mutex<VecDeque<Config<M>>>>,
+    queues: Vec<Mutex<VecDeque<Item<M>>>>,
     visited: Vec<Mutex<HashSet<u128>>>,
+    /// Per-worker parent-pointer arenas (only the owner pushes; everyone
+    /// reads after the scope joins).
+    arenas: Vec<Mutex<Vec<Node>>>,
+    /// Per-worker terminated configurations (merged after the join).
+    finals: Vec<Mutex<Finals<M>>>,
+    /// Invariant violations (rare; one shared vector is fine).
+    violations: Mutex<Finals<M>>,
     /// Configurations queued but not yet fully expanded; 0 ⇒ done.
     in_flight: AtomicUsize,
     truncated: AtomicBool,
     unique: AtomicUsize,
+    generated: AtomicUsize,
+    stuck: AtomicUsize,
 }
 
 impl<M: MemoryModel> Shared<M> {
@@ -53,7 +99,7 @@ impl<M: MemoryModel> Shared<M> {
     }
 
     /// Pops local work, or steals from the back of another worker's deque.
-    fn find_work(&self, me: usize) -> Option<Config<M>> {
+    fn find_work(&self, me: usize) -> Option<Item<M>> {
         if let Some(c) = self.queues[me].lock().pop_front() {
             return Some(c);
         }
@@ -65,58 +111,136 @@ impl<M: MemoryModel> Shared<M> {
         }
         None
     }
+
+    /// Appends a node to `me`'s arena and returns its reference.
+    fn push_node(&self, me: usize, parent: NodeRef, step: Option<TraceStep>) -> NodeRef {
+        let mut arena = self.arenas[me].lock();
+        arena.push(Node { parent, step });
+        NodeRef {
+            worker: me as u32,
+            idx: (arena.len() - 1) as u32,
+        }
+    }
 }
 
-/// Counts distinct reachable configurations of `prog` under `model` with
-/// `workers` threads, bounding memory states at `max_events` events.
-/// Returns `(unique_states, truncated)`. Agrees with the sequential
-/// engine's `unique` count for any worker count (asserted corpus-wide by
-/// `tests/fingerprint_dedup.rs`).
-pub fn parallel_count_states<M>(
+/// Explores all reachable configurations of `prog` under `model` with
+/// `workers` threads, honouring every [`ExploreConfig`] bound
+/// (`max_events`, `max_states`, `max_depth`) — the old count-only engine
+/// had no state cap. Returns the same [`ExploreResult`] as the sequential
+/// engine; `finals` order is nondeterministic across runs (compare as a
+/// multiset, or sort).
+pub fn parallel_explore<M>(
     model: &M,
     prog: &Prog,
-    max_events: usize,
+    cfg: &ExploreConfig,
     workers: usize,
-) -> (usize, bool)
+) -> ExploreResult<M>
 where
     M: MemoryModel + Sync,
     M::State: Send,
 {
+    parallel_explore_invariant(model, prog, cfg, workers, &|_| true)
+}
+
+/// [`parallel_explore`] with an invariant checked on every visited
+/// configuration. The invariant must be `Sync` (it is called from all
+/// workers); violation traces are reconstructed when
+/// `cfg.record_traces` is on.
+pub fn parallel_explore_invariant<M, F>(
+    model: &M,
+    prog: &Prog,
+    cfg: &ExploreConfig,
+    workers: usize,
+    inv: &F,
+) -> ExploreResult<M>
+where
+    M: MemoryModel + Sync,
+    M::State: Send,
+    F: Fn(&Config<M>) -> bool + Sync + ?Sized,
+{
     let workers = workers.max(1);
+    // Arenas are only fed when someone will read the parent pointers back.
+    let track = cfg.record_traces || cfg.witness_traces;
     let shared: Shared<M> = Shared {
         queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
         visited: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+        arenas: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+        finals: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+        violations: Mutex::new(Vec::new()),
         in_flight: AtomicUsize::new(0),
         truncated: AtomicBool::new(false),
         unique: AtomicUsize::new(0),
+        generated: AtomicUsize::new(0),
+        stuck: AtomicUsize::new(0),
     };
     let initial = Config::initial(model, prog);
     shared.mark_visited(config_fingerprint(model, &initial));
     shared.unique.fetch_add(1, Ordering::Relaxed);
-    shared.in_flight.fetch_add(1, Ordering::SeqCst);
-    shared.queues[0].lock().push_back(initial);
+    let root = if track {
+        shared.push_node(0, NodeRef::NONE, None)
+    } else {
+        NodeRef::NONE
+    };
+    if !inv(&initial) {
+        shared.violations.lock().push((initial.clone(), root));
+    }
+    if initial.is_terminated() {
+        shared.finals[0].lock().push((initial, root));
+    } else {
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        shared.queues[0].lock().push_back((initial, root, 0));
+    }
 
     crossbeam::scope(|scope| {
         for me in 0..workers {
             let shared = &shared;
             scope.spawn(move |_| loop {
                 match shared.find_work(me) {
-                    Some(config) => {
-                        if model.state_size(&config.mem) >= max_events {
+                    Some((config, node, depth)) => {
+                        if shared.unique.load(Ordering::Relaxed) >= cfg.max_states {
+                            // State cap reached: stop expanding (mirrors
+                            // the sequential engine's pop-time check).
+                            shared.truncated.store(true, Ordering::Relaxed);
+                        } else if depth >= cfg.max_depth
+                            || model.state_size(&config.mem) >= cfg.max_events
+                        {
                             shared.truncated.store(true, Ordering::Relaxed);
                         } else {
-                            for step in config.successors(model) {
+                            let successors = config.successors(model);
+                            if successors.is_empty() && !config.is_terminated() {
+                                shared.stuck.fetch_add(1, Ordering::Relaxed);
+                            }
+                            for step in successors {
+                                shared.generated.fetch_add(1, Ordering::Relaxed);
                                 let next = step.next;
-                                if shared.mark_visited(config_fingerprint(model, &next)) {
-                                    shared.unique.fetch_add(1, Ordering::Relaxed);
+                                if !shared.mark_visited(config_fingerprint(model, &next)) {
+                                    continue;
+                                }
+                                shared.unique.fetch_add(1, Ordering::Relaxed);
+                                let child = if track {
+                                    shared.push_node(
+                                        me,
+                                        node,
+                                        Some(TraceStep {
+                                            tid: step.tid,
+                                            label: step.label,
+                                        }),
+                                    )
+                                } else {
+                                    NodeRef::NONE
+                                };
+                                if !inv(&next) {
+                                    shared.violations.lock().push((next.clone(), child));
+                                }
+                                if next.is_terminated() {
                                     // Terminated configurations have no
-                                    // successors — count them, skip the
+                                    // successors — collect them, skip the
                                     // queue (mirrors the sequential
                                     // engine).
-                                    if !next.is_terminated() {
-                                        shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                                        shared.queues[me].lock().push_back(next);
-                                    }
+                                    shared.finals[me].lock().push((next, child));
+                                } else {
+                                    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                                    shared.queues[me].lock().push_back((next, child, depth + 1));
                                 }
                             }
                         }
@@ -134,10 +258,77 @@ where
     })
     .expect("worker panicked");
 
-    (
-        shared.unique.load(Ordering::Relaxed),
-        shared.truncated.load(Ordering::Relaxed),
-    )
+    // Workers are joined: unwrap the arenas and resolve parent chains.
+    let arenas: Vec<Vec<Node>> = shared.arenas.into_iter().map(|m| m.into_inner()).collect();
+    let trace_of = |mut r: NodeRef| {
+        let mut steps = Vec::new();
+        while r != NodeRef::NONE {
+            let node = &arenas[r.worker as usize][r.idx as usize];
+            if let Some(s) = &node.step {
+                steps.push(s.clone());
+            }
+            r = node.parent;
+        }
+        steps.reverse();
+        steps
+    };
+
+    let mut finals = Vec::new();
+    let mut final_traces = Vec::new();
+    for per_worker in shared.finals {
+        for (cfg_final, node) in per_worker.into_inner() {
+            if cfg.witness_traces {
+                final_traces.push(trace_of(node));
+            }
+            finals.push(cfg_final);
+        }
+    }
+    let violations = shared
+        .violations
+        .into_inner()
+        .into_iter()
+        .map(|(c, node)| {
+            let trace = if cfg.record_traces {
+                trace_of(node)
+            } else {
+                Vec::new()
+            };
+            (c, trace)
+        })
+        .collect();
+
+    ExploreResult {
+        unique: shared.unique.load(Ordering::Relaxed),
+        generated: shared.generated.load(Ordering::Relaxed),
+        finals,
+        final_traces,
+        truncated: shared.truncated.load(Ordering::Relaxed),
+        violations,
+        stuck: shared.stuck.load(Ordering::Relaxed),
+    }
+}
+
+/// Counts distinct reachable configurations of `prog` under `model` with
+/// `workers` threads, bounding memory states at `max_events` events.
+/// Returns `(unique_states, truncated)`. Thin shim over
+/// [`parallel_explore`] kept for the benches and counting sweeps; agrees
+/// with the sequential engine's `unique` count for any worker count
+/// (asserted corpus-wide by `tests/fingerprint_dedup.rs`).
+pub fn parallel_count_states<M>(
+    model: &M,
+    prog: &Prog,
+    max_events: usize,
+    workers: usize,
+) -> (usize, bool)
+where
+    M: MemoryModel + Sync,
+    M::State: Send,
+{
+    let cfg = ExploreConfig::default()
+        .max_events(max_events)
+        .record_traces(false);
+    let res = parallel_explore(model, prog, &cfg, workers);
+    (res.unique, res.truncated)
 }
 
 #[cfg(test)]
@@ -159,6 +350,64 @@ mod tests {
             assert_eq!(par, seq.unique, "workers={workers}");
             assert_eq!(truncated, seq.truncated);
         }
+    }
+
+    #[test]
+    fn parallel_collects_final_configurations() {
+        let src = "vars x y;
+             thread t1 { x := 1; r0 <- y; }
+             thread t2 { y := 1; r0 <- x; }";
+        let prog = parse_program(src).unwrap();
+        let seq = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+        for workers in [1, 2, 4] {
+            let par = parallel_explore(&RaModel, &prog, &ExploreConfig::default(), workers);
+            assert_eq!(par.finals.len(), seq.finals.len(), "workers={workers}");
+            let mut seq_snaps = seq.final_snapshots();
+            let mut par_snaps = par.final_snapshots();
+            seq_snaps.sort();
+            par_snaps.sort();
+            assert_eq!(seq_snaps, par_snaps, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_witness_traces_cover_finals() {
+        let src = "vars x y;
+             thread t1 { x := 1; }
+             thread t2 { y := 1; }";
+        let prog = parse_program(src).unwrap();
+        let cfg = ExploreConfig::default().witness_traces(true);
+        let res = parallel_explore(&RaModel, &prog, &cfg, 2);
+        assert_eq!(res.final_traces.len(), res.finals.len());
+        for t in &res.final_traces {
+            assert!(!t.is_empty(), "every final needs a witness schedule");
+        }
+    }
+
+    #[test]
+    fn parallel_invariant_violation_comes_with_trace() {
+        let prog = parse_program("vars x; thread t { x := 1; x := 2; }").unwrap();
+        let cfg = ExploreConfig::default();
+        let res = parallel_explore_invariant(&RaModel, &prog, &cfg, 2, &|c: &Config<RaModel>| {
+            c.mem.len() < 3
+        });
+        assert!(!res.holds());
+        let (_, trace) = &res.violations[0];
+        // Same shape as the sequential engine's counterexample.
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn parallel_respects_max_states() {
+        let src = "vars x y;
+             thread t1 { x := 1; x := 2; x := 3; }
+             thread t2 { y := 1; y := 2; y := 3; }";
+        let prog = parse_program(src).unwrap();
+        let cfg = ExploreConfig::default().max_states(10);
+        let res = parallel_explore(&RaModel, &prog, &cfg, 2);
+        assert!(res.truncated, "state cap must truncate");
+        // Racy overshoot is bounded by one batch of successors per worker.
+        assert!(res.unique < 100);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! The unified statistics vocabulary every checking surface reports in.
+//!
+//! `Stats` is the shared "how much work, how trustworthy" record carried
+//! by every report the workspace produces — the api crate's `CheckReport`,
+//! the litmus runner's `LitmusResult` and the verification case-study
+//! reports all embed it instead of growing bespoke `states`/`truncated`
+//! field pairs.
+
+use crate::engine::ExploreResult;
+use c11_core::model::MemoryModel;
+use std::time::Duration;
+
+/// Exploration statistics: size of the search, whether any bound cut it
+/// short, and how long it took.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Distinct configurations visited (after dedup).
+    pub unique: usize,
+    /// Total successor configurations generated (before dedup).
+    pub generated: usize,
+    /// Terminated configurations reached.
+    pub finals: usize,
+    /// `true` iff a bound (events, states, depth) cut exploration short —
+    /// "forbidden"/"holds" verdicts are then only valid up to the bound.
+    pub truncated: bool,
+    /// Non-terminated configurations with no successor (should stay 0
+    /// under RA — deadlock freedom).
+    pub stuck: usize,
+    /// Wall-clock time of the run, in microseconds.
+    pub wall_micros: u128,
+}
+
+impl Stats {
+    /// Builds the stats of an exploration result, stamping the wall time.
+    pub fn of<M: MemoryModel>(result: &ExploreResult<M>, wall: Duration) -> Stats {
+        Stats {
+            unique: result.unique,
+            generated: result.generated,
+            finals: result.finals.len(),
+            truncated: result.truncated,
+            stuck: result.stuck,
+            wall_micros: wall.as_micros(),
+        }
+    }
+
+    /// The wall time as a [`Duration`].
+    pub fn wall(&self) -> Duration {
+        Duration::from_micros(self.wall_micros as u64)
+    }
+
+    /// Merges two runs (used by reports that explore under two models):
+    /// sizes add, truncation ors.
+    pub fn merged(&self, other: &Stats) -> Stats {
+        Stats {
+            unique: self.unique + other.unique,
+            generated: self.generated + other.generated,
+            finals: self.finals + other.finals,
+            truncated: self.truncated || other.truncated,
+            stuck: self.stuck + other.stuck,
+            wall_micros: self.wall_micros + other.wall_micros,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_adds_and_ors() {
+        let a = Stats {
+            unique: 3,
+            generated: 5,
+            finals: 1,
+            truncated: false,
+            stuck: 0,
+            wall_micros: 10,
+        };
+        let b = Stats {
+            unique: 2,
+            generated: 2,
+            finals: 2,
+            truncated: true,
+            stuck: 1,
+            wall_micros: 7,
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.unique, 5);
+        assert_eq!(m.generated, 7);
+        assert_eq!(m.finals, 3);
+        assert!(m.truncated);
+        assert_eq!(m.stuck, 1);
+        assert_eq!(m.wall_micros, 17);
+        assert_eq!(m.wall(), Duration::from_micros(17));
+    }
+}

@@ -22,7 +22,7 @@ use crate::ast::{Com, Exp, RegId, Val};
 use crate::eval::{eval_closed, fold, next_read, resolve_regs, subst_leftmost};
 
 /// The thread-local register file (extension; defaults to 0).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegFile {
     vals: Vec<Val>,
 }
@@ -45,6 +45,16 @@ impl RegFile {
             self.vals.resize(idx + 1, 0);
         }
         self.vals[idx] = v;
+    }
+
+    /// Iterates over the registers written so far as `(register, value)`
+    /// pairs (reporting surface: report writers enumerate these instead of
+    /// probing a fixed register range).
+    pub fn iter(&self) -> impl Iterator<Item = (RegId, Val)> + '_ {
+        self.vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (RegId(i as u8), v))
     }
 }
 

@@ -1,12 +1,18 @@
 //! Evaluates litmus tests by exhaustive exploration under both models.
+//!
+//! The runner is parameterised by [`ExploreBackend`]s, so verdicts can be
+//! computed by the sequential reference engine or the parallel one
+//! ([`run_test`] defaults to sequential for determinism).
 
 use crate::corpus::{Cond, LitmusTest, Verdict};
 use c11_core::config::Config;
 use c11_core::model::{RaModel, ScModel};
-use c11_explore::{ExploreConfig, Explorer};
+use c11_explore::{ExploreBackend, ExploreConfig, SequentialBackend, Stats};
 use c11_lang::{parse_program, Prog, RegId, ThreadId};
+use std::time::Instant;
 
-/// Result of running one test under both models.
+/// Result of running one test under both models, reported in the shared
+/// [`Stats`] vocabulary.
 #[derive(Clone, Debug)]
 pub struct LitmusResult {
     /// Test name.
@@ -15,13 +21,11 @@ pub struct LitmusResult {
     pub observed_ra: bool,
     /// Outcome observed under SC?
     pub observed_sc: bool,
-    /// Distinct RA configurations visited.
-    pub states_ra: usize,
-    /// Distinct SC configurations visited.
-    pub states_sc: usize,
-    /// Did RA exploration hit a bound? (A "forbidden" verdict is only
-    /// sound when this is false.)
-    pub truncated: bool,
+    /// RA exploration stats. A "forbidden" RA verdict is only sound when
+    /// `ra.truncated` is false.
+    pub ra: Stats,
+    /// SC exploration stats.
+    pub sc: Stats,
     /// Verdicts match expectations?
     pub pass: bool,
 }
@@ -35,7 +39,8 @@ fn reg_conds_hold(
         .all(|&(t, r, v)| regs(ThreadId(t), RegId(r)) == Some(v))
 }
 
-fn outcome_holds_ra(test: &LitmusTest, prog: &Prog, cfg: &Config<RaModel>) -> bool {
+/// Does a terminated RA configuration exhibit the test's outcome?
+pub fn outcome_holds_ra(test: &LitmusTest, prog: &Prog, cfg: &Config<RaModel>) -> bool {
     test.outcome.iter().all(|c| match c {
         Cond::Reg { thread, reg, val } => reg_conds_hold(&[(*thread, *reg, *val)], &|t, r| {
             cfg.regs.get(t.0 as usize - 1).map(|f| f.get(r))
@@ -47,7 +52,8 @@ fn outcome_holds_ra(test: &LitmusTest, prog: &Prog, cfg: &Config<RaModel>) -> bo
     })
 }
 
-fn outcome_holds_sc(test: &LitmusTest, prog: &Prog, cfg: &Config<ScModel>) -> bool {
+/// Does a terminated SC configuration exhibit the test's outcome?
+pub fn outcome_holds_sc(test: &LitmusTest, prog: &Prog, cfg: &Config<ScModel>) -> bool {
     test.outcome.iter().all(|c| match c {
         Cond::Reg { thread, reg, val } => reg_conds_hold(&[(*thread, *reg, *val)], &|t, r| {
             cfg.regs.get(t.0 as usize - 1).map(|f| f.get(r))
@@ -59,12 +65,25 @@ fn outcome_holds_sc(test: &LitmusTest, prog: &Prog, cfg: &Config<ScModel>) -> bo
     })
 }
 
-/// Runs one test under both models.
-pub fn run_test(test: &LitmusTest) -> LitmusResult {
+/// Runs one test under both models with the given exploration backends
+/// and per-model exploration configs (callers that override the test's
+/// own event bound — e.g. the api crate's `CheckRequest::bounds` — pass
+/// their bounds here).
+pub fn run_test_configured(
+    test: &LitmusTest,
+    ra_backend: &dyn ExploreBackend<RaModel>,
+    sc_backend: &dyn ExploreBackend<ScModel>,
+    cfg_ra: &ExploreConfig,
+    cfg_sc: &ExploreConfig,
+) -> LitmusResult {
     let prog = parse_program(&test.source).expect("corpus programs parse");
-    let ra = Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(test.max_events));
+    let t0 = Instant::now();
+    let ra = ra_backend.run(&RaModel, &prog, cfg_ra);
+    let ra_stats = ra.stats(t0.elapsed());
     let observed_ra = ra.finals.iter().any(|c| outcome_holds_ra(test, &prog, c));
-    let sc = Explorer::new(ScModel).explore(&prog, ExploreConfig::default());
+    let t0 = Instant::now();
+    let sc = sc_backend.run(&ScModel, &prog, cfg_sc);
+    let sc_stats = sc.stats(t0.elapsed());
     let observed_sc = sc.finals.iter().any(|c| outcome_holds_sc(test, &prog, c));
     let expect = |v: Verdict| v == Verdict::Allowed;
     let pass = observed_ra == expect(test.expect_ra)
@@ -74,11 +93,29 @@ pub fn run_test(test: &LitmusTest) -> LitmusResult {
         name: test.name.clone(),
         observed_ra,
         observed_sc,
-        states_ra: ra.unique,
-        states_sc: sc.unique,
-        truncated: ra.truncated,
+        ra: ra_stats,
+        sc: sc_stats,
         pass,
     }
+}
+
+/// Runs one test under both models with the given backends, bounding RA
+/// exploration at the test's own `max_events`.
+pub fn run_test_backend(
+    test: &LitmusTest,
+    ra_backend: &dyn ExploreBackend<RaModel>,
+    sc_backend: &dyn ExploreBackend<ScModel>,
+) -> LitmusResult {
+    let cfg_ra = ExploreConfig::default()
+        .max_events(test.max_events)
+        .record_traces(false);
+    let cfg_sc = ExploreConfig::default().record_traces(false);
+    run_test_configured(test, ra_backend, sc_backend, &cfg_ra, &cfg_sc)
+}
+
+/// Runs one test under both models (sequential reference backend).
+pub fn run_test(test: &LitmusTest) -> LitmusResult {
+    run_test_backend(test, &SequentialBackend, &SequentialBackend)
 }
 
 /// Runs the whole corpus.
@@ -103,8 +140,8 @@ pub fn render_table(results: &[LitmusResult]) -> String {
             r.name,
             if r.observed_ra { "observed" } else { "absent" },
             if r.observed_sc { "observed" } else { "absent" },
-            r.states_ra,
-            r.states_sc,
+            r.ra.unique,
+            r.sc.unique,
             if r.pass { "ok" } else { "FAIL" }
         );
     }
@@ -114,6 +151,7 @@ pub fn render_table(results: &[LitmusResult]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use c11_explore::ParallelBackend;
 
     #[test]
     fn mp_rlx_allows_stale_read() {
@@ -133,6 +171,19 @@ mod tests {
             .unwrap();
         let r = run_test(&test);
         assert!(!r.observed_ra && r.pass);
-        assert!(!r.truncated);
+        assert!(!r.ra.truncated);
+    }
+
+    #[test]
+    fn parallel_backend_gives_same_verdicts() {
+        let par = ParallelBackend::new(2);
+        for test in crate::corpus::corpus().iter().take(4) {
+            let seq = run_test(test);
+            let p = run_test_backend(test, &par, &par);
+            assert_eq!(p.observed_ra, seq.observed_ra, "{}", test.name);
+            assert_eq!(p.observed_sc, seq.observed_sc, "{}", test.name);
+            assert_eq!(p.pass, seq.pass, "{}", test.name);
+            assert_eq!(p.ra.unique, seq.ra.unique, "{}", test.name);
+        }
     }
 }

@@ -15,8 +15,9 @@
 use crate::assertions::determinate_value;
 use c11_core::config::Config;
 use c11_core::model::{RaModel, ScModel};
-use c11_explore::{ExploreConfig, Explorer};
+use c11_explore::{ExploreConfig, Explorer, Stats};
 use c11_lang::{parse_program, Prog, ThreadId};
+use std::time::Instant;
 
 /// A two-thread spinlock protecting a counter `d`. Line 5 is the critical
 /// section (`r1 <- d; d := r1 + 1`).
@@ -46,10 +47,9 @@ pub fn spinlock_program(release_unlock: bool) -> Prog {
 /// Verdict of the spinlock verification.
 #[derive(Clone, Debug)]
 pub struct SpinlockReport {
-    /// Distinct configurations visited.
-    pub states: usize,
-    /// Exploration truncated (the lock loops forever; always true).
-    pub truncated: bool,
+    /// Exploration stats (shared reporting vocabulary); `stats.truncated`
+    /// is always true — the lock loops forever.
+    pub stats: Stats,
     /// No configuration had both threads at line 5.
     pub mutual_exclusion: bool,
     /// In every configuration with a thread at line 5 *holding the lock*,
@@ -64,13 +64,12 @@ pub fn check_spinlock(max_events: usize, release_unlock: bool) -> SpinlockReport
     let d = prog.var("d").unwrap();
     let mut mutual_exclusion = true;
     let mut data_protected = true;
+    let t0 = Instant::now();
     let res = Explorer::new(RaModel).explore_invariant(
         &prog,
-        ExploreConfig {
-            max_events,
-            record_traces: false,
-            ..Default::default()
-        },
+        ExploreConfig::default()
+            .max_events(max_events)
+            .record_traces(false),
         |cfg: &Config<RaModel>| {
             let in_cs = |t: ThreadId| cfg.pc(t) == Some(5);
             if in_cs(ThreadId(1)) && in_cs(ThreadId(2)) {
@@ -85,8 +84,7 @@ pub fn check_spinlock(max_events: usize, release_unlock: bool) -> SpinlockReport
         },
     );
     SpinlockReport {
-        states: res.unique,
-        truncated: res.truncated,
+        stats: res.stats(t0.elapsed()),
         mutual_exclusion,
         data_protected,
     }
@@ -123,11 +121,9 @@ pub fn naive_mutex_holds_ra(prog: &Prog, max_events: usize) -> (bool, usize) {
     let mut holds = true;
     let res = Explorer::new(RaModel).explore_invariant(
         prog,
-        ExploreConfig {
-            max_events,
-            record_traces: false,
-            ..Default::default()
-        },
+        ExploreConfig::default()
+            .max_events(max_events)
+            .record_traces(false),
         |cfg: &Config<RaModel>| {
             let bad = cfg.pc(ThreadId(1)) == Some(5) && cfg.pc(ThreadId(2)) == Some(5);
             if bad {
@@ -165,7 +161,7 @@ mod tests {
         let report = check_spinlock(16, true);
         assert!(report.mutual_exclusion, "TAS mutual exclusion");
         assert!(report.data_protected, "release unlock publishes d");
-        assert!(report.states > 100);
+        assert!(report.stats.unique > 100);
     }
 
     #[test]

@@ -15,8 +15,9 @@
 use crate::assertions::{determinate_value, variable_order};
 use c11_core::config::Config;
 use c11_core::model::RaModel;
-use c11_explore::{ExploreConfig, Explorer};
+use c11_explore::{ExploreConfig, Explorer, Stats};
 use c11_lang::{parse_program, Prog, RegId, ThreadId};
+use std::time::Instant;
 
 /// The message-passing program, with labels mirroring Example 5.7.
 pub fn mp_program() -> Prog {
@@ -31,10 +32,8 @@ pub fn mp_program() -> Prog {
 /// Report of the mechanical Example 5.7 check.
 #[derive(Clone, Debug)]
 pub struct MpReport {
-    /// States visited.
-    pub states: usize,
-    /// Whether exploration hit the event bound (spinning).
-    pub truncated: bool,
+    /// Exploration stats (shared reporting vocabulary).
+    pub stats: Stats,
     /// The intermediate assertion `pc₁ done ⇒ d =_1 5 ∧ d → f` held
     /// everywhere.
     pub writer_assertions: bool,
@@ -52,13 +51,12 @@ pub fn check_mp(max_events: usize) -> MpReport {
     let explorer = Explorer::new(RaModel);
     let mut writer_assertions = true;
     let mut reader_assertion = true;
+    let t0 = Instant::now();
     let res = explorer.explore_invariant(
         &prog,
-        ExploreConfig {
-            max_events,
-            record_traces: false,
-            ..Default::default()
-        },
+        ExploreConfig::default()
+            .max_events(max_events)
+            .record_traces(false),
         |cfg: &Config<RaModel>| {
             let s = &cfg.mem;
             // Thread 1 finished both lines ⇔ its command terminated.
@@ -79,8 +77,7 @@ pub fn check_mp(max_events: usize) -> MpReport {
         .iter()
         .all(|snap| snap.get(ThreadId(2), RegId(0)) == Some(5));
     MpReport {
-        states: res.unique,
-        truncated: res.truncated,
+        stats: res.stats(t0.elapsed()),
         writer_assertions,
         reader_assertion,
         end_to_end,
@@ -97,7 +94,7 @@ mod tests {
         assert!(report.writer_assertions, "d =_1 5 ∧ d → f after line 2");
         assert!(report.reader_assertion, "d =_2 5 at line 2 of thread 2");
         assert!(report.end_to_end, "r0 = 5 in every terminated run");
-        assert!(report.states > 50);
+        assert!(report.stats.unique > 50);
     }
 
     #[test]
@@ -115,7 +112,7 @@ mod tests {
         let mut reader_assertion = true;
         explorer.explore_invariant(
             &prog,
-            ExploreConfig::with_max_events(14),
+            ExploreConfig::default().max_events(14),
             |cfg: &Config<RaModel>| {
                 if cfg.pc(ThreadId(2)) == Some(2)
                     && determinate_value(&cfg.mem, ThreadId(2), d) != Some(5)

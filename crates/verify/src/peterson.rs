@@ -11,8 +11,9 @@
 use crate::assertions::{determinate_value, update_only, variable_order};
 use c11_core::config::Config;
 use c11_core::model::RaModel;
-use c11_explore::{ExploreConfig, Explorer};
+use c11_explore::{ExploreConfig, Explorer, Stats};
 use c11_lang::{parse_program, Prog, ThreadId, VarId};
+use std::time::Instant;
 
 /// Line numbers follow Algorithm 1: 2 = raise flag, 3 = swap turn,
 /// 4 = await, 5 = critical section, 6 = lower flag.
@@ -47,12 +48,10 @@ pub fn peterson_program() -> Prog {
 /// Verdict of the bounded Peterson verification.
 #[derive(Clone, Debug)]
 pub struct PetersonReport {
-    /// Distinct configurations visited.
-    pub states: usize,
-    /// Whether the event bound truncated exploration (it always does — the
-    /// algorithm loops forever; the bound controls how many lock rounds
-    /// and spin iterations are covered).
-    pub truncated: bool,
+    /// Exploration stats (shared reporting vocabulary). `stats.truncated`
+    /// is always true — the algorithm loops forever; the event bound
+    /// controls how many lock rounds and spin iterations are covered.
+    pub stats: Stats,
     /// Mutual exclusion (Theorem 5.8) held in every visited configuration.
     pub mutual_exclusion: bool,
     /// Invariants (4)–(10) held in every visited configuration; violations
@@ -141,13 +140,12 @@ pub fn check_peterson(max_events: usize) -> PetersonReport {
     let mut mutual_exclusion = true;
     let mut failures: Vec<String> = Vec::new();
     let explorer = Explorer::new(RaModel);
+    let t0 = Instant::now();
     let res = explorer.explore_invariant(
         &prog,
-        ExploreConfig {
-            max_events,
-            record_traces: false,
-            ..Default::default()
-        },
+        ExploreConfig::default()
+            .max_events(max_events)
+            .record_traces(false),
         |cfg: &Config<RaModel>| {
             if cfg.pc(ThreadId(1)) == Some(5) && cfg.pc(ThreadId(2)) == Some(5) {
                 mutual_exclusion = false;
@@ -159,8 +157,7 @@ pub fn check_peterson(max_events: usize) -> PetersonReport {
         },
     );
     PetersonReport {
-        states: res.unique,
-        truncated: res.truncated,
+        stats: res.stats(t0.elapsed()),
         mutual_exclusion,
         invariant_failures: {
             failures.sort();
@@ -205,10 +202,7 @@ pub fn find_mutex_violation(prog: &Prog, max_events: usize) -> Option<Vec<c11_ex
     let explorer = Explorer::new(RaModel);
     let res = explorer.explore_invariant(
         &prog.clone(),
-        ExploreConfig {
-            max_events,
-            ..Default::default()
-        },
+        ExploreConfig::default().max_events(max_events),
         |cfg: &Config<RaModel>| !(cfg.pc(ThreadId(1)) == Some(5) && cfg.pc(ThreadId(2)) == Some(5)),
     );
     res.violations.into_iter().next().map(|(_, trace)| trace)
@@ -221,11 +215,9 @@ pub fn mutual_exclusion_holds(prog: &Prog, max_events: usize) -> (bool, usize) {
     let mut holds = true;
     let res = explorer.explore_invariant(
         &prog.clone(),
-        ExploreConfig {
-            max_events,
-            record_traces: false,
-            ..Default::default()
-        },
+        ExploreConfig::default()
+            .max_events(max_events)
+            .record_traces(false),
         |cfg: &Config<RaModel>| {
             let bad = cfg.pc(ThreadId(1)) == Some(5) && cfg.pc(ThreadId(2)) == Some(5);
             if bad {
@@ -268,7 +260,7 @@ mod tests {
             "invariant failures: {:?}",
             report.invariant_failures
         );
-        assert!(report.states > 100);
+        assert!(report.stats.unique > 100);
     }
 
     #[test]

@@ -22,8 +22,8 @@ fn main() {
     let t0 = std::time::Instant::now();
     let report = check_peterson(budget);
     println!("  event budget:        {budget}");
-    println!("  states explored:     {}", report.states);
-    println!("  truncated (spins):   {}", report.truncated);
+    println!("  states explored:     {}", report.stats.unique);
+    println!("  truncated (spins):   {}", report.stats.truncated);
     println!("  mutual exclusion:    {}", report.mutual_exclusion);
     println!(
         "  invariants (4)-(10): {}",

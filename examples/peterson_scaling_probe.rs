@@ -4,8 +4,8 @@ fn main() {
         let r = c11_verify::peterson::check_peterson(budget);
         println!(
             "budget={budget} states={} truncated={} mutex={} fails={:?} time={:?}",
-            r.states,
-            r.truncated,
+            r.stats.unique,
+            r.stats.truncated,
             r.mutual_exclusion,
             r.invariant_failures,
             t0.elapsed()

@@ -1,5 +1,5 @@
-//! Quickstart: parse a program, explore it under the RA semantics, and
-//! inspect outcomes and axioms.
+//! Quickstart: one front door for every question — build a
+//! [`CheckRequest`], pick a model/backend/mode, get a [`CheckReport`].
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -32,32 +32,44 @@ fn main() {
     ];
 
     for (name, src) in variants {
-        let prog = parse_program(src).expect("parses");
-        let result = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+        let report = CheckRequest::program(src)
+            .model(ModelChoice::Ra)
+            .backend(Backend::Parallel { workers: 2 })
+            .mode(Mode::Outcomes)
+            .run()
+            .expect("variant parses");
+        let CheckReport::Outcomes(outcomes) = &report else {
+            unreachable!("Outcomes mode");
+        };
         println!("=== message passing, {name} ===");
         println!(
-            "  explored {} configurations ({} terminated)",
-            result.unique,
-            result.finals.len()
+            "  explored {} configurations ({} terminated) in {:?}",
+            outcomes.stats.unique,
+            outcomes.stats.finals,
+            outcomes.stats.wall()
         );
-        // Every reachable state is a valid C11 execution (Theorem 4.4).
-        for cfg in &result.finals {
-            assert!(is_valid(&cfg.mem));
-        }
-        let mut outcomes: Vec<(u32, u32)> = result
-            .final_register_states()
+        // Every reachable final is a valid C11 execution (Theorem 4.4):
+        // the front door re-checks the axioms on RA runs.
+        assert_eq!(outcomes.invalid_finals, 0);
+        // The (flag, data) pairs thread 2 can observe.
+        let mut pairs: Vec<(Val, Val)> = outcomes
+            .outcomes
             .iter()
-            .map(|s| {
-                (
-                    s.get(ThreadId(2), RegId(0)).unwrap(),
-                    s.get(ThreadId(2), RegId(1)).unwrap(),
-                )
+            .map(|row| {
+                let t2 = &row.threads[1];
+                let get = |r: u8| {
+                    t2.iter()
+                        .find(|(reg, _)| reg.0 == r)
+                        .map(|&(_, v)| v)
+                        .unwrap_or(0)
+                };
+                (get(0), get(1))
             })
             .collect();
-        outcomes.sort_unstable();
-        outcomes.dedup();
-        println!("  (flag, data) outcomes seen by thread 2: {outcomes:?}");
-        let stale = outcomes.contains(&(1, 0));
+        pairs.sort_unstable();
+        pairs.dedup();
+        println!("  (flag, data) outcomes seen by thread 2: {pairs:?}");
+        let stale = pairs.contains(&(1, 0));
         println!(
             "  stale read (flag=1, data=0): {}",
             if stale { "ALLOWED" } else { "forbidden" }

@@ -26,7 +26,7 @@ fn main() {
         let t0 = std::time::Instant::now();
         let r = check_spinlock(budget, release);
         println!("== TAS spinlock, {label} ==");
-        println!("  states:            {}", r.states);
+        println!("  states:            {}", r.stats.unique);
         println!("  mutual exclusion:  {}", r.mutual_exclusion);
         println!(
             "  data protected:    {} {}",

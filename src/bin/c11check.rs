@@ -1,13 +1,15 @@
 //! `c11check` — explore a program under the RAR C11 operational semantics
 //! (or the SC baseline) and report reachable outcomes, axiom validity and
-//! optional DOT renderings of the final executions.
+//! optional DOT renderings of the final executions. Built entirely on the
+//! [`CheckRequest`] front door (`c11_operational::api`).
 //!
 //! ```sh
-//! c11check program.c11 [--sc] [--max-events N] [--dot] [--quiet]
+//! c11check program.c11 [--sc] [--max-events N] [--workers N] [--json] [--dot] [--quiet]
 //! echo 'vars x; thread t { x := 1; }' | c11check -
+//! c11check --litmus litmus/ --json   # machine-readable corpus verdicts
 //! ```
 
-use c11_operational::core::dot::to_dot;
+use c11_operational::api::json::Json;
 use c11_operational::prelude::*;
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -16,16 +18,29 @@ struct Opts {
     path: String,
     sc: bool,
     max_events: usize,
+    workers: usize,
+    json: bool,
     dot: bool,
     quiet: bool,
     litmus: bool,
 }
+
+const USAGE: &str = "usage: c11check <program.c11 | - | dir> [--litmus] [--sc] \
+     [--max-events N] [--workers N] [--json] [--dot] [--quiet]\n\
+     --litmus: treat the input as a .litmus file (or a directory of \
+     them) and check expected verdicts\n\
+     --workers N: explore with the parallel backend (N worker threads)\n\
+     --json: emit a machine-readable c11check/v1 report, e.g.\n\
+         c11check program.c11 --json --workers 4\n\
+         c11check --litmus litmus/ --json";
 
 fn parse_args() -> Result<Opts, String> {
     let mut opts = Opts {
         path: String::new(),
         sc: false,
         max_events: 24,
+        workers: 0,
+        json: false,
         dot: false,
         quiet: false,
         litmus: false,
@@ -35,6 +50,7 @@ fn parse_args() -> Result<Opts, String> {
         match a.as_str() {
             "--sc" => opts.sc = true,
             "--litmus" => opts.litmus = true,
+            "--json" => opts.json = true,
             "--dot" => opts.dot = true,
             "--quiet" => opts.quiet = true,
             "--max-events" => {
@@ -44,13 +60,14 @@ fn parse_args() -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("bad --max-events: {e}"))?;
             }
-            "-h" | "--help" => {
-                return Err("usage: c11check <program.c11 | - | dir> [--litmus] [--sc] \
-                     [--max-events N] [--dot] [--quiet]\n\
-                     --litmus: treat the input as a .litmus file (or a \
-                     directory of them) and check expected verdicts"
-                    .to_string())
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
             }
+            "-h" | "--help" => return Err(USAGE.to_string()),
             p if opts.path.is_empty() => opts.path = p.to_string(),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -59,6 +76,16 @@ fn parse_args() -> Result<Opts, String> {
         return Err("no input file (use - for stdin); see --help".to_string());
     }
     Ok(opts)
+}
+
+fn backend_of(opts: &Opts) -> Backend {
+    if opts.workers > 0 {
+        Backend::Parallel {
+            workers: opts.workers,
+        }
+    } else {
+        Backend::Sequential
+    }
 }
 
 fn main() -> ExitCode {
@@ -88,70 +115,82 @@ fn main() -> ExitCode {
             }
         }
     };
-    let prog = match parse_program(&src) {
-        Ok(p) => p,
-        Err(e) => {
+
+    let (model, bounds) = if opts.sc {
+        // SC states do not grow, so bound by depth instead of events.
+        (
+            ModelChoice::Sc,
+            Bounds::default().max_depth(10 * opts.max_events),
+        )
+    } else {
+        (
+            ModelChoice::Ra,
+            Bounds::default().max_events(opts.max_events),
+        )
+    };
+    let request = CheckRequest::program(src.as_str())
+        .model(model)
+        .bounds(bounds)
+        .backend(backend_of(&opts))
+        .mode(Mode::Outcomes)
+        .dot(if opts.dot { 4 } else { 0 });
+    let report = match request.run() {
+        Ok(r) => r,
+        Err(CheckError::Parse(e)) => {
             eprintln!("{e}");
             return ExitCode::from(1);
         }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
     };
-
-    if opts.sc {
-        let res = Explorer::new(ScModel)
-            .explore(&prog, ExploreConfig::with_max_depth(10 * opts.max_events));
-        report_outcomes(
-            &prog,
-            res.unique,
-            res.truncated,
-            &res.final_register_states(),
+    let CheckReport::Outcomes(outcomes) = &report else {
+        unreachable!("Outcomes mode produces an Outcomes report");
+    };
+    // Theorem 4.4 as a runtime self-check (RA runs only).
+    if outcomes.invalid_finals > 0 {
+        eprintln!(
+            "INTERNAL ERROR: {} invalid final states (soundness bug)",
+            outcomes.invalid_finals
         );
+        return ExitCode::from(3);
+    }
+    if opts.json {
+        println!("{}", report.to_json());
         return ExitCode::SUCCESS;
     }
-
-    let res =
-        Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(opts.max_events));
     if !opts.quiet {
         println!(
             "explored {} configurations ({} terminated){}",
-            res.unique,
-            res.finals.len(),
-            if res.truncated {
-                " — TRUNCATED at event bound (outcomes are a lower bound)"
+            outcomes.stats.unique,
+            outcomes.stats.finals,
+            if outcomes.stats.truncated {
+                " — TRUNCATED at bound (outcomes are a lower bound)"
             } else {
                 ""
             }
         );
     }
-    // Theorem 4.4 as a runtime self-check.
-    let mut invalid = 0;
-    for cfg in &res.finals {
-        if !is_valid(&cfg.mem) {
-            invalid += 1;
-        }
-    }
-    if invalid > 0 {
-        eprintln!("INTERNAL ERROR: {invalid} invalid final states (soundness bug)");
-        return ExitCode::from(3);
-    }
-    report_outcomes(
-        &prog,
-        res.unique,
-        res.truncated,
-        &res.final_register_states(),
+    println!(
+        "states: {}   truncated: {}",
+        outcomes.stats.unique, outcomes.stats.truncated
     );
-    if opts.dot {
-        for (i, cfg) in res.finals.iter().enumerate().take(4) {
-            println!(
-                "// final execution {i}\n{}",
-                to_dot(&cfg.mem, &prog.var_names)
-            );
-        }
+    println!(
+        "distinct terminated register outcomes: {}",
+        outcomes.outcomes.len()
+    );
+    for row in outcomes.outcomes.iter().take(32) {
+        println!("  {}", row.render());
+    }
+    for (i, dot) in outcomes.dot.iter().enumerate() {
+        println!("// final execution {i}\n{dot}");
     }
     ExitCode::SUCCESS
 }
 
 fn run_litmus_mode(opts: &Opts) -> ExitCode {
-    use c11_operational::litmus::{load_litmus_dir, load_litmus_file, run_test};
+    use c11_operational::litmus::{load_litmus_dir, load_litmus_file};
     let path = std::path::Path::new(&opts.path);
     let tests = if path.is_dir() {
         match load_litmus_dir(path) {
@@ -170,58 +209,59 @@ fn run_litmus_mode(opts: &Opts) -> ExitCode {
             }
         }
     };
-    let mut failed = 0;
-    println!(
-        "{:<14} {:>9} {:>9} {:>10} {:>6}",
-        "test", "RA", "SC", "RA-states", "pass"
-    );
-    for t in &tests {
-        let r = run_test(t);
+    let backend = backend_of(opts);
+    let mut failed: usize = 0;
+    let mut reports = Vec::new();
+    for t in tests {
+        let name = t.name.clone();
+        match CheckRequest::litmus(t).backend(backend).run() {
+            Ok(CheckReport::Litmus(r)) => {
+                if !r.pass {
+                    failed += 1;
+                }
+                reports.push(r);
+            }
+            Ok(_) => unreachable!("litmus requests produce litmus reports"),
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if opts.json {
+        let doc = Json::obj(vec![
+            ("schema", Json::str("c11check-litmus/v1")),
+            (
+                "tests",
+                Json::Arr(
+                    reports
+                        .iter()
+                        .map(|r| CheckReport::Litmus(r.clone()).json_value())
+                        .collect(),
+                ),
+            ),
+            ("failed", Json::from(failed)),
+        ]);
+        println!("{}", doc.render());
+    } else {
         println!(
             "{:<14} {:>9} {:>9} {:>10} {:>6}",
-            r.name,
-            if r.observed_ra { "observed" } else { "absent" },
-            if r.observed_sc { "observed" } else { "absent" },
-            r.states_ra,
-            if r.pass { "ok" } else { "FAIL" }
+            "test", "RA", "SC", "RA-states", "pass"
         );
-        if !r.pass {
-            failed += 1;
+        for r in &reports {
+            println!(
+                "{:<14} {:>9} {:>9} {:>10} {:>6}",
+                r.name,
+                if r.observed_ra { "observed" } else { "absent" },
+                if r.observed_sc { "observed" } else { "absent" },
+                r.ra.unique,
+                if r.pass { "ok" } else { "FAIL" }
+            );
         }
     }
     if failed > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
-    }
-}
-
-fn report_outcomes(
-    prog: &Prog,
-    states: usize,
-    truncated: bool,
-    snaps: &[c11_operational::explore::RegSnapshot],
-) {
-    println!("states: {states}   truncated: {truncated}");
-    println!("distinct terminated register outcomes: {}", snaps.len());
-    for snap in snaps.iter().take(32) {
-        let mut parts = Vec::new();
-        for t in 1..=prog.num_threads() as u8 {
-            for r in 0..4u8 {
-                if let Some(v) = snap.get(ThreadId(t), RegId(r)) {
-                    if v != 0 {
-                        parts.push(format!("t{t}.r{r}={v}"));
-                    }
-                }
-            }
-        }
-        println!(
-            "  {{ {} }}",
-            if parts.is_empty() {
-                "all registers 0".to_string()
-            } else {
-                parts.join(", ")
-            }
-        );
     }
 }

@@ -8,6 +8,9 @@
 //!
 //! This façade crate re-exports the workspace crates:
 //!
+//! * [`api`] — **the front door**: the [`prelude::CheckRequest`] →
+//!   [`prelude::CheckReport`] session API every consumer (CLI, tests,
+//!   services) goes through.
 //! * [`relations`] — finite relations and bitsets (substrate).
 //! * [`lang`] — the command language and its uninterpreted semantics
 //!   (paper §2).
@@ -17,7 +20,9 @@
 //! * [`axiomatic`] — the validity axioms, justification search, weak
 //!   canonical consistency and the bounded Memalloy-style equivalence
 //!   checker (paper §4 + Appendix C/E).
-//! * [`explore`] — an exhaustive model checker over configurations.
+//! * [`explore`] — exhaustive model checkers over configurations: the
+//!   sequential reference engine and the work-stealing parallel engine,
+//!   behind one [`explore::ExploreBackend`] trait.
 //! * [`verify`] — determinate-value / variable-ordering assertions and the
 //!   Figure-4 rule engine (paper §5), with the Peterson and message-passing
 //!   proofs.
@@ -25,26 +30,38 @@
 //!
 //! ## Quickstart
 //!
+//! One request type covers every engine and question — pick a model, a
+//! backend and a mode, and get a structured report back:
+//!
 //! ```
 //! use c11_operational::prelude::*;
 //!
 //! // Message passing: t1 publishes data then raises a release flag;
-//! // t2 spins on an acquire read of the flag, then reads the data.
-//! let program = parse_program(
+//! // t2 acquires the flag, then reads the data.
+//! let report = CheckRequest::program(
 //!     "vars d f;
 //!      thread t1 { d := 5; f :=R 1; }
-//!      thread t2 { do { r0 <-A f; } while (r0 == 0); r1 <- d; }",
+//!      thread t2 { r0 <-A f; r1 <- d; }",
 //! )
-//! .unwrap();
+//! .model(ModelChoice::Ra)
+//! .backend(Backend::Parallel { workers: 2 })
+//! .mode(Mode::Outcomes)
+//! .run()
+//! .expect("program parses");
 //!
-//! let result = Explorer::new(RaModel).explore(&program, ExploreConfig::default());
-//! // In the RAR fragment every terminated execution reads d = 5.
-//! assert!(result
-//!     .final_register_states()
-//!     .iter()
-//!     .all(|regs| regs.get(ThreadId(2), RegId(1)) == Some(5)));
+//! // In the RAR fragment, seeing the flag means seeing the data.
+//! let CheckReport::Outcomes(outcomes) = &report else { unreachable!() };
+//! assert!(!outcomes.stats.truncated);
+//! assert_eq!(outcomes.invalid_finals, 0); // Theorem 4.4 self-check
+//! println!("{}", report.to_json()); // machine-readable (c11check/v1)
+//!
+//! // The exploration engines remain directly accessible:
+//! let prog = parse_program("vars x; thread t { x := 1; }").unwrap();
+//! let result = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+//! assert_eq!(result.finals.len(), 1);
 //! ```
 
+pub use c11_api as api;
 pub use c11_axiomatic as axiomatic;
 pub use c11_core as core;
 pub use c11_explore as explore;
@@ -55,12 +72,19 @@ pub use c11_verify as verify;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use c11_api::{
+        Backend, Bounds, CheckError, CheckReport, CheckRequest, ConfigView, Invariant, Meta, Mode,
+        ModelChoice, OutcomeRow, ProgramInput,
+    };
     pub use c11_axiomatic::axioms::{check_validity, is_valid, Axiom, Violation};
     pub use c11_core::event::{Event, EventId};
     pub use c11_core::model::{MemoryModel, PreExecutionModel, RaModel, ScModel, Transition};
     pub use c11_core::state::C11State;
     pub use c11_core::{Action, ThreadId};
-    pub use c11_explore::{ExploreConfig, Explorer, RegSnapshot};
+    pub use c11_explore::{
+        ExploreBackend, ExploreConfig, Explorer, ParallelBackend, RegSnapshot, SequentialBackend,
+        Stats,
+    };
     pub use c11_lang::ast::{BinOp, Com, Exp, Prog, RegId, Val, VarId};
     pub use c11_lang::parser::parse_program;
     pub use c11_verify::assertions::{determinate_value, update_only, variable_order};

@@ -73,8 +73,8 @@ fn e15_weak_observability_breaks_corr() {
 fn e16_parallel_matches_sequential() {
     for test in c11_operational::litmus::corpus().into_iter().take(6) {
         let prog = parse_program(&test.source).unwrap();
-        let seq =
-            Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(test.max_events));
+        let seq = Explorer::new(RaModel)
+            .explore(&prog, ExploreConfig::default().max_events(test.max_events));
         let (par, truncated) = parallel_count_states(&RaModel, &prog, test.max_events, 4);
         assert_eq!(par, seq.unique, "{}", test.name);
         assert_eq!(truncated, seq.truncated, "{}", test.name);

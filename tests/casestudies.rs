@@ -14,8 +14,8 @@ fn e17_spinlock_release_unlock_correct() {
         report.data_protected,
         "lock holder must have a determinate view of the protected data"
     );
-    assert!(report.truncated, "lock loops forever");
-    assert!(report.states > 1_000);
+    assert!(report.stats.truncated, "lock loops forever");
+    assert!(report.stats.unique > 1_000);
 }
 
 #[test]

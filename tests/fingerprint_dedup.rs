@@ -59,8 +59,8 @@ fn full_key_explore(prog: &Prog, max_events: usize) -> (usize, usize) {
 fn fingerprint_dedup_matches_full_key_dedup_on_corpus() {
     for test in corpus() {
         let prog = parse_program(&test.source).expect("corpus parses");
-        let res =
-            Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(test.max_events));
+        let res = Explorer::new(RaModel)
+            .explore(&prog, ExploreConfig::default().max_events(test.max_events));
         let (unique, finals) = full_key_explore(&prog, test.max_events);
         assert_eq!(res.unique, unique, "{}: unique diverged", test.name);
         assert_eq!(res.finals.len(), finals, "{}: finals diverged", test.name);
@@ -71,8 +71,8 @@ fn fingerprint_dedup_matches_full_key_dedup_on_corpus() {
 fn parallel_fingerprint_counts_match_sequential_on_corpus() {
     for test in corpus() {
         let prog = parse_program(&test.source).expect("corpus parses");
-        let seq =
-            Explorer::new(RaModel).explore(&prog, ExploreConfig::with_max_events(test.max_events));
+        let seq = Explorer::new(RaModel)
+            .explore(&prog, ExploreConfig::default().max_events(test.max_events));
         for workers in [1usize, 2, 4] {
             let (par, truncated) = parallel_count_states(&RaModel, &prog, test.max_events, workers);
             assert_eq!(par, seq.unique, "{} at {workers} workers", test.name);

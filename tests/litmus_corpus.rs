@@ -29,7 +29,7 @@ fn e14_forbidden_verdicts_are_exhaustive() {
     for test in corpus() {
         let r = run_test(&test);
         if test.expect_ra == Verdict::Forbidden {
-            assert!(!r.truncated, "{}: truncated forbidden verdict", r.name);
+            assert!(!r.ra.truncated, "{}: truncated forbidden verdict", r.name);
         }
     }
 }

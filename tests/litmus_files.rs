@@ -14,7 +14,7 @@ fn litmus_files_load_and_pass() {
         assert!(
             r.pass,
             "{}: observed_ra={} observed_sc={} truncated={}",
-            test.name, r.observed_ra, r.observed_sc, r.truncated
+            test.name, r.observed_ra, r.observed_sc, r.ra.truncated
         );
     }
 }

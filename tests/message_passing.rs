@@ -12,7 +12,7 @@ fn e12_example_5_7() {
         "d =_2 5 when thread 2 reaches line 2"
     );
     assert!(report.end_to_end, "every terminated run reads r = 5");
-    assert!(report.states > 100);
+    assert!(report.stats.unique > 100);
 }
 
 /// The paper's program invariant feeding the Transfer rule: every write of
@@ -22,7 +22,7 @@ fn e12_flag_invariant() {
     let prog = mp_program();
     let f = prog.var("f").unwrap();
     let explorer = Explorer::new(RaModel);
-    explorer.for_each_reachable(&prog, ExploreConfig::with_max_events(14), |cfg| {
+    explorer.for_each_reachable(&prog, ExploreConfig::default().max_events(14), |cfg| {
         for w in cfg.mem.writes_to(f) {
             let ev = cfg.mem.event(w);
             if ev.wrval() == Some(1) {

@@ -19,8 +19,11 @@ fn e11_peterson_mutual_exclusion_and_invariants() {
         "Lemma D.1 invariants failed: {:?}",
         report.invariant_failures
     );
-    assert!(report.truncated, "Peterson loops forever; bound expected");
-    assert!(report.states > 10_000);
+    assert!(
+        report.stats.truncated,
+        "Peterson loops forever; bound expected"
+    );
+    assert!(report.stats.unique > 10_000);
 }
 
 /// Negative control: with all annotations relaxed, mutual exclusion fails
