@@ -1,10 +1,16 @@
-//! A minimal hand-rolled JSON value tree and writer.
+//! A minimal hand-rolled JSON value tree, writer and reader.
 //!
 //! The workspace builds offline (no serde); this mirrors the bench
 //! harness's `--json` writer but as a reusable tree so reports can be
 //! assembled compositionally. Output is deterministic: object keys are
 //! emitted in insertion order, numbers are integers (the reports have no
 //! floats), and strings are escaped per RFC 8259.
+//!
+//! [`Json::parse`] is the matching recursive-descent reader: it accepts
+//! exactly the subset the writer emits (objects, arrays, strings,
+//! unsigned integers, booleans, `null`) and is what the `c11serve`
+//! front-end parses request lines with — floats, signed numbers and
+//! duplicate object keys are rejected with positioned error messages.
 
 use std::fmt::Write as _;
 
@@ -41,6 +47,76 @@ impl Json {
         let mut out = String::new();
         self.write(&mut out);
         out
+    }
+
+    /// Parses a JSON document (the subset [`Json::render`] emits).
+    /// Rejects trailing garbage, floats/signed numbers and duplicate
+    /// object keys; errors carry the byte offset they occurred at.
+    pub fn parse(src: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            s: src.as_bytes(),
+            i: 0,
+            depth: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.s.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is a number.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The integer value as a `usize`, if this is a number that fits.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u128().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String) {
@@ -101,6 +177,217 @@ impl From<bool> for Json {
     }
 }
 
+/// A positioned JSON parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset into the source.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Nesting cap for [`Json::parse`]: the report schema is a handful of
+/// levels deep, and an unbounded recursive-descent parser would let one
+/// deeply-nested request line (`[[[[…`) overflow the stack and kill a
+/// long-lived `c11serve` process instead of producing an error line.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            at: self.i,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.s.get(self.i).is_some_and(u8::is_ascii_whitespace) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self
+                .s
+                .get(self.i)
+                .ok_or_else(|| self.err("eof in string"))?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .s
+                        .get(self.i)
+                        .ok_or_else(|| self.err("eof in escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.i += 4;
+                            // Surrogates (paired or lone) are not emitted by
+                            // the writer; reject rather than guess.
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("unsupported \\u codepoint"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.err(format!("bad escape {:?}", other as char)));
+                        }
+                    }
+                }
+                c => {
+                    // Re-assemble the full UTF-8 sequence starting at `c`.
+                    let start = self.i - 1;
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let bytes = self
+                        .s
+                        .get(start..start + len)
+                        .ok_or_else(|| self.err("eof in string"))?;
+                    self.i = start + len;
+                    out.push_str(
+                        std::str::from_utf8(bytes).map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        let v = self.value_inner();
+        self.depth -= 1;
+        v
+    }
+
+    fn value_inner(&mut self) -> Result<Json, ParseError> {
+        match self.peek().ok_or_else(|| self.err("unexpected eof"))? {
+            b'{' => {
+                self.eat(b'{')?;
+                let mut pairs: Vec<(String, Json)> = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.eat(b'}')?;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.ws();
+                    let k = self.string()?;
+                    if pairs.iter().any(|(existing, _)| *existing == k) {
+                        return Err(self.err(format!("duplicate key {k:?}")));
+                    }
+                    self.eat(b':')?;
+                    pairs.push((k, self.value()?));
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        _ => break,
+                    }
+                }
+                self.eat(b'}')?;
+                Ok(Json::Obj(pairs))
+            }
+            b'[' => {
+                self.eat(b'[')?;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.eat(b']')?;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        _ => break,
+                    }
+                }
+                self.eat(b']')?;
+                Ok(Json::Arr(items))
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            c if c.is_ascii_digit() => {
+                let start = self.i;
+                while self.s.get(self.i).is_some_and(u8::is_ascii_digit) {
+                    self.i += 1;
+                }
+                if let Some(b'.' | b'e' | b'E') = self.s.get(self.i) {
+                    return Err(self.err("floats are not part of the schema"));
+                }
+                let n: u128 = std::str::from_utf8(&self.s[start..self.i])
+                    .expect("digits are utf-8")
+                    .parse()
+                    .map_err(|_| self.err("number out of range"))?;
+                Ok(Json::UInt(n))
+            }
+            b'-' => Err(self.err("negative numbers are not part of the schema")),
+            c => Err(self.err(format!("unexpected {:?}", c as char))),
+        }
+    }
+}
+
 fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -141,5 +428,68 @@ mod tests {
     fn escapes_strings() {
         let v = Json::str("a\"b\\c\nd\u{1}");
         assert_eq!(v.render(), r#""a\"b\\c\nd\u0001""#);
+    }
+    #[test]
+    fn parse_round_trips_the_writer_subset() {
+        let v = Json::obj(vec![
+            ("name", Json::str("MP-ra")),
+            ("pass", Json::Bool(true)),
+            ("none", Json::Null),
+            ("states", Json::from(42usize)),
+            ("weird", Json::str("\u{3c4} \"quoted\" \\ tab\tnl\n\u{1}")),
+            (
+                "nested",
+                Json::Arr(vec![Json::obj(vec![("k", Json::from(7usize))])]),
+            ),
+        ]);
+        let parsed = Json::parse(&v.render()).unwrap();
+        assert_eq!(parsed, v);
+        assert_eq!(parsed.get("states").and_then(Json::as_usize), Some(42));
+        assert_eq!(parsed.get("name").and_then(Json::as_str), Some("MP-ra"));
+        assert_eq!(parsed.get("pass").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            parsed.get("nested").and_then(Json::as_arr).map(<[_]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":1}{",
+            "[1 2]",
+            "1.5",
+            "-3",
+            "{\"a\":1,\"a\":2}",
+            "\"unterminated",
+            "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        let err = Json::parse("{\"a\":1.5}").unwrap_err();
+        assert!(err.to_string().contains("floats"), "{err}");
+    }
+
+    #[test]
+    fn parse_caps_nesting_depth() {
+        // Within the cap: fine.
+        let shallow = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(Json::parse(&shallow).is_ok());
+        // A hostile deeply-nested line errors instead of overflowing
+        // the stack (which would kill a long-lived c11serve process).
+        let deep = "[".repeat(200_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_unicode() {
+        let v = Json::parse(" { \"k\" : [ 1 , \"\u{3c0}\u{2192}\u{3c4}\" , null ] } ").unwrap();
+        let arr = v.get("k").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[1].as_str(), Some("\u{3c0}\u{2192}\u{3c4}"));
     }
 }

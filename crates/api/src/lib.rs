@@ -28,16 +28,19 @@
 //! [`Stats`] vocabulary and a hand-rolled, offline-safe
 //! [`CheckReport::to_json`] (schema documented in the README).
 
+pub mod batch;
 pub mod json;
+pub mod session;
+
+pub use batch::{BatchReport, BatchRequest, BatchStats};
+pub use session::{JobId, Session, SessionConfig, SessionStats};
 
 use c11_axiomatic::axioms::is_valid;
 use c11_core::config::Config;
 use c11_core::dot::to_dot;
+use c11_core::fingerprint::{combine128, fingerprint_prog, hash128_of};
 use c11_core::model::{MemoryModel, PreExecutionModel, RaModel, ScModel};
-use c11_explore::{
-    ExploreBackend, ExploreConfig, ExploreResult, ParallelBackend, RegSnapshot, SequentialBackend,
-    Stats,
-};
+use c11_explore::{AnyBackend, ExploreBackend, ExploreConfig, ExploreResult, RegSnapshot, Stats};
 use c11_lang::step::RegFile;
 use c11_lang::{parse_program, Prog, RegId, ThreadId, Val};
 use c11_litmus::{run_test_configured, LitmusTest, Verdict};
@@ -47,7 +50,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Which memory model answers the request.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ModelChoice {
     /// The paper's operational RA semantics (§3).
     #[default]
@@ -69,7 +72,7 @@ impl ModelChoice {
 }
 
 /// Exploration bounds, mirroring [`ExploreConfig`]'s knobs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Bounds {
     /// Stop expanding states with this many events (spin-loop bound).
     pub max_events: usize,
@@ -118,7 +121,7 @@ impl Bounds {
 }
 
 /// Which exploration engine runs the request.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// The sequential BFS reference engine (deterministic).
     #[default]
@@ -141,22 +144,11 @@ impl Backend {
         }
     }
 
-    fn run_invariant<M>(
-        &self,
-        model: &M,
-        prog: &Prog,
-        cfg: &ExploreConfig,
-        inv: &(dyn Fn(&Config<M>) -> bool + Sync),
-    ) -> ExploreResult<M>
-    where
-        M: MemoryModel + Sync,
-        M::State: Send,
-    {
+    /// The pool-friendly engine handle this selection names.
+    fn any(&self) -> AnyBackend {
         match self {
-            Backend::Sequential => SequentialBackend.run_invariant(model, prog, cfg, inv),
-            Backend::Parallel { workers } => {
-                ParallelBackend::new(*workers).run_invariant(model, prog, cfg, inv)
-            }
+            Backend::Sequential => AnyBackend::Sequential,
+            Backend::Parallel { workers } => AnyBackend::Parallel { workers: *workers },
         }
     }
 }
@@ -194,12 +186,27 @@ impl<'a> ConfigView<'a> {
     }
 }
 
+/// The shared predicate type behind an [`Invariant`].
+pub(crate) type PredFn = Arc<dyn Fn(&ConfigView) -> bool + Send + Sync>;
+
 /// A named predicate over [`ConfigView`]s, checked on every reachable
 /// configuration in [`Mode::Invariant`].
 #[derive(Clone)]
 pub struct Invariant {
     name: String,
-    pred: Arc<dyn Fn(&ConfigView) -> bool + Send + Sync>,
+    pred: PredFn,
+}
+
+impl Invariant {
+    /// The shared predicate, for result-cache keys: clones of one
+    /// [`Invariant`] share the `Arc`, so they (and only they) are
+    /// guaranteed to be the same predicate — names alone are not. The
+    /// cache key holds the `Arc` itself (not just its address), keeping
+    /// the allocation alive so a recycled heap address can never alias
+    /// a dropped predicate's cached report.
+    pub(crate) fn shared_pred(&self) -> PredFn {
+        self.pred.clone()
+    }
 }
 
 impl Invariant {
@@ -248,6 +255,8 @@ pub enum CheckError {
     Parse(String),
     /// The mode/input combination is not supported.
     Unsupported(String),
+    /// A session-level failure (unknown job id, collected twice, …).
+    Session(String),
 }
 
 impl std::fmt::Display for CheckError {
@@ -255,6 +264,7 @@ impl std::fmt::Display for CheckError {
         match self {
             CheckError::Parse(e) => write!(f, "parse error: {e}"),
             CheckError::Unsupported(e) => write!(f, "unsupported request: {e}"),
+            CheckError::Session(e) => write!(f, "session error: {e}"),
         }
     }
 }
@@ -376,32 +386,118 @@ impl CheckRequest {
         self
     }
 
-    /// Runs the request.
+    /// Runs the request on a throwaway [`Session`], inline on the calling
+    /// thread (no pool threads are spawned, no cache outlives the call).
+    ///
+    /// This one-shot form is kept for one deprecation cycle as
+    /// convenience sugar; consumers issuing more than one request should
+    /// hold a [`Session`] and get result caching, job scheduling and
+    /// batch submission for free.
     pub fn run(self) -> Result<CheckReport, CheckError> {
-        let meta = Meta {
-            model: self.model,
-            backend: self.backend,
-        };
-        if let Mode::LitmusVerdict = self.mode {
-            let Input::Litmus(test) = self.input else {
+        Session::new(SessionConfig::default()).run(self)
+    }
+
+    /// Parses and validates the request into its executable [`Resolved`]
+    /// form. The input is parsed exactly once (the session fingerprints
+    /// the parse result for its cache) and mode/input mismatches are
+    /// rejected here, so [`Resolved::compute`] cannot fail.
+    pub(crate) fn resolve(self) -> Result<Resolved, CheckError> {
+        let parse = |src: &str| parse_program(src).map_err(|e| CheckError::Parse(e.to_string()));
+        let input = match (self.input, matches!(self.mode, Mode::LitmusVerdict)) {
+            (Input::Program(_), true) => {
                 return Err(CheckError::Unsupported(
                     "LitmusVerdict mode needs CheckRequest::litmus input".to_string(),
                 ));
+            }
+            (Input::Litmus(test), true) => {
+                let prog = parse(&test.source)?;
+                ResolvedInput::Litmus { test, prog }
+            }
+            (Input::Program(ProgramInput::Parsed(p)), false) => ResolvedInput::Program(p),
+            (Input::Program(ProgramInput::Source(src)), false) => {
+                ResolvedInput::Program(parse(&src)?)
+            }
+            (Input::Litmus(test), false) => ResolvedInput::Program(parse(&test.source)?),
+        };
+        Ok(Resolved {
+            input,
+            model: self.model,
+            bounds: self.bounds,
+            backend: self.backend,
+            mode: self.mode,
+            traces: self.traces,
+            dot: self.dot,
+        })
+    }
+}
+
+/// A borrowed per-configuration hook (validity self-check, DOT renderer)
+/// passed into the monomorphised run.
+type ConfigFn<'a, M, R> = &'a dyn Fn(&Config<M>) -> R;
+
+/// A request after parsing and validation — the unit the [`Session`]
+/// fingerprints, caches, schedules and executes.
+pub(crate) struct Resolved {
+    input: ResolvedInput,
+    pub(crate) model: ModelChoice,
+    pub(crate) bounds: Bounds,
+    pub(crate) backend: Backend,
+    pub(crate) mode: Mode,
+    pub(crate) traces: Option<bool>,
+    pub(crate) dot: usize,
+}
+
+enum ResolvedInput {
+    Program(Prog),
+    Litmus { test: LitmusTest, prog: Prog },
+}
+
+impl Resolved {
+    fn prog(&self) -> &Prog {
+        match &self.input {
+            ResolvedInput::Program(p) => p,
+            ResolvedInput::Litmus { prog, .. } => prog,
+        }
+    }
+
+    /// Number of threads of the underlying program (the session's
+    /// small-vs-large scheduling signal).
+    pub(crate) fn threads(&self) -> usize {
+        self.prog().threads.len()
+    }
+
+    /// The 128-bit input identity the session cache keys on: the parsed
+    /// program's fingerprint (formatting-insensitive), plus — for litmus
+    /// verdicts — the observation and expectations the report embeds.
+    pub(crate) fn fingerprint(&self) -> u128 {
+        match &self.input {
+            ResolvedInput::Program(p) => fingerprint_prog(p),
+            ResolvedInput::Litmus { test, prog } => combine128(&[
+                fingerprint_prog(prog),
+                hash128_of(&(&test.name, &test.outcome, test.expect_ra, test.expect_sc)),
+            ]),
+        }
+    }
+
+    /// Executes the request and produces its report. Infallible: every
+    /// error surface lives in [`CheckRequest::resolve`].
+    pub(crate) fn compute(&self) -> CheckReport {
+        let meta = Meta {
+            model: self.model,
+            backend: self.backend,
+            cache_hit: false,
+        };
+        if let Mode::LitmusVerdict = self.mode {
+            let ResolvedInput::Litmus { test, .. } = &self.input else {
+                unreachable!("resolve() pairs LitmusVerdict with litmus input");
             };
             // The request's bounds (seeded from the test's own event
             // bound in `CheckRequest::litmus`, overridable via
             // `.bounds(..)`) govern both explorations.
             let cfg = self.bounds.explore_config().record_traces(false);
-            let result = match self.backend {
-                Backend::Sequential => {
-                    run_test_configured(&test, &SequentialBackend, &SequentialBackend, &cfg, &cfg)
-                }
-                Backend::Parallel { workers } => {
-                    let par = ParallelBackend::new(workers);
-                    run_test_configured(&test, &par, &par, &cfg, &cfg)
-                }
-            };
-            return Ok(CheckReport::Litmus(LitmusVerdictReport {
+            let be = self.backend.any();
+            let result = run_test_configured(test, &be, &be, &cfg, &cfg);
+            return CheckReport::Litmus(LitmusVerdictReport {
                 meta,
                 name: result.name.clone(),
                 expect_ra: test.expect_ra,
@@ -411,60 +507,29 @@ impl CheckRequest {
                 ra: result.ra,
                 sc: result.sc,
                 pass: result.pass,
-            }));
+            });
         }
-        let prog = match self.input {
-            Input::Program(ProgramInput::Parsed(p)) => p,
-            Input::Program(ProgramInput::Source(src)) => {
-                parse_program(&src).map_err(|e| CheckError::Parse(e.to_string()))?
-            }
-            Input::Litmus(test) => {
-                parse_program(&test.source).map_err(|e| CheckError::Parse(e.to_string()))?
-            }
-        };
-        let req = RunSpec {
-            meta,
-            bounds: self.bounds,
-            backend: self.backend,
-            mode: self.mode,
-            traces: self.traces,
-            dot: self.dot,
-        };
-        Ok(match self.model {
-            ModelChoice::Ra => req.run_on(
+        let prog = self.prog();
+        match self.model {
+            ModelChoice::Ra => self.run_on(
+                meta,
                 &RaModel,
-                &prog,
+                prog,
                 Some(&|c: &Config<RaModel>| is_valid(&c.mem)),
                 Some(&|c: &Config<RaModel>| to_dot(&c.mem, &prog.var_names)),
             ),
-            ModelChoice::Sc => req.run_on(&ScModel, &prog, None, None),
+            ModelChoice::Sc => self.run_on(meta, &ScModel, prog, None, None),
             ModelChoice::PreExecution => {
-                let model = PreExecutionModel::for_program(&prog);
+                let model = PreExecutionModel::for_program(prog);
                 let dot = |c: &Config<PreExecutionModel>| to_dot(&c.mem, &prog.var_names);
-                req.run_on(&model, &prog, None, Some(&dot))
+                self.run_on(meta, &model, prog, None, Some(&dot))
             }
-        })
+        }
     }
-}
 
-/// A borrowed per-configuration hook (validity self-check, DOT renderer)
-/// passed into the monomorphised run.
-type ConfigFn<'a, M, R> = &'a dyn Fn(&Config<M>) -> R;
-
-/// The mode-independent pieces of a resolved request (everything `run_on`
-/// needs once the model has been monomorphised).
-struct RunSpec {
-    meta: Meta,
-    bounds: Bounds,
-    backend: Backend,
-    mode: Mode,
-    traces: Option<bool>,
-    dot: usize,
-}
-
-impl RunSpec {
     fn run_on<M>(
         &self,
+        meta: Meta,
         model: &M,
         prog: &Prog,
         valid: Option<ConfigFn<'_, M, bool>>,
@@ -474,14 +539,15 @@ impl RunSpec {
         M: MemoryModel + Sync,
         M::State: Send,
     {
+        let backend = self.backend.any();
         match &self.mode {
             Mode::LitmusVerdict => unreachable!("handled before model dispatch"),
             Mode::CountOnly => {
                 let cfg = self.bounds.explore_config().record_traces(false);
                 let t0 = Instant::now();
-                let res = self.backend.run_invariant(model, prog, &cfg, &|_| true);
+                let res = backend.run_invariant(model, prog, &cfg, &|_| true);
                 CheckReport::Count(CountReport {
-                    meta: self.meta,
+                    meta,
                     stats: res.stats(t0.elapsed()),
                 })
             }
@@ -493,7 +559,7 @@ impl RunSpec {
                     .record_traces(false)
                     .witness_traces(witness);
                 let t0 = Instant::now();
-                let res = self.backend.run_invariant(model, prog, &cfg, &|_| true);
+                let res = backend.run_invariant(model, prog, &cfg, &|_| true);
                 let stats = res.stats(t0.elapsed());
                 let invalid_finals = valid
                     .map(|v| res.finals.iter().filter(|c| !v(c)).count())
@@ -502,7 +568,7 @@ impl RunSpec {
                     .map(|d| res.finals.iter().take(self.dot).map(d).collect())
                     .unwrap_or_default();
                 CheckReport::Outcomes(OutcomesReport {
-                    meta: self.meta,
+                    meta,
                     stats,
                     outcomes: aggregate_outcomes(&res, prog, witness),
                     invalid_finals,
@@ -517,7 +583,7 @@ impl RunSpec {
                 let pred = inv.pred.clone();
                 let adapter = move |c: &Config<M>| pred(&ConfigView::of(c));
                 let t0 = Instant::now();
-                let res = self.backend.run_invariant(model, prog, &cfg, &adapter);
+                let res = backend.run_invariant(model, prog, &cfg, &adapter);
                 let stats = res.stats(t0.elapsed());
                 let violations = res
                     .violations
@@ -528,7 +594,7 @@ impl RunSpec {
                     })
                     .collect();
                 CheckReport::Invariant(InvariantReport {
-                    meta: self.meta,
+                    meta,
                     stats,
                     invariant: inv.name.clone(),
                     holds: res.holds(),
@@ -575,6 +641,11 @@ pub struct Meta {
     pub model: ModelChoice,
     /// The exploration backend.
     pub backend: Backend,
+    /// `true` iff this report was served from a [`Session`]'s result
+    /// cache instead of a fresh exploration. A cached report is the
+    /// originally-computed one verbatim (including its `wall_micros` and
+    /// the backend that computed it) with only this flag flipped.
+    pub cache_hit: bool,
 }
 
 /// One distinct final register outcome (a multiset row).
@@ -725,6 +796,33 @@ impl CheckReport {
         }
     }
 
+    /// The report's request metadata.
+    pub fn meta(&self) -> Meta {
+        match self {
+            CheckReport::Outcomes(r) => r.meta,
+            CheckReport::Count(r) => r.meta,
+            CheckReport::Invariant(r) => r.meta,
+            CheckReport::Litmus(r) => r.meta,
+        }
+    }
+
+    /// `true` iff this report came from a session's result cache.
+    pub fn cache_hit(&self) -> bool {
+        self.meta().cache_hit
+    }
+
+    /// Stamps the cache-hit flag (used by [`Session`] when serving a
+    /// cached report).
+    pub(crate) fn set_cache_hit(&mut self, hit: bool) {
+        let meta = match self {
+            CheckReport::Outcomes(r) => &mut r.meta,
+            CheckReport::Count(r) => &mut r.meta,
+            CheckReport::Invariant(r) => &mut r.meta,
+            CheckReport::Litmus(r) => &mut r.meta,
+        };
+        meta.cache_hit = hit;
+    }
+
     /// The mode tag used in the JSON encoding.
     pub fn mode_str(&self) -> &'static str {
         match self {
@@ -753,6 +851,7 @@ impl CheckReport {
             CheckReport::Outcomes(r) => {
                 pairs.push(("model", Json::str(r.meta.model.as_str())));
                 pairs.push(("backend", r.meta.backend.json()));
+                pairs.push(("cache_hit", Json::from(r.meta.cache_hit)));
                 pairs.push(("stats", stats_json(&r.stats)));
                 pairs.push(("invalid_finals", Json::from(r.invalid_finals)));
                 let rows = r
@@ -791,11 +890,13 @@ impl CheckReport {
             CheckReport::Count(r) => {
                 pairs.push(("model", Json::str(r.meta.model.as_str())));
                 pairs.push(("backend", r.meta.backend.json()));
+                pairs.push(("cache_hit", Json::from(r.meta.cache_hit)));
                 pairs.push(("stats", stats_json(&r.stats)));
             }
             CheckReport::Invariant(r) => {
                 pairs.push(("model", Json::str(r.meta.model.as_str())));
                 pairs.push(("backend", r.meta.backend.json()));
+                pairs.push(("cache_hit", Json::from(r.meta.cache_hit)));
                 pairs.push(("stats", stats_json(&r.stats)));
                 pairs.push(("invariant", Json::str(&r.invariant)));
                 pairs.push(("holds", Json::from(r.holds)));
@@ -821,6 +922,7 @@ impl CheckReport {
             }
             CheckReport::Litmus(r) => {
                 pairs.push(("backend", r.meta.backend.json()));
+                pairs.push(("cache_hit", Json::from(r.meta.cache_hit)));
                 pairs.push(("name", Json::str(&r.name)));
                 pairs.push(("expect_ra", Json::str(verdict_str(r.expect_ra))));
                 pairs.push(("expect_sc", Json::str(verdict_str(r.expect_sc))));

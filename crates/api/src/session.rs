@@ -1,0 +1,687 @@
+//! A reusable checking service: one [`Session`] owns a worker pool and a
+//! fingerprint-keyed result cache, and every request surface in the
+//! workspace (the one-shot [`CheckRequest::run`], the `c11check` CLI's
+//! litmus batch mode, the `c11serve` JSONL front-end) runs through it.
+//!
+//! ## Scheduling
+//!
+//! [`Session::submit`] enqueues a job and returns a [`JobId`];
+//! [`Session::wait`] blocks until that job's report is ready. Jobs are
+//! executed by a fixed pool of worker threads (spawned lazily on the
+//! first `submit`, so sessions used only for inline [`Session::run`]
+//! calls cost nothing). A *small* job — one whose request names the
+//! default sequential backend — runs whole on the one pool worker that
+//! picked it up; a *large* job — one carrying `Backend::Parallel` —
+//! fans out over the work-stealing parallel engine's own scoped workers
+//! from the pool thread hosting it. [`SessionConfig::parallel_threshold`]
+//! optionally upgrades wide sequential jobs to the parallel engine.
+//!
+//! ## Caching
+//!
+//! Results are cached under `(input fingerprint, model, bounds, mode,
+//! traces, dot)` — see [`Resolved::fingerprint`] for the input identity,
+//! which reuses the fixed-seed FNV/splitmix machinery behind
+//! `MemoryModel::state_fingerprint`. The backend is deliberately *not*
+//! part of the key: every engine produces the same report for the same
+//! request (a property the test suite pins corpus-wide), so a result
+//! computed by one backend can answer a request naming another. Cache
+//! hits return the originally-computed report with
+//! [`Meta::cache_hit`](crate::Meta::cache_hit) flipped on. Concurrent
+//! identical submissions coalesce: the first computes, the rest wait on
+//! the pending slot — a warm or contended session performs at most one
+//! exploration per distinct key.
+
+use crate::batch::{BatchReport, BatchRequest};
+use crate::{CheckError, CheckReport, CheckRequest, Mode, Resolved};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Configuration of a [`Session`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Worker threads servicing [`Session::submit`]ted jobs (clamped to
+    /// ≥ 1; spawned lazily on first use).
+    pub workers: usize,
+    /// Cache reports keyed on input fingerprints (on by default).
+    pub cache: bool,
+    /// When non-zero: a job requesting the (default) sequential backend
+    /// whose program has at least this many threads is upgraded to the
+    /// parallel engine with [`SessionConfig::workers`] threads — "small
+    /// jobs run whole on one worker, large jobs get the parallel
+    /// backend". `0` (the default) disables the upgrade, preserving
+    /// exact backend selection; explicitly-parallel requests are never
+    /// downgraded either way.
+    pub parallel_threshold: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            workers: 2,
+            cache: true,
+            parallel_threshold: 0,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Sets the pool size (chainable).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Switches the result cache (chainable).
+    pub fn cache(mut self, on: bool) -> Self {
+        self.cache = on;
+        self
+    }
+
+    /// Sets the thread-count threshold above which sequential jobs are
+    /// upgraded to the parallel engine (chainable; `0` disables).
+    pub fn parallel_threshold(mut self, threads: usize) -> Self {
+        self.parallel_threshold = threads;
+        self
+    }
+}
+
+/// A handle to a job submitted to a [`Session`]; redeem it exactly once
+/// with [`Session::wait`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+/// Counters describing what a [`Session`] has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests accepted (`submit`, `run` and `run_batch` items alike).
+    pub submitted: usize,
+    /// Requests finished (reports produced or errors surfaced).
+    pub completed: usize,
+    /// Reports served from the result cache.
+    pub cache_hits: usize,
+    /// Actual engine runs (cache misses that computed a fresh report).
+    /// On a warm cache this stays at one per distinct cache key no
+    /// matter how many requests were served.
+    pub explorations: usize,
+    /// Requests rejected before execution (parse/mode errors).
+    pub errors: usize,
+}
+
+/// The result-cache key. The backend is deliberately absent — see the
+/// module docs for why — and [`Mode`] contributes its discriminant plus
+/// whatever identity the variant carries.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fingerprint: u128,
+    model: crate::ModelChoice,
+    bounds: crate::Bounds,
+    mode: ModeKey,
+    traces: Option<bool>,
+    dot: usize,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum ModeKey {
+    Outcomes,
+    CountOnly,
+    /// Predicate identity: clones of one `Invariant` hit; same-named but
+    /// distinct predicates miss instead of aliasing.
+    Invariant(PredId),
+    LitmusVerdict,
+}
+
+/// Predicate identity by `Arc` pointer. Holding the `Arc` itself (not
+/// just its address) keeps the allocation alive for the cache's
+/// lifetime, so a recycled heap address can never alias a dropped
+/// predicate's cached report.
+#[derive(Clone)]
+struct PredId(crate::PredFn);
+
+impl PartialEq for PredId {
+    fn eq(&self, other: &PredId) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for PredId {}
+
+impl std::hash::Hash for PredId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_usize(Arc::as_ptr(&self.0) as *const () as usize);
+    }
+}
+
+impl CacheKey {
+    fn of(r: &Resolved) -> CacheKey {
+        let mode = match &r.mode {
+            Mode::Outcomes => ModeKey::Outcomes,
+            Mode::CountOnly => ModeKey::CountOnly,
+            Mode::Invariant(inv) => ModeKey::Invariant(PredId(inv.shared_pred())),
+            Mode::LitmusVerdict => ModeKey::LitmusVerdict,
+        };
+        // Litmus verdicts ignore the model (they always contrast RA vs
+        // SC), traces and dot — normalise those out of the key so
+        // harmless request-tagging differences still hit.
+        let litmus = matches!(mode, ModeKey::LitmusVerdict);
+        CacheKey {
+            fingerprint: r.fingerprint(),
+            model: if litmus {
+                crate::ModelChoice::default()
+            } else {
+                r.model
+            },
+            bounds: r.bounds,
+            mode,
+            traces: if litmus { None } else { r.traces },
+            dot: if litmus { 0 } else { r.dot },
+        }
+    }
+}
+
+/// One cache slot: `Pending` while the first submitter computes, then
+/// `Ready` — or `Poisoned` if the compute panicked (waiters retry and
+/// the key is evicted). Waiters block on the slot's condvar, never on
+/// the whole map.
+type CacheSlot = Arc<(Mutex<SlotState>, Condvar)>;
+
+enum SlotState {
+    Pending,
+    Ready(CheckReport),
+    Poisoned,
+}
+
+/// A completed (or pending) job's result cell.
+type JobResult = Option<Result<CheckReport, CheckError>>;
+
+struct Inner {
+    cfg: SessionConfig,
+    queue: Mutex<VecDeque<(u64, CheckRequest)>>,
+    queue_cv: Condvar,
+    /// `id → None` while in flight, `Some(result)` when done; removed
+    /// when collected by `wait`.
+    results: Mutex<HashMap<u64, JobResult>>,
+    results_cv: Condvar,
+    cache: Mutex<HashMap<CacheKey, CacheSlot>>,
+    shutdown: AtomicBool,
+    submitted: AtomicUsize,
+    completed: AtomicUsize,
+    cache_hits: AtomicUsize,
+    explorations: AtomicUsize,
+    errors: AtomicUsize,
+}
+
+impl Inner {
+    /// Resolves, schedules (backend upgrade) and computes one request,
+    /// consulting the cache. Runs on a pool worker for submitted jobs
+    /// and on the caller's thread for [`Session::run`]. `submitted` is
+    /// counted at acceptance (`submit`/`run`), not here; the
+    /// completed/errors counters stay consistent even if a user
+    /// invariant closure panics mid-compute.
+    fn execute(&self, req: CheckRequest) -> Result<CheckReport, CheckError> {
+        let out =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute_inner(req)));
+        match out {
+            Ok(result) => {
+                if result.is_err() {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                result
+            }
+            Err(panic) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+
+    fn execute_inner(&self, req: CheckRequest) -> Result<CheckReport, CheckError> {
+        let mut resolved = req.resolve()?;
+        // Large-job upgrade: wide programs get the parallel engine.
+        let t = self.cfg.parallel_threshold;
+        if t > 0 && resolved.backend == crate::Backend::Sequential && resolved.threads() >= t {
+            resolved.backend = crate::Backend::Parallel {
+                workers: self.cfg.workers.max(1),
+            };
+        }
+        if !self.cfg.cache {
+            self.explorations.fetch_add(1, Ordering::Relaxed);
+            return Ok(resolved.compute());
+        }
+        Ok(self.cached_compute(resolved))
+    }
+
+    fn cached_compute(&self, resolved: Resolved) -> CheckReport {
+        let key = CacheKey::of(&resolved);
+        loop {
+            let (slot, owner) = {
+                let mut cache = self.cache.lock().unwrap();
+                match cache.entry(key.clone()) {
+                    Entry::Occupied(e) => (e.get().clone(), false),
+                    Entry::Vacant(v) => {
+                        let slot: CacheSlot =
+                            Arc::new((Mutex::new(SlotState::Pending), Condvar::new()));
+                        v.insert(slot.clone());
+                        (slot, true)
+                    }
+                }
+            };
+            if owner {
+                // First submitter: compute outside any lock, publish,
+                // wake coalesced waiters. Invariant predicates are
+                // arbitrary user closures, so a panic must not strand
+                // the pending slot: poison it, evict the key and let
+                // the panic propagate to this caller only.
+                let computed =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| resolved.compute()));
+                let report = match computed {
+                    Ok(report) => report,
+                    Err(panic) => {
+                        self.cache.lock().unwrap().remove(&key);
+                        *slot.0.lock().unwrap() = SlotState::Poisoned;
+                        slot.1.notify_all();
+                        std::panic::resume_unwind(panic);
+                    }
+                };
+                self.explorations.fetch_add(1, Ordering::Relaxed);
+                *slot.0.lock().unwrap() = SlotState::Ready(report.clone());
+                slot.1.notify_all();
+                return report;
+            }
+            let mut state = slot.0.lock().unwrap();
+            while matches!(*state, SlotState::Pending) {
+                state = slot.1.wait(state).unwrap();
+            }
+            match &*state {
+                SlotState::Ready(report) => {
+                    let mut report = report.clone();
+                    report.set_cache_hit(true);
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return report;
+                }
+                // The owner panicked; its slot was evicted. Retry — this
+                // thread becomes the new owner (and surfaces the panic
+                // itself if the compute deterministically panics).
+                SlotState::Poisoned => continue,
+                SlotState::Pending => unreachable!("looped above until not pending"),
+            }
+        }
+    }
+}
+
+/// A long-lived checking service: shared worker pool, shared result
+/// cache, batch scheduling. See the module docs for the design.
+///
+/// ```
+/// use c11_api::{CheckReport, CheckRequest, Session, SessionConfig};
+///
+/// let session = Session::new(SessionConfig::default().workers(2));
+/// let req = || CheckRequest::program("vars x; thread t { x := 1; }");
+/// let cold = session.run(req()).unwrap();
+/// let warm = session.run(req()).unwrap();
+/// assert!(!cold.cache_hit() && warm.cache_hit());
+/// assert_eq!(session.stats().explorations, 1);
+/// ```
+pub struct Session {
+    inner: Arc<Inner>,
+    pool: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new(SessionConfig::default())
+    }
+}
+
+impl Session {
+    /// A session with the given configuration. No threads are spawned
+    /// until the first [`Session::submit`].
+    pub fn new(cfg: SessionConfig) -> Session {
+        Session {
+            inner: Arc::new(Inner {
+                cfg,
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+                results: Mutex::new(HashMap::new()),
+                results_cv: Condvar::new(),
+                cache: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+                submitted: AtomicUsize::new(0),
+                completed: AtomicUsize::new(0),
+                cache_hits: AtomicUsize::new(0),
+                explorations: AtomicUsize::new(0),
+                errors: AtomicUsize::new(0),
+            }),
+            pool: Mutex::new(Vec::new()),
+            next_id: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> SessionConfig {
+        self.inner.cfg
+    }
+
+    /// Runs one request inline on the calling thread (through the cache,
+    /// bypassing the pool). This is what [`CheckRequest::run`] shims to.
+    pub fn run(&self, req: CheckRequest) -> Result<CheckReport, CheckError> {
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.execute(req)
+    }
+
+    /// Enqueues a request on the worker pool and returns a handle to
+    /// redeem with [`Session::wait`]. Spawns the pool on first use.
+    pub fn submit(&self, req: CheckRequest) -> JobId {
+        self.ensure_pool();
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.results.lock().unwrap().insert(id, None);
+        self.inner.queue.lock().unwrap().push_back((id, req));
+        self.inner.queue_cv.notify_one();
+        JobId(id)
+    }
+
+    /// Blocks until the job's report is ready and returns it. Each
+    /// [`JobId`] can be redeemed exactly once; a second `wait` (or a
+    /// foreign id) yields [`CheckError::Session`].
+    pub fn wait(&self, id: JobId) -> Result<CheckReport, CheckError> {
+        let mut results = self.inner.results.lock().unwrap();
+        loop {
+            match results.get(&id.0) {
+                None => {
+                    return Err(CheckError::Session(format!(
+                        "job {} is unknown or was already collected",
+                        id.0
+                    )));
+                }
+                Some(None) => {
+                    results = self.inner.results_cv.wait(results).unwrap();
+                }
+                Some(Some(_)) => {
+                    let done = results.remove(&id.0).flatten();
+                    return done.expect("checked Some(Some(..)) above");
+                }
+            }
+        }
+    }
+
+    /// Submits every request of the batch to the pool, waits for all of
+    /// them, and returns the reports **in submission order** together
+    /// with aggregate statistics. Errors are per-item: one bad request
+    /// does not poison the batch.
+    pub fn run_batch(&self, batch: BatchRequest) -> BatchReport {
+        let t0 = Instant::now();
+        let ids: Vec<JobId> = batch
+            .into_requests()
+            .into_iter()
+            .map(|r| self.submit(r))
+            .collect();
+        let reports: Vec<Result<CheckReport, CheckError>> =
+            ids.into_iter().map(|id| self.wait(id)).collect();
+        BatchReport::aggregate(reports, t0.elapsed())
+    }
+
+    /// The session's counters so far.
+    pub fn stats(&self) -> SessionStats {
+        let i = &self.inner;
+        SessionStats {
+            submitted: i.submitted.load(Ordering::Relaxed),
+            completed: i.completed.load(Ordering::Relaxed),
+            cache_hits: i.cache_hits.load(Ordering::Relaxed),
+            explorations: i.explorations.load(Ordering::Relaxed),
+            errors: i.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn ensure_pool(&self) {
+        let mut pool = self.pool.lock().unwrap();
+        if !pool.is_empty() {
+            return;
+        }
+        for i in 0..self.inner.cfg.workers.max(1) {
+            let inner = self.inner.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("c11-session-{i}"))
+                .spawn(move || worker_loop(&inner))
+                .expect("spawn session worker");
+            pool.push(handle);
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        for handle in self.pool.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = inner.queue_cv.wait(queue).unwrap();
+            }
+        };
+        let Some((id, req)) = job else { return };
+        // A panicking job (user invariant closure) must neither kill the
+        // worker nor leave the job's result cell empty forever.
+        // `execute` keeps the counters consistent before re-raising, so
+        // this only has to keep the worker alive and fill the result.
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.execute(req)))
+            .unwrap_or_else(|panic| {
+                let what = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(CheckError::Session(format!("job panicked: {what}")))
+            });
+        inner.results.lock().unwrap().insert(id, Some(out));
+        inner.results_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, Bounds, CheckRequest, Invariant, Mode};
+
+    const SB: &str = "vars x y;
+         thread t1 { x := 1; r0 <- y; }
+         thread t2 { y := 1; r0 <- x; }";
+
+    #[test]
+    fn run_caches_by_fingerprint_modulo_formatting() {
+        let session = Session::default();
+        let cold = session.run(CheckRequest::program(SB)).unwrap();
+        // Same program, different whitespace: the parse-level
+        // fingerprint must hit.
+        let warm = session
+            .run(CheckRequest::program(
+                "vars x y;\nthread t1 { x := 1; r0 <- y; }\nthread t2 { y := 1; r0 <- x; }",
+            ))
+            .unwrap();
+        assert!(!cold.cache_hit());
+        assert!(warm.cache_hit());
+        assert_eq!(session.stats().explorations, 1);
+        assert_eq!(session.stats().cache_hits, 1);
+        // Identical payload either way.
+        let (CheckReport::Outcomes(a), CheckReport::Outcomes(b)) = (&cold, &warm) else {
+            panic!();
+        };
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn distinct_questions_do_not_alias() {
+        let session = Session::default();
+        session.run(CheckRequest::program(SB)).unwrap();
+        // Different mode, model, bounds, traces, dot: all misses.
+        for req in [
+            CheckRequest::program(SB).mode(Mode::CountOnly),
+            CheckRequest::program(SB).model(crate::ModelChoice::Sc),
+            CheckRequest::program(SB).bounds(Bounds::default().max_events(8)),
+            CheckRequest::program(SB).traces(true),
+            CheckRequest::program(SB).dot(1),
+        ] {
+            let r = session.run(req).unwrap();
+            assert!(!r.cache_hit());
+        }
+        assert_eq!(session.stats().explorations, 6);
+        assert_eq!(session.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn litmus_keys_ignore_model_traces_and_dot() {
+        // LitmusVerdict always contrasts RA vs SC and produces no
+        // traces/DOT, so harmless request-tagging differences must
+        // still hit the cache.
+        let session = Session::default();
+        let test = c11_litmus::corpus().remove(0);
+        let cold = session.run(CheckRequest::litmus(test.clone())).unwrap();
+        assert!(!cold.cache_hit());
+        let tagged = session
+            .run(
+                CheckRequest::litmus(test)
+                    .model(crate::ModelChoice::Sc)
+                    .traces(true)
+                    .dot(1),
+            )
+            .unwrap();
+        assert!(tagged.cache_hit());
+        assert_eq!(session.stats().explorations, 1);
+    }
+
+    #[test]
+    fn invariant_caching_is_by_predicate_identity() {
+        let session = Session::default();
+        let inv = Invariant::new("p", |_v| true);
+        let req = |i: &Invariant| CheckRequest::program(SB).mode(Mode::Invariant(i.clone()));
+        assert!(!session.run(req(&inv)).unwrap().cache_hit());
+        assert!(session.run(req(&inv)).unwrap().cache_hit());
+        // Same name, different closure: must NOT alias.
+        let other = Invariant::new("p", |_v| true);
+        assert!(!session.run(req(&other)).unwrap().cache_hit());
+        assert_eq!(session.stats().explorations, 2);
+    }
+
+    #[test]
+    fn submit_wait_round_trips_and_ids_are_single_use() {
+        let session = Session::new(SessionConfig::default().workers(2));
+        let a = session.submit(CheckRequest::program(SB));
+        let b = session.submit(CheckRequest::program("vars x; thread t { x := 1; }"));
+        let rb = session.wait(b).unwrap();
+        let ra = session.wait(a).unwrap();
+        assert!(matches!(ra, CheckReport::Outcomes(_)));
+        assert!(matches!(rb, CheckReport::Outcomes(_)));
+        // Double-redeem and foreign ids error instead of hanging.
+        assert!(matches!(session.wait(a), Err(CheckError::Session(_))));
+        assert!(matches!(
+            session.wait(JobId(u64::MAX)),
+            Err(CheckError::Session(_))
+        ));
+    }
+
+    #[test]
+    fn submit_surfaces_parse_errors_at_wait() {
+        let session = Session::default();
+        let id = session.submit(CheckRequest::program("vars x; thread t { y := 1; }"));
+        assert!(matches!(session.wait(id), Err(CheckError::Parse(_))));
+        assert_eq!(session.stats().errors, 1);
+    }
+
+    #[test]
+    fn parallel_threshold_upgrades_wide_sequential_jobs() {
+        let session = Session::new(SessionConfig::default().workers(3).parallel_threshold(2));
+        let report = session.run(CheckRequest::program(SB)).unwrap();
+        assert_eq!(
+            report.meta().backend,
+            Backend::Parallel { workers: 3 },
+            "2-thread program at threshold 2 must be upgraded"
+        );
+        // Narrow jobs stay sequential; explicit choices are untouched.
+        let narrow = session
+            .run(CheckRequest::program("vars x; thread t { x := 1; }"))
+            .unwrap();
+        assert_eq!(narrow.meta().backend, Backend::Sequential);
+        // Explicit backend choices are never rewritten (fresh program so
+        // the answer is computed, not served from the cache — a cached
+        // report always carries the backend that computed it).
+        let explicit = session
+            .run(
+                CheckRequest::program("vars a b; thread t1 { a := 1; } thread t2 { b := 1; }")
+                    .backend(Backend::Parallel { workers: 7 }),
+            )
+            .unwrap();
+        assert_eq!(explicit.meta().backend, Backend::Parallel { workers: 7 });
+        // And the SB request re-issued with an explicit backend is a
+        // cache hit carrying the original computing backend.
+        let hit = session
+            .run(CheckRequest::program(SB).backend(Backend::Parallel { workers: 7 }))
+            .unwrap();
+        assert!(hit.cache_hit());
+        assert_eq!(hit.meta().backend, Backend::Parallel { workers: 3 });
+    }
+
+    #[test]
+    fn cache_disabled_recomputes() {
+        let session = Session::new(SessionConfig::default().cache(false));
+        assert!(!session.run(CheckRequest::program(SB)).unwrap().cache_hit());
+        assert!(!session.run(CheckRequest::program(SB)).unwrap().cache_hit());
+        assert_eq!(session.stats().explorations, 2);
+    }
+
+    #[test]
+    fn panicking_job_neither_kills_the_pool_nor_strands_its_cache_slot() {
+        let session = Session::new(SessionConfig::default().workers(1));
+        let boom = Invariant::new("boom", |_v| panic!("predicate exploded"));
+        let id = session.submit(CheckRequest::program(SB).mode(Mode::Invariant(boom.clone())));
+        // The panic surfaces as a session error instead of hanging wait().
+        let err = session.wait(id);
+        assert!(
+            matches!(&err, Err(CheckError::Session(e)) if e.contains("panicked")),
+            "{err:?}"
+        );
+        // The worker survived: the pool still serves jobs…
+        let ok = session.submit(CheckRequest::program(SB));
+        assert!(session.wait(ok).unwrap().stats().finals > 0);
+        // …and the poisoned key was evicted, so resubmitting the same
+        // invariant recomputes (and panics again) rather than waiting
+        // forever on a stranded Pending slot.
+        let again = session.submit(CheckRequest::program(SB).mode(Mode::Invariant(boom)));
+        assert!(matches!(session.wait(again), Err(CheckError::Session(_))));
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_coalesce() {
+        // 8 identical jobs over 4 workers: exactly one exploration, the
+        // other seven coalesce on the pending slot or hit the cache.
+        let session = Session::new(SessionConfig::default().workers(4));
+        let ids: Vec<JobId> = (0..8)
+            .map(|_| session.submit(CheckRequest::program(SB)))
+            .collect();
+        let mut hits = 0;
+        for id in ids {
+            hits += usize::from(session.wait(id).unwrap().cache_hit());
+        }
+        assert_eq!(session.stats().explorations, 1);
+        assert_eq!(hits, 7);
+    }
+}

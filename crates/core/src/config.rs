@@ -13,13 +13,20 @@
 use crate::model::{MemoryModel, Transition};
 use c11_lang::step::{apply_step, step_shape, RegFile, StepShape};
 use c11_lang::{Com, Prog, StepLabel, ThreadId};
+use std::sync::Arc;
 
 /// A configuration `(P, σ)` of the interpreted semantics, extended with
 /// per-thread register files.
 #[derive(Debug, PartialEq, Eq, Hash)]
 pub struct Config<M: MemoryModel> {
     /// Residual command of each thread (`coms[i]` is thread `i + 1`).
-    pub coms: Vec<Com>,
+    /// Each tree is behind an [`Arc`]: a step clones `coms` as a vector
+    /// of pointers and replaces only the entry of the thread that moved,
+    /// so the (arbitrarily large) residual trees of the other threads are
+    /// shared between parent and successor instead of deep-cloned.
+    /// `Arc<Com>` hashes and compares through to the tree, so dedup
+    /// fingerprints are unaffected by the sharing.
+    pub coms: Vec<Arc<Com>>,
     /// Register file of each thread (same indexing).
     pub regs: Vec<RegFile>,
     /// The memory-model state `σ`.
@@ -59,7 +66,7 @@ impl<M: MemoryModel> Config<M> {
     /// The initial configuration of a program.
     pub fn initial(model: &M, prog: &Prog) -> Config<M> {
         Config {
-            coms: prog.threads.clone(),
+            coms: prog.threads.iter().cloned().map(Arc::new).collect(),
             regs: vec![RegFile::new(); prog.threads.len()],
             mem: model.init(prog),
         }
@@ -83,7 +90,7 @@ impl<M: MemoryModel> Config<M> {
 
     /// `true` iff every thread has terminated.
     pub fn is_terminated(&self) -> bool {
-        self.coms.iter().all(Com::is_terminated)
+        self.coms.iter().all(|c| c.is_terminated())
     }
 
     /// Thread ids `1..=n`.
@@ -106,7 +113,7 @@ impl<M: MemoryModel> Config<M> {
                     let res = apply_step(com, &StepLabel::Tau, regs)
                         .expect("τ shape must apply with τ label");
                     let mut next = self.clone();
-                    next.coms[idx] = res.com;
+                    next.coms[idx] = Arc::new(res.com);
                     if let Some((r, v)) = res.reg_write {
                         next.regs[idx].set(r, v);
                     }
@@ -134,7 +141,7 @@ impl<M: MemoryModel> Config<M> {
                         // `self.mem` only to overwrite it would waste the
                         // most expensive copy of the hot loop.
                         let mut coms = self.coms.clone();
-                        coms[idx] = res.com;
+                        coms[idx] = Arc::new(res.com);
                         let mut regs = self.regs.clone();
                         if let Some((r, v)) = res.reg_write {
                             regs[idx].set(r, v);

@@ -77,6 +77,20 @@ pub fn combine128(parts: &[u128]) -> u128 {
     ((hi as u128) << 64) | lo as u128
 }
 
+/// A fixed-seed 128-bit fingerprint of a parsed program: initial values,
+/// variable names and thread bodies, order-sensitively mixed. This is the
+/// identity the api crate's `Session` result cache keys on — two sources
+/// that parse to the same program (whitespace, comments, formatting)
+/// share a fingerprint; any semantic difference (and any variable
+/// rename, which changes rendered traces and DOT output) separates them.
+pub fn fingerprint_prog(prog: &c11_lang::Prog) -> u128 {
+    combine128(&[
+        hash128_of(&prog.inits),
+        hash128_of(&prog.var_names),
+        hash128_of(&prog.threads),
+    ])
+}
+
 /// An order-insensitive 128-bit accumulator for edge multisets: each
 /// record is avalanche-mixed per lane and then folded in with wrapping
 /// addition, so permuting the insertion order cannot change the result.
@@ -151,5 +165,18 @@ mod tests {
     fn combine_is_order_sensitive() {
         assert_ne!(combine128(&[1, 2]), combine128(&[2, 1]));
         assert_eq!(combine128(&[1, 2]), combine128(&[1, 2]));
+    }
+
+    #[test]
+    fn prog_fingerprint_ignores_formatting_but_not_semantics() {
+        let parse = |s: &str| c11_lang::parse_program(s).unwrap();
+        let a = parse("vars x; thread t { x := 1; }");
+        let b = parse("vars x;\n  thread t {\n    x := 1;\n  }");
+        assert_eq!(fingerprint_prog(&a), fingerprint_prog(&b));
+        let c = parse("vars x; thread t { x := 2; }");
+        assert_ne!(fingerprint_prog(&a), fingerprint_prog(&c));
+        // Renames change rendered traces/DOT, so they must separate.
+        let d = parse("vars y; thread t { y := 1; }");
+        assert_ne!(fingerprint_prog(&a), fingerprint_prog(&d));
     }
 }

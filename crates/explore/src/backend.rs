@@ -95,6 +95,56 @@ where
     }
 }
 
+/// A pool-friendly engine handle: a `Copy`, `Send + Sync` *value* naming
+/// one of the engines, usable for every memory model at once.
+///
+/// Schedulers that multiplex many checking jobs over shared worker
+/// threads (the api crate's `Session`) cannot hold a `dyn
+/// ExploreBackend<M>` — the model `M` differs per job (RA for one
+/// request, SC for the next, both inside a litmus verdict). `AnyBackend`
+/// is the monomorphisation-deferring form: ship the handle across the
+/// pool, then let each job instantiate it at its own model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnyBackend {
+    /// The sequential BFS reference engine.
+    Sequential,
+    /// The work-stealing parallel engine with `workers` threads.
+    Parallel {
+        /// Worker threads (clamped to ≥ 1).
+        workers: usize,
+    },
+}
+
+impl<M> ExploreBackend<M> for AnyBackend
+where
+    M: MemoryModel + Sync,
+    M::State: Send,
+{
+    fn name(&self) -> String {
+        match self {
+            AnyBackend::Sequential => ExploreBackend::<M>::name(&SequentialBackend),
+            AnyBackend::Parallel { workers } => {
+                ExploreBackend::<M>::name(&ParallelBackend::new(*workers))
+            }
+        }
+    }
+
+    fn run_invariant(
+        &self,
+        model: &M,
+        prog: &Prog,
+        cfg: &ExploreConfig,
+        inv: &(dyn Fn(&Config<M>) -> bool + Sync),
+    ) -> ExploreResult<M> {
+        match self {
+            AnyBackend::Sequential => SequentialBackend.run_invariant(model, prog, cfg, inv),
+            AnyBackend::Parallel { workers } => {
+                ParallelBackend::new(*workers).run_invariant(model, prog, cfg, inv)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +180,30 @@ mod tests {
         let seq = SequentialBackend.run(&ScModel, &prog, &cfg);
         let par = ParallelBackend::new(2).run(&ScModel, &prog, &cfg);
         assert_eq!(seq.unique, par.unique);
+    }
+
+    #[test]
+    fn any_backend_dispatches_to_both_engines() {
+        let prog = parse_program(
+            "vars x y;
+             thread t1 { x := 1; r0 <- y; }
+             thread t2 { y := 1; r0 <- x; }",
+        )
+        .unwrap();
+        let cfg = ExploreConfig::default();
+        let reference = SequentialBackend.run(&RaModel, &prog, &cfg);
+        for handle in [AnyBackend::Sequential, AnyBackend::Parallel { workers: 2 }] {
+            // One Copy handle serves RA and SC without re-construction —
+            // the property the session scheduler relies on.
+            let ra = handle.run(&RaModel, &prog, &cfg);
+            assert_eq!(ra.unique, reference.unique, "{:?}", handle);
+            let sc = handle.run(&ScModel, &prog, &cfg);
+            assert!(sc.unique <= ra.unique, "{:?}", handle);
+        }
+        assert_eq!(
+            ExploreBackend::<RaModel>::name(&AnyBackend::Parallel { workers: 3 }),
+            "parallel(3)"
+        );
     }
 
     #[test]

@@ -94,19 +94,6 @@ impl ExploreConfig {
         self.witness_traces = on;
         self
     }
-
-    /// A config with an event bound suitable for small litmus tests.
-    #[deprecated(since = "0.1.0", note = "use `ExploreConfig::default().max_events(n)`")]
-    pub fn with_max_events(max_events: usize) -> Self {
-        ExploreConfig::default().max_events(max_events)
-    }
-
-    /// A config bounded by depth instead of events (for SC exploration of
-    /// looping programs).
-    #[deprecated(since = "0.1.0", note = "use `ExploreConfig::default().max_depth(n)`")]
-    pub fn with_max_depth(max_depth: usize) -> Self {
-        ExploreConfig::default().max_depth(max_depth)
-    }
 }
 
 /// One step of a counterexample trace.
@@ -541,18 +528,6 @@ mod tests {
         let res = Explorer::new(RaModel).explore(&prog, ExploreConfig::default().max_states(10));
         assert!(res.truncated);
         assert!(res.unique <= 11);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        let a = ExploreConfig::with_max_events(9);
-        let b = ExploreConfig::default().max_events(9);
-        assert_eq!(a.max_events, b.max_events);
-        assert_eq!(a.max_states, b.max_states);
-        let c = ExploreConfig::with_max_depth(7);
-        assert_eq!(c.max_depth, 7);
-        assert_eq!(c.max_events, ExploreConfig::default().max_events);
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub mod engine;
 pub mod par;
 pub mod stats;
 
-pub use backend::{ExploreBackend, ParallelBackend, SequentialBackend};
+pub use backend::{AnyBackend, ExploreBackend, ParallelBackend, SequentialBackend};
 pub use engine::{
     explore_invariant_with, render_trace, ExploreConfig, ExploreResult, Explorer, RegSnapshot,
     TraceStep,

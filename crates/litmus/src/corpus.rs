@@ -3,7 +3,7 @@
 use c11_lang::Val;
 
 /// Expected verdict for an outcome under a model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Verdict {
     /// Some execution exhibits the outcome.
     Allowed,
@@ -12,7 +12,7 @@ pub enum Verdict {
 }
 
 /// One conjunct of an observation.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Cond {
     /// Register `rN` of thread `T` ends with `val`.
     Reg {

@@ -8,6 +8,12 @@
 //! echo 'vars x; thread t { x := 1; }' | c11check -
 //! c11check --litmus litmus/ --json   # machine-readable corpus verdicts
 //! ```
+//!
+//! Directory litmus mode runs through the `Session` batch path
+//! (`Session::run_batch`): tests are scheduled concurrently over a
+//! worker pool with fingerprint-keyed result caching. For a long-lived
+//! service over the same machinery, see `c11serve` (JSON lines on
+//! stdin/stdout).
 
 use c11_operational::api::json::Json;
 use c11_operational::prelude::*;
@@ -28,8 +34,10 @@ struct Opts {
 const USAGE: &str = "usage: c11check <program.c11 | - | dir> [--litmus] [--sc] \
      [--max-events N] [--workers N] [--json] [--dot] [--quiet]\n\
      --litmus: treat the input as a .litmus file (or a directory of \
-     them) and check expected verdicts\n\
-     --workers N: explore with the parallel backend (N worker threads)\n\
+     them, checked as one Session batch) and check expected verdicts\n\
+     --workers N: explore with the parallel backend (N worker threads); \
+     in --litmus dir mode N sizes the batch pool instead (jobs run \
+     sequentially, N at a time)\n\
      --json: emit a machine-readable c11check/v1 report, e.g.\n\
          c11check program.c11 --json --workers 4\n\
          c11check --litmus litmus/ --json";
@@ -190,11 +198,19 @@ fn main() -> ExitCode {
 }
 
 fn run_litmus_mode(opts: &Opts) -> ExitCode {
-    use c11_operational::litmus::{load_litmus_dir, load_litmus_file};
+    use c11_operational::litmus::load_litmus_file;
     let path = std::path::Path::new(&opts.path);
-    let tests = if path.is_dir() {
-        match load_litmus_dir(path) {
-            Ok(t) => t,
+    // Directory mode is the batch path: every test becomes one job in a
+    // `BatchRequest`, scheduled concurrently over a session pool (with
+    // result caching across duplicate shapes) and reported back in
+    // file-name order. `--workers` sizes the *pool* here — the jobs
+    // themselves stay on the sequential engine, since pool × per-job
+    // engine workers would oversubscribe the machine for tiny tests.
+    // Single-file mode has no pool, so `--workers` selects the parallel
+    // engine for the one job, as in program mode.
+    let (tests, pool) = if path.is_dir() {
+        match c11_operational::litmus::load_litmus_dir(path) {
+            Ok(t) => (t, if opts.workers > 0 { opts.workers } else { 2 }),
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::from(1);
@@ -202,25 +218,30 @@ fn run_litmus_mode(opts: &Opts) -> ExitCode {
         }
     } else {
         match load_litmus_file(path) {
-            Ok(t) => vec![t],
+            Ok(t) => (vec![t], 1),
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::from(1);
             }
         }
     };
-    let backend = backend_of(opts);
-    let mut failed: usize = 0;
+    let backend = if path.is_dir() {
+        Backend::Sequential
+    } else {
+        backend_of(opts)
+    };
+    let names: Vec<String> = tests.iter().map(|t| t.name.clone()).collect();
+    let batch: BatchRequest = tests
+        .into_iter()
+        .map(|t| CheckRequest::litmus(t).backend(backend))
+        .collect();
+    let session = Session::new(SessionConfig::default().workers(pool));
+    let out = session.run_batch(batch);
+    let failed = out.stats.litmus_failed;
     let mut reports = Vec::new();
-    for t in tests {
-        let name = t.name.clone();
-        match CheckRequest::litmus(t).backend(backend).run() {
-            Ok(CheckReport::Litmus(r)) => {
-                if !r.pass {
-                    failed += 1;
-                }
-                reports.push(r);
-            }
+    for (result, name) in out.reports.into_iter().zip(&names) {
+        match result {
+            Ok(CheckReport::Litmus(r)) => reports.push(r),
             Ok(_) => unreachable!("litmus requests produce litmus reports"),
             Err(e) => {
                 eprintln!("{name}: {e}");

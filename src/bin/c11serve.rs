@@ -1,0 +1,371 @@
+//! `c11serve` — the long-lived checking service: `c11check/v1` request
+//! JSON lines in on stdin, one report JSON line out per request, plus a
+//! final `batch-summary` line. Built on the [`Session`] API: requests
+//! are scheduled concurrently over a worker pool and answered from the
+//! fingerprint-keyed result cache when possible, while responses stream
+//! out in request order.
+//!
+//! ```sh
+//! c11serve [--workers N] [--no-cache] [--auto-parallel T]
+//!
+//! # One request per line. Exactly one of program / litmus_path /
+//! # litmus_source selects the input; everything else is optional:
+//! echo '{"id":"sb","program":"vars x y; thread t1 { x := 1; r0 <- y; } \
+//!        thread t2 { y := 1; r0 <- x; }","mode":"outcomes"}' | c11serve
+//!
+//! # Pipe a litmus corpus through the service:
+//! for f in litmus/*.litmus; do
+//!   printf '{"id":"%s","litmus_path":"%s"}\n' "$(basename "$f")" "$f"
+//! done | c11serve --workers 4
+//! ```
+//!
+//! Request-line schema (`c11check/v1`; unknown keys are rejected):
+//!
+//! | key            | value                                              |
+//! |----------------|----------------------------------------------------|
+//! | `id`           | string echoed into the report line (default: line number) |
+//! | `program`      | DSL source text                                    |
+//! | `litmus_path`  | path to a `.litmus` file                           |
+//! | `litmus_source`| inline `.litmus` file text                         |
+//! | `model`        | `"ra"` (default) / `"sc"` / `"pre-execution"`      |
+//! | `mode`         | `"outcomes"` (default) / `"count"` / `"litmus"` (litmus inputs' default) |
+//! | `backend`      | `{"kind":"sequential"}` / `{"kind":"parallel","workers":N}` |
+//! | `bounds`       | `{"max_events":N,"max_states":N,"max_depth":N}` (each optional) |
+//! | `traces`       | bool — witness schedules per outcome               |
+//! | `dot`          | integer — render up to N final executions as DOT   |
+//!
+//! Each response line is the `c11check/v1` report object with `id` and
+//! `status` (`"ok"` / `"error"`) prepended; malformed lines produce
+//! `{"schema":"c11check/v1","id":…,"status":"error","error":"…"}`.
+//! The process exits 0 iff every line was ok and every litmus verdict
+//! passed.
+
+use c11_operational::api::json::Json;
+use c11_operational::api::{Session, SessionConfig};
+use c11_operational::litmus::{load_litmus_file, parse_litmus};
+use c11_operational::prelude::*;
+use std::io::{BufRead as _, Write as _};
+use std::process::ExitCode;
+use std::sync::mpsc;
+
+const USAGE: &str = "usage: c11serve [--workers N] [--no-cache] [--auto-parallel T]\n\
+     reads c11check/v1 request JSON lines on stdin, writes one report \
+     JSON line per request and a final batch-summary line on stdout\n\
+     --workers N: session pool size (default 2)\n\
+     --no-cache: disable the fingerprint-keyed result cache\n\
+     --auto-parallel T: run sequential-backend requests whose program \
+     has ≥ T threads on the parallel engine (default 4; 0 disables)";
+
+struct Opts {
+    workers: usize,
+    cache: bool,
+    auto_parallel: usize,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        workers: 2,
+        cache: true,
+        auto_parallel: 4,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--no-cache" => opts.cache = false,
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--auto-parallel" => {
+                opts.auto_parallel = args
+                    .next()
+                    .ok_or("--auto-parallel needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --auto-parallel: {e}"))?;
+            }
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Builds a [`CheckRequest`] from a parsed request line. Errors are
+/// strings destined for the line's error report.
+fn build_request(v: &Json) -> Result<CheckRequest, String> {
+    let obj = v.as_obj().ok_or("request line must be a JSON object")?;
+    const KNOWN: [&str; 10] = [
+        "id",
+        "program",
+        "litmus_path",
+        "litmus_source",
+        "model",
+        "mode",
+        "backend",
+        "bounds",
+        "traces",
+        "dot",
+    ];
+    for (key, _) in obj {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(format!("unknown key {key:?}"));
+        }
+    }
+    let program = v.get("program");
+    let litmus_path = v.get("litmus_path");
+    let litmus_source = v.get("litmus_source");
+    let inputs = [program, litmus_path, litmus_source]
+        .iter()
+        .filter(|i| i.is_some())
+        .count();
+    if inputs != 1 {
+        return Err(
+            "exactly one of \"program\", \"litmus_path\", \"litmus_source\" is required"
+                .to_string(),
+        );
+    }
+    let is_litmus = program.is_none();
+    let mut req = if let Some(src) = program {
+        let src = src.as_str().ok_or("\"program\" must be a string")?;
+        CheckRequest::program(src)
+    } else if let Some(path) = litmus_path {
+        let path = path.as_str().ok_or("\"litmus_path\" must be a string")?;
+        let test = load_litmus_file(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+        CheckRequest::litmus(test)
+    } else {
+        let src = litmus_source
+            .unwrap()
+            .as_str()
+            .ok_or("\"litmus_source\" must be a string")?;
+        let test = parse_litmus(src).map_err(|e| e.to_string())?;
+        CheckRequest::litmus(test)
+    };
+    if let Some(model) = v.get("model") {
+        req = req.model(match model.as_str() {
+            Some("ra") => ModelChoice::Ra,
+            Some("sc") => ModelChoice::Sc,
+            Some("pre-execution") => ModelChoice::PreExecution,
+            _ => return Err("\"model\" must be \"ra\", \"sc\" or \"pre-execution\"".to_string()),
+        });
+    }
+    if let Some(mode) = v.get("mode") {
+        req = req.mode(match mode.as_str() {
+            Some("outcomes") => Mode::Outcomes,
+            Some("count") => Mode::CountOnly,
+            Some("litmus") if is_litmus => Mode::LitmusVerdict,
+            Some("litmus") => {
+                return Err("\"litmus\" mode needs a litmus_path/litmus_source input".to_string());
+            }
+            _ => return Err("\"mode\" must be \"outcomes\", \"count\" or \"litmus\"".to_string()),
+        });
+    }
+    if let Some(backend) = v.get("backend") {
+        let fields = backend.as_obj().ok_or("\"backend\" must be an object")?;
+        for (key, _) in fields {
+            if key != "kind" && key != "workers" {
+                return Err(format!("unknown \"backend\" key {key:?}"));
+            }
+        }
+        req = req.backend(match backend.get("kind").and_then(Json::as_str) {
+            Some("sequential") => Backend::Sequential,
+            Some("parallel") => Backend::Parallel {
+                workers: backend
+                    .get("workers")
+                    .and_then(Json::as_usize)
+                    .ok_or("parallel backend needs integer \"workers\"")?,
+            },
+            _ => return Err("\"backend\".\"kind\" must be \"sequential\" or \"parallel\"".into()),
+        });
+    }
+    if let Some(bounds) = v.get("bounds") {
+        // Strictly validated like the top level: a typo'd or mis-typed
+        // bound must error, not silently run with defaults.
+        let fields = bounds.as_obj().ok_or("\"bounds\" must be an object")?;
+        let allowed: &[&str] = if is_litmus {
+            // Litmus requests seed max_events from the test itself; the
+            // other bounds govern both models at once and are not
+            // overridable per request line.
+            &["max_events"]
+        } else {
+            &["max_events", "max_states", "max_depth"]
+        };
+        let mut b = Bounds::default();
+        for (key, value) in fields {
+            if !allowed.contains(&key.as_str()) {
+                return Err(if is_litmus {
+                    format!("litmus \"bounds\" may only set \"max_events\", got {key:?}")
+                } else {
+                    format!("unknown \"bounds\" key {key:?}")
+                });
+            }
+            let n = value
+                .as_usize()
+                .ok_or_else(|| format!("\"bounds\".{key:?} must be an integer"))?;
+            b = match key.as_str() {
+                "max_events" => b.max_events(n),
+                "max_states" => b.max_states(n),
+                _ => b.max_depth(n),
+            };
+        }
+        if !fields.is_empty() {
+            req = req.bounds(b);
+        }
+    }
+    if let Some(traces) = v.get("traces") {
+        req = req.traces(traces.as_bool().ok_or("\"traces\" must be a boolean")?);
+    }
+    if let Some(dot) = v.get("dot") {
+        req = req.dot(dot.as_usize().ok_or("\"dot\" must be an integer")?);
+    }
+    Ok(req)
+}
+
+/// One unit flowing from the reader to the writer: either a submitted
+/// job or a line-level error, with the id to echo.
+enum Item {
+    Job(String, c11_operational::api::JobId),
+    LineError(String, String),
+}
+
+fn error_line(id: &str, msg: &str) -> String {
+    Json::obj(vec![
+        ("schema", Json::str("c11check/v1")),
+        ("id", Json::str(id)),
+        ("status", Json::str("error")),
+        ("error", Json::str(msg)),
+    ])
+    .render()
+}
+
+fn report_line(id: &str, report: &CheckReport) -> String {
+    let Json::Obj(mut pairs) = report.json_value() else {
+        unreachable!("reports are objects");
+    };
+    // `id` and `status` go right after `schema` for scannability.
+    pairs.insert(1, ("id".to_string(), Json::str(id)));
+    pairs.insert(2, ("status".to_string(), Json::str("ok")));
+    Json::Obj(pairs).render()
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let session = std::sync::Arc::new(Session::new(
+        SessionConfig::default()
+            .workers(opts.workers)
+            .cache(opts.cache)
+            .parallel_threshold(opts.auto_parallel),
+    ));
+    let (tx, rx) = mpsc::channel::<Item>();
+
+    let t0 = std::time::Instant::now();
+
+    // Writer thread: redeems jobs in request order and streams one line
+    // per request; accumulates the batch aggregates (the reports
+    // themselves are not kept — this is a stream, not a buffer).
+    let writer = {
+        let session = session.clone();
+        std::thread::spawn(move || {
+            let stdout = std::io::stdout();
+            let mut stats = BatchStats::default();
+            for item in rx {
+                stats.jobs += 1;
+                let line = match item {
+                    Item::LineError(id, msg) => {
+                        stats.errors += 1;
+                        error_line(&id, &msg)
+                    }
+                    Item::Job(id, job) => match session.wait(job) {
+                        Ok(report) => {
+                            stats.ok += 1;
+                            stats.cache_hits += usize::from(report.cache_hit());
+                            stats.explore = stats.explore.merged(&report.stats());
+                            if let CheckReport::Litmus(l) = &report {
+                                if !l.pass {
+                                    stats.litmus_failed += 1;
+                                }
+                            }
+                            report_line(&id, &report)
+                        }
+                        Err(e) => {
+                            stats.errors += 1;
+                            error_line(&id, &e.to_string())
+                        }
+                    },
+                };
+                let mut out = stdout.lock();
+                let _ = writeln!(out, "{line}");
+                let _ = out.flush(); // stream per request — this is a service
+            }
+            stats
+        })
+    };
+
+    // Reader (main thread): parse lines, submit jobs as they arrive.
+    let stdin = std::io::stdin();
+    for (n, line) in stdin.lock().lines().enumerate() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                // A read error (e.g. a non-UTF-8 byte) must not look
+                // like a clean EOF: report it as an error line — which
+                // also fails the exit code — then stop reading, since
+                // the stream position is no longer trustworthy.
+                let _ = tx.send(Item::LineError(
+                    format!("line-{}", n + 1),
+                    format!("stdin read error: {e}"),
+                ));
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let item = match Json::parse(&line) {
+            Err(e) => Item::LineError(format!("line-{}", n + 1), e.to_string()),
+            Ok(v) => {
+                let id = v
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("line-{}", n + 1));
+                match build_request(&v) {
+                    Ok(req) => Item::Job(id, session.submit(req)),
+                    Err(msg) => Item::LineError(id, msg),
+                }
+            }
+        };
+        let _ = tx.send(item);
+    }
+    drop(tx); // EOF: let the writer drain and finish
+    let mut stats = writer.join().expect("writer thread");
+    stats.wall_micros = t0.elapsed().as_micros();
+
+    // Final batch-summary line: the canonical `BatchReport::summary_json`
+    // document, extended with the session-level `explorations` counter.
+    let batch = BatchReport {
+        reports: Vec::new(),
+        stats,
+    };
+    let Json::Obj(mut pairs) = batch.summary_json() else {
+        unreachable!("summaries are objects");
+    };
+    pairs.push((
+        "explorations".to_string(),
+        Json::from(session.stats().explorations),
+    ));
+    println!("{}", Json::Obj(pairs).render());
+    if batch.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -9,8 +9,11 @@
 //! This façade crate re-exports the workspace crates:
 //!
 //! * [`api`] — **the front door**: the [`prelude::CheckRequest`] →
-//!   [`prelude::CheckReport`] session API every consumer (CLI, tests,
-//!   services) goes through.
+//!   [`prelude::CheckReport`] API every consumer (CLI, tests, services)
+//!   goes through, and the [`prelude::Session`] service layer on top —
+//!   a shared worker pool with a fingerprint-keyed result cache, batch
+//!   submission ([`prelude::Session::run_batch`]) and the `c11serve`
+//!   JSONL front-end.
 //! * [`relations`] — finite relations and bitsets (substrate).
 //! * [`lang`] — the command language and its uninterpreted semantics
 //!   (paper §2).
@@ -59,6 +62,13 @@
 //! let prog = parse_program("vars x; thread t { x := 1; }").unwrap();
 //! let result = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
 //! assert_eq!(result.finals.len(), 1);
+//!
+//! // Long-lived consumers hold a `Session`: repeated submissions of the
+//! // same program are answered from the fingerprint-keyed result cache.
+//! let session = Session::new(SessionConfig::default().workers(2));
+//! let mk = || CheckRequest::program("vars x; thread t { x := 1; }");
+//! assert!(!session.run(mk()).unwrap().cache_hit());
+//! assert!(session.run(mk()).unwrap().cache_hit());
 //! ```
 
 pub use c11_api as api;
@@ -73,8 +83,9 @@ pub use c11_verify as verify;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use c11_api::{
-        Backend, Bounds, CheckError, CheckReport, CheckRequest, ConfigView, Invariant, Meta, Mode,
-        ModelChoice, OutcomeRow, ProgramInput,
+        Backend, BatchReport, BatchRequest, BatchStats, Bounds, CheckError, CheckReport,
+        CheckRequest, ConfigView, Invariant, JobId, Meta, Mode, ModelChoice, OutcomeRow,
+        ProgramInput, Session, SessionConfig, SessionStats,
     };
     pub use c11_axiomatic::axioms::{check_validity, is_valid, Axiom, Violation};
     pub use c11_core::event::{Event, EventId};

@@ -1,0 +1,190 @@
+//! `c11serve` end to end: request JSON lines in on stdin, one report
+//! line per request (in request order) plus a `batch-summary` line out,
+//! malformed lines answered with error reports, and the exit code
+//! reflecting errors and litmus failures.
+
+use c11_operational::api::json::Json;
+use std::process::{Command, Stdio};
+
+fn run_c11serve(args: &[&str], stdin: &str) -> (bool, Vec<Json>) {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.args(["run", "--quiet", "--bin", "c11serve", "--"])
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn cargo run c11serve");
+    {
+        use std::io::Write as _;
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(stdin.as_bytes())
+            .unwrap();
+    }
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let lines = stdout
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad JSONL line ({e}): {l}")))
+        .collect();
+    (out.status.success(), lines)
+}
+
+fn s<'a>(v: &'a Json, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(Json::as_str)
+}
+
+const SB: &str = "vars x y; thread t1 { x := 1; r0 <- y; } thread t2 { y := 1; r0 <- x; }";
+
+#[test]
+fn clean_stream_round_trips_in_order_with_cache_hits() {
+    let input = format!(
+        concat!(
+            "{{\"id\":\"sb\",\"program\":\"{sb}\",\"traces\":true}}\n",
+            "\n", // blank lines are skipped, not errors
+            "{{\"id\":\"sb-again\",\"program\":\"{sb}\",\"traces\":true}}\n",
+            "{{\"id\":\"mp\",\"litmus_path\":\"litmus/mp_ra.litmus\"}}\n",
+            "{{\"id\":\"count\",\"program\":\"vars x; thread t {{ x := 1; }}\",",
+            "\"mode\":\"count\",\"backend\":{{\"kind\":\"parallel\",\"workers\":2}}}}\n",
+        ),
+        sb = SB
+    );
+    let (ok, lines) = run_c11serve(&["--workers", "3"], &input);
+    assert!(ok, "clean stream must exit 0: {lines:?}");
+    assert_eq!(lines.len(), 5, "4 reports + summary: {lines:?}");
+
+    // Responses come back in request order with ids echoed.
+    assert_eq!(s(&lines[0], "id"), Some("sb"));
+    assert_eq!(s(&lines[0], "status"), Some("ok"));
+    assert_eq!(s(&lines[0], "schema"), Some("c11check/v1"));
+    assert_eq!(s(&lines[0], "mode"), Some("outcomes"));
+    assert_eq!(
+        lines[0].get("cache_hit").and_then(Json::as_bool),
+        Some(false)
+    );
+
+    // The duplicate is a cache hit with the identical payload.
+    assert_eq!(s(&lines[1], "id"), Some("sb-again"));
+    assert_eq!(
+        lines[1].get("cache_hit").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(lines[1].get("outcomes"), lines[0].get("outcomes"));
+
+    assert_eq!(s(&lines[2], "id"), Some("mp"));
+    assert_eq!(s(&lines[2], "mode"), Some("litmus"));
+    assert_eq!(lines[2].get("pass").and_then(Json::as_bool), Some(true));
+
+    assert_eq!(s(&lines[3], "id"), Some("count"));
+    assert_eq!(s(&lines[3], "mode"), Some("count"));
+    assert_eq!(
+        lines[3]
+            .get("backend")
+            .and_then(|b| b.get("workers"))
+            .and_then(Json::as_usize),
+        Some(2)
+    );
+
+    // Summary: counters add up and one exploration was saved.
+    let summary = &lines[4];
+    assert_eq!(s(summary, "mode"), Some("batch-summary"));
+    assert_eq!(summary.get("jobs").and_then(Json::as_usize), Some(4));
+    assert_eq!(summary.get("ok").and_then(Json::as_usize), Some(4));
+    assert_eq!(summary.get("errors").and_then(Json::as_usize), Some(0));
+    assert_eq!(summary.get("cache_hits").and_then(Json::as_usize), Some(1));
+    assert_eq!(
+        summary.get("explorations").and_then(Json::as_usize),
+        Some(3)
+    );
+}
+
+#[test]
+fn malformed_lines_get_error_reports_and_fail_the_exit_code() {
+    let input = concat!(
+        "this is not json\n",
+        "{\"id\":\"no-input\",\"model\":\"ra\"}\n",
+        "{\"id\":\"bad-model\",\"program\":\"vars x; thread t { x := 1; }\",\"model\":\"tso\"}\n",
+        "{\"id\":\"bad-prog\",\"program\":\"vars x; thread t { y := 1; }\"}\n",
+        "{\"id\":\"unknown-key\",\"program\":\"vars x; thread t { x := 1; }\",\"frobnicate\":1}\n",
+        "{\"id\":\"fine\",\"program\":\"vars x; thread t { x := 1; }\"}\n",
+    );
+    let (ok, lines) = run_c11serve(&[], input);
+    assert!(!ok, "a stream with errors must exit non-zero");
+    assert_eq!(lines.len(), 7, "6 lines + summary: {lines:?}");
+
+    // Malformed JSON: no parsable id, so the line number stands in.
+    assert_eq!(s(&lines[0], "id"), Some("line-1"));
+    assert_eq!(s(&lines[0], "status"), Some("error"));
+    assert!(s(&lines[0], "error").unwrap().contains("json error"));
+
+    for (idx, needle) in [
+        (1, "exactly one of"),
+        (2, "\"model\" must be"),
+        (3, "parse error"),
+        (4, "unknown key"),
+    ] {
+        assert_eq!(s(&lines[idx], "status"), Some("error"), "{lines:?}");
+        assert!(
+            s(&lines[idx], "error").unwrap().contains(needle),
+            "line {idx}: {:?}",
+            lines[idx]
+        );
+    }
+
+    // The good line still got its report — errors are per-line.
+    assert_eq!(s(&lines[5], "id"), Some("fine"));
+    assert_eq!(s(&lines[5], "status"), Some("ok"));
+
+    let summary = &lines[6];
+    assert_eq!(summary.get("jobs").and_then(Json::as_usize), Some(6));
+    assert_eq!(summary.get("ok").and_then(Json::as_usize), Some(1));
+    assert_eq!(summary.get("errors").and_then(Json::as_usize), Some(5));
+}
+
+#[test]
+fn litmus_corpus_streams_through_the_service() {
+    // The CI smoke job in shell form: one litmus_path request per corpus
+    // file, every line must come back ok with a passing verdict.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "litmus"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 12, "12-file corpus expected");
+    let input: String = files
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"id\":\"{}\",\"litmus_path\":\"{}\"}}\n",
+                p.file_stem().unwrap().to_str().unwrap(),
+                p.display()
+            )
+        })
+        .collect();
+    let (ok, lines) = run_c11serve(&["--workers", "4"], &input);
+    assert!(ok, "corpus must stream clean: {lines:?}");
+    let (summary, reports) = lines.split_last().unwrap();
+    assert_eq!(reports.len(), files.len());
+    for (line, file) in reports.iter().zip(&files) {
+        assert_eq!(s(line, "status"), Some("ok"), "{}", file.display());
+        assert_eq!(
+            line.get("pass").and_then(Json::as_bool),
+            Some(true),
+            "{}",
+            file.display()
+        );
+    }
+    assert_eq!(
+        summary.get("litmus_failed").and_then(Json::as_usize),
+        Some(0)
+    );
+    assert_eq!(
+        summary.get("ok").and_then(Json::as_usize),
+        Some(files.len())
+    );
+}

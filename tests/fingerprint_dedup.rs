@@ -22,7 +22,11 @@ fn full_key_explore(prog: &Prog, max_events: usize) -> (usize, usize) {
     type Key = (Vec<Com>, Vec<RegFile>, CanonicalState);
     let model = RaModel;
     let key = |c: &Config<RaModel>| -> Key {
-        (c.coms.clone(), c.regs.clone(), model.canonical_key(&c.mem))
+        (
+            c.coms.iter().map(|c| (**c).clone()).collect(),
+            c.regs.clone(),
+            model.canonical_key(&c.mem),
+        )
     };
     let initial = Config::initial(&model, prog);
     let mut visited: HashSet<Key> = HashSet::new();

@@ -263,6 +263,11 @@ fn outcomes_json_schema_is_stable() {
     let backend = v.get("backend").expect("backend object");
     assert_eq!(backend.get("kind").and_then(V::str), Some("parallel"));
     assert_eq!(backend.get("workers").and_then(V::num), Some(4));
+    assert_eq!(
+        v.get("cache_hit"),
+        Some(&V::Bool(false)),
+        "one-shot runs never hit the session cache"
+    );
     check_stats(v.get("stats").expect("stats"), "outcomes");
     assert_eq!(v.get("invalid_finals").and_then(V::num), Some(0));
     let outcomes = v.get("outcomes").and_then(V::arr).expect("outcomes array");
@@ -287,6 +292,7 @@ fn litmus_json_schema_is_stable() {
     let report = CheckRequest::litmus(test).run().unwrap();
     let v = parse_json(&report.to_json());
     assert_eq!(v.get("mode").and_then(V::str), Some("litmus"));
+    assert_eq!(v.get("cache_hit"), Some(&V::Bool(false)));
     assert_eq!(v.get("name").and_then(V::str), Some("MP-ra"));
     assert_eq!(v.get("expect_ra").and_then(V::str), Some("forbidden"));
     assert_eq!(v.get("observed_ra"), Some(&V::Bool(false)));
@@ -355,17 +361,17 @@ fn c11check_litmus_json_covers_the_directory() {
     assert_eq!(v.get("schema").and_then(V::str), Some("c11check-litmus/v1"));
     assert_eq!(v.get("failed").and_then(V::num), Some(0));
     let tests = v.get("tests").and_then(V::arr).expect("tests array");
-    assert!(tests.len() >= 9, "shipped corpus files + the new shapes");
+    assert!(tests.len() >= 12, "shipped corpus files + the new shapes");
     for t in tests {
         assert_eq!(t.get("pass"), Some(&V::Bool(true)));
         check_stats(t.get("ra").expect("ra stats"), "litmus dir");
     }
-    // The three shapes added for this PR are present.
+    // The shapes added by PR 3 and PR 4 are present.
     let names: Vec<&str> = tests
         .iter()
         .filter_map(|t| t.get("name").and_then(V::str))
         .collect();
-    for expected in ["IRIW-acq", "WRC-ra", "2+2W-rlx"] {
+    for expected in ["IRIW-acq", "WRC-ra", "2+2W-rlx", "R", "S", "ISA2"] {
         assert!(names.contains(&expected), "missing {expected}: {names:?}");
     }
 }

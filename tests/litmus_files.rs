@@ -8,7 +8,13 @@ use std::path::Path;
 fn litmus_files_load_and_pass() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus");
     let tests = load_litmus_dir(&dir).expect("litmus dir loads");
-    assert!(tests.len() >= 4, "expected the shipped corpus files");
+    assert!(tests.len() >= 12, "expected the 12-file corpus");
+    for expected in ["R", "S", "ISA2"] {
+        assert!(
+            tests.iter().any(|t| t.name == expected),
+            "missing the {expected} shape"
+        );
+    }
     for test in &tests {
         let r = run_test(test);
         assert!(
