@@ -120,7 +120,13 @@ impl Bounds {
     }
 }
 
-/// Which exploration engine runs the request.
+/// Which exploration engine runs the request. Every backend produces an
+/// identical report for the same request (pinned corpus-wide by the test
+/// suite) — they differ only in how much work it takes. Sole exception:
+/// a search cut by the `max_states` safety cap keeps an engine-dependent
+/// prefix of the state space (exploration order differs across engines),
+/// so cap-truncated reports agree on `truncated` but not necessarily on
+/// the surviving outcomes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// The sequential BFS reference engine (deterministic).
@@ -131,6 +137,10 @@ pub enum Backend {
         /// Worker threads (clamped to ≥ 1).
         workers: usize,
     },
+    /// The sleep-set dynamic-partial-order-reduction engine: same states
+    /// and verdicts as [`Backend::Sequential`], strictly fewer generated
+    /// transitions on programs with independent steps.
+    Dpor,
 }
 
 impl Backend {
@@ -141,6 +151,7 @@ impl Backend {
                 ("kind", Json::str("parallel")),
                 ("workers", Json::from(workers.max(&1).to_owned())),
             ]),
+            Backend::Dpor => Json::obj(vec![("kind", Json::str("dpor"))]),
         }
     }
 
@@ -149,6 +160,7 @@ impl Backend {
         match self {
             Backend::Sequential => AnyBackend::Sequential,
             Backend::Parallel { workers } => AnyBackend::Parallel { workers: *workers },
+            Backend::Dpor => AnyBackend::Dpor,
         }
     }
 }
@@ -1103,17 +1115,43 @@ mod tests {
     #[test]
     fn json_is_stable_across_backends() {
         let mut reports = Vec::new();
-        for backend in [Backend::Sequential, Backend::Parallel { workers: 4 }] {
+        for backend in [
+            Backend::Sequential,
+            Backend::Parallel { workers: 4 },
+            Backend::Dpor,
+        ] {
             let r = CheckRequest::program(SB).backend(backend).run().unwrap();
             let CheckReport::Outcomes(mut o) = r else {
                 panic!()
             };
-            // Stats carry wall time and backend identity — normalise.
-            o.stats.wall_micros = 0;
+            // Stats carry wall time, work counters (DPOR generates
+            // fewer) and backend identity — normalise.
+            o.stats = Stats::default();
             o.meta.backend = Backend::Sequential;
             reports.push(CheckReport::Outcomes(o).to_json());
         }
         assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
         assert!(reports[0].contains("\"schema\":\"c11check/v1\""));
+    }
+
+    #[test]
+    fn dpor_backend_reports_identical_outcomes_with_less_work() {
+        let seq = CheckRequest::program(SB).run().unwrap();
+        let dpor = CheckRequest::program(SB)
+            .backend(Backend::Dpor)
+            .run()
+            .unwrap();
+        let (CheckReport::Outcomes(a), CheckReport::Outcomes(b)) = (&seq, &dpor) else {
+            panic!("expected outcome reports");
+        };
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.stats.unique, b.stats.unique, "DPOR keeps every state");
+        assert!(
+            b.stats.generated < a.stats.generated,
+            "SB's independent first writes must let siblings sleep"
+        );
+        assert_eq!(b.meta.backend, Backend::Dpor);
+        assert!(dpor.to_json().contains("\"backend\":{\"kind\":\"dpor\"}"));
     }
 }

@@ -15,7 +15,7 @@
 
 use c11_bench::{chain_state, contended_workload, wide_workload};
 use c11_core::model::RaModel;
-use c11_explore::{parallel_count_states, ExploreConfig, Explorer};
+use c11_explore::{explore_dpor, parallel_count_states, ExploreConfig, Explorer};
 use c11_litmus::{corpus, run_test};
 use std::time::Instant;
 
@@ -99,6 +99,57 @@ fn bench_scaling(reps: usize, quick: bool, rows: &mut Vec<Row>) {
             group: "contended",
             name: format!("E16-contended-{k}"),
             size: states,
+            nanos,
+        });
+    }
+}
+
+/// The DPOR reduction group: the E13 wide and E16 contended shapes under
+/// the sleep-set engine, with the reduction ratio (dpor generated ÷
+/// sequential generated) printed per shape. Asserts the backend's
+/// contract while measuring: identical unique/finals, strictly fewer
+/// generated transitions.
+fn bench_dpor(reps: usize, quick: bool, rows: &mut Vec<Row>) {
+    let wide: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4] };
+    let contended: &[usize] = if quick { &[3] } else { &[3, 4] };
+    let shapes = wide
+        .iter()
+        .map(|&k| (format!("E13-wide-{k}"), wide_workload(k), 2 * k + 4))
+        .chain(
+            contended
+                .iter()
+                .map(|&k| (format!("E16-contended-{k}"), contended_workload(k), 24)),
+        );
+    for (name, prog, max_events) in shapes {
+        let cfg = ExploreConfig::default().max_events(max_events);
+        let seq = Explorer::new(RaModel).explore(&prog, cfg.clone());
+        let mut generated = 0usize;
+        let nanos = best_of(reps, || {
+            let res = explore_dpor(&RaModel, &prog, &cfg);
+            assert_eq!(res.unique, seq.unique, "{name}: DPOR must keep every state");
+            assert!(
+                res.generated < seq.generated,
+                "{name}: DPOR must generate strictly fewer states ({} vs {})",
+                res.generated,
+                seq.generated
+            );
+            let mut a = seq.final_snapshots();
+            let mut b = res.final_snapshots();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{name}: finals multiset");
+            generated = res.generated;
+            res
+        });
+        println!(
+            "dpor reduction {name}: generated {generated} vs sequential {} (ratio {:.2})",
+            seq.generated,
+            generated as f64 / seq.generated as f64
+        );
+        rows.push(Row {
+            group: "dpor",
+            name,
+            size: generated,
             nanos,
         });
     }
@@ -210,6 +261,7 @@ fn main() {
     let mut rows = Vec::new();
     bench_corpus(reps, &mut rows);
     bench_scaling(reps, quick, &mut rows);
+    bench_dpor(reps, quick, &mut rows);
     bench_parallel(reps, quick, &mut rows);
     bench_closure_micro(reps, &mut rows);
 

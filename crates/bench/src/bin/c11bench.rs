@@ -1,0 +1,397 @@
+//! `c11bench` — offline comparators for the CI quality gates.
+//!
+//! ```sh
+//! # Fail if any shared benchmark row of the fresh run regressed more
+//! # than 25% against the committed baseline (rows faster than
+//! # --min-nanos in the baseline are skipped as noise):
+//! c11bench compare BENCH_baseline.json BENCH_fresh.json --tolerance 0.25
+//!
+//! # Fail if two `c11check --litmus --json` documents disagree on any
+//! # per-test verdict (pass / observed_ra / observed_sc / expectations):
+//! c11bench verdicts seq.json dpor.json
+//! ```
+//!
+//! Both subcommands are plain-file, offline tools: `compare` reads the
+//! `explore_e2e` JSON trajectory files (whose rows carry floats, so they
+//! are scanned with a tolerant row reader instead of the strict
+//! `c11check/v1` parser), `verdicts` reads `c11check-litmus/v1` reports
+//! through `c11_api::json::Json::parse` and diffs the verdict projection
+//! — stats (`wall_micros`, state counts) are deliberately ignored, since
+//! backends differ exactly there.
+
+use c11_api::json::Json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:\n\
+     c11bench compare <baseline.json> <fresh.json> [--tolerance F] [--min-nanos N] [--absolute]\n\
+     c11bench verdicts <a.json> <b.json>\n\
+     compare: fail (exit 1) if a benchmark row shared by both files is \
+     slower in <fresh> by more than the tolerance (default 0.25 = +25%) \
+     after normalising by the median ratio across shared rows (so a \
+     uniformly slower machine cancels out; --absolute compares raw wall \
+     times); baseline rows below --min-nanos (default 100000 = 100µs) \
+     are skipped as timer noise\n\
+     verdicts: fail (exit 1) if two c11check-litmus/v1 documents \
+     disagree on any test's verdict fields (stats are ignored)";
+
+/// One benchmark row identity and its wall time.
+type BenchRows = BTreeMap<(String, String), u128>;
+
+/// Scans an `explore_e2e` JSON trajectory for its rows. The file carries
+/// floats (`per_sec`), which the strict report parser rejects, so this
+/// reads the three fields it needs (`group`, `name`, `nanos`) with a
+/// small string scanner keyed to the emitter's `"key": value` layout.
+fn parse_bench_rows(src: &str) -> Result<BenchRows, String> {
+    fn field<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\":");
+        let start = row.find(&pat)? + pat.len();
+        let rest = row[start..].trim_start();
+        if let Some(stripped) = rest.strip_prefix('"') {
+            stripped.split('"').next()
+        } else {
+            rest.split([',', '}']).next().map(str::trim)
+        }
+    }
+    let mut rows = BenchRows::new();
+    for row in src.split('{').skip(2) {
+        // Every row object carries all three fields; anything else
+        // (the document header) simply doesn't match.
+        let (Some(group), Some(name), Some(nanos)) =
+            (field(row, "group"), field(row, "name"), field(row, "nanos"))
+        else {
+            continue;
+        };
+        let nanos: u128 = nanos
+            .parse()
+            .map_err(|e| format!("bad nanos for {group}/{name}: {e}"))?;
+        if rows
+            .insert((group.to_string(), name.to_string()), nanos)
+            .is_some()
+        {
+            return Err(format!("duplicate row {group}/{name}"));
+        }
+    }
+    if rows.is_empty() {
+        return Err("no benchmark rows found".to_string());
+    }
+    Ok(rows)
+}
+
+/// Runs the bench comparison; `Ok(true)` means no regressions.
+fn run_compare(args: &[String]) -> Result<bool, String> {
+    let (mut tolerance, mut min_nanos): (f64, u128) = (0.25, 100_000);
+    let mut absolute = false;
+    let (mut baseline, mut fresh) = (None, None);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or("--tolerance needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+            }
+            "--min-nanos" => {
+                min_nanos = it
+                    .next()
+                    .ok_or("--min-nanos needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-nanos: {e}"))?;
+            }
+            "--absolute" => absolute = true,
+            p if baseline.is_none() => baseline = Some(p.to_string()),
+            p if fresh.is_none() => fresh = Some(p.to_string()),
+            other => return Err(format!("unknown compare argument {other:?}")),
+        }
+    }
+    let (baseline, fresh) = (
+        baseline.ok_or("compare needs a baseline file")?,
+        fresh.ok_or("compare needs a fresh file")?,
+    );
+    let read = |p: &str| {
+        std::fs::read_to_string(p)
+            .map_err(|e| format!("cannot read {p}: {e}"))
+            .and_then(|s| parse_bench_rows(&s).map_err(|e| format!("{p}: {e}")))
+    };
+    let (base_rows, fresh_rows) = (read(&baseline)?, read(&fresh)?);
+    // Shared rows above the noise floor, with their raw new/base ratios.
+    let mut rows: Vec<(&String, &String, u128, u128, f64)> = Vec::new();
+    let mut shared = 0usize;
+    for ((group, name), &base) in &base_rows {
+        let Some(&new) = fresh_rows.get(&(group.clone(), name.clone())) else {
+            continue;
+        };
+        shared += 1;
+        if base < min_nanos {
+            continue;
+        }
+        rows.push((group, name, base, new, new as f64 / base as f64));
+    }
+    if shared == 0 {
+        return Err("the two files share no benchmark rows".to_string());
+    }
+    // The fresh run usually comes from a different machine (or a quick
+    // CI pass) than the committed baseline, so by default ratios are
+    // normalised by their median: a uniformly slower runner cancels out
+    // and only *relative* per-row regressions trip the gate.
+    // `--absolute` compares raw wall times instead (same-machine runs).
+    let scale = if absolute || rows.is_empty() {
+        1.0
+    } else {
+        let mut ratios: Vec<f64> = rows.iter().map(|r| r.4).collect();
+        ratios.sort_by(f64::total_cmp);
+        // Lower median: with few rows a real regression must not drag
+        // the normaliser up with it.
+        ratios[(ratios.len() - 1) / 2].max(f64::MIN_POSITIVE)
+    };
+    if scale != 1.0 {
+        println!("normalising by the median ratio {scale:.2}x (pass --absolute to disable)");
+    }
+    let mut regressions = Vec::new();
+    for (group, name, base, new, ratio) in rows {
+        let relative = ratio / scale;
+        let verdict = if relative > 1.0 + tolerance {
+            regressions.push(format!(
+                "  REGRESSION {group}/{name}: {base} ns -> {new} ns ({:+.1}% after normalisation)",
+                (relative - 1.0) * 100.0
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("{group}/{name}: {base} -> {new} ns ({relative:.2}x) {verdict}");
+    }
+    if regressions.is_empty() {
+        println!(
+            "bench compare: {shared} shared rows within +{:.0}%",
+            tolerance * 100.0
+        );
+        Ok(true)
+    } else {
+        eprintln!(
+            "bench compare: {} of {shared} shared rows regressed beyond +{:.0}%:\n{}",
+            regressions.len(),
+            tolerance * 100.0,
+            regressions.join("\n")
+        );
+        Ok(false)
+    }
+}
+
+/// The verdict projection of one litmus report: everything that must
+/// agree across backends (stats are excluded by construction).
+type Verdicts = BTreeMap<String, Vec<(String, String)>>;
+
+fn verdict_projection(path: &str) -> Result<Verdicts, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(src.trim()).map_err(|e| format!("{path}: {e}"))?;
+    if doc.get("schema").and_then(Json::as_str) != Some("c11check-litmus/v1") {
+        return Err(format!("{path}: not a c11check-litmus/v1 document"));
+    }
+    let Some(Json::Arr(tests)) = doc.get("tests") else {
+        return Err(format!("{path}: missing \"tests\" array"));
+    };
+    let mut out = Verdicts::new();
+    for t in tests {
+        let name = t
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: test without a name"))?;
+        let mut fields = Vec::new();
+        for key in [
+            "expect_ra",
+            "expect_sc",
+            "observed_ra",
+            "observed_sc",
+            "pass",
+        ] {
+            let value = match t.get(key) {
+                Some(Json::Bool(b)) => b.to_string(),
+                Some(v) => v.as_str().unwrap_or("?").to_string(),
+                None => return Err(format!("{path}: {name} misses {key:?}")),
+            };
+            fields.push((key.to_string(), value));
+        }
+        if out.insert(name.to_string(), fields).is_some() {
+            return Err(format!("{path}: duplicate test {name:?}"));
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no tests"));
+    }
+    Ok(out)
+}
+
+/// Diffs two verdict documents; `Ok(true)` means they agree.
+fn run_verdicts(args: &[String]) -> Result<bool, String> {
+    let [a, b] = args else {
+        return Err("verdicts needs exactly two files".to_string());
+    };
+    let (va, vb) = (verdict_projection(a)?, verdict_projection(b)?);
+    let mut diverged = Vec::new();
+    if va.keys().ne(vb.keys()) {
+        diverged.push(format!(
+            "  test sets differ: {:?} vs {:?}",
+            va.keys().collect::<Vec<_>>(),
+            vb.keys().collect::<Vec<_>>()
+        ));
+    } else {
+        for (name, fa) in &va {
+            for ((key, x), (_, y)) in fa.iter().zip(&vb[name]) {
+                if x != y {
+                    diverged.push(format!("  {name}.{key}: {x:?} vs {y:?}"));
+                }
+            }
+        }
+    }
+    if diverged.is_empty() {
+        println!("verdicts agree on {} tests ({a} vs {b})", va.len());
+        Ok(true)
+    } else {
+        eprintln!(
+            "verdict divergence between {a} and {b}:\n{}",
+            diverged.join("\n")
+        );
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compare") => run_compare(&args[1..]),
+        Some("verdicts") => run_verdicts(&args[1..]),
+        Some("-h") | Some("--help") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BENCH: &str = r#"{
+  "bench": "explore_e2e",
+  "rows": [
+    {"group": "wide", "name": "E13-wide-2", "size": 100, "nanos": 1000000, "per_sec": 100.0},
+    {"group": "dpor", "name": "E13-wide-2", "size": 90, "nanos": 900000, "per_sec": 100.0},
+    {"group": "closure", "name": "tiny", "size": 1, "nanos": 50, "per_sec": 2.5}
+  ]
+}
+"#;
+
+    #[test]
+    fn bench_rows_parse_despite_floats() {
+        let rows = parse_bench_rows(BENCH).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[&("wide".into(), "E13-wide-2".into())], 1_000_000);
+        assert_eq!(rows[&("closure".into(), "tiny".into())], 50);
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let dir = std::env::temp_dir().join("c11bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fresh = dir.join("fresh.json");
+        std::fs::write(&base, BENCH).unwrap();
+        // +10% on the big row, 3x on the sub-min-nanos row: both fine.
+        std::fs::write(
+            &fresh,
+            BENCH
+                .replace("\"nanos\": 1000000", "\"nanos\": 1100000")
+                .replace("\"nanos\": 50", "\"nanos\": 150"),
+        )
+        .unwrap();
+        let args = |a: &std::path::Path, b: &std::path::Path| {
+            vec![
+                a.to_str().unwrap().to_string(),
+                b.to_str().unwrap().to_string(),
+            ]
+        };
+        assert!(run_compare(&args(&base, &fresh)).unwrap());
+        // +30% on the big row: regression at the default 25% tolerance…
+        std::fs::write(
+            &fresh,
+            BENCH.replace("\"nanos\": 1000000", "\"nanos\": 1300000"),
+        )
+        .unwrap();
+        assert!(!run_compare(&args(&base, &fresh)).unwrap());
+        // …but fine at 50%.
+        let mut relaxed = args(&base, &fresh);
+        relaxed.extend(["--tolerance".to_string(), "0.5".to_string()]);
+        assert!(run_compare(&relaxed).unwrap());
+    }
+
+    #[test]
+    fn compare_normalises_away_a_uniformly_slower_machine() {
+        let dir = std::env::temp_dir().join("c11bench-test-scale");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fresh = dir.join("fresh.json");
+        std::fs::write(&base, BENCH).unwrap();
+        // Everything 2x slower (a weaker CI runner): fine by default…
+        std::fs::write(
+            &fresh,
+            BENCH
+                .replace("\"nanos\": 1000000", "\"nanos\": 2000000")
+                .replace("\"nanos\": 900000", "\"nanos\": 1800000"),
+        )
+        .unwrap();
+        let args: Vec<String> = vec![
+            base.to_str().unwrap().to_string(),
+            fresh.to_str().unwrap().to_string(),
+        ];
+        assert!(run_compare(&args).unwrap());
+        // …but a raw-wall-time comparison flags it.
+        let mut strict = args.clone();
+        strict.push("--absolute".to_string());
+        assert!(!run_compare(&strict).unwrap());
+        // A lopsided slowdown (one row 2x, the other untouched) is a
+        // per-row regression even after normalisation.
+        std::fs::write(
+            &fresh,
+            BENCH.replace("\"nanos\": 1000000", "\"nanos\": 2000000"),
+        )
+        .unwrap();
+        assert!(!run_compare(&args).unwrap());
+    }
+
+    const LITMUS_A: &str = r#"{"schema":"c11check-litmus/v1","tests":[{"schema":"c11check/v1","mode":"litmus","name":"SB","expect_ra":"allowed","expect_sc":"forbidden","observed_ra":true,"observed_sc":false,"pass":true,"ra":{"unique":10,"wall_micros":5},"sc":{"unique":4,"wall_micros":1}}],"failed":0}"#;
+
+    #[test]
+    fn verdicts_ignore_stats_but_catch_flips() {
+        let dir = std::env::temp_dir().join("c11bench-test-verdicts");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(&a, LITMUS_A).unwrap();
+        // Different stats, same verdicts: agreement.
+        std::fs::write(&b, LITMUS_A.replace("\"unique\":10", "\"unique\":7")).unwrap();
+        let args = vec![
+            a.to_str().unwrap().to_string(),
+            b.to_str().unwrap().to_string(),
+        ];
+        assert!(run_verdicts(&args).unwrap());
+        // A flipped observation is a divergence.
+        std::fs::write(
+            &b,
+            LITMUS_A.replace("\"observed_ra\":true", "\"observed_ra\":false"),
+        )
+        .unwrap();
+        assert!(!run_verdicts(&args).unwrap());
+    }
+}

@@ -98,70 +98,90 @@ impl<M: MemoryModel> Config<M> {
         (1..=self.coms.len() as u8).map(ThreadId)
     }
 
+    /// The shape of thread `t`'s enabled step (`None` when terminated).
+    /// The partial-order-reduction engine classifies races on these
+    /// shapes before deciding which threads to expand.
+    pub fn step_shape_of(&self, t: ThreadId) -> Option<StepShape> {
+        let idx = t.0 as usize - 1;
+        step_shape(&self.coms[idx], &self.regs[idx])
+    }
+
     /// All successor configurations under the interpreted semantics: every
     /// thread's enabled step, with memory transitions expanded by the
     /// model.
     pub fn successors(&self, model: &M) -> Vec<ConfigStep<M>> {
         let mut out = Vec::new();
         for t in self.thread_ids() {
-            let idx = t.0 as usize - 1;
-            let com = &self.coms[idx];
-            let regs = &self.regs[idx];
-            match step_shape(com, regs) {
-                None => {}
-                Some(StepShape::Tau) => {
-                    let res = apply_step(com, &StepLabel::Tau, regs)
-                        .expect("τ shape must apply with τ label");
-                    let mut next = self.clone();
-                    next.coms[idx] = Arc::new(res.com);
+            self.successors_of_into(model, t, &mut out);
+        }
+        out
+    }
+
+    /// The successor configurations contributed by thread `t` alone (the
+    /// per-thread slice of [`Config::successors`], in the same order).
+    pub fn successors_of(&self, model: &M, t: ThreadId) -> Vec<ConfigStep<M>> {
+        let mut out = Vec::new();
+        self.successors_of_into(model, t, &mut out);
+        out
+    }
+
+    fn successors_of_into(&self, model: &M, t: ThreadId, out: &mut Vec<ConfigStep<M>>) {
+        let idx = t.0 as usize - 1;
+        let com = &self.coms[idx];
+        let regs = &self.regs[idx];
+        match step_shape(com, regs) {
+            None => {}
+            Some(StepShape::Tau) => {
+                let res = apply_step(com, &StepLabel::Tau, regs)
+                    .expect("τ shape must apply with τ label");
+                let mut next = self.clone();
+                next.coms[idx] = Arc::new(res.com);
+                if let Some((r, v)) = res.reg_write {
+                    next.regs[idx].set(r, v);
+                }
+                out.push(ConfigStep {
+                    tid: t,
+                    label: StepLabel::Tau,
+                    observed: None,
+                    event: None,
+                    next,
+                });
+            }
+            Some(StepShape::Act(shape)) => {
+                for Transition {
+                    action,
+                    observed,
+                    event,
+                    state,
+                } in model.transitions(&self.mem, t, &shape)
+                {
+                    let label = StepLabel::Act(action);
+                    let res = apply_step(com, &label, regs)
+                        .expect("model transition must match the enabled shape");
+                    // Assemble the successor directly: the transition
+                    // already produced the new memory state, so cloning
+                    // `self.mem` only to overwrite it would waste the
+                    // most expensive copy of the hot loop.
+                    let mut coms = self.coms.clone();
+                    coms[idx] = Arc::new(res.com);
+                    let mut regs = self.regs.clone();
                     if let Some((r, v)) = res.reg_write {
-                        next.regs[idx].set(r, v);
+                        regs[idx].set(r, v);
                     }
                     out.push(ConfigStep {
                         tid: t,
-                        label: StepLabel::Tau,
-                        observed: None,
-                        event: None,
-                        next,
-                    });
-                }
-                Some(StepShape::Act(shape)) => {
-                    for Transition {
-                        action,
+                        label,
                         observed,
                         event,
-                        state,
-                    } in model.transitions(&self.mem, t, &shape)
-                    {
-                        let label = StepLabel::Act(action);
-                        let res = apply_step(com, &label, regs)
-                            .expect("model transition must match the enabled shape");
-                        // Assemble the successor directly: the transition
-                        // already produced the new memory state, so cloning
-                        // `self.mem` only to overwrite it would waste the
-                        // most expensive copy of the hot loop.
-                        let mut coms = self.coms.clone();
-                        coms[idx] = Arc::new(res.com);
-                        let mut regs = self.regs.clone();
-                        if let Some((r, v)) = res.reg_write {
-                            regs[idx].set(r, v);
-                        }
-                        out.push(ConfigStep {
-                            tid: t,
-                            label,
-                            observed,
-                            event,
-                            next: Config {
-                                coms,
-                                regs,
-                                mem: state,
-                            },
-                        });
-                    }
+                        next: Config {
+                            coms,
+                            regs,
+                            mem: state,
+                        },
+                    });
                 }
             }
         }
-        out
     }
 }
 

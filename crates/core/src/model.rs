@@ -62,6 +62,47 @@ pub trait MemoryModel {
     /// A size measure used to bound exploration of growing states (event
     /// count for event-based models; 0 for store-based models).
     fn state_size(&self, state: &Self::State) -> usize;
+
+    /// Independence oracle for partial-order reduction: may the two
+    /// enabled action steps (by *different* threads) be executed in
+    /// either order from `state`, reaching the same canonical state with
+    /// neither step changing the set of concrete transitions enabled for
+    /// the other? `true` lets the DPOR engine prune one of the two
+    /// orders; a wrong `true` loses states, so the default is the
+    /// maximally conservative `false` (the DPOR backend then degenerates
+    /// to the plain BFS, which is always sound). Implementations must be
+    /// symmetric in `a`/`b`.
+    fn actions_independent(
+        &self,
+        _state: &Self::State,
+        _a: (ThreadId, &ActionShape),
+        _b: (ThreadId, &ActionShape),
+    ) -> bool {
+        false
+    }
+}
+
+/// Shape-level race check shared by the models that can claim
+/// independence: two action shapes race iff they touch the same variable
+/// and at least one of them writes it (updates count as writes). For the
+/// shipped models, non-racing cross-thread steps commute exactly:
+///
+/// * disjoint variables — a step on `x` only adds edges incident to its
+///   own fresh event, so neither the `mo` insertion points nor the
+///   observable-write set (`eco? ; hb?` reaches ending in the *other*
+///   thread's events) of a `y`-step change, and appending in either
+///   order yields the same canonical state;
+/// * two plain reads of the same variable — a read adds an `rf` edge
+///   into its own fresh (hb-maximal) event, which no observability query
+///   of another thread can pass through.
+pub fn shapes_race(a: &ActionShape, b: &ActionShape) -> bool {
+    let var = |s: &ActionShape| match *s {
+        ActionShape::Read { var, .. }
+        | ActionShape::Write { var, .. }
+        | ActionShape::Update { var, .. } => var,
+    };
+    let writes = |s: &ActionShape| !matches!(s, ActionShape::Read { .. });
+    var(a) == var(b) && (writes(a) || writes(b))
 }
 
 /// The paper's operational RA semantics (§3.2 / Figure 3).
@@ -109,6 +150,15 @@ impl MemoryModel for RaModel {
 
     fn state_size(&self, state: &C11State) -> usize {
         state.len()
+    }
+
+    fn actions_independent(
+        &self,
+        _state: &C11State,
+        a: (ThreadId, &ActionShape),
+        b: (ThreadId, &ActionShape),
+    ) -> bool {
+        a.0 != b.0 && !shapes_race(a.1, b.1)
     }
 }
 
@@ -179,6 +229,17 @@ impl MemoryModel for PreExecutionModel {
 
     fn state_size(&self, state: &C11State) -> usize {
         state.len()
+    }
+
+    fn actions_independent(
+        &self,
+        _state: &C11State,
+        a: (ThreadId, &ActionShape),
+        b: (ThreadId, &ActionShape),
+    ) -> bool {
+        // Pre-execution steps only append events (Prop 4.1 commutation),
+        // but the shared variable-footprint rule is kept for uniformity.
+        a.0 != b.0 && !shapes_race(a.1, b.1)
     }
 }
 
@@ -311,6 +372,15 @@ impl MemoryModel for ScModel {
     fn state_size(&self, _state: &ScState) -> usize {
         0
     }
+
+    fn actions_independent(
+        &self,
+        _state: &ScState,
+        a: (ThreadId, &ActionShape),
+        b: (ThreadId, &ActionShape),
+    ) -> bool {
+        a.0 != b.0 && !shapes_race(a.1, b.1)
+    }
 }
 
 /// Checks Proposition 4.1 / 2.3 commutation on a pre-execution state: two
@@ -430,6 +500,51 @@ mod tests {
         let u = &m.transitions(&s, T1, &ActionShape::Update { var: X, new: 3 })[0];
         assert_eq!(u.action.rdval(), Some(0));
         assert_eq!(u.state.mem[0], 3);
+    }
+
+    #[test]
+    fn shapes_race_is_the_variable_footprint_rule() {
+        let rd = |var| ActionShape::Read {
+            var,
+            acquire: false,
+        };
+        let wr = |var| ActionShape::Write {
+            var,
+            val: 1,
+            release: false,
+        };
+        let upd = |var| ActionShape::Update { var, new: 2 };
+        let y = VarId(1);
+        // Same variable: races unless both sides only read.
+        assert!(!shapes_race(&rd(X), &rd(X)));
+        assert!(shapes_race(&rd(X), &wr(X)));
+        assert!(shapes_race(&wr(X), &wr(X)));
+        assert!(shapes_race(&rd(X), &upd(X)), "updates write");
+        // Disjoint variables never race.
+        assert!(!shapes_race(&wr(X), &wr(y)));
+        assert!(!shapes_race(&upd(X), &rd(y)));
+    }
+
+    #[test]
+    fn independence_requires_distinct_threads_and_is_symmetric() {
+        let s = RaModel.init(&prog_xy());
+        let rd = ActionShape::Read {
+            var: X,
+            acquire: true,
+        };
+        let wr = ActionShape::Write {
+            var: VarId(1),
+            val: 3,
+            release: true,
+        };
+        assert!(RaModel.actions_independent(&s, (T1, &rd), (T2, &wr)));
+        assert!(RaModel.actions_independent(&s, (T2, &wr), (T1, &rd)));
+        assert!(!RaModel.actions_independent(&s, (T1, &rd), (T1, &wr)));
+        // The ablation model keeps the conservative default.
+        assert!(!WeakObsRaModel.actions_independent(&s, (T1, &rd), (T2, &wr)));
+        // The SC baseline shares the footprint rule.
+        let sc = ScModel.init(&prog_xy());
+        assert!(ScModel.actions_independent(&sc, (T1, &rd), (T2, &wr)));
     }
 
     #[test]

@@ -3,11 +3,12 @@
 //! [`ExploreBackend`] is the seam the api crate's `CheckRequest` plugs
 //! into: every engine that can enumerate the reachable configurations of a
 //! program under a memory model implements it and returns the same
-//! [`ExploreResult`]. Two implementations ship today — the sequential BFS
-//! ([`SequentialBackend`]) and the work-stealing parallel engine
-//! ([`ParallelBackend`]); DPOR-style reduced backends slot in behind the
-//! same trait.
+//! [`ExploreResult`]. Three implementations ship today — the sequential
+//! BFS ([`SequentialBackend`]), the work-stealing parallel engine
+//! ([`ParallelBackend`]) and the sleep-set partial-order-reduction engine
+//! ([`DporBackend`], see [`crate::dpor`]).
 
+use crate::dpor::explore_dpor_invariant;
 use crate::engine::{explore_invariant_with, ExploreConfig, ExploreResult};
 use crate::par::parallel_explore_invariant;
 use c11_core::config::Config;
@@ -95,6 +96,30 @@ where
     }
 }
 
+/// The sleep-set DPOR engine (see [`crate::dpor`]): visits exactly the
+/// sequential engine's states — identical finals, verdicts, violations,
+/// truncation — while generating strictly fewer successor configurations
+/// wherever the model's independence oracle lets siblings sleep. Always
+/// deduplicates (the sleep sets live in the visited table).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DporBackend;
+
+impl<M: MemoryModel> ExploreBackend<M> for DporBackend {
+    fn name(&self) -> String {
+        "dpor".to_string()
+    }
+
+    fn run_invariant(
+        &self,
+        model: &M,
+        prog: &Prog,
+        cfg: &ExploreConfig,
+        inv: &(dyn Fn(&Config<M>) -> bool + Sync),
+    ) -> ExploreResult<M> {
+        explore_dpor_invariant(model, prog, cfg, |c| inv(c))
+    }
+}
+
 /// A pool-friendly engine handle: a `Copy`, `Send + Sync` *value* naming
 /// one of the engines, usable for every memory model at once.
 ///
@@ -113,6 +138,8 @@ pub enum AnyBackend {
         /// Worker threads (clamped to ≥ 1).
         workers: usize,
     },
+    /// The sleep-set DPOR engine.
+    Dpor,
 }
 
 impl<M> ExploreBackend<M> for AnyBackend
@@ -126,6 +153,7 @@ where
             AnyBackend::Parallel { workers } => {
                 ExploreBackend::<M>::name(&ParallelBackend::new(*workers))
             }
+            AnyBackend::Dpor => ExploreBackend::<M>::name(&DporBackend),
         }
     }
 
@@ -141,6 +169,7 @@ where
             AnyBackend::Parallel { workers } => {
                 ParallelBackend::new(*workers).run_invariant(model, prog, cfg, inv)
             }
+            AnyBackend::Dpor => DporBackend.run_invariant(model, prog, cfg, inv),
         }
     }
 }
@@ -164,6 +193,7 @@ mod tests {
         let backends: Vec<Box<dyn ExploreBackend<RaModel>>> = vec![
             Box::new(SequentialBackend),
             Box::new(ParallelBackend::new(2)),
+            Box::new(DporBackend),
         ];
         let reference = SequentialBackend.run(&RaModel, &prog, &cfg);
         for b in &backends {
@@ -192,7 +222,11 @@ mod tests {
         .unwrap();
         let cfg = ExploreConfig::default();
         let reference = SequentialBackend.run(&RaModel, &prog, &cfg);
-        for handle in [AnyBackend::Sequential, AnyBackend::Parallel { workers: 2 }] {
+        for handle in [
+            AnyBackend::Sequential,
+            AnyBackend::Parallel { workers: 2 },
+            AnyBackend::Dpor,
+        ] {
             // One Copy handle serves RA and SC without re-construction —
             // the property the session scheduler relies on.
             let ra = handle.run(&RaModel, &prog, &cfg);
@@ -216,5 +250,6 @@ mod tests {
             ExploreBackend::<RaModel>::name(&ParallelBackend::new(4)),
             "parallel(4)"
         );
+        assert_eq!(ExploreBackend::<RaModel>::name(&DporBackend), "dpor");
     }
 }

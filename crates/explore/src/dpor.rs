@@ -1,0 +1,541 @@
+//! Sleep-set dynamic partial-order reduction — the third backend.
+//!
+//! The sequential BFS already collapses *states* reached by different
+//! interleavings of the same execution (the canonical fingerprint of
+//! `c11_core::state` is interleaving-insensitive), but it still pays for
+//! every redundant *transition*: from each state it generates every
+//! thread's successors, only to have dedup throw most of them away. This
+//! engine prunes those transitions up front with sleep sets: after
+//! exploring thread `t` from a state, every later sibling step
+//! *independent* of `t` carries `t` asleep into its successor — the
+//! commuted order would only re-derive a state the `t`-first order
+//! already produces. Dedup stays keyed by the same 128-bit configuration
+//! fingerprints as the sequential engine.
+//!
+//! ## The contract: every state, fewer transitions
+//!
+//! Sleep sets (without persistent/source sets) prune **transitions,
+//! never states**: the reduced search still generates *exactly* the
+//! sequential engine's state set, so `unique`, the finals multiset,
+//! litmus verdicts, invariant violations and the truncation flag all
+//! coincide with the reference engine — the property the api crate's
+//! backend-agnostic result cache relies on (reports are cached without
+//! the backend in the key). Only `generated` (and wall time) shrink.
+//! This is deliberate: source-set DPOR prunes harder but loses
+//! intermediate states, which would break the
+//! all-backends-identical-reports contract for invariant checking; it is
+//! recorded in the ROADMAP as the next lever behind a finals-only mode.
+//!
+//! The one bound outside the contract is the `max_states` safety cap:
+//! it cuts the search after a fixed *number* of states, and since this
+//! engine enqueues in a different order than the sequential BFS, a
+//! cap-truncated run keeps a different prefix (the parallel engine has
+//! the same caveat — worker scheduling decides its prefix). Both
+//! engines still report `truncated = true`; the event and depth bounds
+//! are per-state properties and stay exactly equal.
+//!
+//! ## One-level sleep sets, no wake-ups
+//!
+//! This is the *non-inherited* variant: a successor's sleep set contains
+//! only threads explored before the stepping thread **at its own
+//! parent** — an arriving sleep set is consulted at expansion and then
+//! dropped, never merged into grandchildren. The classical stateful
+//! variant (Godefroid) inherits sleep sets down the tree and must then
+//! re-explore ("wake") threads whenever a visited state is re-reached
+//! under a smaller sleep set; on racy programs where most states are
+//! reachable from several interleavings, those wake-ups cancel nearly
+//! all pruning. The one-level discipline needs no wake-ups at all: each
+//! pruned transition `t` at `v(P)` is justified *directly* — `t` was
+//! explored at `P` itself, and `v` is (inductively, along parents with
+//! strictly earlier first-generation times) explored at `t(P)`, so the
+//! commuted target `t(v(P)) = v(t(P))` is always generated. Second
+//! arrivals at visited states are plain dedup rejects, exactly as in the
+//! sequential engine.
+//!
+//! ## Independence and races
+//!
+//! Two cross-thread steps are independent when they commute exactly and
+//! neither changes the other's enabled transitions:
+//!
+//! * a τ step is independent of every other-thread step (it touches only
+//!   its own thread's residual command and registers);
+//! * two action steps are delegated to
+//!   [`MemoryModel::actions_independent`] — the shipped models use the
+//!   variable-footprint race rule of `c11_core::model::shapes_race`
+//!   (same variable and at least one write ⇒ dependent); models without
+//!   an oracle default to "always dependent", degenerating to the plain
+//!   BFS (sound, no reduction).
+//!
+//! One extra guard makes sleeping safe under the `max_events` bound: a
+//! step may only be put to sleep by a step that grows the memory state
+//! at least as much (τ never sleeps an action). Otherwise the covering
+//! path through the action-first order could be cut by the event bound
+//! while the τ-first state survives it, losing a state that the
+//! sequential engine (which bound-checks at expansion, not generation)
+//! still reports.
+
+use crate::engine::{config_fingerprint, ExploreConfig, ExploreResult, TraceArena, TraceStep};
+use c11_core::config::{Config, ConfigStep};
+use c11_core::model::MemoryModel;
+use c11_lang::step::StepShape;
+use c11_lang::{Prog, ThreadId};
+use std::collections::{HashSet, VecDeque};
+
+/// Sleep sets are thread-id bitmasks (bit `i` = thread `i + 1`). Programs
+/// wider than 64 threads get an always-empty mask: no reduction, still
+/// sound.
+type SleepMask = u64;
+
+/// The mask bit of thread index `t`; 0 past the mask width (so the
+/// >64-thread fallback never evaluates an overflowing shift).
+fn bit(t: usize) -> SleepMask {
+    if t < SleepMask::BITS as usize {
+        1 << t
+    } else {
+        0
+    }
+}
+
+/// How much a step grows the memory state: 0 for τ, 1 for actions. The
+/// event-bound guard compares these (see the module docs).
+fn growth(shape: &StepShape) -> u8 {
+    match shape {
+        StepShape::Tau => 0,
+        StepShape::Act(_) => 1,
+    }
+}
+
+/// May thread `u`'s enabled step be put to sleep across thread `t`'s
+/// step? — the per-state race check: independence (τ is free; actions go
+/// to the model's oracle) plus the event-growth guard.
+fn can_sleep<M: MemoryModel>(
+    model: &M,
+    mem: &M::State,
+    shapes: &[Option<StepShape>],
+    u: usize,
+    t: usize,
+) -> bool {
+    let (Some(su), Some(st)) = (&shapes[u], &shapes[t]) else {
+        return false;
+    };
+    if growth(su) > growth(st) {
+        return false;
+    }
+    match (su, st) {
+        (StepShape::Tau, _) | (_, StepShape::Tau) => true,
+        (StepShape::Act(a), StepShape::Act(b)) => {
+            model.actions_independent(mem, (ThreadId(u as u8 + 1), a), (ThreadId(t as u8 + 1), b))
+        }
+    }
+}
+
+/// The sleep set carried to the successor reached by thread `t`: every
+/// sibling already explored at this state that may sleep across `t`.
+fn successor_sleep<M: MemoryModel>(
+    model: &M,
+    mem: &M::State,
+    shapes: &[Option<StepShape>],
+    explored: SleepMask,
+    t: usize,
+) -> SleepMask {
+    let mut out = 0;
+    let mut rest = explored;
+    while rest != 0 {
+        let u = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        if can_sleep(model, mem, shapes, u, t) {
+            out |= 1 << u;
+        }
+    }
+    out
+}
+
+/// Explores all reachable configurations of `prog` under `model` with
+/// sleep-set partial-order reduction, checking `inv` on each. Returns the
+/// same [`ExploreResult`] as the sequential engine — identical `unique`,
+/// finals multiset, violations and truncation — with a smaller
+/// `generated` count wherever independent steps let siblings sleep.
+/// Deduplication is always on ([`ExploreConfig::dedup`] is ignored):
+/// sleep-set soundness leans on the fingerprint-keyed visited set.
+pub fn explore_dpor_invariant<M, F>(
+    model: &M,
+    prog: &Prog,
+    cfg: &ExploreConfig,
+    mut inv: F,
+) -> ExploreResult<M>
+where
+    M: MemoryModel,
+    F: FnMut(&Config<M>) -> bool,
+{
+    let mut result = ExploreResult {
+        unique: 0,
+        generated: 0,
+        finals: Vec::new(),
+        final_traces: Vec::new(),
+        truncated: false,
+        violations: Vec::new(),
+        stuck: 0,
+    };
+    let track = cfg.record_traces || cfg.witness_traces;
+    let mut nodes = TraceArena::new();
+    let mut visited: HashSet<u128> = HashSet::new();
+    let mut final_nodes: Vec<usize> = Vec::new();
+    let key = |c: &Config<M>| config_fingerprint(model, c);
+
+    // (config, trace node, depth, threads asleep at expansion).
+    type Item<M> = (Config<M>, usize, usize, SleepMask);
+    let mut queue: VecDeque<Item<M>> = VecDeque::new();
+
+    let initial = Config::initial(model, prog);
+    visited.insert(key(&initial));
+    if !inv(&initial) {
+        result.violations.push((initial.clone(), Vec::new()));
+    }
+    if initial.is_terminated() {
+        result.finals.push(initial);
+        final_nodes.push(TraceArena::ROOT);
+    } else {
+        queue.push_back((initial, TraceArena::ROOT, 0, 0));
+    }
+    result.unique = 1;
+
+    while let Some((config, node_idx, depth, sleep)) = queue.pop_front() {
+        if result.unique >= cfg.max_states {
+            result.truncated = true;
+            break;
+        }
+        if depth >= cfg.max_depth || model.state_size(&config.mem) >= cfg.max_events {
+            result.truncated = true;
+            continue;
+        }
+        let nthreads = config.coms.len();
+        // Masks are meaningless past 64 threads: fall back to exploring
+        // everything with empty sleep sets.
+        let masks_ok = nthreads <= 64;
+        let shapes: Vec<Option<StepShape>> = config
+            .thread_ids()
+            .map(|t| config.step_shape_of(t))
+            .collect();
+        // Expansion order: τ steps first, then actions (both in thread
+        // order). τ steps may sleep across actions but not vice versa
+        // (the event-growth guard), so exploring them first maximises
+        // pruning. Any fixed order is sound.
+        let order = {
+            let mut order: Vec<usize> = Vec::with_capacity(nthreads);
+            order.extend((0..nthreads).filter(|&i| matches!(shapes[i], Some(StepShape::Tau))));
+            order.extend((0..nthreads).filter(|&i| matches!(shapes[i], Some(StepShape::Act(_)))));
+            order
+        };
+        let sleep = if masks_ok { sleep } else { 0 };
+        let mut explored: SleepMask = 0;
+        let mut generated_any = false;
+        for t in order.iter().copied() {
+            if sleep & bit(t) != 0 {
+                continue;
+            }
+            let succ_sleep = if masks_ok {
+                successor_sleep(model, &config.mem, &shapes, explored, t)
+            } else {
+                0
+            };
+            for ConfigStep {
+                tid, label, next, ..
+            } in config.successors_of(model, ThreadId(t as u8 + 1))
+            {
+                generated_any = true;
+                result.generated += 1;
+                if !visited.insert(key(&next)) {
+                    continue;
+                }
+                let new_idx = if track {
+                    nodes.push(node_idx, TraceStep { tid, label })
+                } else {
+                    TraceArena::ROOT // never dereferenced when tracking is off
+                };
+                result.unique += 1;
+                if !inv(&next) {
+                    let trace = if cfg.record_traces {
+                        nodes.trace_of(new_idx)
+                    } else {
+                        Vec::new()
+                    };
+                    result.violations.push((next.clone(), trace));
+                }
+                if next.is_terminated() {
+                    result.finals.push(next);
+                    final_nodes.push(new_idx);
+                } else {
+                    queue.push_back((next, new_idx, depth + 1, succ_sleep));
+                }
+            }
+            explored |= bit(t);
+        }
+        // Stuck accounting must see the *full* successor set: if the
+        // awake threads produced nothing, probe the sleeping ones too —
+        // their steps are discarded (they are covered elsewhere), so
+        // `generated` is unaffected. Under RA this never fires.
+        if !generated_any && !order.is_empty() && !config.is_terminated() {
+            let slept_has_steps = order.iter().any(|&t| {
+                sleep & bit(t) != 0
+                    && !config
+                        .successors_of(model, ThreadId(t as u8 + 1))
+                        .is_empty()
+            });
+            if !slept_has_steps {
+                result.stuck += 1;
+            }
+        }
+    }
+    if cfg.witness_traces {
+        result.final_traces = final_nodes
+            .into_iter()
+            .map(|idx| nodes.trace_of(idx))
+            .collect();
+    }
+    result
+}
+
+/// [`explore_dpor_invariant`] without an invariant.
+pub fn explore_dpor<M: MemoryModel>(
+    model: &M,
+    prog: &Prog,
+    cfg: &ExploreConfig,
+) -> ExploreResult<M> {
+    explore_dpor_invariant(model, prog, cfg, |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Explorer;
+    use c11_core::model::{RaModel, ScModel};
+    use c11_lang::{parse_program, ActionShape, VarId};
+
+    /// Race detection on a hand-built two-thread state: t1 about to write
+    /// x, t2 about to read y — independent; same variable — dependent.
+    #[test]
+    fn race_detection_on_hand_built_state() {
+        let prog = parse_program(
+            "vars x y;
+             thread t1 { x := 1; }
+             thread t2 { r0 <- y; }",
+        )
+        .unwrap();
+        let cfg = Config::initial(&RaModel, &prog);
+        let shapes: Vec<Option<StepShape>> =
+            cfg.thread_ids().map(|t| cfg.step_shape_of(t)).collect();
+        assert!(matches!(
+            shapes[0],
+            Some(StepShape::Act(ActionShape::Write { var: VarId(0), .. }))
+        ));
+        assert!(matches!(
+            shapes[1],
+            Some(StepShape::Act(ActionShape::Read { var: VarId(1), .. }))
+        ));
+        // Disjoint variables: each may sleep across the other.
+        assert!(can_sleep(&RaModel, &cfg.mem, &shapes, 0, 1));
+        assert!(can_sleep(&RaModel, &cfg.mem, &shapes, 1, 0));
+
+        let contended = parse_program(
+            "vars x;
+             thread t1 { x := 1; }
+             thread t2 { r0 <- x; }",
+        )
+        .unwrap();
+        let cfg = Config::initial(&RaModel, &contended);
+        let shapes: Vec<Option<StepShape>> =
+            cfg.thread_ids().map(|t| cfg.step_shape_of(t)).collect();
+        // Write/read of the same variable race: no sleeping either way.
+        assert!(!can_sleep(&RaModel, &cfg.mem, &shapes, 0, 1));
+        assert!(!can_sleep(&RaModel, &cfg.mem, &shapes, 1, 0));
+    }
+
+    /// The event-growth guard: a τ may sleep across an action, never the
+    /// other way around (and τ/τ is fine).
+    #[test]
+    fn tau_sleeps_across_actions_but_not_conversely() {
+        // After its write, t1's next step is the skip-consumption τ.
+        let prog = parse_program(
+            "vars x y;
+             thread t1 { x := 1; x := 2; }
+             thread t2 { y := 1; }",
+        )
+        .unwrap();
+        let cfg = Config::initial(&RaModel, &prog);
+        let after_w1 = cfg
+            .successors_of(&RaModel, ThreadId(1))
+            .into_iter()
+            .next()
+            .unwrap()
+            .next;
+        let shapes: Vec<Option<StepShape>> = after_w1
+            .thread_ids()
+            .map(|t| after_w1.step_shape_of(t))
+            .collect();
+        assert!(matches!(shapes[0], Some(StepShape::Tau)));
+        assert!(matches!(shapes[1], Some(StepShape::Act(_))));
+        assert!(can_sleep(&RaModel, &after_w1.mem, &shapes, 0, 1), "τ ← act");
+        assert!(
+            !can_sleep(&RaModel, &after_w1.mem, &shapes, 1, 0),
+            "act ← τ is forbidden by the growth guard"
+        );
+        assert!(can_sleep(&RaModel, &after_w1.mem, &shapes, 0, 0), "τ ← τ");
+    }
+
+    /// Sleep-set bookkeeping end to end on the two-thread disjoint-writer
+    /// shape: all states are kept, generated transitions shrink.
+    #[test]
+    fn sleep_sets_prune_transitions_never_states() {
+        let src = "vars x y;
+             thread t1 { x := 1; x := 2; }
+             thread t2 { y := 1; y := 2; }";
+        let prog = parse_program(src).unwrap();
+        let cfg = ExploreConfig::default();
+        let seq = Explorer::new(RaModel).explore(&prog, cfg.clone());
+        let dpor = explore_dpor(&RaModel, &prog, &cfg);
+        assert_eq!(dpor.unique, seq.unique, "every state is still visited");
+        assert_eq!(dpor.truncated, seq.truncated);
+        assert_eq!(dpor.stuck, seq.stuck);
+        let mut a = seq.final_snapshots();
+        let mut b = dpor.final_snapshots();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "finals multiset identical");
+        assert!(
+            dpor.generated < seq.generated,
+            "independent writers must let siblings sleep ({} vs {})",
+            dpor.generated,
+            seq.generated
+        );
+    }
+
+    /// Fully contended programs still shed the τ/action commutations.
+    #[test]
+    fn contended_writers_still_reduce_via_tau_sleeping() {
+        let src = "vars x;
+             thread t1 { x := 1; x := 2; }
+             thread t2 { x := 3; x := 4; }";
+        let prog = parse_program(src).unwrap();
+        let cfg = ExploreConfig::default();
+        let seq = Explorer::new(RaModel).explore(&prog, cfg.clone());
+        let dpor = explore_dpor(&RaModel, &prog, &cfg);
+        assert_eq!(dpor.unique, seq.unique);
+        let mut a = seq.final_snapshots();
+        let mut b = dpor.final_snapshots();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(
+            dpor.generated < seq.generated,
+            "τ steps must sleep across the contended writes ({} vs {})",
+            dpor.generated,
+            seq.generated
+        );
+    }
+
+    #[test]
+    fn successor_sleep_filters_by_independence() {
+        let prog = parse_program(
+            "vars x y z;
+             thread t1 { x := 1; }
+             thread t2 { y := 1; }
+             thread t3 { z := 1; r0 <- y; }",
+        )
+        .unwrap();
+        let cfg = Config::initial(&RaModel, &prog);
+        let shapes: Vec<Option<StepShape>> =
+            cfg.thread_ids().map(|t| cfg.step_shape_of(t)).collect();
+        // t1 and t2 both explored; stepping t3 (write z) sleeps both.
+        assert_eq!(
+            successor_sleep(&RaModel, &cfg.mem, &shapes, 0b011, 2),
+            0b011
+        );
+        // Advance t3 to its read of y: an explored t2 (write y) races it.
+        let mut c = cfg
+            .successors_of(&RaModel, ThreadId(3))
+            .into_iter()
+            .next()
+            .unwrap()
+            .next;
+        while matches!(c.step_shape_of(ThreadId(3)), Some(StepShape::Tau)) {
+            c = c.successors_of(&RaModel, ThreadId(3)).remove(0).next;
+        }
+        let shapes: Vec<Option<StepShape>> = c.thread_ids().map(|t| c.step_shape_of(t)).collect();
+        assert!(matches!(
+            shapes[2],
+            Some(StepShape::Act(ActionShape::Read { var: VarId(1), .. }))
+        ));
+        assert_eq!(
+            successor_sleep(&RaModel, &c.mem, &shapes, 0b011, 2),
+            0b001,
+            "t2 races the read of y and stays awake; t1 sleeps"
+        );
+    }
+
+    /// Store-based models ride the same machinery.
+    #[test]
+    fn sc_model_agrees_with_sequential() {
+        let src = "vars x y;
+             thread t1 { x := 1; r0 <- y; }
+             thread t2 { y := 1; r0 <- x; }";
+        let prog = parse_program(src).unwrap();
+        let cfg = ExploreConfig::default();
+        let seq = Explorer::new(ScModel).explore(&prog, cfg.clone());
+        let dpor = explore_dpor(&ScModel, &prog, &cfg);
+        assert_eq!(dpor.unique, seq.unique);
+        let mut a = seq.final_snapshots();
+        let mut b = dpor.final_snapshots();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(dpor.generated <= seq.generated);
+    }
+
+    /// Truncation by the event bound: the reduced search must report the
+    /// same truncation flag and the same surviving finals.
+    #[test]
+    fn truncation_matches_sequential() {
+        let src = "vars x y;
+             thread t1 { x := 1; x := 2; }
+             thread t2 { y := 1; y := 2; }";
+        let prog = parse_program(src).unwrap();
+        for bound in [3usize, 4, 5, 6] {
+            let cfg = ExploreConfig::default().max_events(bound);
+            let seq = Explorer::new(RaModel).explore(&prog, cfg.clone());
+            let dpor = explore_dpor(&RaModel, &prog, &cfg);
+            assert_eq!(dpor.truncated, seq.truncated, "bound {bound}");
+            assert_eq!(dpor.unique, seq.unique, "bound {bound}");
+            let mut a = seq.final_snapshots();
+            let mut b = dpor.final_snapshots();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn witness_traces_reach_every_final() {
+        let src = "vars x y;
+             thread t1 { x := 1; }
+             thread t2 { y := 1; }";
+        let prog = parse_program(src).unwrap();
+        let cfg = ExploreConfig::default().witness_traces(true);
+        let res = explore_dpor(&RaModel, &prog, &cfg);
+        assert_eq!(res.final_traces.len(), res.finals.len());
+        for t in &res.final_traces {
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn invariant_violations_match_sequential() {
+        let prog = parse_program("vars x; thread t { x := 1; x := 2; }").unwrap();
+        let cfg = ExploreConfig::default();
+        let seq =
+            Explorer::new(RaModel)
+                .explore_invariant(&prog, cfg.clone(), |c: &Config<RaModel>| c.mem.len() < 3);
+        let dpor = explore_dpor_invariant(&RaModel, &prog, &cfg, |c| c.mem.len() < 3);
+        assert_eq!(dpor.violations.len(), seq.violations.len());
+        assert_eq!(dpor.violations[0].1.len(), seq.violations[0].1.len());
+    }
+}

@@ -133,6 +133,55 @@ pub fn render_trace(trace: &[TraceStep], prog: &Prog) -> String {
     out
 }
 
+/// Parent-pointer arena for violation/witness trace reconstruction,
+/// shared by the sequential and DPOR engines (the parallel engine keeps
+/// its own cross-worker variant in [`crate::par`]). Starts with the root
+/// node ([`TraceArena::ROOT`]) already in place.
+pub(crate) struct TraceArena {
+    nodes: Vec<TraceNode>,
+}
+
+struct TraceNode {
+    parent: usize,
+    step: Option<TraceStep>,
+}
+
+impl TraceArena {
+    /// The initial configuration's node.
+    pub(crate) const ROOT: usize = 0;
+
+    pub(crate) fn new() -> TraceArena {
+        TraceArena {
+            nodes: vec![TraceNode {
+                parent: usize::MAX,
+                step: None,
+            }],
+        }
+    }
+
+    /// Records a step under `parent` and returns the new node.
+    pub(crate) fn push(&mut self, parent: usize, step: TraceStep) -> usize {
+        self.nodes.push(TraceNode {
+            parent,
+            step: Some(step),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// The root-to-`idx` schedule.
+    pub(crate) fn trace_of(&self, mut idx: usize) -> Vec<TraceStep> {
+        let mut steps = Vec::new();
+        while idx != usize::MAX {
+            if let Some(s) = &self.nodes[idx].step {
+                steps.push(s.clone());
+            }
+            idx = self.nodes[idx].parent;
+        }
+        steps.reverse();
+        steps
+    }
+}
+
 /// Final register values of all threads of a terminated configuration.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegSnapshot {
@@ -249,11 +298,7 @@ where
     // read the parent pointers back (mirrors the parallel engine's
     // `track` guard; an untracked run does no per-state bookkeeping).
     let track = cfg.record_traces || cfg.witness_traces;
-    struct Node {
-        parent: usize,
-        step: Option<TraceStep>,
-    }
-    let mut nodes: Vec<Node> = Vec::new();
+    let mut nodes = TraceArena::new();
     let mut visited: HashSet<u128> = HashSet::new();
     // Node index of each final (for witness-trace materialisation).
     let mut final_nodes: Vec<usize> = Vec::new();
@@ -264,21 +309,6 @@ where
     if cfg.dedup {
         visited.insert(key(&initial));
     }
-    nodes.push(Node {
-        parent: usize::MAX,
-        step: None,
-    });
-    let trace_of = |nodes: &[Node], mut idx: usize| {
-        let mut steps = Vec::new();
-        while idx != usize::MAX {
-            if let Some(s) = &nodes[idx].step {
-                steps.push(s.clone());
-            }
-            idx = nodes[idx].parent;
-        }
-        steps.reverse();
-        steps
-    };
     // Check the initial configuration.
     if !inv(&initial) {
         result.violations.push((initial.clone(), Vec::new()));
@@ -288,9 +318,9 @@ where
         // straight to `finals` instead of cycling them through the
         // queue.
         result.finals.push(initial);
-        final_nodes.push(0);
+        final_nodes.push(TraceArena::ROOT);
     } else {
-        queue.push_back((initial, 0, 0));
+        queue.push_back((initial, TraceArena::ROOT, 0));
     }
     result.unique = 1;
 
@@ -316,18 +346,14 @@ where
                 continue;
             }
             let new_idx = if track {
-                nodes.push(Node {
-                    parent: node_idx,
-                    step: Some(TraceStep { tid, label }),
-                });
-                nodes.len() - 1
+                nodes.push(node_idx, TraceStep { tid, label })
             } else {
-                0 // the root; never dereferenced when tracking is off
+                TraceArena::ROOT // never dereferenced when tracking is off
             };
             result.unique += 1;
             if !inv(&next) {
                 let trace = if cfg.record_traces {
-                    trace_of(&nodes, new_idx)
+                    nodes.trace_of(new_idx)
                 } else {
                     Vec::new()
                 };
@@ -346,7 +372,7 @@ where
     if cfg.witness_traces {
         result.final_traces = final_nodes
             .into_iter()
-            .map(|idx| trace_of(&nodes, idx))
+            .map(|idx| nodes.trace_of(idx))
             .collect();
     }
     result

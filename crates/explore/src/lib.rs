@@ -12,13 +12,20 @@
 //! the same engine drives the litmus runner (E14), the soundness sweep
 //! (E6), the completeness construction (E7), the Peterson verification
 //! (E11) and the benchmark baselines (E13).
+//!
+//! Three engines implement the [`ExploreBackend`] contract: the
+//! sequential BFS reference, the work-stealing parallel engine
+//! ([`par`]), and the sleep-set dynamic-partial-order-reduction engine
+//! ([`dpor`]) that visits the same states through fewer transitions.
 
 pub mod backend;
+pub mod dpor;
 pub mod engine;
 pub mod par;
 pub mod stats;
 
-pub use backend::{AnyBackend, ExploreBackend, ParallelBackend, SequentialBackend};
+pub use backend::{AnyBackend, DporBackend, ExploreBackend, ParallelBackend, SequentialBackend};
+pub use dpor::{explore_dpor, explore_dpor_invariant};
 pub use engine::{
     explore_invariant_with, render_trace, ExploreConfig, ExploreResult, Explorer, RegSnapshot,
     TraceStep,

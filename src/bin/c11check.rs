@@ -4,9 +4,10 @@
 //! [`CheckRequest`] front door (`c11_operational::api`).
 //!
 //! ```sh
-//! c11check program.c11 [--sc] [--max-events N] [--workers N] [--json] [--dot] [--quiet]
+//! c11check program.c11 [--sc] [--max-events N] [--backend B] [--workers N] [--json] [--dot] [--quiet]
 //! echo 'vars x; thread t { x := 1; }' | c11check -
-//! c11check --litmus litmus/ --json   # machine-readable corpus verdicts
+//! c11check --litmus litmus/ --json                 # machine-readable corpus verdicts
+//! c11check --litmus litmus/ --json --backend dpor  # same verdicts, fewer states
 //! ```
 //!
 //! Directory litmus mode runs through the `Session` batch path
@@ -25,29 +26,50 @@ struct Opts {
     sc: bool,
     max_events: usize,
     workers: usize,
+    backend: Option<String>,
     json: bool,
     dot: bool,
     quiet: bool,
     litmus: bool,
 }
 
+/// Valid `--backend` names, kept in one place so the error message and
+/// the help text never drift apart.
+const BACKENDS: [&str; 3] = ["sequential", "parallel", "dpor"];
+
 const USAGE: &str = "usage: c11check <program.c11 | - | dir> [--litmus] [--sc] \
-     [--max-events N] [--workers N] [--json] [--dot] [--quiet]\n\
+     [--max-events N] [--backend B] [--workers N] [--json] [--dot] [--quiet]\n\
      --litmus: treat the input as a .litmus file (or a directory of \
      them, checked as one Session batch) and check expected verdicts\n\
-     --workers N: explore with the parallel backend (N worker threads); \
-     in --litmus dir mode N sizes the batch pool instead (jobs run \
-     sequentially, N at a time)\n\
+     --backend B: pick the exploration engine; all backends produce \
+     identical reports:\n\
+         sequential: the deterministic BFS reference engine (default)\n\
+         parallel:   work-stealing engine over --workers threads \
+     (fastest on big state spaces)\n\
+         dpor:       sleep-set partial-order reduction — fewer generated \
+     states, same verdicts\n\
+     --workers N: thread count for the parallel backend (shorthand: \
+     --workers alone implies --backend parallel); in --litmus dir mode \
+     N sizes the batch pool instead (jobs run N at a time)\n\
      --json: emit a machine-readable c11check/v1 report, e.g.\n\
          c11check program.c11 --json --workers 4\n\
-         c11check --litmus litmus/ --json";
+         c11check --litmus litmus/ --json --backend dpor";
 
-fn parse_args() -> Result<Opts, String> {
+/// How argument parsing can end without an `Opts`: a requested help page
+/// (exit 0) or a real usage error (exit 2).
+enum ArgsEnd {
+    Help,
+    Bad(String),
+}
+
+fn parse_args() -> Result<Opts, ArgsEnd> {
+    let bad = |msg: String| ArgsEnd::Bad(msg);
     let mut opts = Opts {
         path: String::new(),
         sc: false,
         max_events: 24,
         workers: 0,
+        backend: None,
         json: false,
         dot: false,
         quiet: false,
@@ -64,42 +86,67 @@ fn parse_args() -> Result<Opts, String> {
             "--max-events" => {
                 opts.max_events = args
                     .next()
-                    .ok_or("--max-events needs a value")?
+                    .ok_or_else(|| bad("--max-events needs a value".into()))?
                     .parse()
-                    .map_err(|e| format!("bad --max-events: {e}"))?;
+                    .map_err(|e| bad(format!("bad --max-events: {e}")))?;
             }
             "--workers" => {
                 opts.workers = args
                     .next()
-                    .ok_or("--workers needs a value")?
+                    .ok_or_else(|| bad("--workers needs a value".into()))?
                     .parse()
-                    .map_err(|e| format!("bad --workers: {e}"))?;
+                    .map_err(|e| bad(format!("bad --workers: {e}")))?;
             }
-            "-h" | "--help" => return Err(USAGE.to_string()),
+            "--backend" => {
+                let name = args
+                    .next()
+                    .ok_or_else(|| bad("--backend needs a value".into()))?;
+                if !BACKENDS.contains(&name.as_str()) {
+                    return Err(bad(format!(
+                        "unknown --backend {name:?}: valid backends are {}",
+                        BACKENDS.join(", ")
+                    )));
+                }
+                opts.backend = Some(name);
+            }
+            "-h" | "--help" => return Err(ArgsEnd::Help),
             p if opts.path.is_empty() => opts.path = p.to_string(),
-            other => return Err(format!("unknown argument {other:?}")),
+            other => return Err(bad(format!("unknown argument {other:?}"))),
         }
     }
     if opts.path.is_empty() {
-        return Err("no input file (use - for stdin); see --help".to_string());
+        return Err(bad(
+            "no input file (use - for stdin); see --help".to_string()
+        ));
     }
     Ok(opts)
 }
 
 fn backend_of(opts: &Opts) -> Backend {
-    if opts.workers > 0 {
-        Backend::Parallel {
+    match opts.backend.as_deref() {
+        Some("sequential") => Backend::Sequential,
+        Some("parallel") => Backend::Parallel {
+            workers: if opts.workers > 0 { opts.workers } else { 2 },
+        },
+        Some("dpor") => Backend::Dpor,
+        Some(_) => unreachable!("validated by parse_args"),
+        // Back-compat shorthand: a bare --workers N selects the parallel
+        // engine.
+        None if opts.workers > 0 => Backend::Parallel {
             workers: opts.workers,
-        }
-    } else {
-        Backend::Sequential
+        },
+        None => Backend::Sequential,
     }
 }
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
-        Err(e) => {
+        Err(ArgsEnd::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(ArgsEnd::Bad(e)) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
@@ -225,7 +272,11 @@ fn run_litmus_mode(opts: &Opts) -> ExitCode {
             }
         }
     };
-    let backend = if path.is_dir() {
+    // Dir mode defaults to the sequential engine per job even when
+    // --workers sizes the pool (pool × per-job engine workers would
+    // oversubscribe the machine for tiny tests) — but an *explicit*
+    // --backend choice is always honoured.
+    let backend = if path.is_dir() && opts.backend.is_none() {
         Backend::Sequential
     } else {
         backend_of(opts)

@@ -29,7 +29,7 @@
 //! | `litmus_source`| inline `.litmus` file text                         |
 //! | `model`        | `"ra"` (default) / `"sc"` / `"pre-execution"`      |
 //! | `mode`         | `"outcomes"` (default) / `"count"` / `"litmus"` (litmus inputs' default) |
-//! | `backend`      | `{"kind":"sequential"}` / `{"kind":"parallel","workers":N}` |
+//! | `backend`      | `"sequential"` / `"parallel"` / `"dpor"`, or `{"kind":"parallel","workers":N}` |
 //! | `bounds`       | `{"max_events":N,"max_states":N,"max_depth":N}` (each optional) |
 //! | `traces`       | bool — witness schedules per outcome               |
 //! | `dot`          | integer — render up to N final executions as DOT   |
@@ -163,21 +163,42 @@ fn build_request(v: &Json) -> Result<CheckRequest, String> {
         });
     }
     if let Some(backend) = v.get("backend") {
-        let fields = backend.as_obj().ok_or("\"backend\" must be an object")?;
-        for (key, _) in fields {
-            if key != "kind" && key != "workers" {
-                return Err(format!("unknown \"backend\" key {key:?}"));
+        // Two spellings: the bare kind string ("backend":"dpor") or the
+        // report-schema object ("backend":{"kind":"parallel","workers":4}).
+        req = req.backend(if let Some(kind) = backend.as_str() {
+            match kind {
+                "sequential" => Backend::Sequential,
+                "dpor" => Backend::Dpor,
+                "parallel" => Backend::Parallel { workers: 2 },
+                _ => {
+                    return Err(
+                        "\"backend\" must be \"sequential\", \"parallel\" or \"dpor\"".into(),
+                    );
+                }
             }
-        }
-        req = req.backend(match backend.get("kind").and_then(Json::as_str) {
-            Some("sequential") => Backend::Sequential,
-            Some("parallel") => Backend::Parallel {
-                workers: backend
-                    .get("workers")
-                    .and_then(Json::as_usize)
-                    .ok_or("parallel backend needs integer \"workers\"")?,
-            },
-            _ => return Err("\"backend\".\"kind\" must be \"sequential\" or \"parallel\"".into()),
+        } else {
+            let fields = backend.as_obj().ok_or("\"backend\" must be an object")?;
+            for (key, _) in fields {
+                if key != "kind" && key != "workers" {
+                    return Err(format!("unknown \"backend\" key {key:?}"));
+                }
+            }
+            match backend.get("kind").and_then(Json::as_str) {
+                Some("sequential") => Backend::Sequential,
+                Some("dpor") => Backend::Dpor,
+                Some("parallel") => Backend::Parallel {
+                    workers: backend
+                        .get("workers")
+                        .and_then(Json::as_usize)
+                        .ok_or("parallel backend needs integer \"workers\"")?,
+                },
+                _ => {
+                    return Err(
+                        "\"backend\".\"kind\" must be \"sequential\", \"parallel\" or \"dpor\""
+                            .into(),
+                    );
+                }
+            }
         });
     }
     if let Some(bounds) = v.get("bounds") {

@@ -188,3 +188,48 @@ fn litmus_corpus_streams_through_the_service() {
         Some(files.len())
     );
 }
+
+/// The DPOR backend over the request-line surface, both spellings
+/// (`"backend":"dpor"` and `{"kind":"dpor"}`): first submission
+/// computes, resubmission in the same stream is a cache hit (the cache
+/// key is backend-free), and unknown backend names are rejected.
+#[test]
+fn dpor_backend_requests_compute_cold_and_hit_warm() {
+    let input = concat!(
+        "{\"id\":\"cold\",\"litmus_path\":\"litmus/mp_ra.litmus\",\"backend\":\"dpor\"}\n",
+        "{\"id\":\"warm\",\"litmus_path\":\"litmus/mp_ra.litmus\",\"backend\":\"dpor\"}\n",
+        "{\"id\":\"obj\",\"program\":\"vars x; thread t { x := 1; }\",",
+        "\"backend\":{\"kind\":\"dpor\"}}\n",
+        "{\"id\":\"bad\",\"program\":\"vars x; thread t { x := 1; }\",",
+        "\"backend\":\"warp-drive\"}\n",
+    );
+    let (ok, lines) = run_c11serve(&[], input);
+    assert!(!ok, "the bad backend line must fail the exit code");
+    assert_eq!(lines.len(), 5, "4 reports + summary: {lines:?}");
+
+    let hit = |v: &Json| v.get("cache_hit").and_then(Json::as_bool);
+    assert_eq!(s(&lines[0], "id"), Some("cold"));
+    assert_eq!(hit(&lines[0]), Some(false), "first dpor pass computes");
+    assert_eq!(s(&lines[1], "id"), Some("warm"));
+    assert_eq!(hit(&lines[1]), Some(true), "resubmission hits the cache");
+    for line in &lines[..2] {
+        assert_eq!(s(line, "status"), Some("ok"));
+        assert_eq!(
+            line.get("backend").and_then(|b| s(b, "kind")),
+            Some("dpor"),
+            "reports carry the computing backend"
+        );
+        assert_eq!(line.get("pass").and_then(Json::as_bool), Some(true));
+    }
+    assert_eq!(s(&lines[2], "status"), Some("ok"), "object spelling works");
+    assert_eq!(
+        lines[2].get("backend").and_then(|b| s(b, "kind")),
+        Some("dpor")
+    );
+    assert_eq!(s(&lines[3], "status"), Some("error"));
+    assert!(
+        s(&lines[3], "error").unwrap().contains("dpor"),
+        "the error names the valid backends: {:?}",
+        lines[3]
+    );
+}
