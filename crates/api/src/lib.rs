@@ -132,7 +132,8 @@ pub enum Backend {
     /// The sequential BFS reference engine (deterministic).
     #[default]
     Sequential,
-    /// The work-stealing parallel engine.
+    /// The contention-free parallel engine (worker-private queues, a
+    /// striped lock-free visited filter, per-worker arenas).
     Parallel {
         /// Worker threads (clamped to ≥ 1).
         workers: usize,
@@ -549,7 +550,7 @@ impl Resolved {
     ) -> CheckReport
     where
         M: MemoryModel + Sync,
-        M::State: Send,
+        M::State: Send + Sync,
     {
         let backend = self.backend.any();
         match &self.mode {

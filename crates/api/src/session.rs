@@ -12,7 +12,7 @@
 //! calls cost nothing). A *small* job — one whose request names the
 //! default sequential backend — runs whole on the one pool worker that
 //! picked it up; a *large* job — one carrying `Backend::Parallel` —
-//! fans out over the work-stealing parallel engine's own scoped workers
+//! fans out over the parallel engine's own scoped workers
 //! from the pool thread hosting it. [`SessionConfig::parallel_threshold`]
 //! optionally upgrades wide sequential jobs to the parallel engine.
 //!

@@ -3,7 +3,7 @@
 
 use c11_bench::contended_workload;
 use c11_core::model::{RaModel, WeakObsRaModel};
-use c11_explore::{parallel_count_states, ExploreConfig, Explorer};
+use c11_explore::{parallel_explore, ExploreConfig, Explorer};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -33,9 +33,10 @@ fn bench_parallel(c: &mut Criterion) {
     let mut g = c.benchmark_group("E16/parallel");
     g.sample_size(10);
     let prog = contended_workload(4);
+    let cfg = ExploreConfig::default().max_events(24).record_traces(false);
     for workers in [1usize, 2, 4] {
         g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| black_box(parallel_count_states(&RaModel, &prog, 24, w)))
+            b.iter(|| black_box(parallel_explore(&RaModel, &prog, &cfg, w)))
         });
     }
     g.finish();

@@ -15,7 +15,7 @@
 
 use c11_bench::{chain_state, contended_workload, wide_workload};
 use c11_core::model::RaModel;
-use c11_explore::{explore_dpor, parallel_count_states, ExploreConfig, Explorer};
+use c11_explore::{explore_dpor, parallel_explore, ExploreConfig, Explorer};
 use c11_litmus::{corpus, run_test};
 use std::time::Instant;
 
@@ -155,28 +155,59 @@ fn bench_dpor(reps: usize, quick: bool, rows: &mut Vec<Row>) {
     }
 }
 
-fn bench_parallel(reps: usize, quick: bool, rows: &mut Vec<Row>) {
-    let k = if quick { 3 } else { 4 };
-    let prog = contended_workload(k);
-    let seq = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
-    for workers in [1usize, 2, 4] {
-        let mut states = 0usize;
-        let nanos = best_of(reps, || {
-            let (unique, truncated) = parallel_count_states(&RaModel, &prog, 24, workers);
-            assert_eq!(
-                unique, seq.unique,
-                "parallel count diverged from sequential at {workers} workers"
-            );
-            assert_eq!(truncated, seq.truncated);
-            states = unique;
-            unique
-        });
+/// The worker-scaling group: E13-wide-4 and E16-contended-4 measured
+/// sequentially and at 1/2/4/8 workers. The same shapes run in quick and
+/// full mode (quick only drops repetitions) so the CI `worker-scaling`
+/// job's quick rows line up with the committed full-mode trajectory.
+/// Equality with the sequential engine (unique count, truncation, finals
+/// cardinality) is asserted while measuring; speedup ratios are printed
+/// per shape and derivable from the emitted rows (`-w1` ÷ `-wN` nanos).
+fn bench_worker_scaling(reps: usize, rows: &mut Vec<Row>) {
+    let shapes = [
+        ("E13-wide-4", wide_workload(4), 12),
+        ("E16-contended-4", contended_workload(4), 24),
+    ];
+    for (name, prog, max_events) in shapes {
+        let cfg = ExploreConfig::default()
+            .max_events(max_events)
+            .record_traces(false);
+        let seq = Explorer::new(RaModel).explore(&prog, cfg.clone());
+        let states = seq.unique;
+        let seq_nanos = best_of(reps, || Explorer::new(RaModel).explore(&prog, cfg.clone()));
         rows.push(Row {
-            group: "parallel",
-            name: format!("E16-par-w{workers}"),
+            group: "scaling",
+            name: format!("{name}-seq"),
             size: states,
-            nanos,
+            nanos: seq_nanos,
         });
+        let mut w1_nanos = seq_nanos;
+        for workers in [1usize, 2, 4, 8] {
+            let nanos = best_of(reps, || {
+                let res = parallel_explore(&RaModel, &prog, &cfg, workers);
+                assert_eq!(
+                    res.unique, seq.unique,
+                    "{name}: parallel({workers}) diverged from sequential"
+                );
+                assert_eq!(res.truncated, seq.truncated, "{name}: truncation flag");
+                assert_eq!(res.finals.len(), seq.finals.len(), "{name}: finals count");
+                res
+            });
+            if workers == 1 {
+                w1_nanos = nanos;
+            }
+            println!(
+                "scaling {name} w{workers}: {:.2} ms (speedup {:.2}x vs w1, {:.2}x vs seq)",
+                nanos as f64 / 1e6,
+                w1_nanos as f64 / nanos as f64,
+                seq_nanos as f64 / nanos as f64
+            );
+            rows.push(Row {
+                group: "scaling",
+                name: format!("{name}-w{workers}"),
+                size: states,
+                nanos,
+            });
+        }
     }
 }
 
@@ -227,7 +258,15 @@ fn resolve_output(path: &str) -> std::path::PathBuf {
 
 fn emit_json(path: &std::path::Path, rows: &[Row]) -> std::io::Result<()> {
     use std::fmt::Write as _;
-    let mut out = String::from("{\n  \"bench\": \"explore_e2e\",\n  \"rows\": [\n");
+    // Host core count recorded alongside the rows: `c11bench compare
+    // --ratio-floor` relaxes the scaling gate when the measuring host has
+    // fewer cores than workers (a 1-core container cannot show real
+    // speedup no matter how contention-free the engine is).
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out =
+        format!("{{\n  \"bench\": \"explore_e2e\",\n  \"cores\": {cores},\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -247,23 +286,38 @@ fn emit_json(path: &std::path::Path, rows: &[Row]) -> std::io::Result<()> {
 fn main() {
     let mut json: Option<String> = None;
     let mut quick = false;
+    let mut only: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json = Some(args.next().expect("--json needs a path")),
             "--quick" => quick = true,
+            // Restrict the run to one row group (e.g. `--only scaling`
+            // for the CI worker-scaling job).
+            "--only" => only = Some(args.next().expect("--only needs a group")),
             // `cargo bench` passes --bench through to harness=false targets.
             "--bench" => {}
             other => panic!("unknown argument {other:?}"),
         }
     }
     let reps = if quick { 2 } else { 5 };
+    let want = |g: &str| only.as_deref().is_none_or(|o| o == g);
     let mut rows = Vec::new();
-    bench_corpus(reps, &mut rows);
-    bench_scaling(reps, quick, &mut rows);
-    bench_dpor(reps, quick, &mut rows);
-    bench_parallel(reps, quick, &mut rows);
-    bench_closure_micro(reps, &mut rows);
+    if want("corpus") {
+        bench_corpus(reps, &mut rows);
+    }
+    if want("wide") || want("contended") {
+        bench_scaling(reps, quick, &mut rows);
+    }
+    if want("dpor") {
+        bench_dpor(reps, quick, &mut rows);
+    }
+    if want("scaling") {
+        bench_worker_scaling(reps, &mut rows);
+    }
+    if want("closure") {
+        bench_closure_micro(reps, &mut rows);
+    }
 
     println!(
         "{:<12} {:<18} {:>10} {:>14} {:>14}",

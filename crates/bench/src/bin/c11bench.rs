@@ -25,6 +25,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:\n\
      c11bench compare <baseline.json> <fresh.json> [--tolerance F] [--min-nanos N] [--absolute]\n\
+     \x20                [--ratio-floor F] [--ratio-match S]\n\
      c11bench verdicts <a.json> <b.json>\n\
      compare: fail (exit 1) if a benchmark row shared by both files is \
      slower in <fresh> by more than the tolerance (default 0.25 = +25%) \
@@ -32,6 +33,12 @@ const USAGE: &str = "usage:\n\
      uniformly slower machine cancels out; --absolute compares raw wall \
      times); baseline rows below --min-nanos (default 100000 = 100µs) \
      are skipped as timer noise\n\
+     --ratio-floor: additionally fail if, in <fresh>'s `scaling` group, \
+     the w1/w4 speedup of any shape whose name contains --ratio-match \
+     (default \"contended\") falls below F. The floor is scaled down when \
+     <fresh> records fewer than 4 host cores (a 1-core runner cannot \
+     exhibit real speedup), bottoming out at 0.7 = \"w4 must not be \
+     catastrophically slower than w1\"\n\
      verdicts: fail (exit 1) if two c11check-litmus/v1 documents \
      disagree on any test's verdict fields (stats are ignored)";
 
@@ -78,10 +85,26 @@ fn parse_bench_rows(src: &str) -> Result<BenchRows, String> {
     Ok(rows)
 }
 
+/// Reads the document-level `"cores"` field the `explore_e2e` emitter
+/// records (absent in pre-scaling trajectory files).
+fn parse_cores(src: &str) -> Option<usize> {
+    let head = src.split("\"rows\"").next()?;
+    let start = head.find("\"cores\":")? + "\"cores\":".len();
+    head[start..]
+        .trim_start()
+        .split([',', '\n', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
 /// Runs the bench comparison; `Ok(true)` means no regressions.
 fn run_compare(args: &[String]) -> Result<bool, String> {
     let (mut tolerance, mut min_nanos): (f64, u128) = (0.25, 100_000);
     let mut absolute = false;
+    let mut ratio_floor: Option<f64> = None;
+    let mut ratio_match = "contended".to_string();
     let (mut baseline, mut fresh) = (None, None);
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -101,6 +124,17 @@ fn run_compare(args: &[String]) -> Result<bool, String> {
                     .map_err(|e| format!("bad --min-nanos: {e}"))?;
             }
             "--absolute" => absolute = true,
+            "--ratio-floor" => {
+                ratio_floor = Some(
+                    it.next()
+                        .ok_or("--ratio-floor needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --ratio-floor: {e}"))?,
+                );
+            }
+            "--ratio-match" => {
+                ratio_match = it.next().ok_or("--ratio-match needs a value")?.clone();
+            }
             p if baseline.is_none() => baseline = Some(p.to_string()),
             p if fresh.is_none() => fresh = Some(p.to_string()),
             other => return Err(format!("unknown compare argument {other:?}")),
@@ -110,12 +144,28 @@ fn run_compare(args: &[String]) -> Result<bool, String> {
         baseline.ok_or("compare needs a baseline file")?,
         fresh.ok_or("compare needs a fresh file")?,
     );
-    let read = |p: &str| {
-        std::fs::read_to_string(p)
-            .map_err(|e| format!("cannot read {p}: {e}"))
-            .and_then(|s| parse_bench_rows(&s).map_err(|e| format!("{p}: {e}")))
+    let read = |p: &str| -> Result<(BenchRows, Option<usize>), String> {
+        let src = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+        let rows = parse_bench_rows(&src).map_err(|e| format!("{p}: {e}"))?;
+        Ok((rows, parse_cores(&src)))
     };
-    let (base_rows, fresh_rows) = (read(&baseline)?, read(&fresh)?);
+    let ((base_rows, base_cores), (fresh_rows, fresh_cores)) = (read(&baseline)?, read(&fresh)?);
+    // Scaling rows are only time-comparable between hosts with the same
+    // core count: more cores change the *shape* across worker counts
+    // (w4 speeds up, w1 doesn't), which median normalisation cannot
+    // cancel. When the recorded core counts differ, the ratio-floor gate
+    // owns the scaling group and the row loop skips it.
+    let skip_scaling = match (base_cores, fresh_cores) {
+        (Some(b), Some(f)) => b != f,
+        _ => false,
+    };
+    if skip_scaling {
+        println!(
+            "skipping scaling rows in the regression loop: baseline measured on {} core(s), fresh on {} core(s)",
+            base_cores.unwrap(),
+            fresh_cores.unwrap()
+        );
+    }
     // Shared rows above the noise floor, with their raw new/base ratios.
     let mut rows: Vec<(&String, &String, u128, u128, f64)> = Vec::new();
     let mut shared = 0usize;
@@ -124,7 +174,7 @@ fn run_compare(args: &[String]) -> Result<bool, String> {
             continue;
         };
         shared += 1;
-        if base < min_nanos {
+        if base < min_nanos || (skip_scaling && group == "scaling") {
             continue;
         }
         rows.push((group, name, base, new, new as f64 / base as f64));
@@ -163,18 +213,73 @@ fn run_compare(args: &[String]) -> Result<bool, String> {
         };
         println!("{group}/{name}: {base} -> {new} ns ({relative:.2}x) {verdict}");
     }
-    if regressions.is_empty() {
+    // The worker-scaling gate: within the fresh run alone, w4 must beat
+    // w1 by the (core-count-adjusted) floor on every matching shape.
+    let mut floor_failures = Vec::new();
+    if let Some(floor) = ratio_floor {
+        // An absent cores field (older emitter) assumes a capable host
+        // and keeps the gate strict.
+        let cores = fresh_cores.unwrap_or(4);
+        let effective = if cores >= 4 {
+            floor
+        } else {
+            // The 0.7 bottom allows for genuine oversubscription
+            // overhead (4 worker threads time-slicing one core pay for
+            // scheduling and cache-line ping-pong) while still catching
+            // a pathological collapse.
+            floor.min((floor * cores as f64 / 4.0).max(0.7))
+        };
+        if effective < floor {
+            println!(
+                "ratio floor relaxed {floor:.2}x -> {effective:.2}x: fresh run measured on {cores} core(s)"
+            );
+        }
+        let mut pairs = 0usize;
+        for ((group, name), &w1) in &fresh_rows {
+            if group != "scaling" {
+                continue;
+            }
+            let Some(stem) = name.strip_suffix("-w1") else {
+                continue;
+            };
+            if !stem.contains(&ratio_match) {
+                continue;
+            }
+            let Some(&w4) = fresh_rows.get(&(group.clone(), format!("{stem}-w4"))) else {
+                continue;
+            };
+            pairs += 1;
+            let speedup = w1 as f64 / w4 as f64;
+            let ok = speedup >= effective;
+            println!(
+                "scaling {stem}: w1 {w1} ns / w4 {w4} ns = {speedup:.2}x (floor {effective:.2}x) {}",
+                if ok { "ok" } else { "BELOW FLOOR" }
+            );
+            if !ok {
+                floor_failures.push(format!(
+                    "  SCALING {stem}: w4 speedup {speedup:.2}x below floor {effective:.2}x"
+                ));
+            }
+        }
+        if pairs == 0 {
+            return Err(format!(
+                "--ratio-floor: no scaling rows matching {ratio_match:?} with w1/w4 pairs in {fresh}"
+            ));
+        }
+    }
+    if regressions.is_empty() && floor_failures.is_empty() {
         println!(
             "bench compare: {shared} shared rows within +{:.0}%",
             tolerance * 100.0
         );
         Ok(true)
     } else {
+        let mut all = regressions;
+        all.extend(floor_failures);
         eprintln!(
-            "bench compare: {} of {shared} shared rows regressed beyond +{:.0}%:\n{}",
-            regressions.len(),
-            tolerance * 100.0,
-            regressions.join("\n")
+            "bench compare: {} of {shared} shared rows failed the gates:\n{}",
+            all.len(),
+            all.join("\n")
         );
         Ok(false)
     }
@@ -368,6 +473,101 @@ mod tests {
         )
         .unwrap();
         assert!(!run_compare(&args).unwrap());
+    }
+
+    const SCALING: &str = r#"{
+  "bench": "explore_e2e",
+  "cores": 4,
+  "rows": [
+    {"group": "scaling", "name": "E16-contended-4-w1", "size": 553, "nanos": 3000000, "per_sec": 1.0},
+    {"group": "scaling", "name": "E16-contended-4-w4", "size": 553, "nanos": 1000000, "per_sec": 1.0},
+    {"group": "scaling", "name": "E13-wide-4-w1", "size": 400, "nanos": 2000000, "per_sec": 1.0},
+    {"group": "scaling", "name": "E13-wide-4-w4", "size": 400, "nanos": 1900000, "per_sec": 1.0}
+  ]
+}
+"#;
+
+    #[test]
+    fn cores_field_is_read_from_the_header_only() {
+        assert_eq!(parse_cores(SCALING), Some(4));
+        assert_eq!(parse_cores(BENCH), None, "older files carry no cores");
+        // A hypothetical row-level "cores" key must not leak into the
+        // document-level read.
+        assert_eq!(parse_cores("{\n \"rows\": [\n {\"cores\": 9}\n]}"), None);
+    }
+
+    #[test]
+    fn ratio_floor_gates_the_contended_scaling_pair() {
+        let dir = std::env::temp_dir().join("c11bench-test-ratio");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fresh = dir.join("fresh.json");
+        std::fs::write(&base, SCALING).unwrap();
+        std::fs::write(&fresh, SCALING).unwrap();
+        let args = |extra: &[&str]| {
+            let mut v = vec![
+                base.to_str().unwrap().to_string(),
+                fresh.to_str().unwrap().to_string(),
+            ];
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v
+        };
+        // 3.0x speedup on the contended shape: clears a 2.5x floor. The
+        // wide shape's 1.05x is outside the default "contended" match.
+        assert!(run_compare(&args(&["--ratio-floor", "2.5"])).unwrap());
+        // Matching the wide shape instead: 1.05x misses the floor.
+        assert!(!run_compare(&args(&["--ratio-floor", "2.5", "--ratio-match", "wide"])).unwrap());
+        // A collapsed speedup on a 4-core host fails…
+        std::fs::write(
+            &fresh,
+            SCALING.replace("\"nanos\": 1000000", "\"nanos\": 2900000"),
+        )
+        .unwrap();
+        assert!(!run_compare(&args(&["--ratio-floor", "2.5"])).unwrap());
+        // …but the same measurement from a 1-core host only has to beat
+        // the 0.7x sanity bound (baseline matched so only the ratio gate
+        // is in play).
+        let one_core = SCALING
+            .replace("\"cores\": 4", "\"cores\": 1")
+            .replace("\"nanos\": 1000000", "\"nanos\": 2900000");
+        std::fs::write(&base, &one_core).unwrap();
+        std::fs::write(&fresh, &one_core).unwrap();
+        assert!(run_compare(&args(&["--ratio-floor", "2.5"])).unwrap());
+        // A pathological collapse (w4 twice as slow as w1) fails even
+        // the relaxed 1-core bound.
+        let collapsed = SCALING
+            .replace("\"cores\": 4", "\"cores\": 1")
+            .replace("\"nanos\": 1000000", "\"nanos\": 6000000");
+        std::fs::write(&base, &collapsed).unwrap();
+        std::fs::write(&fresh, &collapsed).unwrap();
+        assert!(!run_compare(&args(&["--ratio-floor", "2.5"])).unwrap());
+        // No matching scaling pairs at all: a misconfigured gate errors
+        // instead of silently passing.
+        std::fs::write(&fresh, BENCH).unwrap();
+        std::fs::write(&base, BENCH).unwrap();
+        assert!(run_compare(&args(&["--ratio-floor", "2.5"])).is_err());
+    }
+
+    #[test]
+    fn scaling_rows_skip_the_regression_loop_across_core_counts() {
+        let dir = std::env::temp_dir().join("c11bench-test-cores-skip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fresh = dir.join("fresh.json");
+        let args = vec![
+            base.to_str().unwrap().to_string(),
+            fresh.to_str().unwrap().to_string(),
+        ];
+        // A 1-core fresh run is 3x slower on the w4 row than the 4-core
+        // baseline — a *shape* change from losing parallelism, not a
+        // regression. Same core count: the row loop flags it…
+        let slow_w4 = SCALING.replace("\"nanos\": 1000000", "\"nanos\": 3000000");
+        std::fs::write(&base, SCALING).unwrap();
+        std::fs::write(&fresh, &slow_w4).unwrap();
+        assert!(!run_compare(&args).unwrap());
+        // …but across core counts the scaling group is excluded.
+        std::fs::write(&fresh, slow_w4.replace("\"cores\": 4", "\"cores\": 1")).unwrap();
+        assert!(run_compare(&args).unwrap());
     }
 
     const LITMUS_A: &str = r#"{"schema":"c11check-litmus/v1","tests":[{"schema":"c11check/v1","mode":"litmus","name":"SB","expect_ra":"allowed","expect_sc":"forbidden","observed_ra":true,"observed_sc":false,"pass":true,"ra":{"unique":10,"wall_micros":5},"sc":{"unique":4,"wall_micros":1}}],"failed":0}"#;

@@ -29,18 +29,25 @@ pub struct Config<M: MemoryModel> {
     pub coms: Vec<Arc<Com>>,
     /// Register file of each thread (same indexing).
     pub regs: Vec<RegFile>,
-    /// The memory-model state `σ`.
-    pub mem: M::State,
+    /// The memory-model state `σ`, behind an [`Arc`]: τ-steps leave memory
+    /// untouched, so their successors share the parent's state instead of
+    /// deep-cloning it (the dominant clone of the exploration hot loop —
+    /// silent steps outnumber actions on every corpus shape). Action steps
+    /// wrap the state the model transition produced; nobody mutates a
+    /// state through the `Arc`, matching the states'
+    /// immutable-by-convention contract. `Arc<S>` hashes and compares
+    /// through to the state, so dedup keys are unaffected.
+    pub mem: Arc<M::State>,
 }
 
-// Manual impl: `derive(Clone)` would demand `M: Clone`, but only the state
-// needs cloning.
+// Manual impl: `derive(Clone)` would demand `M: Clone`, but only pointer
+// vectors and register files need cloning (`mem` is a refcount bump).
 impl<M: MemoryModel> Clone for Config<M> {
     fn clone(&self) -> Self {
         Config {
             coms: self.coms.clone(),
             regs: self.regs.clone(),
-            mem: self.mem.clone(),
+            mem: Arc::clone(&self.mem),
         }
     }
 }
@@ -68,7 +75,7 @@ impl<M: MemoryModel> Config<M> {
         Config {
             coms: prog.threads.iter().cloned().map(Arc::new).collect(),
             regs: vec![RegFile::new(); prog.threads.len()],
-            mem: model.init(prog),
+            mem: Arc::new(model.init(prog)),
         }
     }
 
@@ -134,6 +141,9 @@ impl<M: MemoryModel> Config<M> {
             Some(StepShape::Tau) => {
                 let res = apply_step(com, &StepLabel::Tau, regs)
                     .expect("τ shape must apply with τ label");
+                // A silent step leaves memory untouched: `clone` shares
+                // `self.mem` through the `Arc`, so the successor costs two
+                // small vector clones and a refcount bump.
                 let mut next = self.clone();
                 next.coms[idx] = Arc::new(res.com);
                 if let Some((r, v)) = res.reg_write {
@@ -176,7 +186,7 @@ impl<M: MemoryModel> Config<M> {
                         next: Config {
                             coms,
                             regs,
-                            mem: state,
+                            mem: Arc::new(state),
                         },
                     });
                 }

@@ -4,7 +4,7 @@ use crate::event::{Event, EventId};
 use crate::fingerprint::{combine128, SetFold};
 use c11_lang::{ThreadId, Val, VarId};
 use c11_relations::{BitSet, Relation};
-use std::cell::OnceCell;
+use std::sync::OnceLock;
 
 /// Lazily computed derived relations. Cloned with the state (a clone is a
 /// snapshot of the same execution, so the cache stays valid). The RA
@@ -13,12 +13,21 @@ use std::cell::OnceCell;
 /// absorb the delta in O(n²/64) — see [`Relation::absorb_star`]); only the
 /// arbitrary-mutation escape hatches ([`C11State::rf_mut`] /
 /// [`C11State::mo_mut`]) clear them. Excluded from equality and hashing.
+///
+/// The cells are [`OnceLock`]s, not `OnceCell`s, so a state behind an
+/// `Arc` can be shared across exploration workers (`C11State: Sync`);
+/// concurrent first computations race benignly — both compute the same
+/// value and one `set` wins.
 #[derive(Clone, Default)]
 struct Derived {
-    hb: OnceCell<Relation>,
-    eco: OnceCell<Relation>,
+    hb: OnceLock<Relation>,
+    eco: OnceLock<Relation>,
     /// `eco? ; hb?` — the reach used by encountered-writes (§3.2).
-    reach: OnceCell<Relation>,
+    reach: OnceLock<Relation>,
+    /// The 128-bit canonical fingerprint ([`C11State::fingerprint`]).
+    /// τ-steps share the parent's memory state, so caching it here turns
+    /// the per-successor dedup hash of every silent step into a load.
+    fp: OnceLock<u128>,
 }
 
 /// A C11 state: events with sequenced-before, reads-from and modification
@@ -300,6 +309,9 @@ impl C11State {
         eco_new: Option<(BitSet, BitSet)>,
         hb_new: Option<(BitSet, BitSet)>,
     ) {
+        // Any change to the underlying relations invalidates the cached
+        // canonical fingerprint (every caller mutated `self` just before).
+        self.derived.fp.take();
         let n = self.len();
         let hb_changed = hb_new.is_some();
         let eco_changed = eco_new.is_some();
@@ -554,7 +566,15 @@ impl C11State {
     /// vectors are needed. Two states with equal [`CanonicalState`]s get
     /// equal fingerprints; the converse holds up to 128-bit hash
     /// collisions (see [`crate::fingerprint`] for the collision stance).
+    ///
+    /// Cached per state: τ-successors share the parent's memory state
+    /// (structurally, behind an `Arc`), so every silent step's dedup
+    /// fingerprint after the first is a load. Mutations clear the cache.
     pub fn fingerprint(&self) -> u128 {
+        *self.derived.fp.get_or_init(|| self.fingerprint_uncached())
+    }
+
+    fn fingerprint_uncached(&self) -> u128 {
         let n = self.len();
         let mut stack = [0usize; 128];
         let mut heap = Vec::new();

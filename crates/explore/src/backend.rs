@@ -4,7 +4,7 @@
 //! into: every engine that can enumerate the reachable configurations of a
 //! program under a memory model implements it and returns the same
 //! [`ExploreResult`]. Three implementations ship today — the sequential
-//! BFS ([`SequentialBackend`]), the work-stealing parallel engine
+//! BFS ([`SequentialBackend`]), the parallel engine
 //! ([`ParallelBackend`]) and the sleep-set partial-order-reduction engine
 //! ([`DporBackend`], see [`crate::dpor`]).
 
@@ -61,8 +61,10 @@ impl<M: MemoryModel> ExploreBackend<M> for SequentialBackend {
     }
 }
 
-/// The work-stealing parallel engine (see [`crate::par`]). Requires the
-/// model and its states to cross threads; always deduplicates.
+/// The parallel engine (see [`crate::par`]): worker-private queues with
+/// chunk donation, a striped lock-free visited filter, and per-worker
+/// arenas merged at the scope join. Requires the model and its states to
+/// cross *and share across* threads; always deduplicates.
 #[derive(Clone, Copy, Debug)]
 pub struct ParallelBackend {
     /// Number of worker threads (clamped to ≥ 1).
@@ -79,7 +81,7 @@ impl ParallelBackend {
 impl<M> ExploreBackend<M> for ParallelBackend
 where
     M: MemoryModel + Sync,
-    M::State: Send,
+    M::State: Send + Sync,
 {
     fn name(&self) -> String {
         format!("parallel({})", self.workers.max(1))
@@ -133,7 +135,7 @@ impl<M: MemoryModel> ExploreBackend<M> for DporBackend {
 pub enum AnyBackend {
     /// The sequential BFS reference engine.
     Sequential,
-    /// The work-stealing parallel engine with `workers` threads.
+    /// The contention-free parallel engine with `workers` threads.
     Parallel {
         /// Worker threads (clamped to ≥ 1).
         workers: usize,
@@ -145,7 +147,7 @@ pub enum AnyBackend {
 impl<M> ExploreBackend<M> for AnyBackend
 where
     M: MemoryModel + Sync,
-    M::State: Send,
+    M::State: Send + Sync,
 {
     fn name(&self) -> String {
         match self {

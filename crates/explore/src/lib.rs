@@ -14,7 +14,7 @@
 //! (E11) and the benchmark baselines (E13).
 //!
 //! Three engines implement the [`ExploreBackend`] contract: the
-//! sequential BFS reference, the work-stealing parallel engine
+//! sequential BFS reference, the contention-free parallel engine
 //! ([`par`]), and the sleep-set dynamic-partial-order-reduction engine
 //! ([`dpor`]) that visits the same states through fewer transitions.
 
@@ -30,5 +30,5 @@ pub use engine::{
     explore_invariant_with, render_trace, ExploreConfig, ExploreResult, Explorer, RegSnapshot,
     TraceStep,
 };
-pub use par::{parallel_count_states, parallel_explore, parallel_explore_invariant};
+pub use par::{parallel_explore, parallel_explore_invariant};
 pub use stats::Stats;

@@ -1,50 +1,262 @@
-//! Parallel exploration with crossbeam scoped workers — a full backend.
+//! Parallel exploration with contention-free hot paths — a full backend.
 //!
-//! Historically this module only *counted* states; it now returns the same
-//! [`ExploreResult`] as the sequential engine: final configurations are
-//! collected per worker and merged, invariants can be checked (with
-//! violation traces), and witness traces for terminated configurations are
-//! reconstructed from cross-worker parent pointers. This closes the
-//! ROADMAP item "extend the parallel engine to full trace reconstruction".
+//! The engine returns the same [`ExploreResult`] as the sequential BFS:
+//! identical `unique`/`generated` counts, finals multiset, violations and
+//! truncation flags for any worker count (pinned corpus-wide by
+//! `tests/par_scaling.rs`). What changed relative to the first parallel
+//! engine is *where state lives*:
 //!
-//! Layout: each worker owns a deque and pushes the successors it generates
-//! there; an idle worker steals from the *back* of a victim's deque. The
-//! visited set holds the same 128-bit configuration fingerprints as the
-//! sequential engine, sharded across `SHARDS` mutexes by a fixed-seed
-//! FNV-1a of the key, so dedup contention is spread instead of funnelled
-//! through one lock. Parent pointers live in per-worker arenas; a trace
-//! step is addressed by `(worker, index)`, so chains may hop arenas when
-//! work is stolen.
+//! - **Work queues are worker-private.** Each worker pushes and pops its
+//!   own `VecDeque` with no lock at all. Load balancing goes through a
+//!   single chunk injector: when the `hungry` counter says someone is
+//!   starving, a busy worker splits off the back half of its queue and
+//!   publishes it as one chunk — one lock acquisition amortised over half
+//!   a queue, instead of a lock per push/pop/steal.
+//! - **Trace arenas, finals and counters are worker-local** and travel
+//!   back through the scoped-thread join handles; nothing merges until
+//!   the workers are done (the epoch boundary is the scope join).
+//! - **The visited set is split in two.** A worker-private `HashSet`
+//!   answers "did *I* already generate this fingerprint" without any
+//!   sharing; only on a local miss does the worker consult the global
+//!   [`VisitedFilter`] — a striped open-addressed table whose inserts are
+//!   lock-free CAS claims (the per-stripe `RwLock` is only taken
+//!   exclusively to grow the table). The filter is the linearizable
+//!   authority: exactly one worker wins each fingerprint, so the
+//!   all-backends-identical-reports contract survives arbitrary
+//!   interleavings.
+//!
+//! Memory states are shared, not copied: `Config::mem` is an
+//! `Arc<M::State>`, so τ-successors alias their parent's state and the
+//! per-state canonical fingerprint is computed once and cached (see
+//! `c11_core::state`). That is what `M::State: Sync` buys.
 //!
 //! One deliberate divergence from the sequential engine: deduplication is
 //! always on (`ExploreConfig::dedup` is ignored) — cross-worker
-//! termination detection relies on the visited set, and the dedup-off
+//! termination detection relies on the visited filter, and the dedup-off
 //! ablation (E16) is a sequential measurement.
 
 use crate::engine::{config_fingerprint, ExploreConfig, ExploreResult, TraceStep};
 use c11_core::config::Config;
 use c11_core::model::MemoryModel;
 use c11_lang::Prog;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-const SHARDS: usize = 16;
+// ---- the global membership filter --------------------------------------
 
-/// Shard selector: one fixed-seed FNV-1a pass over the 16 key bytes. The
-/// key is already a fingerprint, but its low bits feed the hash-set's
-/// bucketing — folding all 128 bits keeps shard choice independent of it.
+/// Stripes of the global filter. More stripes than workers keeps the
+/// probability of two workers growing the same stripe at once low.
+const FILTER_SHARDS: usize = 32;
+
+/// Initial slots per stripe (power of two; grows by doubling).
+const FILTER_INITIAL_SLOTS: usize = 32;
+
+/// Slot markers. A slot's `lo` word is `EMPTY` (free), `CLAIMED` (an
+/// insert won the CAS and is about to publish), or the key's low word.
+const SLOT_EMPTY: u64 = 0;
+const SLOT_CLAIMED: u64 = 1;
+
+/// Stripe selector: one fixed-seed FNV-1a pass over the 16 key bytes. The
+/// key is already a fingerprint, but its low bits feed the slot probing —
+/// folding all 128 bits keeps stripe choice independent of it.
 fn shard_of(key: u128) -> usize {
     let mut fnv: u64 = 0xcbf29ce484222325;
     for b in key.to_le_bytes() {
         fnv ^= b as u64;
         fnv = fnv.wrapping_mul(0x100000001b3);
     }
-    (fnv as usize) % SHARDS
+    (fnv as usize) % FILTER_SHARDS
 }
 
+/// Splits a 128-bit fingerprint into the two slot words, steering clear
+/// of the reserved `lo` markers. The remap aliases a key with
+/// `lo ∈ {0, 1}` onto one with the top bit set — a 2⁻⁶³ event folded
+/// into the fingerprinting collision stance (`c11_core::fingerprint`).
+fn split_key(key: u128) -> (u64, u64) {
+    let mut lo = key as u64;
+    let hi = (key >> 64) as u64;
+    if lo <= SLOT_CLAIMED {
+        lo |= 1 << 63;
+    }
+    (lo, hi)
+}
+
+/// Start slot for probing: a multiply-mix over both words, deliberately
+/// different from [`shard_of`] so stripe choice and probe order draw on
+/// different bits.
+fn slot_start(lo: u64, hi: u64) -> usize {
+    ((lo.rotate_left(32) ^ hi).wrapping_mul(0x9e3779b97f4a7c15) >> 11) as usize
+}
+
+/// One 128-bit entry, published in two words with a claim protocol:
+/// insert CASes `lo` from `EMPTY` to `CLAIMED`, stores `hi`, then
+/// release-stores the real `lo`. Readers that load the real `lo`
+/// (acquire) therefore see the matching `hi`.
+struct Slot {
+    lo: AtomicU64,
+    hi: AtomicU64,
+}
+
+enum Probe {
+    /// The key was absent; this call inserted it.
+    Fresh,
+    /// The key was already present.
+    Present,
+    /// Probing wrapped without finding the key or a free slot.
+    Full,
+}
+
+/// An open-addressed table of [`Slot`]s (linear probing). Concurrent
+/// inserts are plain CAS races — no lock is held per operation; the
+/// enclosing `RwLock` is only taken exclusively to double the table.
+struct Table {
+    slots: Box<[Slot]>,
+    occupied: AtomicUsize,
+}
+
+impl Table {
+    fn new(capacity: usize) -> Table {
+        debug_assert!(capacity.is_power_of_two());
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                lo: AtomicU64::new(SLOT_EMPTY),
+                hi: AtomicU64::new(0),
+            })
+            .collect();
+        Table {
+            slots,
+            occupied: AtomicUsize::new(0),
+        }
+    }
+
+    /// Lock-free insert-or-find. Runs under a shared (read) guard of the
+    /// stripe lock, so growth cannot rip the table out from under it.
+    fn probe_insert(&self, lo: u64, hi: u64) -> Probe {
+        let mask = self.slots.len() - 1;
+        let mut i = slot_start(lo, hi) & mask;
+        for _ in 0..self.slots.len() {
+            let slot = &self.slots[i];
+            let mut cur = slot.lo.load(Ordering::Acquire);
+            if cur == SLOT_EMPTY {
+                match slot.lo.compare_exchange(
+                    SLOT_EMPTY,
+                    SLOT_CLAIMED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        slot.hi.store(hi, Ordering::Release);
+                        slot.lo.store(lo, Ordering::Release);
+                        self.occupied.fetch_add(1, Ordering::Relaxed);
+                        return Probe::Fresh;
+                    }
+                    Err(seen) => cur = seen,
+                }
+            }
+            // A concurrent claimer is mid-publish: its key might be ours.
+            while cur == SLOT_CLAIMED {
+                std::hint::spin_loop();
+                cur = slot.lo.load(Ordering::Acquire);
+            }
+            if cur == lo && slot.hi.load(Ordering::Acquire) == hi {
+                return Probe::Present;
+            }
+            i = (i + 1) & mask;
+        }
+        Probe::Full
+    }
+
+    /// Moves every entry into `bigger`. Exclusive access (write guard):
+    /// no claims can be in flight, so plain relaxed traffic suffices.
+    fn rehash_into(&self, bigger: &Table) {
+        let mask = bigger.slots.len() - 1;
+        for slot in self.slots.iter() {
+            let lo = slot.lo.load(Ordering::Relaxed);
+            debug_assert_ne!(lo, SLOT_CLAIMED, "claims cannot survive a write lock");
+            if lo == SLOT_EMPTY {
+                continue;
+            }
+            let hi = slot.hi.load(Ordering::Relaxed);
+            let mut i = slot_start(lo, hi) & mask;
+            loop {
+                let s = &bigger.slots[i];
+                if s.lo.load(Ordering::Relaxed) == SLOT_EMPTY {
+                    s.hi.store(hi, Ordering::Relaxed);
+                    s.lo.store(lo, Ordering::Relaxed);
+                    break;
+                }
+                i = (i + 1) & mask;
+            }
+        }
+        bigger
+            .occupied
+            .store(self.occupied.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Keeps each stripe's lock word on its own cache line so readers of
+/// neighbouring stripes don't false-share.
+#[repr(align(64))]
+struct Padded<T>(T);
+
+/// The global membership filter: `FILTER_SHARDS` independently grown
+/// tables. `insert` is the linearization point of state discovery —
+/// exactly one worker gets `true` per fingerprint.
+struct VisitedFilter {
+    shards: Vec<Padded<RwLock<Table>>>,
+}
+
+impl VisitedFilter {
+    fn new() -> VisitedFilter {
+        VisitedFilter {
+            shards: (0..FILTER_SHARDS)
+                .map(|_| Padded(RwLock::new(Table::new(FILTER_INITIAL_SLOTS))))
+                .collect(),
+        }
+    }
+
+    /// Inserts the fingerprint; `true` iff it was fresh. The hot path
+    /// takes a shared stripe guard and does one CAS; the write lock is
+    /// only taken to double a stripe past ¾ load.
+    fn insert(&self, key: u128) -> bool {
+        let (lo, hi) = split_key(key);
+        let shard = &self.shards[shard_of(key)].0;
+        loop {
+            let seen_cap = {
+                let table = shard.read();
+                // Grow ahead of ¾ load: linear probing degrades sharply
+                // past it, and headroom absorbs concurrent overshoot.
+                if table.occupied.load(Ordering::Relaxed) * 4 < table.slots.len() * 3 {
+                    match table.probe_insert(lo, hi) {
+                        Probe::Fresh => return true,
+                        Probe::Present => return false,
+                        Probe::Full => {}
+                    }
+                }
+                table.slots.len()
+            };
+            grow(shard, seen_cap);
+        }
+    }
+}
+
+/// Doubles the stripe unless another worker already did (the capacity
+/// check under the write lock decides the race).
+fn grow(shard: &RwLock<Table>, seen_cap: usize) {
+    let mut guard = shard.write();
+    if guard.slots.len() > seen_cap {
+        return;
+    }
+    let bigger = Table::new(guard.slots.len() * 2);
+    guard.rehash_into(&bigger);
+    *guard = bigger;
+}
+
+// ---- the exploration engine --------------------------------------------
+
 /// A cross-arena parent pointer: `(worker, index into that worker's
-/// arena)`. `NodeRef::NONE` marks the root.
+/// arena)`. `NodeRef::NONE` marks the root configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct NodeRef {
     worker: u32,
@@ -58,77 +270,85 @@ impl NodeRef {
     };
 }
 
-/// One parent-pointer node in a worker's arena.
+/// One parent-pointer node in a worker's arena. Only the owning worker
+/// pushes; everyone reads after the scope joins.
 struct Node {
     parent: NodeRef,
-    step: Option<TraceStep>,
+    step: TraceStep,
 }
 
 /// A queued unit of work: the configuration, its trace node and its BFS
 /// depth.
 type Item<M> = (Config<M>, NodeRef, usize);
 
-/// One worker's collected terminated configurations with their trace
-/// nodes.
+/// Terminated configurations with their trace nodes.
 type Finals<M> = Vec<(Config<M>, NodeRef)>;
 
-struct Shared<M: MemoryModel> {
-    /// One work deque per worker (owner pushes/pops the front, thieves
-    /// take from the back).
-    queues: Vec<Mutex<VecDeque<Item<M>>>>,
-    visited: Vec<Mutex<HashSet<u128>>>,
-    /// Per-worker parent-pointer arenas (only the owner pushes; everyone
-    /// reads after the scope joins).
-    arenas: Vec<Mutex<Vec<Node>>>,
-    /// Per-worker terminated configurations (merged after the join).
-    finals: Vec<Mutex<Finals<M>>>,
-    /// Invariant violations (rare; one shared vector is fine).
-    violations: Mutex<Finals<M>>,
-    /// Configurations queued but not yet fully expanded; 0 ⇒ done.
-    in_flight: AtomicUsize,
-    truncated: AtomicBool,
-    unique: AtomicUsize,
-    generated: AtomicUsize,
-    stuck: AtomicUsize,
+/// Everything a worker accumulated privately, returned through its join
+/// handle and merged once — the "epoch publication" of the per-worker
+/// arenas.
+struct WorkerOut<M: MemoryModel> {
+    arena: Vec<Node>,
+    finals: Finals<M>,
+    generated: usize,
+    stuck: usize,
 }
 
-impl<M: MemoryModel> Shared<M> {
-    /// Inserts the fingerprint into its shard; `true` iff it was fresh.
-    fn mark_visited(&self, key: u128) -> bool {
-        self.visited[shard_of(key)].lock().insert(key)
-    }
+/// The (deliberately small) shared core: the dedup filter, the chunk
+/// injector for load balancing, and the counters that must be global —
+/// `unique` feeds the racy-bounded `max_states` check, `in_flight` drives
+/// termination detection.
+struct Shared<M: MemoryModel> {
+    filter: VisitedFilter,
+    /// Donated work, one `Vec` per donation. Locked once per chunk, not
+    /// per item.
+    injector: Mutex<VecDeque<Vec<Item<M>>>>,
+    /// Length mirror of `injector` so donors and takers can poll without
+    /// the lock.
+    injector_len: AtomicUsize,
+    /// Number of workers currently starving; a busy worker donates while
+    /// this exceeds the chunks already available.
+    hungry: AtomicUsize,
+    /// Configurations queued but not yet fully expanded; 0 ⇒ done.
+    in_flight: AtomicUsize,
+    unique: AtomicUsize,
+    truncated: AtomicBool,
+    /// Invariant violations (rare; one shared vector is fine).
+    violations: Mutex<Finals<M>>,
+}
 
-    /// Pops local work, or steals from the back of another worker's deque.
-    fn find_work(&self, me: usize) -> Option<Item<M>> {
-        if let Some(c) = self.queues[me].lock().pop_front() {
-            return Some(c);
-        }
-        let n = self.queues.len();
-        for off in 1..n {
-            if let Some(c) = self.queues[(me + off) % n].lock().pop_back() {
-                return Some(c);
-            }
-        }
-        None
+/// Publishes the back half of `local` as one injector chunk when someone
+/// is starving and the injector can't already feed them.
+fn donate_if_hungry<M: MemoryModel>(shared: &Shared<M>, local: &mut VecDeque<Item<M>>) {
+    if local.len() < 2 {
+        return;
     }
+    if shared.hungry.load(Ordering::Relaxed) <= shared.injector_len.load(Ordering::Relaxed) {
+        return;
+    }
+    let chunk: Vec<Item<M>> = local.split_off(local.len() / 2).into();
+    shared.injector_len.fetch_add(1, Ordering::Relaxed);
+    shared.injector.lock().push_back(chunk);
+}
 
-    /// Appends a node to `me`'s arena and returns its reference.
-    fn push_node(&self, me: usize, parent: NodeRef, step: Option<TraceStep>) -> NodeRef {
-        let mut arena = self.arenas[me].lock();
-        arena.push(Node { parent, step });
-        NodeRef {
-            worker: me as u32,
-            idx: (arena.len() - 1) as u32,
-        }
+/// Takes one donated chunk, if any (lock skipped while the mirror reads
+/// zero).
+fn take_chunk<M: MemoryModel>(shared: &Shared<M>) -> Option<Vec<Item<M>>> {
+    if shared.injector_len.load(Ordering::Relaxed) == 0 {
+        return None;
     }
+    let chunk = shared.injector.lock().pop_front();
+    if chunk.is_some() {
+        shared.injector_len.fetch_sub(1, Ordering::Relaxed);
+    }
+    chunk
 }
 
 /// Explores all reachable configurations of `prog` under `model` with
 /// `workers` threads, honouring every [`ExploreConfig`] bound
-/// (`max_events`, `max_states`, `max_depth`) — the old count-only engine
-/// had no state cap. Returns the same [`ExploreResult`] as the sequential
-/// engine; `finals` order is nondeterministic across runs (compare as a
-/// multiset, or sort).
+/// (`max_events`, `max_states`, `max_depth`). Returns the same
+/// [`ExploreResult`] as the sequential engine; `finals` order is
+/// nondeterministic across runs (compare as a multiset, or sort).
 pub fn parallel_explore<M>(
     model: &M,
     prog: &Prog,
@@ -137,15 +357,15 @@ pub fn parallel_explore<M>(
 ) -> ExploreResult<M>
 where
     M: MemoryModel + Sync,
-    M::State: Send,
+    M::State: Send + Sync,
 {
     parallel_explore_invariant(model, prog, cfg, workers, &|_| true)
 }
 
 /// [`parallel_explore`] with an invariant checked on every visited
 /// configuration. The invariant must be `Sync` (it is called from all
-/// workers); violation traces are reconstructed when
-/// `cfg.record_traces` is on.
+/// workers); violation traces are reconstructed when `cfg.record_traces`
+/// is on.
 pub fn parallel_explore_invariant<M, F>(
     model: &M,
     prog: &Prog,
@@ -155,48 +375,95 @@ pub fn parallel_explore_invariant<M, F>(
 ) -> ExploreResult<M>
 where
     M: MemoryModel + Sync,
-    M::State: Send,
+    M::State: Send + Sync,
     F: Fn(&Config<M>) -> bool + Sync + ?Sized,
 {
     let workers = workers.max(1);
     // Arenas are only fed when someone will read the parent pointers back.
     let track = cfg.record_traces || cfg.witness_traces;
-    let shared: Shared<M> = Shared {
-        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-        visited: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
-        arenas: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
-        finals: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
-        violations: Mutex::new(Vec::new()),
-        in_flight: AtomicUsize::new(0),
-        truncated: AtomicBool::new(false),
-        unique: AtomicUsize::new(0),
-        generated: AtomicUsize::new(0),
-        stuck: AtomicUsize::new(0),
-    };
     let initial = Config::initial(model, prog);
-    shared.mark_visited(config_fingerprint(model, &initial));
-    shared.unique.fetch_add(1, Ordering::Relaxed);
-    let root = if track {
-        shared.push_node(0, NodeRef::NONE, None)
-    } else {
-        NodeRef::NONE
-    };
-    if !inv(&initial) {
-        shared.violations.lock().push((initial.clone(), root));
-    }
+    let initial_bad = !inv(&initial);
     if initial.is_terminated() {
-        shared.finals[0].lock().push((initial, root));
-    } else {
-        shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        shared.queues[0].lock().push_back((initial, root, 0));
+        // Nothing to explore; match the sequential result shape exactly.
+        return ExploreResult {
+            unique: 1,
+            generated: 0,
+            final_traces: if cfg.witness_traces {
+                vec![Vec::new()]
+            } else {
+                Vec::new()
+            },
+            violations: if initial_bad {
+                vec![(initial.clone(), Vec::new())]
+            } else {
+                Vec::new()
+            },
+            finals: vec![initial],
+            truncated: false,
+            stuck: 0,
+        };
     }
 
-    crossbeam::scope(|scope| {
-        for me in 0..workers {
-            let shared = &shared;
-            scope.spawn(move |_| loop {
-                match shared.find_work(me) {
-                    Some((config, node, depth)) => {
+    let shared: Shared<M> = Shared {
+        filter: VisitedFilter::new(),
+        injector: Mutex::new(VecDeque::new()),
+        injector_len: AtomicUsize::new(0),
+        hungry: AtomicUsize::new(0),
+        in_flight: AtomicUsize::new(1),
+        unique: AtomicUsize::new(1),
+        truncated: AtomicBool::new(false),
+        violations: Mutex::new(Vec::new()),
+    };
+    shared.filter.insert(config_fingerprint(model, &initial));
+    if initial_bad {
+        shared
+            .violations
+            .lock()
+            .push((initial.clone(), NodeRef::NONE));
+    }
+    let mut seeds: Vec<VecDeque<Item<M>>> = (0..workers).map(|_| VecDeque::new()).collect();
+    seeds[0].push_back((initial, NodeRef::NONE, 0));
+
+    let outs: Vec<WorkerOut<M>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .into_iter()
+            .enumerate()
+            .map(|(me, seed)| {
+                let shared = &shared;
+                scope.spawn(move |_| {
+                    let mut local = seed;
+                    let mut seen: HashSet<u128> = HashSet::new();
+                    let mut arena: Vec<Node> = Vec::new();
+                    let mut finals: Finals<M> = Vec::new();
+                    let mut generated = 0usize;
+                    let mut stuck = 0usize;
+                    'work: loop {
+                        let (config, node, depth) = match local.pop_front() {
+                            Some(item) => item,
+                            None => {
+                                // Starving: advertise it, then poll the
+                                // injector until fed or everything drains.
+                                shared.hungry.fetch_add(1, Ordering::SeqCst);
+                                let got = loop {
+                                    if let Some(chunk) = take_chunk(shared) {
+                                        break Some(chunk);
+                                    }
+                                    if shared.in_flight.load(Ordering::SeqCst) == 0 {
+                                        break None;
+                                    }
+                                    std::thread::yield_now();
+                                };
+                                shared.hungry.fetch_sub(1, Ordering::SeqCst);
+                                match got {
+                                    Some(chunk) => {
+                                        local.extend(chunk);
+                                        continue 'work;
+                                    }
+                                    None => break 'work,
+                                }
+                            }
+                        };
+                        donate_if_hungry(shared, &mut local);
                         if shared.unique.load(Ordering::Relaxed) >= cfg.max_states {
                             // State cap reached: stop expanding (mirrors
                             // the sequential engine's pop-time check).
@@ -208,24 +475,33 @@ where
                         } else {
                             let successors = config.successors(model);
                             if successors.is_empty() && !config.is_terminated() {
-                                shared.stuck.fetch_add(1, Ordering::Relaxed);
+                                stuck += 1;
                             }
                             for step in successors {
-                                shared.generated.fetch_add(1, Ordering::Relaxed);
+                                generated += 1;
                                 let next = step.next;
-                                if !shared.mark_visited(config_fingerprint(model, &next)) {
+                                let key = config_fingerprint(model, &next);
+                                // Private cache first — repeats this
+                                // worker generated never touch the filter.
+                                if !seen.insert(key) {
+                                    continue;
+                                }
+                                if !shared.filter.insert(key) {
                                     continue;
                                 }
                                 shared.unique.fetch_add(1, Ordering::Relaxed);
                                 let child = if track {
-                                    shared.push_node(
-                                        me,
-                                        node,
-                                        Some(TraceStep {
+                                    arena.push(Node {
+                                        parent: node,
+                                        step: TraceStep {
                                             tid: step.tid,
                                             label: step.label,
-                                        }),
-                                    )
+                                        },
+                                    });
+                                    NodeRef {
+                                        worker: me as u32,
+                                        idx: (arena.len() - 1) as u32,
+                                    }
                                 } else {
                                     NodeRef::NONE
                                 };
@@ -237,36 +513,48 @@ where
                                     // successors — collect them, skip the
                                     // queue (mirrors the sequential
                                     // engine).
-                                    shared.finals[me].lock().push((next, child));
+                                    finals.push((next, child));
                                 } else {
                                     shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                                    shared.queues[me].lock().push_back((next, child, depth + 1));
+                                    local.push_back((next, child, depth + 1));
                                 }
                             }
                         }
                         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                     }
-                    None => {
-                        if shared.in_flight.load(Ordering::SeqCst) == 0 {
-                            return;
-                        }
-                        std::thread::yield_now();
+                    WorkerOut {
+                        arena,
+                        finals,
+                        generated,
+                        stuck,
                     }
-                }
-            });
-        }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("worker panicked");
 
-    // Workers are joined: unwrap the arenas and resolve parent chains.
-    let arenas: Vec<Vec<Node>> = shared.arenas.into_iter().map(|m| m.into_inner()).collect();
+    // Workers are joined: merge the published arenas and resolve parent
+    // chains.
+    let mut arenas: Vec<Vec<Node>> = Vec::with_capacity(workers);
+    let mut worker_finals: Vec<Finals<M>> = Vec::with_capacity(workers);
+    let mut generated = 0usize;
+    let mut stuck = 0usize;
+    for out in outs {
+        arenas.push(out.arena);
+        worker_finals.push(out.finals);
+        generated += out.generated;
+        stuck += out.stuck;
+    }
     let trace_of = |mut r: NodeRef| {
         let mut steps = Vec::new();
         while r != NodeRef::NONE {
             let node = &arenas[r.worker as usize][r.idx as usize];
-            if let Some(s) = &node.step {
-                steps.push(s.clone());
-            }
+            steps.push(node.step.clone());
             r = node.parent;
         }
         steps.reverse();
@@ -275,8 +563,8 @@ where
 
     let mut finals = Vec::new();
     let mut final_traces = Vec::new();
-    for per_worker in shared.finals {
-        for (cfg_final, node) in per_worker.into_inner() {
+    for per_worker in worker_finals {
+        for (cfg_final, node) in per_worker {
             if cfg.witness_traces {
                 final_traces.push(trace_of(node));
             }
@@ -299,36 +587,13 @@ where
 
     ExploreResult {
         unique: shared.unique.load(Ordering::Relaxed),
-        generated: shared.generated.load(Ordering::Relaxed),
+        generated,
         finals,
         final_traces,
         truncated: shared.truncated.load(Ordering::Relaxed),
         violations,
-        stuck: shared.stuck.load(Ordering::Relaxed),
+        stuck,
     }
-}
-
-/// Counts distinct reachable configurations of `prog` under `model` with
-/// `workers` threads, bounding memory states at `max_events` events.
-/// Returns `(unique_states, truncated)`. Thin shim over
-/// [`parallel_explore`] kept for the benches and counting sweeps; agrees
-/// with the sequential engine's `unique` count for any worker count
-/// (asserted corpus-wide by `tests/fingerprint_dedup.rs`).
-pub fn parallel_count_states<M>(
-    model: &M,
-    prog: &Prog,
-    max_events: usize,
-    workers: usize,
-) -> (usize, bool)
-where
-    M: MemoryModel + Sync,
-    M::State: Send,
-{
-    let cfg = ExploreConfig::default()
-        .max_events(max_events)
-        .record_traces(false);
-    let res = parallel_explore(model, prog, &cfg, workers);
-    (res.unique, res.truncated)
 }
 
 #[cfg(test)]
@@ -345,10 +610,11 @@ mod tests {
              thread t2 { y := 1; r0 <- x; }";
         let prog = parse_program(src).unwrap();
         let seq = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
-        for workers in [1, 2, 4] {
-            let (par, truncated) = parallel_count_states(&RaModel, &prog, 24, workers);
-            assert_eq!(par, seq.unique, "workers={workers}");
-            assert_eq!(truncated, seq.truncated);
+        for workers in [1, 2, 4, 8] {
+            let par = parallel_explore(&RaModel, &prog, &ExploreConfig::default(), workers);
+            assert_eq!(par.unique, seq.unique, "workers={workers}");
+            assert_eq!(par.generated, seq.generated, "workers={workers}");
+            assert_eq!(par.truncated, seq.truncated);
         }
     }
 
@@ -413,16 +679,83 @@ mod tests {
     #[test]
     fn parallel_reports_truncation() {
         let prog = parse_program("vars x; thread t { while (x == 0) { skip; } }").unwrap();
-        let (_, truncated) = parallel_count_states(&RaModel, &prog, 6, 2);
-        assert!(truncated);
+        let cfg = ExploreConfig::default().max_events(6).record_traces(false);
+        let res = parallel_explore(&RaModel, &prog, &cfg, 2);
+        assert!(res.truncated);
+    }
+
+    #[test]
+    fn terminated_initial_configuration_short_circuits() {
+        let prog = parse_program("vars x; thread t { skip; }").unwrap();
+        let seq = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+        // "skip" is one τ step, so force a truly terminated initial.
+        let res = parallel_explore(&RaModel, &prog, &ExploreConfig::default(), 4);
+        assert_eq!(res.unique, seq.unique);
+        assert_eq!(res.finals.len(), seq.finals.len());
     }
 
     #[test]
     fn shard_of_is_stable_and_in_range() {
         for k in [0u128, 1, u128::MAX, 0xdead_beef] {
             let s = shard_of(k);
-            assert!(s < SHARDS);
+            assert!(s < FILTER_SHARDS);
             assert_eq!(s, shard_of(k));
         }
+    }
+
+    #[test]
+    fn filter_inserts_each_key_exactly_once() {
+        let filter = VisitedFilter::new();
+        // Enough keys to force several doublings of every stripe.
+        let keys: Vec<u128> = (0..10_000u128)
+            .map(|i| i.wrapping_mul(0x0123_4567_89ab_cdef_fedc_ba98_7654_3211))
+            .collect();
+        for &k in &keys {
+            assert!(filter.insert(k), "first insert of {k:x} must be fresh");
+        }
+        for &k in &keys {
+            assert!(!filter.insert(k), "second insert of {k:x} must dedup");
+        }
+    }
+
+    #[test]
+    fn filter_handles_reserved_low_words() {
+        let filter = VisitedFilter::new();
+        // Keys whose low word collides with the slot markers get remapped
+        // but must still behave as set members.
+        for k in [0u128, 1, 1 << 64, (1 << 64) | 1] {
+            assert!(filter.insert(k));
+            assert!(!filter.insert(k));
+        }
+    }
+
+    #[test]
+    fn filter_is_safe_under_concurrent_insertion() {
+        let filter = VisitedFilter::new();
+        let fresh = AtomicUsize::new(0);
+        let distinct = 4_096u128;
+        crossbeam::scope(|scope| {
+            for t in 0..4u128 {
+                let filter = &filter;
+                let fresh = &fresh;
+                scope.spawn(move |_| {
+                    // Overlapping ranges: every key is attempted by two
+                    // threads.
+                    for i in 0..distinct {
+                        let key = ((i + t * distinct / 2) % distinct)
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835);
+                        if filter.insert(key) {
+                            fresh.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            fresh.load(Ordering::Relaxed),
+            distinct as usize,
+            "each distinct key must be claimed exactly once"
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! E16: the parallel explorer agrees with the sequential one.
 
 use c11_operational::core::model::WeakObsRaModel;
-use c11_operational::explore::parallel_count_states;
+use c11_operational::explore::parallel_explore;
 use c11_operational::prelude::*;
 
 /// With full observability, CoRR-style stale reads are impossible; with
@@ -75,8 +75,11 @@ fn e16_parallel_matches_sequential() {
         let prog = parse_program(&test.source).unwrap();
         let seq = Explorer::new(RaModel)
             .explore(&prog, ExploreConfig::default().max_events(test.max_events));
-        let (par, truncated) = parallel_count_states(&RaModel, &prog, test.max_events, 4);
-        assert_eq!(par, seq.unique, "{}", test.name);
-        assert_eq!(truncated, seq.truncated, "{}", test.name);
+        let cfg = ExploreConfig::default()
+            .max_events(test.max_events)
+            .record_traces(false);
+        let par = parallel_explore(&RaModel, &prog, &cfg, 4);
+        assert_eq!(par.unique, seq.unique, "{}", test.name);
+        assert_eq!(par.truncated, seq.truncated, "{}", test.name);
     }
 }

@@ -9,7 +9,7 @@
 use c11_operational::core::config::Config;
 use c11_operational::core::model::MemoryModel;
 use c11_operational::core::state::CanonicalState;
-use c11_operational::explore::parallel_count_states;
+use c11_operational::explore::parallel_explore;
 use c11_operational::lang::step::RegFile;
 use c11_operational::litmus::corpus;
 use c11_operational::prelude::*;
@@ -77,10 +77,13 @@ fn parallel_fingerprint_counts_match_sequential_on_corpus() {
         let prog = parse_program(&test.source).expect("corpus parses");
         let seq = Explorer::new(RaModel)
             .explore(&prog, ExploreConfig::default().max_events(test.max_events));
+        let cfg = ExploreConfig::default()
+            .max_events(test.max_events)
+            .record_traces(false);
         for workers in [1usize, 2, 4] {
-            let (par, truncated) = parallel_count_states(&RaModel, &prog, test.max_events, workers);
-            assert_eq!(par, seq.unique, "{} at {workers} workers", test.name);
-            assert_eq!(truncated, seq.truncated, "{} truncation", test.name);
+            let par = parallel_explore(&RaModel, &prog, &cfg, workers);
+            assert_eq!(par.unique, seq.unique, "{} at {workers} workers", test.name);
+            assert_eq!(par.truncated, seq.truncated, "{} truncation", test.name);
         }
     }
 }
