@@ -96,6 +96,14 @@ pub struct BatchStats {
     pub ok: usize,
     /// Requests that failed before execution (parse/mode errors).
     pub errors: usize,
+    /// Requests rejected by queue backpressure
+    /// ([`CheckError::Overloaded`]) — not genuine job failures, so they
+    /// do not affect [`BatchReport::all_ok`].
+    pub overloaded: usize,
+    /// Reports cut short by a deadline or cancellation (their status is
+    /// `"timed_out"`/`"cancelled"`); they count into `ok` as well, and
+    /// like `overloaded` they do not affect [`BatchReport::all_ok`].
+    pub interrupted: usize,
     /// Reports served from the session cache during this batch.
     pub cache_hits: usize,
     /// Litmus reports whose verdicts did not match expectations.
@@ -140,13 +148,20 @@ impl BatchReport {
                 Ok(r) => {
                     stats.ok += 1;
                     stats.cache_hits += usize::from(r.cache_hit());
+                    stats.interrupted += usize::from(r.interrupt().is_some());
                     stats.explore = stats.explore.merged(&r.stats());
                     if let CheckReport::Litmus(l) = r {
-                        if !l.pass {
+                        // An interrupted litmus run never completed its
+                        // verdict — a deadline hit is not a failure.
+                        if !l.pass && r.interrupt().is_none() {
                             stats.litmus_failed += 1;
                         }
                     }
                 }
+                Err(CheckError::Overloaded) => stats.overloaded += 1,
+                // A cancelled waiter is an interruption, not a job
+                // failure — mirror the report-level statuses.
+                Err(CheckError::Cancelled) => stats.interrupted += 1,
                 Err(_) => stats.errors += 1,
             }
         }
@@ -170,6 +185,8 @@ impl BatchReport {
             ("jobs", Json::from(s.jobs)),
             ("ok", Json::from(s.ok)),
             ("errors", Json::from(s.errors)),
+            ("overloaded", Json::from(s.overloaded)),
+            ("interrupted", Json::from(s.interrupted)),
             ("cache_hits", Json::from(s.cache_hits)),
             ("litmus_failed", Json::from(s.litmus_failed)),
             (

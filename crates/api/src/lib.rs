@@ -40,14 +40,16 @@ use c11_core::config::Config;
 use c11_core::dot::to_dot;
 use c11_core::fingerprint::{combine128, fingerprint_prog, hash128_of};
 use c11_core::model::{MemoryModel, PreExecutionModel, RaModel, ScModel};
-use c11_explore::{AnyBackend, ExploreBackend, ExploreConfig, ExploreResult, RegSnapshot, Stats};
+use c11_explore::{
+    AnyBackend, Budget, ExploreBackend, ExploreConfig, ExploreResult, Interrupt, RegSnapshot, Stats,
+};
 use c11_lang::step::RegFile;
 use c11_lang::{parse_program, Prog, RegId, ThreadId, Val};
 use c11_litmus::{run_test_configured, LitmusTest, Verdict};
 use json::Json;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which memory model answers the request.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -270,6 +272,14 @@ pub enum CheckError {
     Unsupported(String),
     /// A session-level failure (unknown job id, collected twice, …).
     Session(String),
+    /// The session's submission queue is full ([`SessionConfig`]'s
+    /// `max_queue_depth`); the request was rejected, not queued. Retry
+    /// after draining — nothing about the request itself is wrong.
+    Overloaded,
+    /// The job was cancelled while a waiter was blocked on it (a report
+    /// that was *computed* under a cancelled budget comes back as a
+    /// `"cancelled"`-status report instead, with partial stats).
+    Cancelled,
 }
 
 impl std::fmt::Display for CheckError {
@@ -278,6 +288,8 @@ impl std::fmt::Display for CheckError {
             CheckError::Parse(e) => write!(f, "parse error: {e}"),
             CheckError::Unsupported(e) => write!(f, "unsupported request: {e}"),
             CheckError::Session(e) => write!(f, "session error: {e}"),
+            CheckError::Overloaded => write!(f, "overloaded: submission queue is full"),
+            CheckError::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -329,6 +341,7 @@ pub struct CheckRequest {
     mode: Mode,
     traces: Option<bool>,
     dot: usize,
+    timeout: Option<Duration>,
 }
 
 impl CheckRequest {
@@ -342,6 +355,7 @@ impl CheckRequest {
             mode: Mode::default(),
             traces: None,
             dot: 0,
+            timeout: None,
         }
     }
 
@@ -357,6 +371,7 @@ impl CheckRequest {
             mode: Mode::LitmusVerdict,
             traces: None,
             dot: 0,
+            timeout: None,
         }
     }
 
@@ -396,6 +411,15 @@ impl CheckRequest {
     /// Renders up to `n` final executions as DOT (event-based models).
     pub fn dot(mut self, n: usize) -> Self {
         self.dot = n;
+        self
+    }
+
+    /// Caps the exploration's wall-clock time, measured from when compute
+    /// starts (queue wait excluded). A tripped deadline yields a normal
+    /// report with status `"timed_out"` and sane partial stats — not an
+    /// error. Overrides the session's `job_timeout` when tighter.
+    pub fn timeout(mut self, d: Duration) -> Self {
+        self.timeout = Some(d);
         self
     }
 
@@ -440,6 +464,7 @@ impl CheckRequest {
             mode: self.mode,
             traces: self.traces,
             dot: self.dot,
+            timeout: self.timeout,
         })
     }
 }
@@ -458,6 +483,7 @@ pub(crate) struct Resolved {
     pub(crate) mode: Mode,
     pub(crate) traces: Option<bool>,
     pub(crate) dot: usize,
+    pub(crate) timeout: Option<Duration>,
 }
 
 enum ResolvedInput {
@@ -494,7 +520,16 @@ impl Resolved {
 
     /// Executes the request and produces its report. Infallible: every
     /// error surface lives in [`CheckRequest::resolve`].
-    pub(crate) fn compute(&self) -> CheckReport {
+    ///
+    /// `token` is the job's cancel token (unlimited for one-shot runs);
+    /// the request's `timeout` is stamped onto it *here*, so the deadline
+    /// measures compute time, not queue wait. A tripped budget yields a
+    /// `"timed_out"`/`"cancelled"` report with partial stats.
+    pub(crate) fn compute(&self, token: &Budget) -> CheckReport {
+        let budget = match self.timeout {
+            Some(t) => token.with_deadline_at(Instant::now() + t),
+            None => token.clone(),
+        };
         let meta = Meta {
             model: self.model,
             backend: self.backend,
@@ -507,7 +542,11 @@ impl Resolved {
             // The request's bounds (seeded from the test's own event
             // bound in `CheckRequest::litmus`, overridable via
             // `.bounds(..)`) govern both explorations.
-            let cfg = self.bounds.explore_config().record_traces(false);
+            let cfg = self
+                .bounds
+                .explore_config()
+                .record_traces(false)
+                .budget(budget);
             let be = self.backend.any();
             let result = run_test_configured(test, &be, &be, &cfg, &cfg);
             return CheckReport::Litmus(LitmusVerdictReport {
@@ -526,16 +565,17 @@ impl Resolved {
         match self.model {
             ModelChoice::Ra => self.run_on(
                 meta,
+                &budget,
                 &RaModel,
                 prog,
                 Some(&|c: &Config<RaModel>| is_valid(&c.mem)),
                 Some(&|c: &Config<RaModel>| to_dot(&c.mem, &prog.var_names)),
             ),
-            ModelChoice::Sc => self.run_on(meta, &ScModel, prog, None, None),
+            ModelChoice::Sc => self.run_on(meta, &budget, &ScModel, prog, None, None),
             ModelChoice::PreExecution => {
                 let model = PreExecutionModel::for_program(prog);
                 let dot = |c: &Config<PreExecutionModel>| to_dot(&c.mem, &prog.var_names);
-                self.run_on(meta, &model, prog, None, Some(&dot))
+                self.run_on(meta, &budget, &model, prog, None, Some(&dot))
             }
         }
     }
@@ -543,6 +583,7 @@ impl Resolved {
     fn run_on<M>(
         &self,
         meta: Meta,
+        budget: &Budget,
         model: &M,
         prog: &Prog,
         valid: Option<ConfigFn<'_, M, bool>>,
@@ -556,7 +597,11 @@ impl Resolved {
         match &self.mode {
             Mode::LitmusVerdict => unreachable!("handled before model dispatch"),
             Mode::CountOnly => {
-                let cfg = self.bounds.explore_config().record_traces(false);
+                let cfg = self
+                    .bounds
+                    .explore_config()
+                    .record_traces(false)
+                    .budget(budget.clone());
                 let t0 = Instant::now();
                 let res = backend.run_invariant(model, prog, &cfg, &|_| true);
                 CheckReport::Count(CountReport {
@@ -570,7 +615,8 @@ impl Resolved {
                     .bounds
                     .explore_config()
                     .record_traces(false)
-                    .witness_traces(witness);
+                    .witness_traces(witness)
+                    .budget(budget.clone());
                 let t0 = Instant::now();
                 let res = backend.run_invariant(model, prog, &cfg, &|_| true);
                 let stats = res.stats(t0.elapsed());
@@ -592,7 +638,8 @@ impl Resolved {
                 let cfg = self
                     .bounds
                     .explore_config()
-                    .record_traces(self.traces.unwrap_or(true));
+                    .record_traces(self.traces.unwrap_or(true))
+                    .budget(budget.clone());
                 let pred = inv.pred.clone();
                 let adapter = move |c: &Config<M>| pred(&ConfigView::of(c));
                 let t0 = Instant::now();
@@ -788,14 +835,20 @@ fn verdict_str(v: Verdict) -> &'static str {
 }
 
 fn stats_json(s: &Stats) -> Json {
-    Json::obj(vec![
+    let mut pairs = vec![
         ("unique", Json::from(s.unique)),
         ("generated", Json::from(s.generated)),
         ("finals", Json::from(s.finals)),
         ("truncated", Json::from(s.truncated)),
         ("stuck", Json::from(s.stuck)),
         ("wall_micros", Json::from(s.wall_micros)),
-    ])
+    ];
+    // Only interrupted runs carry the key — clean reports' stats objects
+    // stay byte-identical to previous schema emissions.
+    if let Some(why) = s.interrupt {
+        pairs.push(("interrupt", Json::str(why.as_str())));
+    }
+    Json::obj(pairs)
 }
 
 impl CheckReport {
@@ -846,6 +899,25 @@ impl CheckReport {
         }
     }
 
+    /// The report's budget verdict: `None` for a complete (or merely
+    /// bound-truncated) run, `Some` when the deadline or a cancellation
+    /// cut the exploration short.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        self.stats().interrupt
+    }
+
+    /// The `"status"` word the `c11check/v1` encoding carries: `"ok"`
+    /// for complete and bound-truncated runs, `"timed_out"`/`"cancelled"`
+    /// when the budget tripped. (Service-level `"error"`/`"overloaded"`
+    /// lines are emitted by `c11serve` for requests that never produced
+    /// a report.)
+    pub fn status_str(&self) -> &'static str {
+        match self.interrupt() {
+            None => "ok",
+            Some(why) => why.as_str(),
+        }
+    }
+
     /// Renders the report as a single-line JSON document
     /// (`c11check/v1` schema; see README § JSON report schema). Offline
     /// hand-rolled writer — no serde.
@@ -858,6 +930,7 @@ impl CheckReport {
     pub fn json_value(&self) -> Json {
         let mut pairs: Vec<(&str, Json)> = vec![
             ("schema", Json::str("c11check/v1")),
+            ("status", Json::str(self.status_str())),
             ("mode", Json::str(self.mode_str())),
         ];
         match self {

@@ -33,11 +33,12 @@
 
 use crate::batch::{BatchReport, BatchRequest};
 use crate::{CheckError, CheckReport, CheckRequest, Mode, Resolved};
+use c11_explore::{Budget, Interrupt};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Session`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +56,21 @@ pub struct SessionConfig {
     /// exact backend selection; explicitly-parallel requests are never
     /// downgraded either way.
     pub parallel_threshold: usize,
+    /// Default wall-clock budget per job, measured from when compute
+    /// starts (queue wait excluded). A request's own
+    /// [`CheckRequest::timeout`] combines with this by minimum. `None`
+    /// (the default) lets jobs run to their bounds.
+    pub job_timeout: Option<Duration>,
+    /// Hard ceiling on *ready* cached reports. When a fresh report would
+    /// push the count past it, the least-recently-used ready entries are
+    /// evicted (counted in [`SessionStats::evictions`]); pending slots
+    /// are never evicted. `None` (the default) is unbounded.
+    pub cache_capacity: Option<usize>,
+    /// Backpressure: [`Session::submit`] on a queue already holding this
+    /// many jobs returns [`CheckError::Overloaded`] instead of queueing
+    /// unboundedly. `None` (the default) is unbounded. Inline
+    /// [`Session::run`] calls bypass the queue and are never rejected.
+    pub max_queue_depth: Option<usize>,
 }
 
 impl Default for SessionConfig {
@@ -63,6 +79,9 @@ impl Default for SessionConfig {
             workers: 2,
             cache: true,
             parallel_threshold: 0,
+            job_timeout: None,
+            cache_capacity: None,
+            max_queue_depth: None,
         }
     }
 }
@@ -84,6 +103,25 @@ impl SessionConfig {
     /// upgraded to the parallel engine (chainable; `0` disables).
     pub fn parallel_threshold(mut self, threads: usize) -> Self {
         self.parallel_threshold = threads;
+        self
+    }
+
+    /// Sets the default per-job deadline (chainable).
+    pub fn job_timeout(mut self, d: Duration) -> Self {
+        self.job_timeout = Some(d);
+        self
+    }
+
+    /// Bounds the result cache to `n` ready reports, LRU-evicted
+    /// (chainable).
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = Some(n);
+        self
+    }
+
+    /// Bounds the submission queue to `n` waiting jobs (chainable).
+    pub fn max_queue_depth(mut self, n: usize) -> Self {
+        self.max_queue_depth = Some(n);
         self
     }
 }
@@ -108,6 +146,11 @@ pub struct SessionStats {
     pub explorations: usize,
     /// Requests rejected before execution (parse/mode errors).
     pub errors: usize,
+    /// Ready cache entries evicted to hold [`SessionConfig::cache_capacity`].
+    pub evictions: usize,
+    /// Submissions rejected with [`CheckError::Overloaded`] because the
+    /// queue was at [`SessionConfig::max_queue_depth`].
+    pub overloaded: usize,
 }
 
 /// The result-cache key. The backend is deliberately absent — see the
@@ -121,6 +164,10 @@ struct CacheKey {
     mode: ModeKey,
     traces: Option<bool>,
     dot: usize,
+    /// Effective deadline in milliseconds. Part of the key so a report
+    /// computed under a tight deadline can never answer a patient
+    /// request (and vice versa); `None` for unbudgeted jobs.
+    timeout_ms: Option<u128>,
 }
 
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -177,6 +224,7 @@ impl CacheKey {
             mode,
             traces: if litmus { None } else { r.traces },
             dot: if litmus { 0 } else { r.dot },
+            timeout_ms: r.timeout.map(|d| d.as_millis()),
         }
     }
 }
@@ -185,7 +233,31 @@ impl CacheKey {
 /// `Ready` — or `Poisoned` if the compute panicked (waiters retry and
 /// the key is evicted). Waiters block on the slot's condvar, never on
 /// the whole map.
-type CacheSlot = Arc<(Mutex<SlotState>, Condvar)>;
+type CacheSlot = Arc<CacheEntry>;
+
+struct CacheEntry {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+    /// Mirrors `state == Ready` without taking the state mutex, so the
+    /// LRU sweep (run under the map lock) never locks a slot — pending
+    /// slots are skipped by this flag, keeping the lock order strictly
+    /// slot-then-map and pending slots un-evictable.
+    ready: AtomicBool,
+    /// LRU clock stamp: bumped from the map's tick on publish and on
+    /// every warm hit.
+    last_used: AtomicU64,
+}
+
+impl CacheEntry {
+    fn pending() -> CacheSlot {
+        Arc::new(CacheEntry {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+            ready: AtomicBool::new(false),
+            last_used: AtomicU64::new(0),
+        })
+    }
+}
 
 enum SlotState {
     Pending,
@@ -193,24 +265,36 @@ enum SlotState {
     Poisoned,
 }
 
+/// The result cache: slot map plus the logical LRU clock.
+#[derive(Default)]
+struct CacheState {
+    slots: HashMap<CacheKey, CacheSlot>,
+    tick: u64,
+}
+
 /// A completed (or pending) job's result cell.
 type JobResult = Option<Result<CheckReport, CheckError>>;
 
 struct Inner {
     cfg: SessionConfig,
-    queue: Mutex<VecDeque<(u64, CheckRequest)>>,
+    queue: Mutex<VecDeque<(u64, CheckRequest, Budget)>>,
     queue_cv: Condvar,
     /// `id → None` while in flight, `Some(result)` when done; removed
     /// when collected by `wait`.
     results: Mutex<HashMap<u64, JobResult>>,
     results_cv: Condvar,
-    cache: Mutex<HashMap<CacheKey, CacheSlot>>,
+    cache: Mutex<CacheState>,
+    /// Cancel tokens of jobs not yet finished, keyed by id — created at
+    /// submission so [`Session::cancel`] reaches jobs still queued.
+    jobs: Mutex<HashMap<u64, Budget>>,
     shutdown: AtomicBool,
     submitted: AtomicUsize,
     completed: AtomicUsize,
     cache_hits: AtomicUsize,
     explorations: AtomicUsize,
     errors: AtomicUsize,
+    evictions: AtomicUsize,
+    overloaded: AtomicUsize,
 }
 
 impl Inner {
@@ -220,9 +304,10 @@ impl Inner {
     /// counted at acceptance (`submit`/`run`), not here; the
     /// completed/errors counters stay consistent even if a user
     /// invariant closure panics mid-compute.
-    fn execute(&self, req: CheckRequest) -> Result<CheckReport, CheckError> {
-        let out =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute_inner(req)));
+    fn execute(&self, req: CheckRequest, token: &Budget) -> Result<CheckReport, CheckError> {
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute_inner(req, token)
+        }));
         match out {
             Ok(result) => {
                 if result.is_err() {
@@ -239,7 +324,7 @@ impl Inner {
         }
     }
 
-    fn execute_inner(&self, req: CheckRequest) -> Result<CheckReport, CheckError> {
+    fn execute_inner(&self, req: CheckRequest, token: &Budget) -> Result<CheckReport, CheckError> {
         let mut resolved = req.resolve()?;
         // Large-job upgrade: wide programs get the parallel engine.
         let t = self.cfg.parallel_threshold;
@@ -248,67 +333,187 @@ impl Inner {
                 workers: self.cfg.workers.max(1),
             };
         }
+        // The effective deadline is the tighter of the request's own
+        // timeout and the session default; it participates in the cache
+        // key, so stamping it on `resolved` before keying is essential.
+        resolved.timeout = match (resolved.timeout, self.cfg.job_timeout) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         if !self.cfg.cache {
             self.explorations.fetch_add(1, Ordering::Relaxed);
-            return Ok(resolved.compute());
+            return Ok(resolved.compute(token));
         }
-        Ok(self.cached_compute(resolved))
+        self.cached_compute(resolved, token)
     }
 
-    fn cached_compute(&self, resolved: Resolved) -> CheckReport {
+    fn cached_compute(
+        &self,
+        resolved: Resolved,
+        token: &Budget,
+    ) -> Result<CheckReport, CheckError> {
         let key = CacheKey::of(&resolved);
         loop {
             let (slot, owner) = {
                 let mut cache = self.cache.lock().unwrap();
-                match cache.entry(key.clone()) {
+                match cache.slots.entry(key.clone()) {
                     Entry::Occupied(e) => (e.get().clone(), false),
                     Entry::Vacant(v) => {
-                        let slot: CacheSlot =
-                            Arc::new((Mutex::new(SlotState::Pending), Condvar::new()));
+                        let slot = CacheEntry::pending();
                         v.insert(slot.clone());
                         (slot, true)
                     }
                 }
             };
             if owner {
-                // First submitter: compute outside any lock, publish,
-                // wake coalesced waiters. Invariant predicates are
-                // arbitrary user closures, so a panic must not strand
-                // the pending slot: poison it, evict the key and let
-                // the panic propagate to this caller only.
-                let computed =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| resolved.compute()));
-                let report = match computed {
-                    Ok(report) => report,
-                    Err(panic) => {
-                        self.cache.lock().unwrap().remove(&key);
-                        *slot.0.lock().unwrap() = SlotState::Poisoned;
-                        slot.1.notify_all();
-                        std::panic::resume_unwind(panic);
-                    }
-                };
-                self.explorations.fetch_add(1, Ordering::Relaxed);
-                *slot.0.lock().unwrap() = SlotState::Ready(report.clone());
-                slot.1.notify_all();
-                return report;
+                return Ok(self.compute_as_owner(&key, &slot, &resolved, token));
             }
-            let mut state = slot.0.lock().unwrap();
-            while matches!(*state, SlotState::Pending) {
-                state = slot.1.wait(state).unwrap();
+            match self.wait_on_slot(&slot, token)? {
+                Some(report) => return Ok(report),
+                // Poisoned, or a *different* job's cancellation: retry —
+                // this thread becomes the new owner (and surfaces the
+                // panic itself if the compute deterministically panics).
+                None => continue,
             }
-            match &*state {
-                SlotState::Ready(report) => {
-                    let mut report = report.clone();
-                    report.set_cache_hit(true);
-                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    return report;
+        }
+    }
+
+    /// First submitter for a key: compute outside any lock, publish,
+    /// wake coalesced waiters, then update the LRU map. Invariant
+    /// predicates are arbitrary user closures, so a panic must not
+    /// strand the pending slot: poison it, evict the key and let the
+    /// panic propagate to this caller only.
+    fn compute_as_owner(
+        &self,
+        key: &CacheKey,
+        slot: &CacheSlot,
+        resolved: &Resolved,
+        token: &Budget,
+    ) -> CheckReport {
+        let computed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| resolved.compute(token)));
+        let report = match computed {
+            Ok(report) => report,
+            Err(panic) => {
+                self.evict_exact(key, slot);
+                *slot.state.lock().unwrap() = SlotState::Poisoned;
+                slot.cv.notify_all();
+                std::panic::resume_unwind(panic);
+            }
+        };
+        self.explorations.fetch_add(1, Ordering::Relaxed);
+        let interrupted = report.interrupt().is_some();
+        *slot.state.lock().unwrap() = SlotState::Ready(report.clone());
+        slot.ready.store(true, Ordering::Release);
+        slot.cv.notify_all();
+        let mut cache = self.cache.lock().unwrap();
+        if interrupted {
+            // Timed-out / cancelled reports answer their coalesced
+            // waiters but never persist: a later identical request
+            // deserves a fresh attempt.
+            if let Some(cur) = cache.slots.get(key) {
+                if Arc::ptr_eq(cur, slot) {
+                    cache.slots.remove(key);
                 }
-                // The owner panicked; its slot was evicted. Retry — this
-                // thread becomes the new owner (and surfaces the panic
-                // itself if the compute deterministically panics).
-                SlotState::Poisoned => continue,
-                SlotState::Pending => unreachable!("looped above until not pending"),
             }
+        } else {
+            cache.tick += 1;
+            slot.last_used.store(cache.tick, Ordering::Relaxed);
+            self.evict_over_capacity(&mut cache);
+        }
+        report
+    }
+
+    /// Blocks a coalesced waiter on the slot. Returns `Ok(Some(report))`
+    /// on a warm result, `Ok(None)` when the waiter should retry as a
+    /// new owner (poisoned slot, or a cancelled report caused by *some
+    /// other* job's cancel token), and `Err(Cancelled)` when this
+    /// waiter's own job is cancelled while still blocked.
+    fn wait_on_slot(
+        &self,
+        slot: &CacheSlot,
+        token: &Budget,
+    ) -> Result<Option<CheckReport>, CheckError> {
+        let report = {
+            let mut state = slot.state.lock().unwrap();
+            loop {
+                match &*state {
+                    SlotState::Pending => {
+                        let (next, _timed_out) = slot
+                            .cv
+                            .wait_timeout(state, Duration::from_millis(20))
+                            .unwrap();
+                        state = next;
+                        if matches!(*state, SlotState::Pending) && token.is_cancelled() {
+                            return Err(CheckError::Cancelled);
+                        }
+                    }
+                    SlotState::Ready(report) => {
+                        if report.interrupt() == Some(Interrupt::Cancelled) && !token.is_cancelled()
+                        {
+                            // The owner's job was cancelled, ours was
+                            // not — recompute instead of inheriting its
+                            // cancellation.
+                            return Ok(None);
+                        }
+                        break report.clone();
+                    }
+                    SlotState::Poisoned => return Ok(None),
+                }
+            }
+        };
+        let mut report = report;
+        report.set_cache_hit(true);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        // Touch the LRU stamp (slot lock released above; map lock only).
+        let mut cache = self.cache.lock().unwrap();
+        cache.tick += 1;
+        slot.last_used.store(cache.tick, Ordering::Relaxed);
+        Ok(Some(report))
+    }
+
+    /// Removes `key` only if it still maps to `slot` — a later fresh
+    /// slot under the same key must not be collateral damage.
+    fn evict_exact(&self, key: &CacheKey, slot: &CacheSlot) {
+        let mut cache = self.cache.lock().unwrap();
+        if let Some(cur) = cache.slots.get(key) {
+            if Arc::ptr_eq(cur, slot) {
+                cache.slots.remove(key);
+            }
+        }
+    }
+
+    /// Evicts least-recently-used *ready* entries until the ready count
+    /// fits `cache_capacity`. Pending slots are invisible to the sweep
+    /// (their `ready` flag is false), so in-flight coalescing is never
+    /// broken by eviction. Called with the map lock held.
+    fn evict_over_capacity(&self, cache: &mut CacheState) {
+        let Some(cap) = self.cfg.cache_capacity else {
+            return;
+        };
+        loop {
+            let mut ready = 0usize;
+            let mut oldest: Option<(CacheKey, u64)> = None;
+            for (key, slot) in &cache.slots {
+                if !slot.ready.load(Ordering::Acquire) {
+                    continue;
+                }
+                ready += 1;
+                let stamp = slot.last_used.load(Ordering::Relaxed);
+                let older = match &oldest {
+                    None => true,
+                    Some((_, best)) => stamp < *best,
+                };
+                if older {
+                    oldest = Some((key.clone(), stamp));
+                }
+            }
+            if ready <= cap {
+                return;
+            }
+            let (victim, _) = oldest.expect("ready > cap ≥ 0 implies a ready entry exists");
+            cache.slots.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -349,13 +554,16 @@ impl Session {
                 queue_cv: Condvar::new(),
                 results: Mutex::new(HashMap::new()),
                 results_cv: Condvar::new(),
-                cache: Mutex::new(HashMap::new()),
+                cache: Mutex::new(CacheState::default()),
+                jobs: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
                 submitted: AtomicUsize::new(0),
                 completed: AtomicUsize::new(0),
                 cache_hits: AtomicUsize::new(0),
                 explorations: AtomicUsize::new(0),
                 errors: AtomicUsize::new(0),
+                evictions: AtomicUsize::new(0),
+                overloaded: AtomicUsize::new(0),
             }),
             pool: Mutex::new(Vec::new()),
             next_id: std::sync::atomic::AtomicU64::new(0),
@@ -371,19 +579,67 @@ impl Session {
     /// bypassing the pool). This is what [`CheckRequest::run`] shims to.
     pub fn run(&self, req: CheckRequest) -> Result<CheckReport, CheckError> {
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
-        self.inner.execute(req)
+        self.inner.execute(req, &Budget::unlimited())
     }
 
     /// Enqueues a request on the worker pool and returns a handle to
     /// redeem with [`Session::wait`]. Spawns the pool on first use.
-    pub fn submit(&self, req: CheckRequest) -> JobId {
+    ///
+    /// With [`SessionConfig::max_queue_depth`] set, a full queue rejects
+    /// the request with [`CheckError::Overloaded`] instead of queueing
+    /// it — the request is *not* counted as submitted and gets no id.
+    pub fn submit(&self, req: CheckRequest) -> Result<JobId, CheckError> {
         self.ensure_pool();
-        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let token = Budget::unlimited();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.inner.results.lock().unwrap().insert(id, None);
-        self.inner.queue.lock().unwrap().push_back((id, req));
+        self.inner.jobs.lock().unwrap().insert(id, token.clone());
+        {
+            // Depth check and push under one queue lock so the bound is
+            // exact under concurrent submitters.
+            let mut queue = self.inner.queue.lock().unwrap();
+            if let Some(depth) = self.inner.cfg.max_queue_depth {
+                if queue.len() >= depth {
+                    drop(queue);
+                    self.inner.results.lock().unwrap().remove(&id);
+                    self.inner.jobs.lock().unwrap().remove(&id);
+                    self.inner.overloaded.fetch_add(1, Ordering::Relaxed);
+                    return Err(CheckError::Overloaded);
+                }
+            }
+            self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+            queue.push_back((id, req, token));
+        }
         self.inner.queue_cv.notify_one();
-        JobId(id)
+        Ok(JobId(id))
+    }
+
+    /// Requests cooperative cancellation of a submitted job. Queued jobs
+    /// trip before exploring; running jobs stop at their next budget
+    /// poll; either way [`Session::wait`] returns promptly with a
+    /// `"cancelled"` report. Returns `false` when the job has already
+    /// finished (or the id is unknown) — cancellation arrived too late
+    /// and the completed result stands.
+    pub fn cancel(&self, id: JobId) -> bool {
+        match self.inner.jobs.lock().unwrap().get(&id.0) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ready reports currently held in the result cache (pending
+    /// in-flight slots excluded). Never exceeds
+    /// [`SessionConfig::cache_capacity`] when one is set.
+    pub fn cache_len(&self) -> usize {
+        let cache = self.inner.cache.lock().unwrap();
+        cache
+            .slots
+            .values()
+            .filter(|s| s.ready.load(Ordering::Acquire))
+            .count()
     }
 
     /// Blocks until the job's report is ready and returns it. Each
@@ -416,13 +672,18 @@ impl Session {
     /// does not poison the batch.
     pub fn run_batch(&self, batch: BatchRequest) -> BatchReport {
         let t0 = Instant::now();
-        let ids: Vec<JobId> = batch
+        let ids: Vec<Result<JobId, CheckError>> = batch
             .into_requests()
             .into_iter()
             .map(|r| self.submit(r))
             .collect();
-        let reports: Vec<Result<CheckReport, CheckError>> =
-            ids.into_iter().map(|id| self.wait(id)).collect();
+        let reports: Vec<Result<CheckReport, CheckError>> = ids
+            .into_iter()
+            .map(|id| match id {
+                Ok(id) => self.wait(id),
+                Err(rejected) => Err(rejected),
+            })
+            .collect();
         BatchReport::aggregate(reports, t0.elapsed())
     }
 
@@ -435,6 +696,8 @@ impl Session {
             cache_hits: i.cache_hits.load(Ordering::Relaxed),
             explorations: i.explorations.load(Ordering::Relaxed),
             errors: i.errors.load(Ordering::Relaxed),
+            evictions: i.evictions.load(Ordering::Relaxed),
+            overloaded: i.overloaded.load(Ordering::Relaxed),
         }
     }
 
@@ -478,20 +741,22 @@ fn worker_loop(inner: &Inner) {
                 queue = inner.queue_cv.wait(queue).unwrap();
             }
         };
-        let Some((id, req)) = job else { return };
+        let Some((id, req, token)) = job else { return };
         // A panicking job (user invariant closure) must neither kill the
         // worker nor leave the job's result cell empty forever.
         // `execute` keeps the counters consistent before re-raising, so
         // this only has to keep the worker alive and fill the result.
-        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.execute(req)))
-            .unwrap_or_else(|panic| {
-                let what = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                Err(CheckError::Session(format!("job panicked: {what}")))
-            });
+        let out =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.execute(req, &token)))
+                .unwrap_or_else(|panic| {
+                    let what = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Err(CheckError::Session(format!("job panicked: {what}")))
+                });
+        inner.jobs.lock().unwrap().remove(&id);
         inner.results.lock().unwrap().insert(id, Some(out));
         inner.results_cv.notify_all();
     }
@@ -585,8 +850,10 @@ mod tests {
     #[test]
     fn submit_wait_round_trips_and_ids_are_single_use() {
         let session = Session::new(SessionConfig::default().workers(2));
-        let a = session.submit(CheckRequest::program(SB));
-        let b = session.submit(CheckRequest::program("vars x; thread t { x := 1; }"));
+        let a = session.submit(CheckRequest::program(SB)).unwrap();
+        let b = session
+            .submit(CheckRequest::program("vars x; thread t { x := 1; }"))
+            .unwrap();
         let rb = session.wait(b).unwrap();
         let ra = session.wait(a).unwrap();
         assert!(matches!(ra, CheckReport::Outcomes(_)));
@@ -602,7 +869,9 @@ mod tests {
     #[test]
     fn submit_surfaces_parse_errors_at_wait() {
         let session = Session::default();
-        let id = session.submit(CheckRequest::program("vars x; thread t { y := 1; }"));
+        let id = session
+            .submit(CheckRequest::program("vars x; thread t { y := 1; }"))
+            .unwrap();
         assert!(matches!(session.wait(id), Err(CheckError::Parse(_))));
         assert_eq!(session.stats().errors, 1);
     }
@@ -652,7 +921,9 @@ mod tests {
     fn panicking_job_neither_kills_the_pool_nor_strands_its_cache_slot() {
         let session = Session::new(SessionConfig::default().workers(1));
         let boom = Invariant::new("boom", |_v| panic!("predicate exploded"));
-        let id = session.submit(CheckRequest::program(SB).mode(Mode::Invariant(boom.clone())));
+        let id = session
+            .submit(CheckRequest::program(SB).mode(Mode::Invariant(boom.clone())))
+            .unwrap();
         // The panic surfaces as a session error instead of hanging wait().
         let err = session.wait(id);
         assert!(
@@ -660,12 +931,14 @@ mod tests {
             "{err:?}"
         );
         // The worker survived: the pool still serves jobs…
-        let ok = session.submit(CheckRequest::program(SB));
+        let ok = session.submit(CheckRequest::program(SB)).unwrap();
         assert!(session.wait(ok).unwrap().stats().finals > 0);
         // …and the poisoned key was evicted, so resubmitting the same
         // invariant recomputes (and panics again) rather than waiting
         // forever on a stranded Pending slot.
-        let again = session.submit(CheckRequest::program(SB).mode(Mode::Invariant(boom)));
+        let again = session
+            .submit(CheckRequest::program(SB).mode(Mode::Invariant(boom)))
+            .unwrap();
         assert!(matches!(session.wait(again), Err(CheckError::Session(_))));
     }
 
@@ -675,7 +948,7 @@ mod tests {
         // other seven coalesce on the pending slot or hit the cache.
         let session = Session::new(SessionConfig::default().workers(4));
         let ids: Vec<JobId> = (0..8)
-            .map(|_| session.submit(CheckRequest::program(SB)))
+            .map(|_| session.submit(CheckRequest::program(SB)).unwrap())
             .collect();
         let mut hits = 0;
         for id in ids {
@@ -683,5 +956,134 @@ mod tests {
         }
         assert_eq!(session.stats().explorations, 1);
         assert_eq!(hits, 7);
+    }
+
+    #[test]
+    fn expired_deadline_yields_a_timed_out_report_not_an_error() {
+        let session = Session::default();
+        let report = session
+            .run(CheckRequest::program(SB).timeout(std::time::Duration::ZERO))
+            .unwrap();
+        assert_eq!(report.status_str(), "timed_out");
+        assert!(
+            !report.stats().truncated,
+            "interrupt is not bound truncation"
+        );
+        // Interrupted reports never persist: re-running with a generous
+        // deadline recomputes and completes.
+        let again = session
+            .run(CheckRequest::program(SB).timeout(std::time::Duration::from_secs(60)))
+            .unwrap();
+        assert_eq!(again.status_str(), "ok");
+        assert!(!again.cache_hit());
+    }
+
+    #[test]
+    fn timeouts_are_part_of_the_cache_key() {
+        let session = Session::default();
+        let patient = session.run(CheckRequest::program(SB)).unwrap();
+        assert_eq!(patient.status_str(), "ok");
+        // A deadline-bearing request must not be answered by the
+        // unbudgeted report (different question to the service).
+        let budgeted = session
+            .run(CheckRequest::program(SB).timeout(std::time::Duration::from_secs(60)))
+            .unwrap();
+        assert!(!budgeted.cache_hit());
+        assert_eq!(session.stats().explorations, 2);
+    }
+
+    #[test]
+    fn cancel_reaches_queued_and_running_jobs() {
+        // One worker, first job slow: the second job is cancelled while
+        // still queued and must come back "cancelled" without running.
+        let session = Session::new(SessionConfig::default().workers(1));
+        let drag = Invariant::new("drag", |_v| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            true
+        });
+        let slow = session
+            .submit(CheckRequest::program(SB).mode(Mode::Invariant(drag)))
+            .unwrap();
+        let doomed = session.submit(CheckRequest::program(SB)).unwrap();
+        assert!(session.cancel(doomed), "job still in flight");
+        let report = session.wait(doomed).unwrap();
+        assert_eq!(report.status_str(), "cancelled");
+        let slow = session.wait(slow).unwrap();
+        assert_eq!(slow.status_str(), "ok");
+        // Finished jobs can no longer be cancelled.
+        assert!(!session.cancel(doomed));
+    }
+
+    #[test]
+    fn cache_capacity_is_a_hard_ceiling_with_lru_eviction() {
+        let session = Session::new(SessionConfig::default().cache_capacity(2));
+        let program = |n: usize| format!("vars x; thread t {{ x := {n}; }}");
+        for n in 1..=5 {
+            session.run(CheckRequest::program(program(n))).unwrap();
+            assert!(session.cache_len() <= 2, "capacity exceeded at n={n}");
+        }
+        assert_eq!(session.stats().evictions, 3);
+        // Keys 4 and 5 survived; 4 is warm, 1 was evicted and recomputes.
+        assert!(session
+            .run(CheckRequest::program(program(4)))
+            .unwrap()
+            .cache_hit());
+        assert!(!session
+            .run(CheckRequest::program(program(1)))
+            .unwrap()
+            .cache_hit());
+    }
+
+    #[test]
+    fn warm_hits_refresh_lru_recency() {
+        let session = Session::new(SessionConfig::default().cache_capacity(2));
+        let program = |n: usize| format!("vars x; thread t {{ x := {n}; }}");
+        session.run(CheckRequest::program(program(1))).unwrap();
+        session.run(CheckRequest::program(program(2))).unwrap();
+        // Touch 1 so 2 becomes the LRU victim when 3 arrives.
+        assert!(session
+            .run(CheckRequest::program(program(1)))
+            .unwrap()
+            .cache_hit());
+        session.run(CheckRequest::program(program(3))).unwrap();
+        assert!(session
+            .run(CheckRequest::program(program(1)))
+            .unwrap()
+            .cache_hit());
+        assert!(!session
+            .run(CheckRequest::program(program(2)))
+            .unwrap()
+            .cache_hit());
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let session = Session::new(SessionConfig::default().workers(1).max_queue_depth(1));
+        // Stall the single worker long enough to observe a full queue.
+        let gate = Invariant::new("gate", |_v| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            true
+        });
+        let slow = session
+            .submit(CheckRequest::program(SB).mode(Mode::Invariant(gate)))
+            .unwrap();
+        // Fill the queue past its depth; at least one submission must be
+        // rejected (the worker may drain at most one slot meanwhile).
+        let mut accepted = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..8 {
+            match session.submit(CheckRequest::program(SB)) {
+                Ok(id) => accepted.push(id),
+                Err(CheckError::Overloaded) => rejected += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(rejected > 0, "queue depth 1 must reject an 8-burst");
+        assert_eq!(session.stats().overloaded, rejected);
+        // Accepted jobs still complete normally.
+        assert!(session.wait(slow).is_ok());
+        for id in accepted {
+            session.wait(id).unwrap();
+        }
     }
 }

@@ -8,24 +8,44 @@
 //! ```sh
 //! cargo bench --bench explore_e2e -- --json BENCH_explore_e2e.json
 //! cargo bench --bench explore_e2e -- --quick        # CI smoke mode
+//! cargo bench --bench explore_e2e -- --budget-ms 500  # cap each run
 //! ```
+//!
+//! `--budget-ms` puts a per-repetition deadline on the exploration
+//! groups (wide / contended / scaling): a host too slow to finish a
+//! shape still produces a row, but the row is stamped
+//! `"interrupted": true` — its wall time measures the budget, not the
+//! workload — and `c11bench compare` skips such rows with a note.
 //!
 //! The JSON lands in `BENCH_*.json` files that record the performance
 //! trajectory across PRs (see README § Performance).
 
 use c11_bench::{chain_state, contended_workload, wide_workload};
 use c11_core::model::RaModel;
-use c11_explore::{explore_dpor, parallel_explore, ExploreConfig, Explorer};
+use c11_explore::{explore_dpor, parallel_explore, Budget, ExploreConfig, Explorer};
 use c11_litmus::{corpus, run_test};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// One benchmark row: a label, a size measure (states or carrier), and the
-/// best-of-`reps` wall time in nanoseconds.
+/// One benchmark row: a label, a size measure (states or carrier), the
+/// best-of-`reps` wall time in nanoseconds, and whether any measured
+/// repetition was cut short by the `--budget-ms` deadline.
 struct Row {
     group: &'static str,
     name: String,
     size: usize,
     nanos: u128,
+    interrupted: bool,
+}
+
+/// Stamps a fresh deadline onto `cfg` for one timed repetition (the
+/// budget bounds each run, not the whole bench).
+fn budgeted(cfg: &ExploreConfig, budget: Option<Duration>) -> ExploreConfig {
+    match budget {
+        Some(d) => cfg
+            .clone()
+            .budget(Budget::with_deadline(Instant::now() + d)),
+        None => cfg.clone(),
+    }
 }
 
 impl Row {
@@ -64,19 +84,22 @@ fn bench_corpus(reps: usize, rows: &mut Vec<Row>) {
             name: test.name.clone(),
             size: states,
             nanos,
+            interrupted: false,
         });
     }
 }
 
-fn bench_scaling(reps: usize, quick: bool, rows: &mut Vec<Row>) {
+fn bench_scaling(reps: usize, quick: bool, budget: Option<Duration>, rows: &mut Vec<Row>) {
     let wide: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4] };
     for &k in wide {
         let prog = wide_workload(k);
+        let cfg = ExploreConfig::default().max_events(2 * k + 4);
         let mut states = 0usize;
+        let mut interrupted = false;
         let nanos = best_of(reps, || {
-            let res = Explorer::new(RaModel)
-                .explore(&prog, ExploreConfig::default().max_events(2 * k + 4));
+            let res = Explorer::new(RaModel).explore(&prog, budgeted(&cfg, budget));
             states = res.unique;
+            interrupted |= res.interrupted.is_some();
             res
         });
         rows.push(Row {
@@ -84,15 +107,19 @@ fn bench_scaling(reps: usize, quick: bool, rows: &mut Vec<Row>) {
             name: format!("E13-wide-{k}"),
             size: states,
             nanos,
+            interrupted,
         });
     }
     let contended: &[usize] = if quick { &[3] } else { &[3, 4] };
     for &k in contended {
         let prog = contended_workload(k);
+        let cfg = ExploreConfig::default();
         let mut states = 0usize;
+        let mut interrupted = false;
         let nanos = best_of(reps, || {
-            let res = Explorer::new(RaModel).explore(&prog, ExploreConfig::default());
+            let res = Explorer::new(RaModel).explore(&prog, budgeted(&cfg, budget));
             states = res.unique;
+            interrupted |= res.interrupted.is_some();
             res
         });
         rows.push(Row {
@@ -100,6 +127,7 @@ fn bench_scaling(reps: usize, quick: bool, rows: &mut Vec<Row>) {
             name: format!("E16-contended-{k}"),
             size: states,
             nanos,
+            interrupted,
         });
     }
 }
@@ -151,6 +179,7 @@ fn bench_dpor(reps: usize, quick: bool, rows: &mut Vec<Row>) {
             name,
             size: generated,
             nanos,
+            interrupted: false,
         });
     }
 }
@@ -162,7 +191,7 @@ fn bench_dpor(reps: usize, quick: bool, rows: &mut Vec<Row>) {
 /// Equality with the sequential engine (unique count, truncation, finals
 /// cardinality) is asserted while measuring; speedup ratios are printed
 /// per shape and derivable from the emitted rows (`-w1` ÷ `-wN` nanos).
-fn bench_worker_scaling(reps: usize, rows: &mut Vec<Row>) {
+fn bench_worker_scaling(reps: usize, budget: Option<Duration>, rows: &mut Vec<Row>) {
     let shapes = [
         ("E13-wide-4", wide_workload(4), 12),
         ("E16-contended-4", contended_workload(4), 24),
@@ -173,23 +202,37 @@ fn bench_worker_scaling(reps: usize, rows: &mut Vec<Row>) {
             .record_traces(false);
         let seq = Explorer::new(RaModel).explore(&prog, cfg.clone());
         let states = seq.unique;
-        let seq_nanos = best_of(reps, || Explorer::new(RaModel).explore(&prog, cfg.clone()));
+        let mut seq_interrupted = false;
+        let seq_nanos = best_of(reps, || {
+            let res = Explorer::new(RaModel).explore(&prog, budgeted(&cfg, budget));
+            seq_interrupted |= res.interrupted.is_some();
+            res
+        });
         rows.push(Row {
             group: "scaling",
             name: format!("{name}-seq"),
             size: states,
             nanos: seq_nanos,
+            interrupted: seq_interrupted,
         });
         let mut w1_nanos = seq_nanos;
         for workers in [1usize, 2, 4, 8] {
+            let mut interrupted = false;
             let nanos = best_of(reps, || {
-                let res = parallel_explore(&RaModel, &prog, &cfg, workers);
-                assert_eq!(
-                    res.unique, seq.unique,
-                    "{name}: parallel({workers}) diverged from sequential"
-                );
-                assert_eq!(res.truncated, seq.truncated, "{name}: truncation flag");
-                assert_eq!(res.finals.len(), seq.finals.len(), "{name}: finals count");
+                let res = parallel_explore(&RaModel, &prog, &budgeted(&cfg, budget), workers);
+                // A budget-interrupted run stops early, so equality with
+                // the (complete) reference is only asserted when it ran
+                // to the end.
+                if res.interrupted.is_none() {
+                    assert_eq!(
+                        res.unique, seq.unique,
+                        "{name}: parallel({workers}) diverged from sequential"
+                    );
+                    assert_eq!(res.truncated, seq.truncated, "{name}: truncation flag");
+                    assert_eq!(res.finals.len(), seq.finals.len(), "{name}: finals count");
+                } else {
+                    interrupted = true;
+                }
                 res
             });
             if workers == 1 {
@@ -206,6 +249,7 @@ fn bench_worker_scaling(reps: usize, rows: &mut Vec<Row>) {
                 name: format!("{name}-w{workers}"),
                 size: states,
                 nanos,
+                interrupted,
             });
         }
     }
@@ -222,6 +266,7 @@ fn bench_closure_micro(reps: usize, rows: &mut Vec<Row>) {
             name: format!("warshall-{}", s.len()),
             size: edges,
             nanos,
+            interrupted: false,
         });
         // Incremental absorption: start from the closed relation and absorb
         // one fresh sink edge per iteration — the explorer's steady state.
@@ -237,6 +282,7 @@ fn bench_closure_micro(reps: usize, rows: &mut Vec<Row>) {
             name: format!("incremental-{}", s.len()),
             size: edges,
             nanos,
+            interrupted: false,
         });
     }
 }
@@ -268,14 +314,21 @@ fn emit_json(path: &std::path::Path, rows: &[Row]) -> std::io::Result<()> {
     let mut out =
         format!("{{\n  \"bench\": \"explore_e2e\",\n  \"cores\": {cores},\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        // The stamp is emitted only when set so unbudgeted trajectories
+        // stay byte-identical to the pre-stamp format.
         let _ = writeln!(
             out,
-            "    {{\"group\": \"{}\", \"name\": \"{}\", \"size\": {}, \"nanos\": {}, \"per_sec\": {:.1}}}{}",
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"size\": {}, \"nanos\": {}, \"per_sec\": {:.1}{}}}{}",
             r.group,
             r.name,
             r.size,
             r.nanos,
             r.per_sec(),
+            if r.interrupted {
+                ", \"interrupted\": true"
+            } else {
+                ""
+            },
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
@@ -287,6 +340,7 @@ fn main() {
     let mut json: Option<String> = None;
     let mut quick = false;
     let mut only: Option<String> = None;
+    let mut budget: Option<Duration> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -295,6 +349,16 @@ fn main() {
             // Restrict the run to one row group (e.g. `--only scaling`
             // for the CI worker-scaling job).
             "--only" => only = Some(args.next().expect("--only needs a group")),
+            // Per-repetition deadline on the exploration groups: rows
+            // whose run tripped it are stamped "interrupted": true.
+            "--budget-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .expect("--budget-ms needs a value")
+                    .parse()
+                    .expect("--budget-ms needs milliseconds");
+                budget = Some(Duration::from_millis(ms));
+            }
             // `cargo bench` passes --bench through to harness=false targets.
             "--bench" => {}
             other => panic!("unknown argument {other:?}"),
@@ -307,13 +371,13 @@ fn main() {
         bench_corpus(reps, &mut rows);
     }
     if want("wide") || want("contended") {
-        bench_scaling(reps, quick, &mut rows);
+        bench_scaling(reps, quick, budget, &mut rows);
     }
     if want("dpor") {
         bench_dpor(reps, quick, &mut rows);
     }
     if want("scaling") {
-        bench_worker_scaling(reps, &mut rows);
+        bench_worker_scaling(reps, budget, &mut rows);
     }
     if want("closure") {
         bench_closure_micro(reps, &mut rows);
@@ -330,13 +394,14 @@ fn main() {
             (r.nanos as f64 / 1e3, "us")
         };
         println!(
-            "{:<12} {:<18} {:>10} {:>11.2} {} {:>14.0}",
+            "{:<12} {:<18} {:>10} {:>11.2} {} {:>14.0}{}",
             r.group,
             r.name,
             r.size,
             t,
             unit,
-            r.per_sec()
+            r.per_sec(),
+            if r.interrupted { "  [budget]" } else { "" }
         );
     }
     if let Some(path) = json {

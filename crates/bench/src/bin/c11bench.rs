@@ -32,7 +32,10 @@ const USAGE: &str = "usage:\n\
      after normalising by the median ratio across shared rows (so a \
      uniformly slower machine cancels out; --absolute compares raw wall \
      times); baseline rows below --min-nanos (default 100000 = 100µs) \
-     are skipped as timer noise\n\
+     are skipped as timer noise, and rows stamped \"interrupted\": true \
+     (a run truncated by `explore_e2e --budget-ms`) are skipped with a \
+     note — a deadline-bounded wall time measures the budget, not the \
+     workload\n\
      --ratio-floor: additionally fail if, in <fresh>'s `scaling` group, \
      the w1/w4 speedup of any shape whose name contains --ratio-match \
      (default \"contended\") falls below F. The floor is scaled down when \
@@ -42,13 +45,23 @@ const USAGE: &str = "usage:\n\
      verdicts: fail (exit 1) if two c11check-litmus/v1 documents \
      disagree on any test's verdict fields (stats are ignored)";
 
-/// One benchmark row identity and its wall time.
-type BenchRows = BTreeMap<(String, String), u128>;
+/// One benchmark row: wall time plus whether the measured run was
+/// deadline-interrupted (`explore_e2e --budget-ms`), in which case the
+/// wall time measures the budget, not the workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct BenchRow {
+    nanos: u128,
+    interrupted: bool,
+}
+
+/// Benchmark rows keyed by (group, name).
+type BenchRows = BTreeMap<(String, String), BenchRow>;
 
 /// Scans an `explore_e2e` JSON trajectory for its rows. The file carries
 /// floats (`per_sec`), which the strict report parser rejects, so this
-/// reads the three fields it needs (`group`, `name`, `nanos`) with a
-/// small string scanner keyed to the emitter's `"key": value` layout.
+/// reads the fields it needs (`group`, `name`, `nanos`, and the optional
+/// `interrupted` stamp) with a small string scanner keyed to the
+/// emitter's `"key": value` layout.
 fn parse_bench_rows(src: &str) -> Result<BenchRows, String> {
     fn field<'a>(row: &'a str, key: &str) -> Option<&'a str> {
         let pat = format!("\"{key}\":");
@@ -72,8 +85,12 @@ fn parse_bench_rows(src: &str) -> Result<BenchRows, String> {
         let nanos: u128 = nanos
             .parse()
             .map_err(|e| format!("bad nanos for {group}/{name}: {e}"))?;
+        let interrupted = field(row, "interrupted") == Some("true");
         if rows
-            .insert((group.to_string(), name.to_string()), nanos)
+            .insert(
+                (group.to_string(), name.to_string()),
+                BenchRow { nanos, interrupted },
+            )
             .is_some()
         {
             return Err(format!("duplicate row {group}/{name}"));
@@ -167,6 +184,10 @@ fn run_compare(args: &[String]) -> Result<bool, String> {
         );
     }
     // Shared rows above the noise floor, with their raw new/base ratios.
+    // A row whose measured run tripped a `--budget-ms` deadline (on
+    // either side) times the budget rather than the workload, so it is
+    // excluded from the regression gate with a note instead of reading
+    // as a spurious pass or failure.
     let mut rows: Vec<(&String, &String, u128, u128, f64)> = Vec::new();
     let mut shared = 0usize;
     for ((group, name), &base) in &base_rows {
@@ -174,6 +195,14 @@ fn run_compare(args: &[String]) -> Result<bool, String> {
             continue;
         };
         shared += 1;
+        if new.interrupted || base.interrupted {
+            println!(
+                "skipping {group}/{name}: {} run was deadline-interrupted, its wall time is not comparable",
+                if new.interrupted { "fresh" } else { "baseline" }
+            );
+            continue;
+        }
+        let (base, new) = (base.nanos, new.nanos);
         if base < min_nanos || (skip_scaling && group == "scaling") {
             continue;
         }
@@ -248,11 +277,19 @@ fn run_compare(args: &[String]) -> Result<bool, String> {
             let Some(&w4) = fresh_rows.get(&(group.clone(), format!("{stem}-w4"))) else {
                 continue;
             };
+            if w1.interrupted || w4.interrupted {
+                println!(
+                    "skipping scaling {stem}: a deadline-interrupted run cannot witness a speedup"
+                );
+                continue;
+            }
             pairs += 1;
-            let speedup = w1 as f64 / w4 as f64;
+            let speedup = w1.nanos as f64 / w4.nanos as f64;
             let ok = speedup >= effective;
             println!(
-                "scaling {stem}: w1 {w1} ns / w4 {w4} ns = {speedup:.2}x (floor {effective:.2}x) {}",
+                "scaling {stem}: w1 {} ns / w4 {} ns = {speedup:.2}x (floor {effective:.2}x) {}",
+                w1.nanos,
+                w4.nanos,
                 if ok { "ok" } else { "BELOW FLOOR" }
             );
             if !ok {
@@ -402,8 +439,75 @@ mod tests {
     fn bench_rows_parse_despite_floats() {
         let rows = parse_bench_rows(BENCH).unwrap();
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[&("wide".into(), "E13-wide-2".into())], 1_000_000);
-        assert_eq!(rows[&("closure".into(), "tiny".into())], 50);
+        let wide = rows[&("wide".into(), "E13-wide-2".into())];
+        assert_eq!((wide.nanos, wide.interrupted), (1_000_000, false));
+        assert_eq!(rows[&("closure".into(), "tiny".into())].nanos, 50);
+    }
+
+    #[test]
+    fn interrupted_rows_are_skipped_not_compared() {
+        let dir = std::env::temp_dir().join("c11bench-test-interrupted");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fresh = dir.join("fresh.json");
+        std::fs::write(&base, BENCH).unwrap();
+        // The big row regressed 5x, but its fresh run tripped a
+        // --budget-ms deadline: its wall time measures the budget, so
+        // the gate must skip it rather than flag a regression.
+        std::fs::write(
+            &fresh,
+            BENCH.replace(
+                "\"nanos\": 1000000, \"per_sec\": 100.0",
+                "\"nanos\": 5000000, \"per_sec\": 100.0, \"interrupted\": true",
+            ),
+        )
+        .unwrap();
+        let args = vec![
+            base.to_str().unwrap().to_string(),
+            fresh.to_str().unwrap().to_string(),
+        ];
+        assert!(run_compare(&args).unwrap());
+        // A deadline-truncated *baseline* is equally incomparable: the
+        // fresh run looking 5x slower than a budget-capped number is
+        // not a regression either.
+        std::fs::write(
+            &base,
+            BENCH.replace(
+                "\"nanos\": 1000000, \"per_sec\": 100.0",
+                "\"nanos\": 200000, \"per_sec\": 100.0, \"interrupted\": true",
+            ),
+        )
+        .unwrap();
+        std::fs::write(&fresh, BENCH).unwrap();
+        assert!(run_compare(&args).unwrap());
+    }
+
+    #[test]
+    fn interrupted_scaling_rows_drop_out_of_the_ratio_gate() {
+        let dir = std::env::temp_dir().join("c11bench-test-interrupted-ratio");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fresh = dir.join("fresh.json");
+        std::fs::write(&base, SCALING).unwrap();
+        // The contended w4 run tripped its budget: the apparent 3.0x
+        // speedup is fiction, so the pair is skipped — leaving no
+        // matching pairs, which the gate reports as an error rather
+        // than a silent pass.
+        std::fs::write(
+            &fresh,
+            SCALING.replace(
+                "\"name\": \"E16-contended-4-w4\", \"size\": 553, \"nanos\": 1000000",
+                "\"name\": \"E16-contended-4-w4\", \"size\": 553, \"nanos\": 1000000, \"interrupted\": true",
+            ),
+        )
+        .unwrap();
+        let args = vec![
+            base.to_str().unwrap().to_string(),
+            fresh.to_str().unwrap().to_string(),
+            "--ratio-floor".to_string(),
+            "2.5".to_string(),
+        ];
+        assert!(run_compare(&args).is_err());
     }
 
     #[test]

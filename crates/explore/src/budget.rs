@@ -1,0 +1,229 @@
+//! Cooperative deadline / cancellation budget shared by all engines.
+//!
+//! A [`Budget`] is a cheaply clonable token the service layer hands to an
+//! exploration: a wall-clock deadline, a cancel flag another thread may
+//! set at any time, and an optional soft state cap. Engines poll it at
+//! the top of their expansion loops via [`Budget::check`] — the flag read
+//! is a relaxed atomic load every call, while the clock is only consulted
+//! every [`POLL_MASK`]+1 polls so a hot loop never pays a syscall per
+//! state. A tripped budget terminates the run with an [`Interrupt`]
+//! recorded on the result, *distinct* from bound truncation: bounds are
+//! part of the question being asked, budgets are the service saying
+//! "stop answering".
+//!
+//! The cancel flag lives behind its own `Arc`, shared by every clone —
+//! including clones re-stamped with a different deadline via
+//! [`Budget::with_deadline_at`]. That lets a session create the cancel
+//! token at submission time (so `cancel(JobId)` reaches a job still in
+//! the queue) and attach the per-job deadline only when compute starts,
+//! so queue wait never eats the job's time budget.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why an exploration was interrupted before its bounds were reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Interrupt {
+    /// The budget's deadline passed mid-exploration.
+    TimedOut,
+    /// Another thread called [`Budget::cancel`].
+    Cancelled,
+}
+
+impl Interrupt {
+    /// The status word reports carry (`"timed_out"` / `"cancelled"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Interrupt::TimedOut => "timed_out",
+            Interrupt::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Shared deadline + cancel token. `Default` is unlimited (never trips);
+/// cloning shares the cancel flag, so a `cancel()` through any clone is
+/// seen by every engine polling any other clone.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    /// Soft cap on unique states, independent of
+    /// `ExploreConfig::max_states` (which is a bound, i.e. part of the
+    /// question). Tripping it reports `TimedOut` — the service ran out of
+    /// resource budget, not the caller.
+    soft_max_states: Option<usize>,
+    cancel: Arc<AtomicBool>,
+}
+
+/// Polls between clock reads: the cancel flag is checked on every call,
+/// `Instant::now()` only every 64th.
+const POLL_MASK: u64 = 63;
+
+impl Budget {
+    /// An unlimited budget (alias for `Default`).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A budget that trips `TimedOut` once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Budget {
+        Budget {
+            deadline: Some(deadline),
+            ..Budget::default()
+        }
+    }
+
+    /// A budget with both an optional deadline and an optional soft state
+    /// cap (the general constructor the service layer uses).
+    pub fn new(deadline: Option<Instant>, soft_max_states: Option<usize>) -> Budget {
+        Budget {
+            deadline,
+            soft_max_states,
+            ..Budget::default()
+        }
+    }
+
+    /// A clone of this budget with its deadline (re)stamped. The cancel
+    /// flag stays shared: cancelling either token trips both.
+    pub fn with_deadline_at(&self, deadline: Instant) -> Budget {
+        Budget {
+            deadline: Some(deadline),
+            soft_max_states: self.soft_max_states,
+            cancel: self.cancel.clone(),
+        }
+    }
+
+    /// Requests cooperative cancellation: every engine polling this budget
+    /// (through any clone) terminates at its next poll with
+    /// [`Interrupt::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether `cancel()` has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// True if this budget can never trip — lets engines skip the poll
+    /// counter entirely on the (common) unlimited default. A budget
+    /// whose cancel flag has other live holders is *not* unlimited even
+    /// without a deadline: any of those holders may `cancel()` it
+    /// mid-exploration, so the engine must keep polling.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.soft_max_states.is_none()
+            && !self.is_cancelled()
+            && Arc::strong_count(&self.cancel) == 1
+    }
+
+    /// One cheap poll. `tick` is the caller's loop counter (any
+    /// monotonically increasing value); `unique` is the current visited
+    /// count for the soft cap. Returns `Some` the first time the budget
+    /// trips. Cancellation wins over the deadline so an explicit
+    /// `cancel()` is never masked as a timeout.
+    #[inline]
+    pub fn check(&self, tick: u64, unique: usize) -> Option<Interrupt> {
+        if self.cancel.load(Ordering::Relaxed) {
+            return Some(Interrupt::Cancelled);
+        }
+        if let Some(cap) = self.soft_max_states {
+            if unique >= cap {
+                return Some(Interrupt::TimedOut);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if tick & POLL_MASK == 0 && Instant::now() >= deadline {
+                return Some(Interrupt::TimedOut);
+            }
+        }
+        None
+    }
+
+    /// Like [`check`](Budget::check) but always reads the clock —
+    /// engines call this once before entering their loop so even a
+    /// deadline already in the past trips on the very first poll.
+    pub fn check_now(&self, unique: usize) -> Option<Interrupt> {
+        if self.cancel.load(Ordering::Relaxed) {
+            return Some(Interrupt::Cancelled);
+        }
+        if let Some(cap) = self.soft_max_states {
+            if unique >= cap {
+                return Some(Interrupt::TimedOut);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(Interrupt::TimedOut);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::default();
+        assert!(b.is_unlimited());
+        for tick in 0..1000 {
+            assert_eq!(b.check(tick, usize::MAX), None);
+        }
+    }
+
+    #[test]
+    fn cancel_is_seen_through_clones_and_wins_over_deadline() {
+        let b = Budget::with_deadline(Instant::now() - Duration::from_secs(1));
+        let clone = b.clone();
+        clone.cancel();
+        assert_eq!(b.check(0, 0), Some(Interrupt::Cancelled));
+        assert_eq!(b.check_now(0), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn restamped_deadline_shares_the_cancel_flag() {
+        let token = Budget::unlimited();
+        let stamped = token.with_deadline_at(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(stamped.check_now(0), None);
+        token.cancel();
+        assert_eq!(stamped.check_now(0), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_trips_timed_out_on_aligned_tick() {
+        let b = Budget::with_deadline(Instant::now() - Duration::from_millis(1));
+        // Unaligned ticks skip the clock read; tick 64 reads it.
+        assert_eq!(b.check(1, 0), None);
+        assert_eq!(b.check(64, 0), Some(Interrupt::TimedOut));
+        assert_eq!(b.check_now(0), Some(Interrupt::TimedOut));
+    }
+
+    #[test]
+    fn soft_state_cap_trips_without_clock() {
+        let b = Budget::new(None, Some(10));
+        assert_eq!(b.check(3, 9), None);
+        assert_eq!(b.check(3, 10), Some(Interrupt::TimedOut));
+    }
+
+    #[test]
+    fn a_shared_cancel_token_is_not_unlimited() {
+        // Another holder of the flag may cancel at any time — engines
+        // must not take the skip-all-polling fast path.
+        let token = Budget::unlimited();
+        let held_elsewhere = token.clone();
+        assert!(!token.is_unlimited());
+        held_elsewhere.cancel();
+        assert_eq!(token.check(1, 0), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn far_deadline_does_not_trip() {
+        let b = Budget::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(b.check(0, 0), None);
+        assert_eq!(b.check_now(0), None);
+    }
+}

@@ -175,6 +175,7 @@ where
         truncated: false,
         violations: Vec::new(),
         stuck: 0,
+        interrupted: None,
     };
     let track = cfg.record_traces || cfg.witness_traces;
     let mut nodes = TraceArena::new();
@@ -199,7 +200,25 @@ where
     }
     result.unique = 1;
 
-    while let Some((config, node_idx, depth, sleep)) = queue.pop_front() {
+    // Mirrors the sequential engine's budget discipline: one clock read
+    // up front, then a cheap poll per popped state.
+    let budget = &cfg.budget;
+    let unlimited = budget.is_unlimited();
+    if !unlimited {
+        result.interrupted = budget.check_now(result.unique);
+    }
+    let mut tick: u64 = 0;
+    while result.interrupted.is_none() {
+        let Some((config, node_idx, depth, sleep)) = queue.pop_front() else {
+            break;
+        };
+        if !unlimited {
+            tick += 1;
+            if let Some(why) = budget.check(tick, result.unique) {
+                result.interrupted = Some(why);
+                break;
+            }
+        }
         if result.unique >= cfg.max_states {
             result.truncated = true;
             break;

@@ -1,5 +1,6 @@
 //! The sequential exploration engine.
 
+use crate::budget::{Budget, Interrupt};
 use c11_core::config::{Config, ConfigStep};
 use c11_core::fingerprint::{combine128, hash128_of};
 use c11_core::model::MemoryModel;
@@ -43,6 +44,10 @@ pub struct ExploreConfig {
     /// configuration (see [`ExploreResult::final_traces`]). Off by
     /// default: witnesses cost memory proportional to `finals × depth`.
     pub witness_traces: bool,
+    /// Cooperative deadline/cancellation token polled by every engine.
+    /// Unlimited by default; a tripped budget terminates the run with
+    /// [`ExploreResult::interrupted`] set (distinct from `truncated`).
+    pub budget: Budget,
 }
 
 impl Default for ExploreConfig {
@@ -54,6 +59,7 @@ impl Default for ExploreConfig {
             dedup: true,
             record_traces: true,
             witness_traces: false,
+            budget: Budget::default(),
         }
     }
 }
@@ -92,6 +98,12 @@ impl ExploreConfig {
     /// Switches witness traces for terminated configurations (chainable).
     pub fn witness_traces(mut self, on: bool) -> Self {
         self.witness_traces = on;
+        self
+    }
+
+    /// Attaches a deadline/cancellation budget (chainable).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -239,6 +251,11 @@ pub struct ExploreResult<M: MemoryModel> {
     /// is deadlock-free (every variable retains at least one observable
     /// write), so this should stay 0 — it is asserted as a property.
     pub stuck: usize,
+    /// Set iff the run's [`Budget`] tripped (deadline passed or
+    /// cancellation requested) before the bounds did. All counts are then
+    /// a sane partial prefix of the search; `truncated` stays the bound
+    /// verdict only.
+    pub interrupted: Option<Interrupt>,
 }
 
 impl<M: MemoryModel> ExploreResult<M> {
@@ -293,6 +310,7 @@ where
         truncated: false,
         violations: Vec::new(),
         stuck: 0,
+        interrupted: None,
     };
     // Node store for trace reconstruction — only fed when someone will
     // read the parent pointers back (mirrors the parallel engine's
@@ -324,7 +342,26 @@ where
     }
     result.unique = 1;
 
-    while let Some((config, node_idx, depth)) = queue.pop_front() {
+    // One unconditional clock read up front: a deadline already in the
+    // past (e.g. a 0 ms budget) interrupts before any expansion. The
+    // in-loop poll then only reads the clock every 64th iteration.
+    let budget = &cfg.budget;
+    let unlimited = budget.is_unlimited();
+    if !unlimited {
+        result.interrupted = budget.check_now(result.unique);
+    }
+    let mut tick: u64 = 0;
+    while result.interrupted.is_none() {
+        let Some((config, node_idx, depth)) = queue.pop_front() else {
+            break;
+        };
+        if !unlimited {
+            tick += 1;
+            if let Some(why) = budget.check(tick, result.unique) {
+                result.interrupted = Some(why);
+                break;
+            }
+        }
         if result.unique >= cfg.max_states {
             result.truncated = true;
             break;

@@ -19,12 +19,14 @@
 //! ([`dpor`]) that visits the same states through fewer transitions.
 
 pub mod backend;
+pub mod budget;
 pub mod dpor;
 pub mod engine;
 pub mod par;
 pub mod stats;
 
 pub use backend::{AnyBackend, DporBackend, ExploreBackend, ParallelBackend, SequentialBackend};
+pub use budget::{Budget, Interrupt};
 pub use dpor::{explore_dpor, explore_dpor_invariant};
 pub use engine::{
     explore_invariant_with, render_trace, ExploreConfig, ExploreResult, Explorer, RegSnapshot,

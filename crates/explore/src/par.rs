@@ -35,12 +35,14 @@
 //! termination detection relies on the visited filter, and the dedup-off
 //! ablation (E16) is a sequential measurement.
 
+use crate::budget::Interrupt;
 use crate::engine::{config_fingerprint, ExploreConfig, ExploreResult, TraceStep};
 use c11_core::config::Config;
 use c11_core::model::MemoryModel;
 use c11_lang::Prog;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashSet, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 // ---- the global membership filter --------------------------------------
@@ -315,6 +317,31 @@ struct Shared<M: MemoryModel> {
     truncated: AtomicBool,
     /// Invariant violations (rare; one shared vector is fine).
     violations: Mutex<Finals<M>>,
+    /// Set when any worker wants every worker to stop now — a tripped
+    /// budget or a panic. Polled in the pop loop *and* the starvation
+    /// loop: `in_flight` never reaches zero after an early exit, so the
+    /// flag is what drains starving siblings.
+    abort: AtomicBool,
+    /// Why the run was interrupted: 0 = not, 1 = timed out, 2 = cancelled.
+    /// First trip wins (CAS from 0).
+    interrupt: AtomicUsize,
+    /// The first panic payload caught at a worker boundary; re-raised on
+    /// the calling thread after the scope joins, so a panicking user
+    /// invariant surfaces as exactly one panic instead of stranding
+    /// sibling workers (they observe `abort` and drain).
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Records a budget trip and tells every worker to stop.
+fn flag_interrupt<M: MemoryModel>(shared: &Shared<M>, why: Interrupt) {
+    let code = match why {
+        Interrupt::TimedOut => 1,
+        Interrupt::Cancelled => 2,
+    };
+    let _ = shared
+        .interrupt
+        .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+    shared.abort.store(true, Ordering::Relaxed);
 }
 
 /// Publishes the back half of `local` as one injector chunk when someone
@@ -401,7 +428,30 @@ where
             finals: vec![initial],
             truncated: false,
             stuck: 0,
+            interrupted: None,
         };
+    }
+    // A deadline already in the past (or a pre-cancelled budget) trips
+    // before any thread is spawned — same discipline as the sequential
+    // engine's up-front `check_now`.
+    let unlimited = cfg.budget.is_unlimited();
+    if !unlimited {
+        if let Some(why) = cfg.budget.check_now(1) {
+            return ExploreResult {
+                unique: 1,
+                generated: 0,
+                finals: Vec::new(),
+                final_traces: Vec::new(),
+                truncated: false,
+                violations: if initial_bad {
+                    vec![(initial, Vec::new())]
+                } else {
+                    Vec::new()
+                },
+                stuck: 0,
+                interrupted: Some(why),
+            };
+        }
     }
 
     let shared: Shared<M> = Shared {
@@ -413,6 +463,9 @@ where
         unique: AtomicUsize::new(1),
         truncated: AtomicBool::new(false),
         violations: Mutex::new(Vec::new()),
+        abort: AtomicBool::new(false),
+        interrupt: AtomicUsize::new(0),
+        panic: Mutex::new(None),
     };
     shared.filter.insert(config_fingerprint(model, &initial));
     if initial_bad {
@@ -431,102 +484,153 @@ where
             .map(|(me, seed)| {
                 let shared = &shared;
                 scope.spawn(move |_| {
-                    let mut local = seed;
-                    let mut seen: HashSet<u128> = HashSet::new();
-                    let mut arena: Vec<Node> = Vec::new();
-                    let mut finals: Finals<M> = Vec::new();
-                    let mut generated = 0usize;
-                    let mut stuck = 0usize;
-                    'work: loop {
-                        let (config, node, depth) = match local.pop_front() {
-                            Some(item) => item,
-                            None => {
-                                // Starving: advertise it, then poll the
-                                // injector until fed or everything drains.
-                                shared.hungry.fetch_add(1, Ordering::SeqCst);
-                                let got = loop {
-                                    if let Some(chunk) = take_chunk(shared) {
-                                        break Some(chunk);
+                    // The worker body runs under `catch_unwind`: a
+                    // panicking user invariant must not strand siblings
+                    // spinning on `in_flight` (the panicked worker would
+                    // never decrement it) or poison the scope join. The
+                    // first payload is parked in `shared.panic` and
+                    // re-raised once on the calling thread.
+                    let work = AssertUnwindSafe(|| {
+                        let mut local = seed;
+                        let mut seen: HashSet<u128> = HashSet::new();
+                        let mut arena: Vec<Node> = Vec::new();
+                        let mut finals: Finals<M> = Vec::new();
+                        let mut generated = 0usize;
+                        let mut stuck = 0usize;
+                        let mut tick = 0u64;
+                        'work: loop {
+                            let (config, node, depth) = match local.pop_front() {
+                                Some(item) => item,
+                                None => {
+                                    // Starving: advertise it, then poll the
+                                    // injector until fed or everything drains.
+                                    shared.hungry.fetch_add(1, Ordering::SeqCst);
+                                    let got = loop {
+                                        if shared.abort.load(Ordering::Relaxed) {
+                                            break None;
+                                        }
+                                        if !unlimited {
+                                            tick += 1;
+                                            if let Some(why) = cfg
+                                                .budget
+                                                .check(tick, shared.unique.load(Ordering::Relaxed))
+                                            {
+                                                flag_interrupt(shared, why);
+                                                break None;
+                                            }
+                                        }
+                                        if let Some(chunk) = take_chunk(shared) {
+                                            break Some(chunk);
+                                        }
+                                        if shared.in_flight.load(Ordering::SeqCst) == 0 {
+                                            break None;
+                                        }
+                                        std::thread::yield_now();
+                                    };
+                                    shared.hungry.fetch_sub(1, Ordering::SeqCst);
+                                    match got {
+                                        Some(chunk) => {
+                                            local.extend(chunk);
+                                            continue 'work;
+                                        }
+                                        None => break 'work,
                                     }
-                                    if shared.in_flight.load(Ordering::SeqCst) == 0 {
-                                        break None;
-                                    }
-                                    std::thread::yield_now();
-                                };
-                                shared.hungry.fetch_sub(1, Ordering::SeqCst);
-                                match got {
-                                    Some(chunk) => {
-                                        local.extend(chunk);
-                                        continue 'work;
-                                    }
-                                    None => break 'work,
+                                }
+                            };
+                            if shared.abort.load(Ordering::Relaxed) {
+                                break 'work;
+                            }
+                            if !unlimited {
+                                tick += 1;
+                                if let Some(why) = cfg
+                                    .budget
+                                    .check(tick, shared.unique.load(Ordering::Relaxed))
+                                {
+                                    flag_interrupt(shared, why);
+                                    break 'work;
                                 }
                             }
-                        };
-                        donate_if_hungry(shared, &mut local);
-                        if shared.unique.load(Ordering::Relaxed) >= cfg.max_states {
-                            // State cap reached: stop expanding (mirrors
-                            // the sequential engine's pop-time check).
-                            shared.truncated.store(true, Ordering::Relaxed);
-                        } else if depth >= cfg.max_depth
-                            || model.state_size(&config.mem) >= cfg.max_events
-                        {
-                            shared.truncated.store(true, Ordering::Relaxed);
-                        } else {
-                            let successors = config.successors(model);
-                            if successors.is_empty() && !config.is_terminated() {
-                                stuck += 1;
-                            }
-                            for step in successors {
-                                generated += 1;
-                                let next = step.next;
-                                let key = config_fingerprint(model, &next);
-                                // Private cache first — repeats this
-                                // worker generated never touch the filter.
-                                if !seen.insert(key) {
-                                    continue;
+                            donate_if_hungry(shared, &mut local);
+                            if shared.unique.load(Ordering::Relaxed) >= cfg.max_states {
+                                // State cap reached: stop expanding (mirrors
+                                // the sequential engine's pop-time check).
+                                shared.truncated.store(true, Ordering::Relaxed);
+                            } else if depth >= cfg.max_depth
+                                || model.state_size(&config.mem) >= cfg.max_events
+                            {
+                                shared.truncated.store(true, Ordering::Relaxed);
+                            } else {
+                                let successors = config.successors(model);
+                                if successors.is_empty() && !config.is_terminated() {
+                                    stuck += 1;
                                 }
-                                if !shared.filter.insert(key) {
-                                    continue;
-                                }
-                                shared.unique.fetch_add(1, Ordering::Relaxed);
-                                let child = if track {
-                                    arena.push(Node {
-                                        parent: node,
-                                        step: TraceStep {
-                                            tid: step.tid,
-                                            label: step.label,
-                                        },
-                                    });
-                                    NodeRef {
-                                        worker: me as u32,
-                                        idx: (arena.len() - 1) as u32,
+                                for step in successors {
+                                    generated += 1;
+                                    let next = step.next;
+                                    let key = config_fingerprint(model, &next);
+                                    // Private cache first — repeats this
+                                    // worker generated never touch the filter.
+                                    if !seen.insert(key) {
+                                        continue;
                                     }
-                                } else {
-                                    NodeRef::NONE
-                                };
-                                if !inv(&next) {
-                                    shared.violations.lock().push((next.clone(), child));
+                                    if !shared.filter.insert(key) {
+                                        continue;
+                                    }
+                                    shared.unique.fetch_add(1, Ordering::Relaxed);
+                                    let child = if track {
+                                        arena.push(Node {
+                                            parent: node,
+                                            step: TraceStep {
+                                                tid: step.tid,
+                                                label: step.label,
+                                            },
+                                        });
+                                        NodeRef {
+                                            worker: me as u32,
+                                            idx: (arena.len() - 1) as u32,
+                                        }
+                                    } else {
+                                        NodeRef::NONE
+                                    };
+                                    if !inv(&next) {
+                                        shared.violations.lock().push((next.clone(), child));
+                                    }
+                                    if next.is_terminated() {
+                                        // Terminated configurations have no
+                                        // successors — collect them, skip the
+                                        // queue (mirrors the sequential
+                                        // engine).
+                                        finals.push((next, child));
+                                    } else {
+                                        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                                        local.push_back((next, child, depth + 1));
+                                    }
                                 }
-                                if next.is_terminated() {
-                                    // Terminated configurations have no
-                                    // successors — collect them, skip the
-                                    // queue (mirrors the sequential
-                                    // engine).
-                                    finals.push((next, child));
-                                } else {
-                                    shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                                    local.push_back((next, child, depth + 1));
-                                }
+                            }
+                            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        WorkerOut {
+                            arena,
+                            finals,
+                            generated,
+                            stuck,
+                        }
+                    });
+                    match std::panic::catch_unwind(work) {
+                        Ok(out) => out,
+                        Err(payload) => {
+                            shared.abort.store(true, Ordering::Relaxed);
+                            let mut slot = shared.panic.lock();
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            WorkerOut {
+                                arena: Vec::new(),
+                                finals: Vec::new(),
+                                generated: 0,
+                                stuck: 0,
                             }
                         }
-                        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-                    }
-                    WorkerOut {
-                        arena,
-                        finals,
-                        generated,
-                        stuck,
                     }
                 })
             })
@@ -537,6 +641,12 @@ where
             .collect()
     })
     .expect("worker panicked");
+
+    // Re-raise the first caught worker panic as one panic on this thread
+    // (the session layer's `catch_unwind` turns it into one job error).
+    if let Some(payload) = shared.panic.into_inner() {
+        std::panic::resume_unwind(payload);
+    }
 
     // Workers are joined: merge the published arenas and resolve parent
     // chains.
@@ -593,6 +703,11 @@ where
         truncated: shared.truncated.load(Ordering::Relaxed),
         violations,
         stuck,
+        interrupted: match shared.interrupt.load(Ordering::Relaxed) {
+            1 => Some(Interrupt::TimedOut),
+            2 => Some(Interrupt::Cancelled),
+            _ => None,
+        },
     }
 }
 
@@ -692,6 +807,65 @@ mod tests {
         let res = parallel_explore(&RaModel, &prog, &ExploreConfig::default(), 4);
         assert_eq!(res.unique, seq.unique);
         assert_eq!(res.finals.len(), seq.finals.len());
+    }
+
+    /// Satellite regression: a panicking user invariant inside a worker
+    /// must surface as exactly one panic on the calling thread — never a
+    /// hang with siblings spinning on `in_flight`, never a double panic
+    /// at the scope join. (Runs under the dev profile, which unwinds.)
+    #[test]
+    fn worker_panic_is_contained_and_reraised_once() {
+        let src = "vars x;
+             thread t1 { x := 1; x := 2; }
+             thread t2 { x := 3; x := 4; }";
+        let prog = parse_program(src).unwrap();
+        let cfg = ExploreConfig::default();
+        for workers in [1usize, 2, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                parallel_explore_invariant(&RaModel, &prog, &cfg, workers, &|c: &Config<
+                    RaModel,
+                >| {
+                    if c.mem.len() >= 3 {
+                        panic!("invariant exploded");
+                    }
+                    true
+                })
+            });
+            let payload = match caught {
+                Err(payload) => payload,
+                Ok(_) => panic!("the user panic must propagate (workers={workers})"),
+            };
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .unwrap_or("(non-str payload)");
+            assert_eq!(msg, "invariant exploded", "workers={workers}");
+        }
+    }
+
+    /// A pre-cancelled budget interrupts before any worker spawns; a
+    /// passed deadline interrupts promptly mid-run. Neither sets the
+    /// bound-truncation flag.
+    #[test]
+    fn budget_interrupts_parallel_exploration() {
+        use crate::budget::Budget;
+        let src = "vars x y;
+             thread t1 { x := 1; x := 2; x := 3; }
+             thread t2 { y := 1; y := 2; y := 3; }";
+        let prog = parse_program(src).unwrap();
+        let budget = Budget::default();
+        budget.cancel();
+        let cfg = ExploreConfig::default().budget(budget);
+        let res = parallel_explore(&RaModel, &prog, &cfg, 4);
+        assert_eq!(res.interrupted, Some(Interrupt::Cancelled));
+        assert!(!res.truncated);
+
+        let past = Budget::with_deadline(std::time::Instant::now());
+        let cfg = ExploreConfig::default().budget(past);
+        let res = parallel_explore(&RaModel, &prog, &cfg, 4);
+        assert_eq!(res.interrupted, Some(Interrupt::TimedOut));
+        assert!(!res.truncated);
+        assert!(res.unique >= 1, "partial stats stay sane");
     }
 
     #[test]

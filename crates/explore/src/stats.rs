@@ -6,6 +6,7 @@
 //! reports all embed it instead of growing bespoke `states`/`truncated`
 //! field pairs.
 
+use crate::budget::Interrupt;
 use crate::engine::ExploreResult;
 use c11_core::model::MemoryModel;
 use std::time::Duration;
@@ -28,6 +29,10 @@ pub struct Stats {
     pub stuck: usize,
     /// Wall-clock time of the run, in microseconds.
     pub wall_micros: u128,
+    /// Set iff the run's [`Budget`](crate::Budget) tripped (deadline or
+    /// cancellation) before the bounds did — distinct from `truncated`,
+    /// which records the *question's* bounds cutting the search short.
+    pub interrupt: Option<Interrupt>,
 }
 
 impl Stats {
@@ -40,6 +45,7 @@ impl Stats {
             truncated: result.truncated,
             stuck: result.stuck,
             wall_micros: wall.as_micros(),
+            interrupt: result.interrupted,
         }
     }
 
@@ -49,7 +55,7 @@ impl Stats {
     }
 
     /// Merges two runs (used by reports that explore under two models):
-    /// sizes add, truncation ors.
+    /// sizes add, truncation ors, and the first interrupt (if any) wins.
     pub fn merged(&self, other: &Stats) -> Stats {
         Stats {
             unique: self.unique + other.unique,
@@ -58,6 +64,7 @@ impl Stats {
             truncated: self.truncated || other.truncated,
             stuck: self.stuck + other.stuck,
             wall_micros: self.wall_micros + other.wall_micros,
+            interrupt: self.interrupt.or(other.interrupt),
         }
     }
 }
@@ -75,6 +82,7 @@ mod tests {
             truncated: false,
             stuck: 0,
             wall_micros: 10,
+            interrupt: None,
         };
         let b = Stats {
             unique: 2,
@@ -83,6 +91,7 @@ mod tests {
             truncated: true,
             stuck: 1,
             wall_micros: 7,
+            interrupt: None,
         };
         let m = a.merged(&b);
         assert_eq!(m.unique, 5);
@@ -92,5 +101,26 @@ mod tests {
         assert_eq!(m.stuck, 1);
         assert_eq!(m.wall_micros, 17);
         assert_eq!(m.wall(), Duration::from_micros(17));
+        assert_eq!(m.interrupt, None);
+    }
+
+    #[test]
+    fn merged_keeps_the_first_interrupt() {
+        let clean = Stats::default();
+        let timed = Stats {
+            interrupt: Some(Interrupt::TimedOut),
+            ..Stats::default()
+        };
+        let cancelled = Stats {
+            interrupt: Some(Interrupt::Cancelled),
+            ..Stats::default()
+        };
+        assert_eq!(clean.merged(&timed).interrupt, Some(Interrupt::TimedOut));
+        assert_eq!(timed.merged(&clean).interrupt, Some(Interrupt::TimedOut));
+        assert_eq!(
+            timed.merged(&cancelled).interrupt,
+            Some(Interrupt::TimedOut)
+        );
+        assert_eq!(clean.merged(&clean).interrupt, None);
     }
 }

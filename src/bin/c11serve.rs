@@ -7,6 +7,7 @@
 //!
 //! ```sh
 //! c11serve [--workers N] [--no-cache] [--auto-parallel T]
+//!          [--job-timeout-ms MS] [--cache-capacity N] [--max-queue N]
 //!
 //! # One request per line. Exactly one of program / litmus_path /
 //! # litmus_source selects the input; everything else is optional:
@@ -33,33 +34,55 @@
 //! | `bounds`       | `{"max_events":N,"max_states":N,"max_depth":N}` (each optional) |
 //! | `traces`       | bool — witness schedules per outcome               |
 //! | `dot`          | integer — render up to N final executions as DOT   |
+//! | `timeout_ms`   | integer — per-request deadline, measured from when compute starts |
 //!
-//! Each response line is the `c11check/v1` report object with `id` and
-//! `status` (`"ok"` / `"error"`) prepended; malformed lines produce
-//! `{"schema":"c11check/v1","id":…,"status":"error","error":"…"}`.
-//! The process exits 0 iff every line was ok and every litmus verdict
-//! passed.
+//! Each response line is the `c11check/v1` report object with `id`
+//! prepended after `schema`; its `status` is `"ok"`, `"timed_out"` or
+//! `"cancelled"` (a deadline-hit report is still a report — partial
+//! stats, not an error). Malformed lines produce
+//! `{"schema":"c11check/v1","id":…,"status":"error","error":"…"}`;
+//! submissions bounced by a full queue (`--max-queue`) produce
+//! `"status":"overloaded"` lines. Input lines are capped at 1 MiB:
+//! longer lines (and lines that are not valid UTF-8) are answered with
+//! a positioned error and the stream continues. On EOF — or SIGTERM on
+//! Unix — the service stops reading, drains every in-flight job, prints
+//! the summary and exits. The exit code is 0 iff every line was ok and
+//! every litmus verdict passed; overload rejections and deadline hits
+//! are service conditions, not genuine errors, and do not fail it.
 
 use c11_operational::api::json::Json;
-use c11_operational::api::{Session, SessionConfig};
+use c11_operational::api::{CheckError, Session, SessionConfig};
 use c11_operational::litmus::{load_litmus_file, parse_litmus};
 use c11_operational::prelude::*;
-use std::io::{BufRead as _, Write as _};
+use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
 use std::sync::mpsc;
 
-const USAGE: &str = "usage: c11serve [--workers N] [--no-cache] [--auto-parallel T]\n\
+const USAGE: &str = "usage: c11serve [--workers N] [--no-cache] [--auto-parallel T] \
+     [--job-timeout-ms MS] [--cache-capacity N] [--max-queue N]\n\
      reads c11check/v1 request JSON lines on stdin, writes one report \
      JSON line per request and a final batch-summary line on stdout\n\
      --workers N: session pool size (default 2)\n\
      --no-cache: disable the fingerprint-keyed result cache\n\
      --auto-parallel T: run sequential-backend requests whose program \
-     has ≥ T threads on the parallel engine (default 4; 0 disables)";
+     has ≥ T threads on the parallel engine (default 4; 0 disables)\n\
+     --job-timeout-ms MS: default per-job deadline (a request's own \
+     timeout_ms wins when tighter)\n\
+     --cache-capacity N: bound the result cache to N reports (LRU)\n\
+     --max-queue N: reject submissions beyond N queued jobs with \
+     status \"overloaded\"";
+
+/// Longest accepted request line; longer lines are dropped with a
+/// positioned error instead of buffering unboundedly.
+const MAX_LINE_BYTES: usize = 1 << 20;
 
 struct Opts {
     workers: usize,
     cache: bool,
     auto_parallel: usize,
+    job_timeout_ms: Option<usize>,
+    cache_capacity: Option<usize>,
+    max_queue: Option<usize>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -67,25 +90,25 @@ fn parse_args() -> Result<Opts, String> {
         workers: 2,
         cache: true,
         auto_parallel: 4,
+        job_timeout_ms: None,
+        cache_capacity: None,
+        max_queue: None,
     };
     let mut args = std::env::args().skip(1);
+    let num = |args: &mut std::iter::Skip<std::env::Args>, flag: &str| {
+        args.next()
+            .ok_or(format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|e| format!("bad {flag}: {e}"))
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-cache" => opts.cache = false,
-            "--workers" => {
-                opts.workers = args
-                    .next()
-                    .ok_or("--workers needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --workers: {e}"))?;
-            }
-            "--auto-parallel" => {
-                opts.auto_parallel = args
-                    .next()
-                    .ok_or("--auto-parallel needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --auto-parallel: {e}"))?;
-            }
+            "--workers" => opts.workers = num(&mut args, "--workers")?,
+            "--auto-parallel" => opts.auto_parallel = num(&mut args, "--auto-parallel")?,
+            "--job-timeout-ms" => opts.job_timeout_ms = Some(num(&mut args, "--job-timeout-ms")?),
+            "--cache-capacity" => opts.cache_capacity = Some(num(&mut args, "--cache-capacity")?),
+            "--max-queue" => opts.max_queue = Some(num(&mut args, "--max-queue")?),
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -97,7 +120,7 @@ fn parse_args() -> Result<Opts, String> {
 /// strings destined for the line's error report.
 fn build_request(v: &Json) -> Result<CheckRequest, String> {
     let obj = v.as_obj().ok_or("request line must be a JSON object")?;
-    const KNOWN: [&str; 10] = [
+    const KNOWN: [&str; 11] = [
         "id",
         "program",
         "litmus_path",
@@ -108,6 +131,7 @@ fn build_request(v: &Json) -> Result<CheckRequest, String> {
         "bounds",
         "traces",
         "dot",
+        "timeout_ms",
     ];
     for (key, _) in obj {
         if !KNOWN.contains(&key.as_str()) {
@@ -241,13 +265,18 @@ fn build_request(v: &Json) -> Result<CheckRequest, String> {
     if let Some(dot) = v.get("dot") {
         req = req.dot(dot.as_usize().ok_or("\"dot\" must be an integer")?);
     }
+    if let Some(t) = v.get("timeout_ms") {
+        let ms = t.as_usize().ok_or("\"timeout_ms\" must be an integer")?;
+        req = req.timeout(std::time::Duration::from_millis(ms as u64));
+    }
     Ok(req)
 }
 
-/// One unit flowing from the reader to the writer: either a submitted
-/// job or a line-level error, with the id to echo.
+/// One unit flowing from the reader to the writer: a submitted job, a
+/// backpressure rejection, or a line-level error, with the id to echo.
 enum Item {
     Job(String, c11_operational::api::JobId),
+    Overloaded(String),
     LineError(String, String),
 }
 
@@ -261,14 +290,124 @@ fn error_line(id: &str, msg: &str) -> String {
     .render()
 }
 
+fn overloaded_line(id: &str) -> String {
+    Json::obj(vec![
+        ("schema", Json::str("c11check/v1")),
+        ("id", Json::str(id)),
+        ("status", Json::str("overloaded")),
+        ("error", Json::str("submission queue is full, retry later")),
+    ])
+    .render()
+}
+
 fn report_line(id: &str, report: &CheckReport) -> String {
     let Json::Obj(mut pairs) = report.json_value() else {
         unreachable!("reports are objects");
     };
-    // `id` and `status` go right after `schema` for scannability.
+    // `id` goes right after `schema` for scannability; the report itself
+    // already carries `status` ("ok" / "timed_out" / "cancelled").
     pairs.insert(1, ("id".to_string(), Json::str(id)));
-    pairs.insert(2, ("status".to_string(), Json::str("ok")));
     Json::Obj(pairs).render()
+}
+
+/// One raw request line, read with a hard byte cap.
+enum Line {
+    Eof,
+    Text(String),
+    /// Line exceeded [`MAX_LINE_BYTES`]; payload is the dropped length
+    /// seen before giving up (the line was consumed through its newline).
+    TooLong(usize),
+    /// Line bytes were not valid UTF-8; payload is the offset of the
+    /// first bad byte.
+    BadUtf8(usize),
+    Io(String),
+}
+
+/// Reads one newline-terminated line as bytes, enforcing the length cap
+/// without buffering the excess. An oversized line is consumed to its
+/// newline so the *next* line still parses — one hostile line must not
+/// poison the rest of the stream.
+fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> Line {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut saw_input = false;
+    let mut dropped = false;
+    let mut dropped_len = 0usize;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Line::Io(e.to_string()),
+        };
+        if chunk.is_empty() {
+            break; // EOF (a final unterminated line still counts)
+        }
+        saw_input = true;
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if dropped {
+            dropped_len += take;
+        } else if buf.len() + take > cap {
+            dropped = true;
+            dropped_len = buf.len() + take;
+        } else {
+            buf.extend_from_slice(&chunk[..take]);
+        }
+        let consumed = take + usize::from(newline.is_some());
+        reader.consume(consumed);
+        if newline.is_some() {
+            break;
+        }
+    }
+    if dropped {
+        return Line::TooLong(dropped_len);
+    }
+    if !saw_input {
+        return Line::Eof;
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(text) => Line::Text(text),
+        Err(e) => Line::BadUtf8(e.utf8_error().valid_up_to()),
+    }
+}
+
+/// SIGTERM → graceful drain: the reader stops accepting lines and the
+/// writer finishes every job already submitted before the summary is
+/// printed. Raw `signal(2)` via the C library keeps this crate-free.
+#[cfg(unix)]
+mod term {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_sig: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod term {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
 }
 
 fn main() -> ExitCode {
@@ -279,12 +418,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let session = std::sync::Arc::new(Session::new(
-        SessionConfig::default()
-            .workers(opts.workers)
-            .cache(opts.cache)
-            .parallel_threshold(opts.auto_parallel),
-    ));
+    term::install();
+    let mut cfg = SessionConfig::default()
+        .workers(opts.workers)
+        .cache(opts.cache)
+        .parallel_threshold(opts.auto_parallel);
+    if let Some(ms) = opts.job_timeout_ms {
+        cfg = cfg.job_timeout(std::time::Duration::from_millis(ms as u64));
+    }
+    if let Some(n) = opts.cache_capacity {
+        cfg = cfg.cache_capacity(n);
+    }
+    if let Some(n) = opts.max_queue {
+        cfg = cfg.max_queue_depth(n);
+    }
+    let session = std::sync::Arc::new(Session::new(cfg));
     let (tx, rx) = mpsc::channel::<Item>();
 
     let t0 = std::time::Instant::now();
@@ -304,17 +452,28 @@ fn main() -> ExitCode {
                         stats.errors += 1;
                         error_line(&id, &msg)
                     }
+                    Item::Overloaded(id) => {
+                        stats.overloaded += 1;
+                        overloaded_line(&id)
+                    }
                     Item::Job(id, job) => match session.wait(job) {
                         Ok(report) => {
                             stats.ok += 1;
                             stats.cache_hits += usize::from(report.cache_hit());
+                            stats.interrupted += usize::from(report.interrupt().is_some());
                             stats.explore = stats.explore.merged(&report.stats());
                             if let CheckReport::Litmus(l) = &report {
-                                if !l.pass {
+                                // A deadline-hit verdict never finished;
+                                // don't count it as a litmus failure.
+                                if !l.pass && report.interrupt().is_none() {
                                     stats.litmus_failed += 1;
                                 }
                             }
                             report_line(&id, &report)
+                        }
+                        Err(CheckError::Cancelled) => {
+                            stats.interrupted += 1;
+                            error_line(&id, "cancelled")
                         }
                         Err(e) => {
                             stats.errors += 1;
@@ -331,42 +490,60 @@ fn main() -> ExitCode {
     };
 
     // Reader (main thread): parse lines, submit jobs as they arrive.
+    // Stops at EOF, on an unrecoverable read error, or when SIGTERM
+    // asks for a graceful drain.
     let stdin = std::io::stdin();
-    for (n, line) in stdin.lock().lines().enumerate() {
-        let line = match line {
-            Ok(line) => line,
-            Err(e) => {
-                // A read error (e.g. a non-UTF-8 byte) must not look
-                // like a clean EOF: report it as an error line — which
-                // also fails the exit code — then stop reading, since
-                // the stream position is no longer trustworthy.
+    let mut reader = stdin.lock();
+    let mut n = 0usize;
+    loop {
+        if term::requested() {
+            break;
+        }
+        n += 1;
+        let item = match read_line_capped(&mut reader, MAX_LINE_BYTES) {
+            Line::Eof => break,
+            Line::Io(e) => {
                 let _ = tx.send(Item::LineError(
-                    format!("line-{}", n + 1),
+                    format!("line-{n}"),
                     format!("stdin read error: {e}"),
                 ));
                 break;
             }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let item = match Json::parse(&line) {
-            Err(e) => Item::LineError(format!("line-{}", n + 1), e.to_string()),
-            Ok(v) => {
-                let id = v
-                    .get("id")
-                    .and_then(Json::as_str)
-                    .map(str::to_string)
-                    .unwrap_or_else(|| format!("line-{}", n + 1));
-                match build_request(&v) {
-                    Ok(req) => Item::Job(id, session.submit(req)),
-                    Err(msg) => Item::LineError(id, msg),
+            Line::TooLong(len) => Item::LineError(
+                format!("line-{n}"),
+                format!("line {n} exceeds the {MAX_LINE_BYTES}-byte cap ({len} bytes); dropped"),
+            ),
+            Line::BadUtf8(at) => Item::LineError(
+                format!("line-{n}"),
+                format!("line {n} is not valid UTF-8 (first invalid byte at offset {at})"),
+            ),
+            Line::Text(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match Json::parse(&line) {
+                    Err(e) => Item::LineError(format!("line-{n}"), e.to_string()),
+                    Ok(v) => {
+                        let id = v
+                            .get("id")
+                            .and_then(Json::as_str)
+                            .map(str::to_string)
+                            .unwrap_or_else(|| format!("line-{n}"));
+                        match build_request(&v) {
+                            Ok(req) => match session.submit(req) {
+                                Ok(job) => Item::Job(id, job),
+                                Err(CheckError::Overloaded) => Item::Overloaded(id),
+                                Err(e) => Item::LineError(id, e.to_string()),
+                            },
+                            Err(msg) => Item::LineError(id, msg),
+                        }
+                    }
                 }
             }
         };
         let _ = tx.send(item);
     }
-    drop(tx); // EOF: let the writer drain and finish
+    drop(tx); // EOF/SIGTERM: let the writer drain in-flight jobs and finish
     let mut stats = writer.join().expect("writer thread");
     stats.wall_micros = t0.elapsed().as_micros();
 

@@ -93,8 +93,8 @@ pub mod prelude {
     pub use c11_core::state::C11State;
     pub use c11_core::{Action, ThreadId};
     pub use c11_explore::{
-        DporBackend, ExploreBackend, ExploreConfig, Explorer, ParallelBackend, RegSnapshot,
-        SequentialBackend, Stats,
+        Budget, DporBackend, ExploreBackend, ExploreConfig, Explorer, Interrupt, ParallelBackend,
+        RegSnapshot, SequentialBackend, Stats,
     };
     pub use c11_lang::ast::{BinOp, Com, Exp, Prog, RegId, Val, VarId};
     pub use c11_lang::parser::parse_program;

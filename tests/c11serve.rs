@@ -7,6 +7,10 @@ use c11_operational::api::json::Json;
 use std::process::{Command, Stdio};
 
 fn run_c11serve(args: &[&str], stdin: &str) -> (bool, Vec<Json>) {
+    run_c11serve_bytes(args, stdin.as_bytes())
+}
+
+fn run_c11serve_bytes(args: &[&str], stdin: &[u8]) -> (bool, Vec<Json>) {
     let mut cmd = Command::new(env!("CARGO"));
     cmd.args(["run", "--quiet", "--bin", "c11serve", "--"])
         .args(args)
@@ -17,12 +21,7 @@ fn run_c11serve(args: &[&str], stdin: &str) -> (bool, Vec<Json>) {
     let mut child = cmd.spawn().expect("spawn cargo run c11serve");
     {
         use std::io::Write as _;
-        child
-            .stdin
-            .take()
-            .unwrap()
-            .write_all(stdin.as_bytes())
-            .unwrap();
+        child.stdin.take().unwrap().write_all(stdin).unwrap();
     }
     let out = child.wait_with_output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
@@ -61,17 +60,16 @@ fn clean_stream_round_trips_in_order_with_cache_hits() {
     assert_eq!(s(&lines[0], "status"), Some("ok"));
     assert_eq!(s(&lines[0], "schema"), Some("c11check/v1"));
     assert_eq!(s(&lines[0], "mode"), Some("outcomes"));
-    assert_eq!(
-        lines[0].get("cache_hit").and_then(Json::as_bool),
-        Some(false)
-    );
 
-    // The duplicate is a cache hit with the identical payload.
+    // The duplicate coalesces: exactly one of the two identical jobs
+    // explored (which one computed first is a pool race), the other is
+    // a cache hit with the byte-identical payload.
     assert_eq!(s(&lines[1], "id"), Some("sb-again"));
-    assert_eq!(
-        lines[1].get("cache_hit").and_then(Json::as_bool),
-        Some(true)
-    );
+    let hits = [&lines[0], &lines[1]]
+        .iter()
+        .filter(|l| l.get("cache_hit").and_then(Json::as_bool) == Some(true))
+        .count();
+    assert_eq!(hits, 1, "one cold + one warm: {lines:?}");
     assert_eq!(lines[1].get("outcomes"), lines[0].get("outcomes"));
 
     assert_eq!(s(&lines[2], "id"), Some("mp"));
@@ -232,4 +230,124 @@ fn dpor_backend_requests_compute_cold_and_hit_warm() {
         "the error names the valid backends: {:?}",
         lines[3]
     );
+}
+
+/// An oversized request line is answered with a positioned error — and
+/// only that line: the stream keeps going and later requests still get
+/// their reports.
+#[test]
+fn oversized_lines_get_a_positioned_error_and_the_stream_continues() {
+    let mut input = Vec::new();
+    input.extend_from_slice(&vec![b'a'; (1 << 20) + 64]);
+    input.push(b'\n');
+    input.extend_from_slice(b"{\"id\":\"after\",\"program\":\"vars x; thread t { x := 1; }\"}\n");
+    let (ok, lines) = run_c11serve_bytes(&[], &input);
+    assert!(!ok, "an oversized line is a genuine error");
+    assert_eq!(lines.len(), 3, "error + report + summary: {lines:?}");
+    assert_eq!(s(&lines[0], "id"), Some("line-1"));
+    assert_eq!(s(&lines[0], "status"), Some("error"));
+    let err = s(&lines[0], "error").unwrap();
+    assert!(
+        err.contains("line 1") && err.contains("byte cap"),
+        "positioned oversize error: {err}"
+    );
+    assert_eq!(s(&lines[1], "id"), Some("after"));
+    assert_eq!(s(&lines[1], "status"), Some("ok"));
+}
+
+/// Bytes that are not valid UTF-8 no longer kill the stream: the line
+/// is rejected with the offset of the first bad byte and reading
+/// continues at the next line.
+#[test]
+fn malformed_utf8_lines_are_rejected_in_place() {
+    let mut input = Vec::new();
+    input.extend_from_slice(b"{\"id\":\"first\",\"program\":\"vars x; thread t { x := 1; }\"}\n");
+    input.extend_from_slice(b"{\"id\":\"bad\xff\xfe\"}\n");
+    input.extend_from_slice(b"{\"id\":\"last\",\"program\":\"vars x; thread t { x := 2; }\"}\n");
+    let (ok, lines) = run_c11serve_bytes(&[], &input);
+    assert!(!ok, "the invalid line must fail the exit code");
+    assert_eq!(lines.len(), 4, "2 reports + error + summary: {lines:?}");
+    assert_eq!(s(&lines[0], "status"), Some("ok"));
+    assert_eq!(s(&lines[1], "id"), Some("line-2"));
+    assert_eq!(s(&lines[1], "status"), Some("error"));
+    let err = s(&lines[1], "error").unwrap();
+    assert!(
+        err.contains("UTF-8") && err.contains("offset 10"),
+        "positioned UTF-8 error: {err}"
+    );
+    assert_eq!(s(&lines[2], "id"), Some("last"));
+    assert_eq!(s(&lines[2], "status"), Some("ok"));
+}
+
+/// A request whose deadline already passed comes back as a well-formed
+/// `"timed_out"` report — not an error, not a hang — under all three
+/// backends, and timeouts do not fail the exit code.
+#[test]
+fn tiny_timeouts_yield_timed_out_reports_not_errors() {
+    let contended = "vars x; \
+         thread t1 { x := 1; x := 2; x := 3; x := 4; } \
+         thread t2 { x := 5; x := 6; x := 7; x := 8; } \
+         thread t3 { x := 9; x := 10; x := 11; x := 12; } \
+         thread t4 { x := 13; x := 14; x := 15; x := 16; }";
+    let input = format!(
+        concat!(
+            "{{\"id\":\"seq\",\"program\":\"{p}\",\"timeout_ms\":0}}\n",
+            "{{\"id\":\"par\",\"program\":\"{p}\",\"timeout_ms\":0,\"backend\":{{\"kind\":\"parallel\",\"workers\":4}}}}\n",
+            "{{\"id\":\"dpor\",\"program\":\"{p}\",\"timeout_ms\":0,\"backend\":\"dpor\"}}\n",
+        ),
+        p = contended
+    );
+    let (ok, lines) = run_c11serve(&["--auto-parallel", "0"], &input);
+    assert!(ok, "timeouts are not genuine errors: {lines:?}");
+    assert_eq!(lines.len(), 4, "3 reports + summary: {lines:?}");
+    for (line, id) in lines[..3].iter().zip(["seq", "par", "dpor"]) {
+        assert_eq!(s(line, "id"), Some(id));
+        assert_eq!(s(line, "status"), Some("timed_out"), "{line:?}");
+        assert_eq!(
+            line.get("stats")
+                .and_then(|st| st.get("interrupt"))
+                .and_then(Json::as_str),
+            Some("timed_out")
+        );
+    }
+    let summary = &lines[3];
+    assert_eq!(summary.get("interrupted").and_then(Json::as_usize), Some(3));
+    assert_eq!(summary.get("errors").and_then(Json::as_usize), Some(0));
+}
+
+/// A burst past `--max-queue` gets structured `"overloaded"` lines
+/// instead of unbounded queueing; accepted requests still complete and
+/// overload alone does not fail the exit code.
+#[test]
+fn bursts_beyond_max_queue_answer_overloaded() {
+    let input: String = (0..24)
+        .map(|n| {
+            format!(
+                "{{\"id\":\"burst-{n}\",\"program\":\"vars x y z; \
+                 thread t1 {{ x := {n}; y := {n}; z := {n}; }} \
+                 thread t2 {{ y := 1; z := 2; x := 3; }} \
+                 thread t3 {{ r0 <- z; r1 <- x; r2 <- y; }}\"}}\n"
+            )
+        })
+        .collect();
+    let (ok, lines) = run_c11serve(&["--workers", "1", "--max-queue", "1"], &input);
+    assert!(ok, "overload is not a genuine error: {lines:?}");
+    assert_eq!(lines.len(), 25, "24 responses + summary: {lines:?}");
+    let mut served = 0;
+    let mut bounced = 0;
+    for line in &lines[..24] {
+        match s(line, "status") {
+            Some("ok") => served += 1,
+            Some("overloaded") => bounced += 1,
+            other => panic!("unexpected status {other:?}: {line:?}"),
+        }
+    }
+    assert!(served >= 1, "the first request is always accepted");
+    assert!(bounced >= 1, "queue depth 1 must bounce part of a 24-burst");
+    let summary = &lines[24];
+    assert_eq!(
+        summary.get("overloaded").and_then(Json::as_usize),
+        Some(bounced)
+    );
+    assert_eq!(summary.get("ok").and_then(Json::as_usize), Some(served));
 }
