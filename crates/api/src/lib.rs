@@ -30,6 +30,8 @@
 
 pub mod batch;
 pub mod json;
+pub mod net;
+pub(crate) mod persist;
 pub mod session;
 
 pub use batch::{BatchReport, BatchRequest, BatchStats};

@@ -41,7 +41,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Configuration of a [`Session`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SessionConfig {
     /// Worker threads servicing [`Session::submit`]ted jobs (clamped to
     /// ≥ 1; spawned lazily on first use).
@@ -71,6 +71,12 @@ pub struct SessionConfig {
     /// unboundedly. `None` (the default) is unbounded. Inline
     /// [`Session::run`] calls bypass the queue and are never rejected.
     pub max_queue_depth: Option<usize>,
+    /// Disk snapshot of the result cache (JSONL, see `persist`): loaded
+    /// when the session is created and rewritten by
+    /// [`Session::flush_cache`] (called automatically on drop). `None`
+    /// (the default) keeps the cache purely in memory. Ignored when
+    /// [`SessionConfig::cache`] is off.
+    pub cache_path: Option<std::path::PathBuf>,
 }
 
 impl Default for SessionConfig {
@@ -82,6 +88,7 @@ impl Default for SessionConfig {
             job_timeout: None,
             cache_capacity: None,
             max_queue_depth: None,
+            cache_path: None,
         }
     }
 }
@@ -124,6 +131,13 @@ impl SessionConfig {
         self.max_queue_depth = Some(n);
         self
     }
+
+    /// Persists the result cache to a JSONL snapshot at `path`
+    /// (chainable): loaded on session creation, rewritten on drop.
+    pub fn cache_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
 }
 
 /// A handle to a job submitted to a [`Session`]; redeem it exactly once
@@ -151,27 +165,38 @@ pub struct SessionStats {
     /// Submissions rejected with [`CheckError::Overloaded`] because the
     /// queue was at [`SessionConfig::max_queue_depth`].
     pub overloaded: usize,
+    /// Cache entries restored from the [`SessionConfig::cache_path`]
+    /// snapshot when the session was created.
+    pub persist_loaded: usize,
+    /// Snapshot lines skipped on load as corrupt, stale-versioned or
+    /// otherwise untrustworthy (the load survives; the lines do not).
+    pub persist_skipped: usize,
 }
 
 /// The result-cache key. The backend is deliberately absent — see the
 /// module docs for why — and [`Mode`] contributes its discriminant plus
 /// whatever identity the variant carries.
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
-    fingerprint: u128,
-    model: crate::ModelChoice,
-    bounds: crate::Bounds,
-    mode: ModeKey,
-    traces: Option<bool>,
-    dot: usize,
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    /// The report-schema version the cached report was rendered under
+    /// (`persist::SCHEMA_VERSION`). Constant within one binary, but an
+    /// explicit key component so persisted entries are versioned and a
+    /// snapshot from a different schema can never alias a current key.
+    pub(crate) schema: &'static str,
+    pub(crate) fingerprint: u128,
+    pub(crate) model: crate::ModelChoice,
+    pub(crate) bounds: crate::Bounds,
+    pub(crate) mode: ModeKey,
+    pub(crate) traces: Option<bool>,
+    pub(crate) dot: usize,
     /// Effective deadline in milliseconds. Part of the key so a report
     /// computed under a tight deadline can never answer a patient
     /// request (and vice versa); `None` for unbudgeted jobs.
-    timeout_ms: Option<u128>,
+    pub(crate) timeout_ms: Option<u128>,
 }
 
-#[derive(Clone, PartialEq, Eq, Hash)]
-enum ModeKey {
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum ModeKey {
     Outcomes,
     CountOnly,
     /// Predicate identity: clones of one `Invariant` hit; same-named but
@@ -185,7 +210,13 @@ enum ModeKey {
 /// lifetime, so a recycled heap address can never alias a dropped
 /// predicate's cached report.
 #[derive(Clone)]
-struct PredId(crate::PredFn);
+pub(crate) struct PredId(crate::PredFn);
+
+impl std::fmt::Debug for PredId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PredId({:p})", Arc::as_ptr(&self.0))
+    }
+}
 
 impl PartialEq for PredId {
     fn eq(&self, other: &PredId) -> bool {
@@ -202,7 +233,7 @@ impl std::hash::Hash for PredId {
 }
 
 impl CacheKey {
-    fn of(r: &Resolved) -> CacheKey {
+    pub(crate) fn of(r: &Resolved) -> CacheKey {
         let mode = match &r.mode {
             Mode::Outcomes => ModeKey::Outcomes,
             Mode::CountOnly => ModeKey::CountOnly,
@@ -214,6 +245,7 @@ impl CacheKey {
         // harmless request-tagging differences still hit.
         let litmus = matches!(mode, ModeKey::LitmusVerdict);
         CacheKey {
+            schema: crate::persist::SCHEMA_VERSION,
             fingerprint: r.fingerprint(),
             model: if litmus {
                 crate::ModelChoice::default()
@@ -295,6 +327,8 @@ struct Inner {
     errors: AtomicUsize,
     evictions: AtomicUsize,
     overloaded: AtomicUsize,
+    persist_loaded: AtomicUsize,
+    persist_skipped: AtomicUsize,
 }
 
 impl Inner {
@@ -545,9 +579,13 @@ impl Default for Session {
 
 impl Session {
     /// A session with the given configuration. No threads are spawned
-    /// until the first [`Session::submit`].
+    /// until the first [`Session::submit`]. With
+    /// [`SessionConfig::cache_path`] set, the snapshot at that path (if
+    /// any) warms the cache before the session serves its first request;
+    /// corrupt or stale-versioned lines are skipped and counted in
+    /// [`SessionStats::persist_skipped`].
     pub fn new(cfg: SessionConfig) -> Session {
-        Session {
+        let session = Session {
             inner: Arc::new(Inner {
                 cfg,
                 queue: Mutex::new(VecDeque::new()),
@@ -564,15 +602,99 @@ impl Session {
                 errors: AtomicUsize::new(0),
                 evictions: AtomicUsize::new(0),
                 overloaded: AtomicUsize::new(0),
+                persist_loaded: AtomicUsize::new(0),
+                persist_skipped: AtomicUsize::new(0),
             }),
             pool: Mutex::new(Vec::new()),
             next_id: std::sync::atomic::AtomicU64::new(0),
+        };
+        session.load_cache();
+        session
+    }
+
+    /// Warms the cache from the configured snapshot. Missing file = cold
+    /// start; unreadable lines are skipped and counted, never trusted.
+    fn load_cache(&self) {
+        let inner = &self.inner;
+        let Some(path) = inner.cfg.cache_path.as_ref().filter(|_| inner.cfg.cache) else {
+            return;
+        };
+        let Ok(contents) = std::fs::read_to_string(path) else {
+            return;
+        };
+        let mut cache = inner.cache.lock().unwrap();
+        for line in contents.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            match crate::persist::parse_line(line) {
+                Ok((key, report)) => {
+                    let slot = CacheEntry::pending();
+                    *slot.state.lock().unwrap() = SlotState::Ready(report);
+                    slot.ready.store(true, Ordering::Release);
+                    cache.tick += 1;
+                    slot.last_used.store(cache.tick, Ordering::Relaxed);
+                    // Later lines win: the snapshot is append-ordered, so
+                    // a rewritten entry supersedes an earlier duplicate.
+                    cache.slots.insert(key, slot);
+                    inner.persist_loaded.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    inner.persist_skipped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
+        // The snapshot may have been written under a larger (or no)
+        // capacity; this session's ceiling still holds.
+        inner.evict_over_capacity(&mut cache);
+    }
+
+    /// Rewrites the [`SessionConfig::cache_path`] snapshot from the
+    /// current ready cache entries and returns how many were written.
+    /// Interrupted and invariant-keyed entries are never written;
+    /// corrupt lines a previous load skipped are dropped for good (the
+    /// snapshot is rewritten whole, atomically via a temp file +
+    /// rename). A no-op returning `Ok(0)` without a path or with the
+    /// cache off. Called automatically when the session drops.
+    pub fn flush_cache(&self) -> std::io::Result<usize> {
+        let inner = &self.inner;
+        let Some(path) = inner.cfg.cache_path.as_ref().filter(|_| inner.cfg.cache) else {
+            return Ok(0);
+        };
+        // Snapshot the ready slots under the map lock, then render
+        // outside it (slot locks are taken only after the map lock is
+        // released, honouring the slot-then-map lock order).
+        let slots: Vec<(CacheKey, CacheSlot)> = {
+            let cache = inner.cache.lock().unwrap();
+            cache
+                .slots
+                .iter()
+                .filter(|(_, slot)| slot.ready.load(Ordering::Acquire))
+                .map(|(key, slot)| (key.clone(), slot.clone()))
+                .collect()
+        };
+        let mut lines = String::new();
+        let mut written = 0usize;
+        for (key, slot) in slots {
+            let state = slot.state.lock().unwrap();
+            let SlotState::Ready(report) = &*state else {
+                continue;
+            };
+            if let Some(line) = crate::persist::persist_line(&key, report) {
+                lines.push_str(&line);
+                lines.push('\n');
+                written += 1;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, lines)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(written)
     }
 
     /// The session's configuration.
     pub fn config(&self) -> SessionConfig {
-        self.inner.cfg
+        self.inner.cfg.clone()
     }
 
     /// Runs one request inline on the calling thread (through the cache,
@@ -698,6 +820,8 @@ impl Session {
             errors: i.errors.load(Ordering::Relaxed),
             evictions: i.evictions.load(Ordering::Relaxed),
             overloaded: i.overloaded.load(Ordering::Relaxed),
+            persist_loaded: i.persist_loaded.load(Ordering::Relaxed),
+            persist_skipped: i.persist_skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -724,6 +848,9 @@ impl Drop for Session {
         for handle in self.pool.lock().unwrap().drain(..) {
             let _ = handle.join();
         }
+        // Best-effort snapshot after the pool is quiet; a full-disk or
+        // permission failure must not turn a drop into a panic.
+        let _ = self.flush_cache();
     }
 }
 

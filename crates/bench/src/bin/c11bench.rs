@@ -25,7 +25,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:\n\
      c11bench compare <baseline.json> <fresh.json> [--tolerance F] [--min-nanos N] [--absolute]\n\
-     \x20                [--ratio-floor F] [--ratio-match S]\n\
+     \x20                [--ratio-floor F] [--ratio-match S] [--require-match S]\n\
      c11bench verdicts <a.json> <b.json>\n\
      compare: fail (exit 1) if a benchmark row shared by both files is \
      slower in <fresh> by more than the tolerance (default 0.25 = +25%) \
@@ -42,6 +42,10 @@ const USAGE: &str = "usage:\n\
      <fresh> records fewer than 4 host cores (a 1-core runner cannot \
      exhibit real speedup), bottoming out at 0.7 = \"w4 must not be \
      catastrophically slower than w1\"\n\
+     --require-match: error (exit 2) unless at least one row that \
+     actually entered the regression loop has a name containing S — \
+     catches a gate that silently compares nothing (e.g. every p99 row \
+     fell under --min-nanos)\n\
      verdicts: fail (exit 1) if two c11check-litmus/v1 documents \
      disagree on any test's verdict fields (stats are ignored)";
 
@@ -122,6 +126,7 @@ fn run_compare(args: &[String]) -> Result<bool, String> {
     let mut absolute = false;
     let mut ratio_floor: Option<f64> = None;
     let mut ratio_match = "contended".to_string();
+    let mut require_match: Option<String> = None;
     let (mut baseline, mut fresh) = (None, None);
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -151,6 +156,9 @@ fn run_compare(args: &[String]) -> Result<bool, String> {
             }
             "--ratio-match" => {
                 ratio_match = it.next().ok_or("--ratio-match needs a value")?.clone();
+            }
+            "--require-match" => {
+                require_match = Some(it.next().ok_or("--require-match needs a value")?.clone());
             }
             p if baseline.is_none() => baseline = Some(p.to_string()),
             p if fresh.is_none() => fresh = Some(p.to_string()),
@@ -210,6 +218,21 @@ fn run_compare(args: &[String]) -> Result<bool, String> {
     }
     if shared == 0 {
         return Err("the two files share no benchmark rows".to_string());
+    }
+    // The SLO gates name a row substring they expect to actually gate
+    // on (e.g. "p99"); if every such row was filtered out — noise
+    // floor, deadline interruption, a missing counterpart — the gate
+    // is vacuous and must error rather than silently pass.
+    if let Some(needle) = &require_match {
+        if !rows
+            .iter()
+            .any(|(_, name, ..)| name.contains(needle.as_str()))
+        {
+            return Err(format!(
+                "--require-match: none of the {} compared rows has a name containing {needle:?}",
+                rows.len()
+            ));
+        }
     }
     // The fresh run usually comes from a different machine (or a quick
     // CI pass) than the committed baseline, so by default ratios are
@@ -672,6 +695,31 @@ mod tests {
         // …but across core counts the scaling group is excluded.
         std::fs::write(&fresh, slow_w4.replace("\"cores\": 4", "\"cores\": 1")).unwrap();
         assert!(run_compare(&args).unwrap());
+    }
+
+    #[test]
+    fn require_match_rejects_a_vacuous_gate() {
+        let dir = std::env::temp_dir().join("c11bench-test-require");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fresh = dir.join("fresh.json");
+        std::fs::write(&base, BENCH).unwrap();
+        std::fs::write(&fresh, BENCH).unwrap();
+        let args = |needle: &str| {
+            vec![
+                base.to_str().unwrap().to_string(),
+                fresh.to_str().unwrap().to_string(),
+                "--require-match".to_string(),
+                needle.to_string(),
+            ]
+        };
+        // "E13" rows survive the noise floor and are compared: passes.
+        assert!(run_compare(&args("E13")).unwrap());
+        // "tiny" exists but sits below --min-nanos, so nothing with
+        // that name is actually compared: the gate is vacuous.
+        assert!(run_compare(&args("tiny")).is_err());
+        // A substring matching nothing at all errors too.
+        assert!(run_compare(&args("p99")).is_err());
     }
 
     const LITMUS_A: &str = r#"{"schema":"c11check-litmus/v1","tests":[{"schema":"c11check/v1","mode":"litmus","name":"SB","expect_ra":"allowed","expect_sc":"forbidden","observed_ra":true,"observed_sc":false,"pass":true,"ra":{"unique":10,"wall_micros":5},"sc":{"unique":4,"wall_micros":1}}],"failed":0}"#;

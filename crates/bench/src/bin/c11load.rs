@@ -1,0 +1,404 @@
+//! `c11load` — closed-loop load generator for `c11netd`.
+//!
+//! Opens `--conns` TCP connections and drives `--requests` framed
+//! `c11check/v1` requests through them as fast as the server answers
+//! (closed loop: each connection has exactly one request in flight).
+//! The request mix is drawn from the litmus corpus (`--mix corpus`),
+//! from the E13/E16 program shapes (`--mix shapes`), or both
+//! (`--mix all`, the default). Per-request wall latency lands in a
+//! fixed-bucket log-scale histogram (≤ 1/32 relative error) and the
+//! run emits a `BENCH_serve_latency.json`-style document with p50,
+//! p95 and p99 rows per mix that `c11bench compare` can diff and gate.
+//!
+//! Every response is verified: the frame must parse as JSON, echo the
+//! request id, and carry an "ok" (or "overloaded") status. Anything
+//! else counts as malformed and fails the run — the exit status is 0
+//! only when zero malformed frames and zero transport errors occurred.
+
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use c11_api::json::Json;
+use c11_api::net::{read_frame, write_frame, FrameIn};
+use c11_bench::latency::LogHistogram;
+use c11_bench::{contended_workload_src, wide_workload_src};
+
+const USAGE: &str = "\
+usage: c11load --addr HOST:PORT [options]
+
+  --addr HOST:PORT   server to load (required)
+  --conns N          concurrent connections, one request in flight each
+                     (default 8)
+  --requests N       total requests across all connections (default 128)
+  --mix KIND         corpus | shapes | all (default all)
+  --litmus DIR       litmus corpus directory (default litmus)
+  --json FILE        also write the result document to FILE
+  --timeout-ms N     per-request response deadline (default 30000)
+  -h, --help         this text
+";
+
+struct Opts {
+    addr: String,
+    conns: usize,
+    requests: usize,
+    mix: String,
+    litmus: String,
+    json: Option<String>,
+    timeout: Duration,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        addr: String::new(),
+        conns: 8,
+        requests: 128,
+        mix: "all".to_string(),
+        litmus: "litmus".to_string(),
+        json: None,
+        timeout: Duration::from_millis(30_000),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--conns" => {
+                opts.conns = value("--conns")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--conns must be a positive integer")?;
+            }
+            "--requests" => {
+                opts.requests = value("--requests")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--requests must be a positive integer")?;
+            }
+            "--mix" => {
+                let mix = value("--mix")?;
+                if !["corpus", "shapes", "all"].contains(&mix.as_str()) {
+                    return Err("--mix must be corpus, shapes or all".to_string());
+                }
+                opts.mix = mix;
+            }
+            "--litmus" => opts.litmus = value("--litmus")?,
+            "--json" => opts.json = Some(value("--json")?),
+            "--timeout-ms" => {
+                let ms = value("--timeout-ms")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--timeout-ms must be a positive integer")?;
+                opts.timeout = Duration::from_millis(ms);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    Ok(opts)
+}
+
+/// One entry of the request mix: a request body (without "id") plus the
+/// mix label its latencies are reported under.
+struct Shape {
+    mix: &'static str,
+    body: Json,
+}
+
+fn corpus_shapes(dir: &Path) -> Result<Vec<Shape>, String> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read litmus dir {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "litmus"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .litmus files in {}", dir.display()));
+    }
+    files
+        .into_iter()
+        .map(|path| {
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Ok(Shape {
+                mix: "corpus",
+                body: Json::obj(vec![
+                    ("litmus_source", Json::str(&src)),
+                    ("mode", Json::str("litmus")),
+                ]),
+            })
+        })
+        .collect()
+}
+
+fn program_shapes() -> Vec<Shape> {
+    // The E13 widening and E16 contention workloads at sizes that finish
+    // in milliseconds, so the closed loop measures service latency
+    // rather than a single giant exploration.
+    let mut shapes = Vec::new();
+    for k in [2usize, 4] {
+        shapes.push(Shape {
+            mix: "shapes",
+            body: Json::obj(vec![
+                ("program", Json::str(wide_workload_src(k))),
+                ("mode", Json::str("count")),
+            ]),
+        });
+    }
+    for k in [2usize, 3] {
+        shapes.push(Shape {
+            mix: "shapes",
+            body: Json::obj(vec![
+                ("program", Json::str(contended_workload_src(k))),
+                ("mode", Json::str("count")),
+            ]),
+        });
+    }
+    shapes
+}
+
+/// What each worker accumulates locally and merges into the shared
+/// tally when it finishes.
+#[derive(Default)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    overloaded: u64,
+    cache_hits: u64,
+    malformed: u64,
+    errors: u64,
+    by_mix: Vec<(&'static str, LogHistogram)>,
+}
+
+impl Tally {
+    fn histogram(&mut self, mix: &'static str) -> &mut LogHistogram {
+        if let Some(pos) = self.by_mix.iter().position(|(name, _)| *name == mix) {
+            return &mut self.by_mix[pos].1;
+        }
+        self.by_mix.push((mix, LogHistogram::new()));
+        &mut self.by_mix.last_mut().unwrap().1
+    }
+
+    fn merge(&mut self, other: Tally) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.overloaded += other.overloaded;
+        self.cache_hits += other.cache_hits;
+        self.malformed += other.malformed;
+        self.errors += other.errors;
+        for (mix, hist) in other.by_mix {
+            self.histogram(mix).merge(&hist);
+        }
+    }
+}
+
+/// Reads one response frame, polling through read-timeout `Idle` ticks
+/// until `deadline`.
+fn read_response(stream: &mut TcpStream, deadline: Instant) -> Result<Vec<u8>, String> {
+    loop {
+        match read_frame(stream)? {
+            FrameIn::Frame(payload) => return Ok(payload),
+            FrameIn::Eof => return Err("server closed the connection".to_string()),
+            FrameIn::Idle => {
+                if Instant::now() >= deadline {
+                    return Err("response deadline exceeded".to_string());
+                }
+            }
+        }
+    }
+}
+
+fn run_worker(
+    opts: &Opts,
+    shapes: &[Shape],
+    next: &AtomicUsize,
+    shared: &Mutex<Tally>,
+) -> Result<(), String> {
+    let mut tally = Tally::default();
+    let result = drive(opts, shapes, next, &mut tally);
+    shared.lock().unwrap().merge(tally);
+    result
+}
+
+fn drive(
+    opts: &Opts,
+    shapes: &[Shape],
+    next: &AtomicUsize,
+    tally: &mut Tally,
+) -> Result<(), String> {
+    let mut stream =
+        TcpStream::connect(&opts.addr).map_err(|e| format!("connect {}: {e}", opts.addr))?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    stream.set_nodelay(true).ok();
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= opts.requests {
+            return Ok(());
+        }
+        let shape = &shapes[i % shapes.len()];
+        let id = format!("load-{i}");
+        let payload = {
+            let mut fields = match &shape.body {
+                Json::Obj(fields) => fields.clone(),
+                _ => unreachable!("shape bodies are objects"),
+            };
+            fields.insert(0, ("id".to_string(), Json::str(&id)));
+            Json::Obj(fields).render()
+        };
+        let start = Instant::now();
+        tally.sent += 1;
+        write_frame(&mut stream, payload.as_bytes()).map_err(|e| {
+            tally.errors += 1;
+            format!("write: {e}")
+        })?;
+        let response = match read_response(&mut stream, start + opts.timeout) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                tally.errors += 1;
+                return Err(e);
+            }
+        };
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // A response is well-formed only if it parses, echoes our id,
+        // and reports a known status. Everything else is malformed and
+        // fails the run — the whole point is catching framing bugs.
+        let doc = match std::str::from_utf8(&response)
+            .ok()
+            .and_then(|text| Json::parse(text).ok())
+        {
+            Some(doc) => doc,
+            None => {
+                tally.malformed += 1;
+                continue;
+            }
+        };
+        if doc.get("id").and_then(Json::as_str) != Some(&id) {
+            tally.malformed += 1;
+            continue;
+        }
+        match doc.get("status").and_then(Json::as_str) {
+            Some("ok") => {
+                tally.ok += 1;
+                if doc.get("cache_hit").and_then(Json::as_bool) == Some(true) {
+                    tally.cache_hits += 1;
+                }
+                tally.histogram(shape.mix).record(nanos);
+            }
+            Some("overloaded") => tally.overloaded += 1,
+            _ => tally.malformed += 1,
+        }
+    }
+}
+
+fn result_doc(opts: &Opts, tally: &Tally) -> Json {
+    let mut rows = Vec::new();
+    let mut mixes: Vec<&(&'static str, LogHistogram)> = tally.by_mix.iter().collect();
+    mixes.sort_by_key(|(name, _)| *name);
+    for (mix, hist) in mixes {
+        for (tag, p) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0)] {
+            rows.push(Json::obj(vec![
+                ("group", Json::str("serve")),
+                ("name", Json::str(format!("{mix}-{tag}"))),
+                ("size", Json::from(hist.total() as u128)),
+                ("nanos", Json::from(hist.percentile(p) as u128)),
+            ]));
+        }
+        rows.push(Json::obj(vec![
+            ("group", Json::str("serve")),
+            ("name", Json::str(format!("{mix}-mean"))),
+            ("size", Json::from(hist.total() as u128)),
+            ("nanos", Json::from(hist.mean() as u128)),
+        ]));
+    }
+    Json::obj(vec![
+        ("bench", Json::str("serve_latency")),
+        ("addr", Json::str(&opts.addr)),
+        ("mix", Json::str(&opts.mix)),
+        ("conns", Json::from(opts.conns)),
+        ("requests", Json::from(tally.sent as u128)),
+        ("ok", Json::from(tally.ok as u128)),
+        ("overloaded", Json::from(tally.overloaded as u128)),
+        ("cache_hits", Json::from(tally.cache_hits as u128)),
+        ("malformed", Json::from(tally.malformed as u128)),
+        ("errors", Json::from(tally.errors as u128)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("c11load: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut shapes = Vec::new();
+    if opts.mix == "corpus" || opts.mix == "all" {
+        match corpus_shapes(Path::new(&opts.litmus)) {
+            Ok(mut found) => shapes.append(&mut found),
+            Err(msg) => {
+                eprintln!("c11load: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.mix == "shapes" || opts.mix == "all" {
+        shapes.append(&mut program_shapes());
+    }
+
+    let next = AtomicUsize::new(0);
+    let shared = Mutex::new(Tally::default());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.conns)
+            .map(|worker| {
+                let opts = &opts;
+                let shapes = &shapes;
+                let next = &next;
+                let shared = &shared;
+                scope.spawn(move || {
+                    if let Err(msg) = run_worker(opts, shapes, next, shared) {
+                        eprintln!("c11load: worker {worker}: {msg}");
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    });
+
+    let tally = shared.into_inner().unwrap();
+    let doc = result_doc(&opts, &tally).render();
+    println!("{doc}");
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("c11load: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if tally.malformed == 0 && tally.errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "c11load: FAILED — {} malformed frames, {} transport errors",
+            tally.malformed, tally.errors
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,240 @@
+//! A fixed-footprint log-scale latency histogram (the offline stand-in
+//! for hdrhistogram): 32 sub-buckets per power of two, so any recorded
+//! value is off by at most 1/32 (~3 %) of itself — plenty for p50/p95/p99
+//! gating — in a flat 1920-slot array that merges with a loop of adds.
+//!
+//! Values below 64 are exact (they fit entirely in the first two
+//! octaves' worth of slots); everything above lands in bucket
+//! `(octave + 1) * 32 + top-5-mantissa-bits`, which is continuous with
+//! the exact region (63 → slot 63, 64 → slot 64) and monotone.
+
+/// Mantissa bits kept per octave: 2^5 = 32 sub-buckets.
+const SUB_BITS: u32 = 5;
+const SUBS: usize = 1 << SUB_BITS;
+/// Slots: exact region (0..64) + (octaves 6..=63) × 32 sub-buckets.
+const SIZE: usize = SUBS * 2 + (64 - SUB_BITS as usize - 1) * SUBS;
+
+/// A fixed-bucket logarithmic histogram over `u64` values (nanoseconds,
+/// here, but unit-agnostic).
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; SIZE]>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: Box::new([0; SIZE]),
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+}
+
+fn index_of(v: u64) -> usize {
+    if v < (SUBS as u64) * 2 {
+        return v as usize;
+    }
+    let top = 63 - v.leading_zeros(); // position of the highest set bit
+    let shift = top - SUB_BITS;
+    let mantissa = ((v >> shift) as usize) & (SUBS - 1);
+    (shift as usize + 1) * SUBS + mantissa
+}
+
+/// The representative (midpoint) value of bucket `idx` — the value
+/// [`LogHistogram::percentile`] reports for samples in that bucket.
+fn value_of(idx: usize) -> u64 {
+    if idx < SUBS * 2 {
+        return idx as u64;
+    }
+    let shift = (idx / SUBS - 1) as u32;
+    let mantissa = (idx % SUBS) as u64;
+    let lower = (SUBS as u64 + mantissa) << shift;
+    lower + (1u64 << shift) / 2
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.total += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v as u128;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values, exact (tracked outside the buckets).
+    pub fn mean(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum / self.total as u128) as u64
+        }
+    }
+
+    /// The value at percentile `p` (0–100): the representative value of
+    /// the bucket holding the ⌈p% · total⌉-th smallest sample, clamped
+    /// into the observed min/max. 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return value_of(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact_and_the_scale_is_continuous() {
+        for v in 0..256u64 {
+            let idx = index_of(v);
+            if v < 64 {
+                assert_eq!(idx, v as usize, "exact region");
+                assert_eq!(value_of(idx), v);
+            }
+        }
+        // Boundary between the exact region and the log region.
+        assert_eq!(index_of(63), 63);
+        assert_eq!(index_of(64), 64);
+        assert_eq!(index_of(127), 95);
+        assert_eq!(index_of(128), 96);
+        assert!(index_of(u64::MAX) < SIZE, "largest value fits the array");
+    }
+
+    #[test]
+    fn indexing_is_monotone() {
+        let probes: Vec<u64> = (0..2000)
+            .chain((1..54).map(|s| (1u64 << s) - 1))
+            .chain((1..54).map(|s| 1u64 << s))
+            .chain((1..54).map(|s| (1u64 << s) + 1))
+            .collect();
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        for pair in sorted.windows(2) {
+            assert!(
+                index_of(pair[0]) <= index_of(pair[1]),
+                "{} vs {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn representative_values_round_trip_within_a_bucket() {
+        for v in [100u64, 1_000, 65_536, 1_000_000, 123_456_789] {
+            let rep = value_of(index_of(v));
+            assert_eq!(index_of(rep), index_of(v), "rep stays in the bucket");
+        }
+    }
+
+    #[test]
+    fn percentiles_track_sorted_quantiles_within_bucket_error() {
+        // A spread resembling a latency distribution: microseconds to
+        // tens of milliseconds in nanosecond units.
+        let mut h = LogHistogram::new();
+        let mut values: Vec<u64> = (0..10_000u64)
+            .map(|i| 1_000 + i * i % 7_777_777 + (i % 97) * 10_000)
+            .collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for p in [50.0, 95.0, 99.0] {
+            let rank = ((p / 100.0) * values.len() as f64).ceil() as usize - 1;
+            let exact = values[rank] as f64;
+            let approx = h.percentile(p) as f64;
+            let err = (approx - exact).abs() / exact;
+            assert!(err <= 1.0 / 32.0, "p{p}: {approx} vs {exact} (err {err})");
+        }
+        assert_eq!(h.total(), 10_000);
+        assert_eq!(h.min(), *values.first().unwrap());
+        assert_eq!(h.max(), *values.last().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for i in 0..500u64 {
+            let v = 1_000 + i * 331;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), both.total());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(a.mean(), both.mean());
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(a.percentile(p), both.percentile(p));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = LogHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+}

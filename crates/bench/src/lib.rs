@@ -6,6 +6,8 @@ use c11_core::state::C11State;
 use c11_core::Event;
 use c11_lang::{parse_program, Action, Prog, ThreadId, VarId};
 
+pub mod latency;
+
 /// A single-variable history: `chain_len` writes by one thread, each read
 /// once by a second thread, with `rf`/`mo` fully wired. Scales the derived-
 /// relation benchmarks (E2).
@@ -43,9 +45,9 @@ pub fn chain_state(chain_len: usize) -> C11State {
     s
 }
 
-/// The widening write/read workload of E13: `k` variables, one writer
-/// thread, one reader thread.
-pub fn wide_workload(k: usize) -> Prog {
+/// The E13 widening workload as DSL source (what `c11load` sends over
+/// the wire): `k` variables, one writer thread, one reader thread.
+pub fn wide_workload_src(k: usize) -> String {
     let vars: Vec<String> = (0..k).map(|i| format!("v{i}")).collect();
     let mut t1 = String::new();
     let mut t2 = String::new();
@@ -53,27 +55,37 @@ pub fn wide_workload(k: usize) -> Prog {
         t1.push_str(&format!("{v} := {}; ", i + 1));
         t2.push_str(&format!("r{i} <- {v}; "));
     }
-    parse_program(&format!(
+    format!(
         "vars {};\nthread t1 {{ {t1} }}\nthread t2 {{ {t2} }}",
         vars.join(" ")
-    ))
-    .expect("workload parses")
+    )
 }
 
-/// A contended workload: `k` writes by each of two threads to a single
-/// variable (mo-insertion-heavy; used by the exploration ablation E16).
-pub fn contended_workload(k: usize) -> Prog {
+/// The widening write/read workload of E13: `k` variables, one writer
+/// thread, one reader thread.
+pub fn wide_workload(k: usize) -> Prog {
+    parse_program(&wide_workload_src(k)).expect("workload parses")
+}
+
+/// The E16 contended workload as DSL source: `k` writes by each of two
+/// threads to a single variable.
+pub fn contended_workload_src(k: usize) -> String {
     let stmt = |base: usize| {
         (0..k)
             .map(|i| format!("x := {}; ", base + i))
             .collect::<String>()
     };
-    parse_program(&format!(
+    format!(
         "vars x;\nthread t1 {{ {} }}\nthread t2 {{ {} }}",
         stmt(1),
         stmt(100)
-    ))
-    .expect("workload parses")
+    )
+}
+
+/// A contended workload: `k` writes by each of two threads to a single
+/// variable (mo-insertion-heavy; used by the exploration ablation E16).
+pub fn contended_workload(k: usize) -> Prog {
+    parse_program(&contended_workload_src(k)).expect("workload parses")
 }
 
 #[cfg(test)]

@@ -1,0 +1,147 @@
+//! `c11load` end to end against in-process mock servers: a well-behaved
+//! server (id echoed into a canned ok report) must yield a clean run —
+//! exit 0, zero malformed frames, p50/p95/p99 rows per mix — and the
+//! emitted document must flow through `c11bench compare --require-match`
+//! unchanged. A server that violates the protocol (wrong id echo) must
+//! fail the run with every frame counted malformed.
+
+use c11_api::json::Json;
+use c11_api::net::{read_frame, write_frame, FrameIn};
+use std::net::TcpListener;
+use std::process::Command;
+
+/// Starts a mock frame server; `reply` maps each request document to a
+/// response payload. Accept/connection threads are detached — they die
+/// with the test process.
+fn mock_server(reply: fn(&Json) -> String) -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let port = listener.local_addr().unwrap().port();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { continue };
+            std::thread::spawn(move || loop {
+                match read_frame(&mut conn) {
+                    Ok(FrameIn::Frame(payload)) => {
+                        let doc = Json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+                        if write_frame(&mut conn, reply(&doc).as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(FrameIn::Idle) => {}
+                    Ok(FrameIn::Eof) | Err(_) => return,
+                }
+            });
+        }
+    });
+    port
+}
+
+fn ok_reply(id: &str) -> String {
+    format!(
+        "{{\"schema\":\"c11check/v1\",\"id\":\"{id}\",\"status\":\"ok\",\
+         \"mode\":\"count\",\"cache_hit\":false}}"
+    )
+}
+
+fn run_c11load(port: u16, json: &std::path::Path, extra: &[&str]) -> (bool, Json) {
+    let out = Command::new(env!("CARGO_BIN_EXE_c11load"))
+        .args([
+            "--addr",
+            &format!("127.0.0.1:{port}"),
+            "--mix",
+            "shapes",
+            "--conns",
+            "2",
+            "--requests",
+            "12",
+            "--json",
+        ])
+        .arg(json)
+        .args(extra)
+        .output()
+        .expect("run c11load");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = Json::parse(stdout.trim()).unwrap_or_else(|e| panic!("bad output ({e}): {stdout}"));
+    (out.status.success(), doc)
+}
+
+#[test]
+fn a_clean_mix_yields_percentile_rows_and_gates_through_c11bench() {
+    let port = mock_server(|req| {
+        let id = req.get("id").and_then(Json::as_str).expect("id present");
+        assert!(req.get("program").is_some(), "shapes mix sends programs");
+        ok_reply(id)
+    });
+    let dir = std::env::temp_dir().join("c11load-test-clean");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("serve.json");
+    let (ok, doc) = run_c11load(port, &json, &[]);
+    assert!(ok, "clean run exits 0: {doc:?}");
+    assert_eq!(doc.get("malformed").and_then(Json::as_usize), Some(0));
+    assert_eq!(doc.get("errors").and_then(Json::as_usize), Some(0));
+    assert_eq!(doc.get("ok").and_then(Json::as_usize), Some(12));
+
+    // p50/p95/p99 + mean rows for the shapes mix, monotone percentiles.
+    let rows = doc.get("rows").and_then(Json::as_arr).expect("rows array");
+    let nanos = |tag: &str| {
+        rows.iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(&format!("shapes-{tag}")))
+            .unwrap_or_else(|| panic!("missing shapes-{tag} row"))
+            .get("nanos")
+            .and_then(Json::as_u128)
+            .unwrap()
+    };
+    assert!(nanos("p50") <= nanos("p95") && nanos("p95") <= nanos("p99"));
+
+    // The emitted file must round-trip the `c11bench compare` gate with
+    // --require-match p99 — the exact CI plumbing.
+    let emitted = std::fs::read_to_string(&json).unwrap();
+    assert_eq!(emitted.trim(), doc.render(), "--json writes the document");
+    let gate = Command::new(env!("CARGO_BIN_EXE_c11bench"))
+        .arg("compare")
+        .arg(&json)
+        .arg(&json)
+        .args([
+            "--tolerance",
+            "1.0",
+            "--min-nanos",
+            "1",
+            "--require-match",
+            "p99",
+        ])
+        .output()
+        .expect("run c11bench");
+    assert!(
+        gate.status.success(),
+        "self-compare passes the p99 gate: {}",
+        String::from_utf8_lossy(&gate.stderr)
+    );
+}
+
+#[test]
+fn a_server_that_breaks_the_id_echo_fails_the_run() {
+    let port = mock_server(|_| ok_reply("wrong-id"));
+    let dir = std::env::temp_dir().join("c11load-test-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ok, doc) = run_c11load(port, &dir.join("serve.json"), &[]);
+    assert!(!ok, "malformed frames must fail the exit code");
+    assert_eq!(doc.get("malformed").and_then(Json::as_usize), Some(12));
+    assert_eq!(doc.get("ok").and_then(Json::as_usize), Some(0));
+}
+
+#[test]
+fn overloaded_responses_are_counted_but_not_malformed() {
+    let port = mock_server(|req| {
+        let id = req.get("id").and_then(Json::as_str).unwrap();
+        format!("{{\"schema\":\"c11check/v1\",\"id\":\"{id}\",\"status\":\"overloaded\"}}")
+    });
+    let dir = std::env::temp_dir().join("c11load-test-overload");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ok, doc) = run_c11load(port, &dir.join("serve.json"), &[]);
+    assert!(
+        ok,
+        "overload alone is not a load-generator failure: {doc:?}"
+    );
+    assert_eq!(doc.get("overloaded").and_then(Json::as_usize), Some(12));
+    assert_eq!(doc.get("malformed").and_then(Json::as_usize), Some(0));
+}

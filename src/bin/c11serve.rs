@@ -8,6 +8,7 @@
 //! ```sh
 //! c11serve [--workers N] [--no-cache] [--auto-parallel T]
 //!          [--job-timeout-ms MS] [--cache-capacity N] [--max-queue N]
+//!          [--cache-path FILE]
 //!
 //! # One request per line. Exactly one of program / litmus_path /
 //! # litmus_source selects the input; everything else is optional:
@@ -39,27 +40,33 @@
 //! Each response line is the `c11check/v1` report object with `id`
 //! prepended after `schema`; its `status` is `"ok"`, `"timed_out"` or
 //! `"cancelled"` (a deadline-hit report is still a report — partial
-//! stats, not an error). Malformed lines produce
+//! stats, not an error). A `{"stats": true}` control line (optionally
+//! with an `id`) is answered in stream order with the live
+//! `SessionStats` counters as a `"mode":"session-stats"` line instead
+//! of a report, and is not counted as a job. Malformed lines produce
 //! `{"schema":"c11check/v1","id":…,"status":"error","error":"…"}`;
 //! submissions bounced by a full queue (`--max-queue`) produce
 //! `"status":"overloaded"` lines. Input lines are capped at 1 MiB:
 //! longer lines (and lines that are not valid UTF-8) are answered with
-//! a positioned error and the stream continues. On EOF — or SIGTERM on
-//! Unix — the service stops reading, drains every in-flight job, prints
-//! the summary and exits. The exit code is 0 iff every line was ok and
+//! a positioned error and the stream continues. On EOF — or SIGTERM /
+//! SIGINT on Unix — the service stops reading, drains every in-flight
+//! job, flushes the `--cache-path` snapshot (if any), prints the
+//! summary and exits. The exit code is 0 iff every line was ok and
 //! every litmus verdict passed; overload rejections and deadline hits
 //! are service conditions, not genuine errors, and do not fail it.
 
 use c11_operational::api::json::Json;
+use c11_operational::api::net::{
+    self, error_line, overloaded_line, report_line, shutdown, stats_line,
+};
 use c11_operational::api::{CheckError, Session, SessionConfig};
-use c11_operational::litmus::{load_litmus_file, parse_litmus};
 use c11_operational::prelude::*;
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
 use std::sync::mpsc;
 
 const USAGE: &str = "usage: c11serve [--workers N] [--no-cache] [--auto-parallel T] \
-     [--job-timeout-ms MS] [--cache-capacity N] [--max-queue N]\n\
+     [--job-timeout-ms MS] [--cache-capacity N] [--max-queue N] [--cache-path FILE]\n\
      reads c11check/v1 request JSON lines on stdin, writes one report \
      JSON line per request and a final batch-summary line on stdout\n\
      --workers N: session pool size (default 2)\n\
@@ -70,7 +77,9 @@ const USAGE: &str = "usage: c11serve [--workers N] [--no-cache] [--auto-parallel
      timeout_ms wins when tighter)\n\
      --cache-capacity N: bound the result cache to N reports (LRU)\n\
      --max-queue N: reject submissions beyond N queued jobs with \
-     status \"overloaded\"";
+     status \"overloaded\"\n\
+     --cache-path FILE: load the result cache from FILE on start and \
+     snapshot it back on drain";
 
 /// Longest accepted request line; longer lines are dropped with a
 /// positioned error instead of buffering unboundedly.
@@ -83,6 +92,7 @@ struct Opts {
     job_timeout_ms: Option<usize>,
     cache_capacity: Option<usize>,
     max_queue: Option<usize>,
+    cache_path: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -93,6 +103,7 @@ fn parse_args() -> Result<Opts, String> {
         job_timeout_ms: None,
         cache_capacity: None,
         max_queue: None,
+        cache_path: None,
     };
     let mut args = std::env::args().skip(1);
     let num = |args: &mut std::iter::Skip<std::env::Args>, flag: &str| {
@@ -109,6 +120,9 @@ fn parse_args() -> Result<Opts, String> {
             "--job-timeout-ms" => opts.job_timeout_ms = Some(num(&mut args, "--job-timeout-ms")?),
             "--cache-capacity" => opts.cache_capacity = Some(num(&mut args, "--cache-capacity")?),
             "--max-queue" => opts.max_queue = Some(num(&mut args, "--max-queue")?),
+            "--cache-path" => {
+                opts.cache_path = Some(args.next().ok_or("--cache-path needs a value")?);
+            }
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -116,198 +130,17 @@ fn parse_args() -> Result<Opts, String> {
     Ok(opts)
 }
 
-/// Builds a [`CheckRequest`] from a parsed request line. Errors are
-/// strings destined for the line's error report.
-fn build_request(v: &Json) -> Result<CheckRequest, String> {
-    let obj = v.as_obj().ok_or("request line must be a JSON object")?;
-    const KNOWN: [&str; 11] = [
-        "id",
-        "program",
-        "litmus_path",
-        "litmus_source",
-        "model",
-        "mode",
-        "backend",
-        "bounds",
-        "traces",
-        "dot",
-        "timeout_ms",
-    ];
-    for (key, _) in obj {
-        if !KNOWN.contains(&key.as_str()) {
-            return Err(format!("unknown key {key:?}"));
-        }
-    }
-    let program = v.get("program");
-    let litmus_path = v.get("litmus_path");
-    let litmus_source = v.get("litmus_source");
-    let inputs = [program, litmus_path, litmus_source]
-        .iter()
-        .filter(|i| i.is_some())
-        .count();
-    if inputs != 1 {
-        return Err(
-            "exactly one of \"program\", \"litmus_path\", \"litmus_source\" is required"
-                .to_string(),
-        );
-    }
-    let is_litmus = program.is_none();
-    let mut req = if let Some(src) = program {
-        let src = src.as_str().ok_or("\"program\" must be a string")?;
-        CheckRequest::program(src)
-    } else if let Some(path) = litmus_path {
-        let path = path.as_str().ok_or("\"litmus_path\" must be a string")?;
-        let test = load_litmus_file(std::path::Path::new(path)).map_err(|e| e.to_string())?;
-        CheckRequest::litmus(test)
-    } else {
-        let src = litmus_source
-            .unwrap()
-            .as_str()
-            .ok_or("\"litmus_source\" must be a string")?;
-        let test = parse_litmus(src).map_err(|e| e.to_string())?;
-        CheckRequest::litmus(test)
-    };
-    if let Some(model) = v.get("model") {
-        req = req.model(match model.as_str() {
-            Some("ra") => ModelChoice::Ra,
-            Some("sc") => ModelChoice::Sc,
-            Some("pre-execution") => ModelChoice::PreExecution,
-            _ => return Err("\"model\" must be \"ra\", \"sc\" or \"pre-execution\"".to_string()),
-        });
-    }
-    if let Some(mode) = v.get("mode") {
-        req = req.mode(match mode.as_str() {
-            Some("outcomes") => Mode::Outcomes,
-            Some("count") => Mode::CountOnly,
-            Some("litmus") if is_litmus => Mode::LitmusVerdict,
-            Some("litmus") => {
-                return Err("\"litmus\" mode needs a litmus_path/litmus_source input".to_string());
-            }
-            _ => return Err("\"mode\" must be \"outcomes\", \"count\" or \"litmus\"".to_string()),
-        });
-    }
-    if let Some(backend) = v.get("backend") {
-        // Two spellings: the bare kind string ("backend":"dpor") or the
-        // report-schema object ("backend":{"kind":"parallel","workers":4}).
-        req = req.backend(if let Some(kind) = backend.as_str() {
-            match kind {
-                "sequential" => Backend::Sequential,
-                "dpor" => Backend::Dpor,
-                "parallel" => Backend::Parallel { workers: 2 },
-                _ => {
-                    return Err(
-                        "\"backend\" must be \"sequential\", \"parallel\" or \"dpor\"".into(),
-                    );
-                }
-            }
-        } else {
-            let fields = backend.as_obj().ok_or("\"backend\" must be an object")?;
-            for (key, _) in fields {
-                if key != "kind" && key != "workers" {
-                    return Err(format!("unknown \"backend\" key {key:?}"));
-                }
-            }
-            match backend.get("kind").and_then(Json::as_str) {
-                Some("sequential") => Backend::Sequential,
-                Some("dpor") => Backend::Dpor,
-                Some("parallel") => Backend::Parallel {
-                    workers: backend
-                        .get("workers")
-                        .and_then(Json::as_usize)
-                        .ok_or("parallel backend needs integer \"workers\"")?,
-                },
-                _ => {
-                    return Err(
-                        "\"backend\".\"kind\" must be \"sequential\", \"parallel\" or \"dpor\""
-                            .into(),
-                    );
-                }
-            }
-        });
-    }
-    if let Some(bounds) = v.get("bounds") {
-        // Strictly validated like the top level: a typo'd or mis-typed
-        // bound must error, not silently run with defaults.
-        let fields = bounds.as_obj().ok_or("\"bounds\" must be an object")?;
-        let allowed: &[&str] = if is_litmus {
-            // Litmus requests seed max_events from the test itself; the
-            // other bounds govern both models at once and are not
-            // overridable per request line.
-            &["max_events"]
-        } else {
-            &["max_events", "max_states", "max_depth"]
-        };
-        let mut b = Bounds::default();
-        for (key, value) in fields {
-            if !allowed.contains(&key.as_str()) {
-                return Err(if is_litmus {
-                    format!("litmus \"bounds\" may only set \"max_events\", got {key:?}")
-                } else {
-                    format!("unknown \"bounds\" key {key:?}")
-                });
-            }
-            let n = value
-                .as_usize()
-                .ok_or_else(|| format!("\"bounds\".{key:?} must be an integer"))?;
-            b = match key.as_str() {
-                "max_events" => b.max_events(n),
-                "max_states" => b.max_states(n),
-                _ => b.max_depth(n),
-            };
-        }
-        if !fields.is_empty() {
-            req = req.bounds(b);
-        }
-    }
-    if let Some(traces) = v.get("traces") {
-        req = req.traces(traces.as_bool().ok_or("\"traces\" must be a boolean")?);
-    }
-    if let Some(dot) = v.get("dot") {
-        req = req.dot(dot.as_usize().ok_or("\"dot\" must be an integer")?);
-    }
-    if let Some(t) = v.get("timeout_ms") {
-        let ms = t.as_usize().ok_or("\"timeout_ms\" must be an integer")?;
-        req = req.timeout(std::time::Duration::from_millis(ms as u64));
-    }
-    Ok(req)
-}
-
 /// One unit flowing from the reader to the writer: a submitted job, a
-/// backpressure rejection, or a line-level error, with the id to echo.
+/// backpressure rejection, a line-level error, or a stats-control
+/// answer, with the id to echo. The request parsing and response
+/// rendering themselves live in `c11_api::net`, shared with `c11netd`.
 enum Item {
     Job(String, c11_operational::api::JobId),
     Overloaded(String),
     LineError(String, String),
-}
-
-fn error_line(id: &str, msg: &str) -> String {
-    Json::obj(vec![
-        ("schema", Json::str("c11check/v1")),
-        ("id", Json::str(id)),
-        ("status", Json::str("error")),
-        ("error", Json::str(msg)),
-    ])
-    .render()
-}
-
-fn overloaded_line(id: &str) -> String {
-    Json::obj(vec![
-        ("schema", Json::str("c11check/v1")),
-        ("id", Json::str(id)),
-        ("status", Json::str("overloaded")),
-        ("error", Json::str("submission queue is full, retry later")),
-    ])
-    .render()
-}
-
-fn report_line(id: &str, report: &CheckReport) -> String {
-    let Json::Obj(mut pairs) = report.json_value() else {
-        unreachable!("reports are objects");
-    };
-    // `id` goes right after `schema` for scannability; the report itself
-    // already carries `status` ("ok" / "timed_out" / "cancelled").
-    pairs.insert(1, ("id".to_string(), Json::str(id)));
-    Json::Obj(pairs).render()
+    /// A `{"stats": true}` control line: answered in stream order with
+    /// the then-current counters, not counted as a job.
+    Stats(String),
 }
 
 /// One raw request line, read with a hard byte cap.
@@ -373,43 +206,6 @@ fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> Line {
     }
 }
 
-/// SIGTERM → graceful drain: the reader stops accepting lines and the
-/// writer finishes every job already submitted before the summary is
-/// printed. Raw `signal(2)` via the C library keeps this crate-free.
-#[cfg(unix)]
-mod term {
-    use std::sync::atomic::{AtomicBool, Ordering};
-
-    static REQUESTED: AtomicBool = AtomicBool::new(false);
-
-    extern "C" fn on_term(_sig: i32) {
-        REQUESTED.store(true, Ordering::SeqCst);
-    }
-
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-    }
-
-    pub fn install() {
-        const SIGTERM: i32 = 15;
-        unsafe {
-            signal(SIGTERM, on_term as *const () as usize);
-        }
-    }
-
-    pub fn requested() -> bool {
-        REQUESTED.load(Ordering::SeqCst)
-    }
-}
-
-#[cfg(not(unix))]
-mod term {
-    pub fn install() {}
-    pub fn requested() -> bool {
-        false
-    }
-}
-
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -418,7 +214,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    term::install();
+    // SIGTERM and SIGINT both request the same graceful drain: stop
+    // reading, finish in-flight jobs, snapshot the cache, summarise.
+    shutdown::install();
     let mut cfg = SessionConfig::default()
         .workers(opts.workers)
         .cache(opts.cache)
@@ -431,6 +229,9 @@ fn main() -> ExitCode {
     }
     if let Some(n) = opts.max_queue {
         cfg = cfg.max_queue_depth(n);
+    }
+    if let Some(path) = &opts.cache_path {
+        cfg = cfg.cache_path(path);
     }
     let session = std::sync::Arc::new(Session::new(cfg));
     let (tx, rx) = mpsc::channel::<Item>();
@@ -446,8 +247,19 @@ fn main() -> ExitCode {
             let stdout = std::io::stdout();
             let mut stats = BatchStats::default();
             for item in rx {
+                // Stats-control answers ride the same ordered stream but
+                // are observations, not jobs — the batch counters skip
+                // them entirely.
+                if let Item::Stats(id) = &item {
+                    let line = stats_line(id, &session.stats());
+                    let mut out = stdout.lock();
+                    let _ = writeln!(out, "{line}");
+                    let _ = out.flush();
+                    continue;
+                }
                 stats.jobs += 1;
                 let line = match item {
+                    Item::Stats(_) => unreachable!("handled above"),
                     Item::LineError(id, msg) => {
                         stats.errors += 1;
                         error_line(&id, &msg)
@@ -490,13 +302,13 @@ fn main() -> ExitCode {
     };
 
     // Reader (main thread): parse lines, submit jobs as they arrive.
-    // Stops at EOF, on an unrecoverable read error, or when SIGTERM
-    // asks for a graceful drain.
+    // Stops at EOF, on an unrecoverable read error, or when SIGTERM /
+    // SIGINT asks for a graceful drain.
     let stdin = std::io::stdin();
     let mut reader = stdin.lock();
     let mut n = 0usize;
     loop {
-        if term::requested() {
+        if shutdown::requested() {
             break;
         }
         n += 1;
@@ -529,13 +341,17 @@ fn main() -> ExitCode {
                             .and_then(Json::as_str)
                             .map(str::to_string)
                             .unwrap_or_else(|| format!("line-{n}"));
-                        match build_request(&v) {
-                            Ok(req) => match session.submit(req) {
-                                Ok(job) => Item::Job(id, job),
-                                Err(CheckError::Overloaded) => Item::Overloaded(id),
-                                Err(e) => Item::LineError(id, e.to_string()),
+                        match net::stats_request(&v) {
+                            Some(Ok(())) => Item::Stats(id),
+                            Some(Err(msg)) => Item::LineError(id, msg),
+                            None => match net::request_from_json(&v) {
+                                Ok(req) => match session.submit(req) {
+                                    Ok(job) => Item::Job(id, job),
+                                    Err(CheckError::Overloaded) => Item::Overloaded(id),
+                                    Err(e) => Item::LineError(id, e.to_string()),
+                                },
+                                Err(msg) => Item::LineError(id, msg),
                             },
-                            Err(msg) => Item::LineError(id, msg),
                         }
                     }
                 }
@@ -543,9 +359,14 @@ fn main() -> ExitCode {
         };
         let _ = tx.send(item);
     }
-    drop(tx); // EOF/SIGTERM: let the writer drain in-flight jobs and finish
+    drop(tx); // EOF/SIGTERM/SIGINT: let the writer drain in-flight jobs
     let mut stats = writer.join().expect("writer thread");
     stats.wall_micros = t0.elapsed().as_micros();
+    // Snapshot the warm cache now that the pool is quiet (the session's
+    // drop would too, but failing loudly beats failing silently).
+    if let Err(e) = session.flush_cache() {
+        eprintln!("cache snapshot failed: {e}");
+    }
 
     // Final batch-summary line: the canonical `BatchReport::summary_json`
     // document, extended with the session-level `explorations` counter.

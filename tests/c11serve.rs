@@ -315,6 +315,84 @@ fn tiny_timeouts_yield_timed_out_reports_not_errors() {
     assert_eq!(summary.get("errors").and_then(Json::as_usize), Some(0));
 }
 
+/// The `{"stats": true}` control line answers with the session counters
+/// as a `session-stats` document; extra keys are rejected strictly.
+#[test]
+fn stats_control_lines_report_session_counters() {
+    let input = format!(
+        concat!(
+            "{{\"id\":\"warmup\",\"program\":\"{sb}\"}}\n",
+            "{{\"id\":\"again\",\"program\":\"{sb}\"}}\n",
+            "{{\"id\":\"st\",\"stats\":true}}\n",
+            "{{\"id\":\"bad\",\"stats\":true,\"program\":\"vars x; thread t {{ x := 1; }}\"}}\n",
+            "{{\"id\":\"off\",\"stats\":false}}\n",
+        ),
+        sb = SB
+    );
+    let (ok, lines) = run_c11serve(&[], &input);
+    assert!(!ok, "the malformed stats lines must fail the exit code");
+    assert_eq!(lines.len(), 6, "5 responses + summary: {lines:?}");
+    let stats = &lines[2];
+    assert_eq!(s(stats, "id"), Some("st"));
+    assert_eq!(s(stats, "status"), Some("ok"));
+    assert_eq!(s(stats, "mode"), Some("session-stats"));
+    assert_eq!(stats.get("explorations").and_then(Json::as_usize), Some(1));
+    assert_eq!(stats.get("cache_hits").and_then(Json::as_usize), Some(1));
+    assert_eq!(stats.get("completed").and_then(Json::as_usize), Some(2));
+    assert_eq!(
+        stats.get("persist_loaded").and_then(Json::as_usize),
+        Some(0)
+    );
+    // A stats key mixed into a check request is ambiguous: rejected.
+    assert_eq!(s(&lines[3], "status"), Some("error"));
+    // So is any value other than `true`.
+    assert_eq!(s(&lines[4], "status"), Some("error"));
+    // Stats probes are not jobs: the summary counts only the real ones.
+    assert_eq!(lines[5].get("jobs").and_then(Json::as_usize), Some(4));
+}
+
+/// SIGINT requests the same graceful drain as SIGTERM: the service stops
+/// reading *while stdin is still open*, answers everything in flight,
+/// prints the batch summary, and exits 0.
+#[test]
+fn sigint_drains_gracefully_with_stdin_still_open() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_c11serve"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn c11serve");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    writeln!(stdin, "{{\"id\":\"one\",\"program\":\"{SB}\"}}").unwrap();
+    stdin.flush().unwrap();
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let report = Json::parse(line.trim()).unwrap();
+    assert_eq!(s(&report, "id"), Some("one"));
+    assert_eq!(s(&report, "status"), Some("ok"));
+
+    Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    // A blank line wakes the (blocking) reader so it can see the flag;
+    // stdin stays open throughout — only the signal ends the stream.
+    writeln!(stdin).unwrap();
+    stdin.flush().unwrap();
+    line.clear();
+    stdout.read_line(&mut line).unwrap();
+    let summary = Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad summary ({e}): {line}"));
+    assert_eq!(s(&summary, "mode"), Some("batch-summary"));
+    assert_eq!(summary.get("jobs").and_then(Json::as_usize), Some(1));
+    assert_eq!(summary.get("ok").and_then(Json::as_usize), Some(1));
+    let status = child.wait().unwrap();
+    assert!(status.success(), "a signal-driven drain exits 0");
+    drop(stdin);
+}
+
 /// A burst past `--max-queue` gets structured `"overloaded"` lines
 /// instead of unbounded queueing; accepted requests still complete and
 /// overload alone does not fail the exit code.
