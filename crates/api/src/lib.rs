@@ -45,6 +45,7 @@ use c11_core::model::{MemoryModel, PreExecutionModel, RaModel, ScModel};
 use c11_explore::{
     AnyBackend, Budget, ExploreBackend, ExploreConfig, ExploreResult, Interrupt, RegSnapshot, Stats,
 };
+pub use c11_explore::{StoreKind, StoreStats};
 use c11_lang::step::RegFile;
 use c11_lang::{parse_program, Prog, RegId, ThreadId, Val};
 use c11_litmus::{run_test_configured, LitmusTest, Verdict};
@@ -84,6 +85,13 @@ pub struct Bounds {
     pub max_states: usize,
     /// BFS depth cap (store-based models whose states do not grow).
     pub max_depth: usize,
+    /// Which visited-store backend deduplicates configurations.
+    pub store: StoreKind,
+    /// Quotient visited states by thread-permutation symmetry. Changes
+    /// `unique`/`generated` counts (that is the point); verdicts and
+    /// outcome multisets are unchanged. Ignored by models without exact
+    /// relabelling support.
+    pub symmetry: bool,
 }
 
 impl Default for Bounds {
@@ -93,6 +101,8 @@ impl Default for Bounds {
             max_events: d.max_events,
             max_states: d.max_states,
             max_depth: d.max_depth,
+            store: d.store,
+            symmetry: d.symmetry,
         }
     }
 }
@@ -116,11 +126,25 @@ impl Bounds {
         self
     }
 
+    /// Selects the visited-store backend (chainable).
+    pub fn store(mut self, k: StoreKind) -> Self {
+        self.store = k;
+        self
+    }
+
+    /// Enables symmetry quotienting (chainable).
+    pub fn symmetry(mut self, on: bool) -> Self {
+        self.symmetry = on;
+        self
+    }
+
     fn explore_config(&self) -> ExploreConfig {
         ExploreConfig::default()
             .max_events(self.max_events)
             .max_states(self.max_states)
             .max_depth(self.max_depth)
+            .store(self.store)
+            .symmetry(self.symmetry)
     }
 }
 
@@ -387,6 +411,20 @@ impl CheckRequest {
     /// Sets the exploration bounds.
     pub fn bounds(mut self, b: Bounds) -> Self {
         self.bounds = b;
+        self
+    }
+
+    /// Selects the visited-store backend (sugar for editing
+    /// [`CheckRequest::bounds`]; part of the cache key).
+    pub fn store(mut self, k: StoreKind) -> Self {
+        self.bounds.store = k;
+        self
+    }
+
+    /// Enables symmetry quotienting (sugar for editing
+    /// [`CheckRequest::bounds`]; part of the cache key).
+    pub fn symmetry(mut self, on: bool) -> Self {
+        self.bounds.symmetry = on;
         self
     }
 
@@ -849,6 +887,21 @@ fn stats_json(s: &Stats) -> Json {
     // stay byte-identical to previous schema emissions.
     if let Some(why) = s.interrupt {
         pairs.push(("interrupt", Json::str(why.as_str())));
+    }
+    // Likewise only non-default storage (a non-flat --store or symmetry
+    // quotienting) carries the block, so default-run reports and
+    // persisted snapshots keep their shape.
+    if let Some(st) = s.store {
+        pairs.push((
+            "store",
+            Json::obj(vec![
+                ("kind", Json::str(st.kind.name())),
+                ("symmetry", Json::from(st.sym)),
+                ("bytes_resident", Json::from(st.bytes_resident)),
+                ("nodes", Json::from(st.nodes)),
+                ("dedup_hits", Json::from(st.dedup_hits)),
+            ]),
+        ));
     }
     Json::obj(pairs)
 }

@@ -35,7 +35,7 @@
 
 use crate::json::Json;
 use crate::session::SessionStats;
-use crate::{Backend, Bounds, CheckReport, CheckRequest, Mode, ModelChoice};
+use crate::{Backend, Bounds, CheckReport, CheckRequest, Mode, ModelChoice, StoreKind};
 use c11_litmus::{load_litmus_file, parse_litmus};
 use std::io::{ErrorKind, Read, Write};
 
@@ -144,7 +144,7 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
 /// frames carry). Errors are strings destined for the error response.
 pub fn request_from_json(v: &Json) -> Result<CheckRequest, String> {
     let obj = v.as_obj().ok_or("request must be a JSON object")?;
-    const KNOWN: [&str; 11] = [
+    const KNOWN: [&str; 13] = [
         "id",
         "program",
         "litmus_path",
@@ -153,6 +153,8 @@ pub fn request_from_json(v: &Json) -> Result<CheckRequest, String> {
         "mode",
         "backend",
         "bounds",
+        "store",
+        "symmetry",
         "traces",
         "dot",
         "timeout_ms",
@@ -283,6 +285,17 @@ pub fn request_from_json(v: &Json) -> Result<CheckRequest, String> {
             req = req.bounds(b);
         }
     }
+    if let Some(store) = v.get("store") {
+        req = req.store(
+            store
+                .as_str()
+                .and_then(StoreKind::parse)
+                .ok_or("\"store\" must be \"flat\", \"sym\" or \"shared\"")?,
+        );
+    }
+    if let Some(sym) = v.get("symmetry") {
+        req = req.symmetry(sym.as_bool().ok_or("\"symmetry\" must be a boolean")?);
+    }
     if let Some(traces) = v.get("traces") {
         req = req.traces(traces.as_bool().ok_or("\"traces\" must be a boolean")?);
     }
@@ -368,6 +381,7 @@ pub fn stats_line(id: &str, stats: &SessionStats) -> String {
         ("overloaded", Json::from(stats.overloaded)),
         ("persist_loaded", Json::from(stats.persist_loaded)),
         ("persist_skipped", Json::from(stats.persist_skipped)),
+        ("persist_locked", Json::from(stats.persist_locked)),
     ])
     .render()
 }
@@ -552,6 +566,7 @@ mod tests {
             "overloaded",
             "persist_loaded",
             "persist_skipped",
+            "persist_locked",
         ] {
             assert_eq!(v.get(key).and_then(Json::as_usize), Some(0), "{key}");
         }

@@ -30,7 +30,7 @@ use crate::{
     Backend, Bounds, CheckReport, CountReport, LitmusVerdictReport, Meta, ModelChoice, OutcomeRow,
     OutcomesReport,
 };
-use c11_explore::Stats;
+use c11_explore::{Stats, StoreKind, StoreStats};
 use c11_lang::{RegId, Val};
 use c11_litmus::Verdict;
 
@@ -115,6 +115,8 @@ fn key_json(key: &CacheKey) -> Json {
                 ("max_events", Json::from(key.bounds.max_events)),
                 ("max_states", Json::from(key.bounds.max_states)),
                 ("max_depth", Json::from(key.bounds.max_depth)),
+                ("store", Json::str(key.bounds.store.name())),
+                ("symmetry", Json::from(key.bounds.symmetry)),
             ]),
         ),
         ("mode", Json::str(mode)),
@@ -153,10 +155,26 @@ fn key_from_json(v: &Json) -> Result<CacheKey, String> {
             .and_then(Json::as_usize)
             .ok_or_else(|| format!("key bounds need integer {name:?}"))
     };
+    // Snapshots written before the storage subsystem lack the store and
+    // symmetry components; absent means the old (default) behaviour.
+    let store = match bounds.get("store") {
+        None => StoreKind::Flat,
+        Some(s) => s
+            .as_str()
+            .and_then(StoreKind::parse)
+            .ok_or("key bounds \"store\" must name a store kind")?,
+    };
+    let symmetry = match bounds.get("symmetry") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err("key bounds \"symmetry\" must be a boolean".to_string()),
+    };
     let bounds = Bounds {
         max_events: bound("max_events")?,
         max_states: bound("max_states")?,
         max_depth: bound("max_depth")?,
+        store,
+        symmetry,
     };
     let mode = match v.get("mode").and_then(Json::as_str) {
         Some("outcomes") => ModeKey::Outcomes,
@@ -224,6 +242,30 @@ fn stats_from_json(v: &Json) -> Result<Stats, String> {
             .and_then(Json::as_usize)
             .ok_or_else(|| format!("stats need integer {name:?}"))
     };
+    let store = match v.get("store") {
+        None => None,
+        Some(st) => {
+            let sn = |name: &str| {
+                st.get(name)
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| format!("store stats need integer {name:?}"))
+            };
+            Some(StoreStats {
+                kind: st
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(StoreKind::parse)
+                    .ok_or("store stats need a \"kind\" naming a store")?,
+                sym: st
+                    .get("symmetry")
+                    .and_then(Json::as_bool)
+                    .ok_or("store stats need boolean \"symmetry\"")?,
+                bytes_resident: sn("bytes_resident")?,
+                nodes: sn("nodes")?,
+                dedup_hits: sn("dedup_hits")?,
+            })
+        }
+    };
     Ok(Stats {
         unique: n("unique")?,
         generated: n("generated")?,
@@ -238,6 +280,7 @@ fn stats_from_json(v: &Json) -> Result<Stats, String> {
             .and_then(Json::as_u128)
             .ok_or("stats need integer \"wall_micros\"")?,
         interrupt: None,
+        store,
     })
 }
 

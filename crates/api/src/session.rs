@@ -171,6 +171,11 @@ pub struct SessionStats {
     /// Snapshot lines skipped on load as corrupt, stale-versioned or
     /// otherwise untrustworthy (the load survives; the lines do not).
     pub persist_skipped: usize,
+    /// Snapshot loads or rewrites skipped because another process held
+    /// the snapshot's exclusive lock (concurrent replicas sharing one
+    /// `cache_path` degrade to cold starts instead of interleaving with
+    /// a half-finished rewrite).
+    pub persist_locked: usize,
 }
 
 /// The result-cache key. The backend is deliberately absent — see the
@@ -293,7 +298,9 @@ impl CacheEntry {
 
 enum SlotState {
     Pending,
-    Ready(CheckReport),
+    // Boxed: a cache can hold many Pending/Poisoned slots, which should
+    // not each pay for an inline report.
+    Ready(Box<CheckReport>),
     Poisoned,
 }
 
@@ -329,6 +336,7 @@ struct Inner {
     overloaded: AtomicUsize,
     persist_loaded: AtomicUsize,
     persist_skipped: AtomicUsize,
+    persist_locked: AtomicUsize,
 }
 
 impl Inner {
@@ -437,7 +445,7 @@ impl Inner {
         };
         self.explorations.fetch_add(1, Ordering::Relaxed);
         let interrupted = report.interrupt().is_some();
-        *slot.state.lock().unwrap() = SlotState::Ready(report.clone());
+        *slot.state.lock().unwrap() = SlotState::Ready(Box::new(report.clone()));
         slot.ready.store(true, Ordering::Release);
         slot.cv.notify_all();
         let mut cache = self.cache.lock().unwrap();
@@ -490,7 +498,7 @@ impl Inner {
                             // cancellation.
                             return Ok(None);
                         }
-                        break report.clone();
+                        break (**report).clone();
                     }
                     SlotState::Poisoned => return Ok(None),
                 }
@@ -604,6 +612,7 @@ impl Session {
                 overloaded: AtomicUsize::new(0),
                 persist_loaded: AtomicUsize::new(0),
                 persist_skipped: AtomicUsize::new(0),
+                persist_locked: AtomicUsize::new(0),
             }),
             pool: Mutex::new(Vec::new()),
             next_id: std::sync::atomic::AtomicU64::new(0),
@@ -612,11 +621,37 @@ impl Session {
         session
     }
 
+    /// Takes the snapshot's exclusive advisory lock (a sidecar
+    /// `<path>.lock` file — the snapshot itself is replaced by rename on
+    /// every rewrite, so a lock on its inode would not survive a flush).
+    /// The lock is released when the returned handle drops. `None` when
+    /// another process holds it: the caller skips its load/rewrite and
+    /// counts the skip, so replicas sharing one `cache_path` never read
+    /// a half-renamed snapshot or clobber each other's rewrite.
+    fn lock_snapshot(path: &std::path::Path) -> Option<std::fs::File> {
+        let lock = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(path.with_extension("lock"))
+            .ok()?;
+        match lock.try_lock() {
+            Ok(()) => Some(lock),
+            Err(_) => None,
+        }
+    }
+
     /// Warms the cache from the configured snapshot. Missing file = cold
-    /// start; unreadable lines are skipped and counted, never trusted.
+    /// start; unreadable lines are skipped and counted, never trusted; a
+    /// snapshot another process holds locked is skipped wholesale and
+    /// counted in [`SessionStats::persist_locked`].
     fn load_cache(&self) {
         let inner = &self.inner;
         let Some(path) = inner.cfg.cache_path.as_ref().filter(|_| inner.cfg.cache) else {
+            return;
+        };
+        let Some(_held) = Self::lock_snapshot(path) else {
+            inner.persist_locked.fetch_add(1, Ordering::Relaxed);
             return;
         };
         let Ok(contents) = std::fs::read_to_string(path) else {
@@ -630,7 +665,7 @@ impl Session {
             match crate::persist::parse_line(line) {
                 Ok((key, report)) => {
                     let slot = CacheEntry::pending();
-                    *slot.state.lock().unwrap() = SlotState::Ready(report);
+                    *slot.state.lock().unwrap() = SlotState::Ready(Box::new(report));
                     slot.ready.store(true, Ordering::Release);
                     cache.tick += 1;
                     slot.last_used.store(cache.tick, Ordering::Relaxed);
@@ -659,6 +694,13 @@ impl Session {
     pub fn flush_cache(&self) -> std::io::Result<usize> {
         let inner = &self.inner;
         let Some(path) = inner.cfg.cache_path.as_ref().filter(|_| inner.cfg.cache) else {
+            return Ok(0);
+        };
+        // Same exclusive lock as the load: a replica that cannot take it
+        // leaves the snapshot to the holder rather than racing the
+        // rename, and the skip is visible in the stats.
+        let Some(_held) = Self::lock_snapshot(path) else {
+            inner.persist_locked.fetch_add(1, Ordering::Relaxed);
             return Ok(0);
         };
         // Snapshot the ready slots under the map lock, then render
@@ -822,6 +864,7 @@ impl Session {
             overloaded: i.overloaded.load(Ordering::Relaxed),
             persist_loaded: i.persist_loaded.load(Ordering::Relaxed),
             persist_skipped: i.persist_skipped.load(Ordering::Relaxed),
+            persist_locked: i.persist_locked.load(Ordering::Relaxed),
         }
     }
 

@@ -20,21 +20,33 @@
 //! The JSON lands in `BENCH_*.json` files that record the performance
 //! trajectory across PRs (see README § Performance).
 
-use c11_bench::{chain_state, contended_workload, wide_workload};
+use c11_bench::{
+    chain_state, contended_workload, sym_contended_workload, sym_fan_workload, wide_workload,
+};
 use c11_core::model::RaModel;
-use c11_explore::{explore_dpor, parallel_explore, Budget, ExploreConfig, Explorer};
+use c11_explore::{
+    explore_dpor, parallel_explore, Budget, ExploreConfig, ExploreResult, Explorer, StoreKind,
+    SymClasses,
+};
 use c11_litmus::{corpus, run_test};
 use std::time::{Duration, Instant};
 
 /// One benchmark row: a label, a size measure (states or carrier), the
 /// best-of-`reps` wall time in nanoseconds, and whether any measured
-/// repetition was cut short by the `--budget-ms` deadline.
+/// repetition was cut short by the `--budget-ms` deadline. The `store`
+/// group additionally records the backend-specific numbers its CI gate
+/// checks — unique states and resident store bytes.
+#[derive(Default)]
 struct Row {
     group: &'static str,
     name: String,
     size: usize,
     nanos: u128,
     interrupted: bool,
+    /// Unique states after dedup (`store` group only).
+    unique: Option<usize>,
+    /// Visited-store resident bytes (`store` group only).
+    bytes_resident: Option<usize>,
 }
 
 /// Stamps a fresh deadline onto `cfg` for one timed repetition (the
@@ -85,6 +97,7 @@ fn bench_corpus(reps: usize, rows: &mut Vec<Row>) {
             size: states,
             nanos,
             interrupted: false,
+            ..Row::default()
         });
     }
 }
@@ -108,6 +121,7 @@ fn bench_scaling(reps: usize, quick: bool, budget: Option<Duration>, rows: &mut 
             size: states,
             nanos,
             interrupted,
+            ..Row::default()
         });
     }
     let contended: &[usize] = if quick { &[3] } else { &[3, 4] };
@@ -128,6 +142,7 @@ fn bench_scaling(reps: usize, quick: bool, budget: Option<Duration>, rows: &mut 
             size: states,
             nanos,
             interrupted,
+            ..Row::default()
         });
     }
 }
@@ -180,6 +195,7 @@ fn bench_dpor(reps: usize, quick: bool, rows: &mut Vec<Row>) {
             size: generated,
             nanos,
             interrupted: false,
+            ..Row::default()
         });
     }
 }
@@ -214,6 +230,7 @@ fn bench_worker_scaling(reps: usize, budget: Option<Duration>, rows: &mut Vec<Ro
             size: states,
             nanos: seq_nanos,
             interrupted: seq_interrupted,
+            ..Row::default()
         });
         let mut w1_nanos = seq_nanos;
         for workers in [1usize, 2, 4, 8] {
@@ -250,7 +267,114 @@ fn bench_worker_scaling(reps: usize, budget: Option<Duration>, rows: &mut Vec<Ro
                 size: states,
                 nanos,
                 interrupted,
+                ..Row::default()
             });
+        }
+    }
+}
+
+/// The state-storage group: symmetric 4-thread variants of the E13 wide
+/// and E16 contended families (byte-identical sibling threads, so the
+/// thread-permutation group acts with near-factorial orbits) explored
+/// under each `--store` backend. Rows carry the numbers the CI
+/// `state-storage` gate checks alongside wall time: `unique` (the
+/// symmetry quotient shrinks it) and `bytes_resident` (hash-consed
+/// chunk sharing shrinks it). Agreement of all backends on the
+/// canonical final register states is asserted while measuring, as are
+/// the two headline reductions (≥ 3× fewer unique states under `sym`,
+/// fewer resident bytes under `shared`).
+fn bench_store(reps: usize, budget: Option<Duration>, rows: &mut Vec<Row>) {
+    let shapes = [
+        ("E13-wide-4", sym_fan_workload(2, 3), 16),
+        ("E16-contended-4", sym_contended_workload(2, 4), 24),
+    ];
+    for (family, prog, max_events) in shapes {
+        let base = ExploreConfig::default()
+            .max_events(max_events)
+            .record_traces(false);
+        let classes = SymClasses::of(&prog);
+        // The invariant every backend must reproduce: the *canonical*
+        // deduplicated final register states. (Raw finals multisets
+        // differ by exactly the orbit structure — the quotient keeps one
+        // representative per orbit — so both sides are class-sorted and
+        // deduplicated before comparing.)
+        let canon_finals = |res: &ExploreResult<RaModel>| {
+            let mut snaps = res.final_snapshots();
+            for s in &mut snaps {
+                s.class_sort(&classes);
+            }
+            snaps.sort();
+            snaps.dedup();
+            snaps
+        };
+        let reference = Explorer::new(RaModel).explore(&prog, base.clone());
+        let finals0 = canon_finals(&reference);
+        let mut measured: Vec<(StoreKind, usize, usize)> = Vec::new();
+        for kind in StoreKind::ALL {
+            let cfg = base.clone().store(kind);
+            let (mut unique, mut bytes) = (0usize, 0usize);
+            let mut interrupted = false;
+            let nanos = best_of(reps, || {
+                let res = Explorer::new(RaModel).explore(&prog, budgeted(&cfg, budget));
+                if res.interrupted.is_none() {
+                    assert_eq!(
+                        canon_finals(&res),
+                        finals0,
+                        "{family}/{}: canonical finals diverged from flat",
+                        kind.name()
+                    );
+                    unique = res.unique;
+                    bytes = res.store_stats.expect("dedup is on").bytes_resident;
+                } else {
+                    interrupted = true;
+                }
+                res
+            });
+            if !interrupted {
+                measured.push((kind, unique, bytes));
+            }
+            println!(
+                "store {family} {}: {unique} unique, {bytes} bytes resident",
+                kind.name()
+            );
+            rows.push(Row {
+                group: "store",
+                name: format!("{family}-store-{}", kind.name()),
+                size: unique,
+                nanos,
+                interrupted,
+                unique: Some(unique),
+                bytes_resident: Some(bytes),
+            });
+        }
+        // The headline reductions, asserted only over complete runs (a
+        // budget-interrupted backend has nothing comparable to say).
+        let of = |k: StoreKind| measured.iter().find(|(m, ..)| *m == k).copied();
+        if let (Some((_, flat_u, flat_b)), Some((_, sym_u, _))) =
+            (of(StoreKind::Flat), of(StoreKind::Sym))
+        {
+            assert!(
+                sym_u * 3 <= flat_u,
+                "{family}: symmetry must shrink unique states ≥ 3× ({flat_u} -> {sym_u})"
+            );
+            println!(
+                "store {family}: symmetry quotient {flat_u} -> {sym_u} unique ({:.1}x)",
+                flat_u as f64 / sym_u as f64
+            );
+            if let Some((_, shared_u, shared_b)) = of(StoreKind::Shared) {
+                assert_eq!(
+                    shared_u, flat_u,
+                    "{family}: shared store must not drop states"
+                );
+                assert!(
+                    shared_b < flat_b,
+                    "{family}: hash-consing must lower resident bytes ({flat_b} vs {shared_b})"
+                );
+                println!(
+                    "store {family}: resident bytes {flat_b} flat vs {shared_b} shared ({:.2}x)",
+                    flat_b as f64 / shared_b as f64
+                );
+            }
         }
     }
 }
@@ -267,6 +391,7 @@ fn bench_closure_micro(reps: usize, rows: &mut Vec<Row>) {
             size: edges,
             nanos,
             interrupted: false,
+            ..Row::default()
         });
         // Incremental absorption: start from the closed relation and absorb
         // one fresh sink edge per iteration — the explorer's steady state.
@@ -283,6 +408,7 @@ fn bench_closure_micro(reps: usize, rows: &mut Vec<Row>) {
             size: edges,
             nanos,
             interrupted: false,
+            ..Row::default()
         });
     }
 }
@@ -314,8 +440,19 @@ fn emit_json(path: &std::path::Path, rows: &[Row]) -> std::io::Result<()> {
     let mut out =
         format!("{{\n  \"bench\": \"explore_e2e\",\n  \"cores\": {cores},\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
-        // The stamp is emitted only when set so unbudgeted trajectories
+        // Optional fields (the store counters, the budget stamp) are
+        // emitted only when set so trajectories of the other groups
         // stay byte-identical to the pre-stamp format.
+        let mut extra = String::new();
+        if let Some(u) = r.unique {
+            let _ = write!(extra, ", \"unique\": {u}");
+        }
+        if let Some(b) = r.bytes_resident {
+            let _ = write!(extra, ", \"bytes_resident\": {b}");
+        }
+        if r.interrupted {
+            extra.push_str(", \"interrupted\": true");
+        }
         let _ = writeln!(
             out,
             "    {{\"group\": \"{}\", \"name\": \"{}\", \"size\": {}, \"nanos\": {}, \"per_sec\": {:.1}{}}}{}",
@@ -324,11 +461,7 @@ fn emit_json(path: &std::path::Path, rows: &[Row]) -> std::io::Result<()> {
             r.size,
             r.nanos,
             r.per_sec(),
-            if r.interrupted {
-                ", \"interrupted\": true"
-            } else {
-                ""
-            },
+            extra,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
@@ -365,6 +498,27 @@ fn main() {
         }
     }
     let reps = if quick { 2 } else { 5 };
+    // An unknown group name must error, not silently run nothing and
+    // exit 0 — a CI job with a typoed `--only` would otherwise pass
+    // while measuring no rows at all.
+    const GROUPS: [&str; 7] = [
+        "corpus",
+        "wide",
+        "contended",
+        "dpor",
+        "scaling",
+        "closure",
+        "store",
+    ];
+    if let Some(o) = only.as_deref() {
+        if !GROUPS.contains(&o) {
+            eprintln!(
+                "unknown bench group {o:?}; valid groups: {}",
+                GROUPS.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
     let want = |g: &str| only.as_deref().is_none_or(|o| o == g);
     let mut rows = Vec::new();
     if want("corpus") {
@@ -378,6 +532,9 @@ fn main() {
     }
     if want("scaling") {
         bench_worker_scaling(reps, budget, &mut rows);
+    }
+    if want("store") {
+        bench_store(reps, budget, &mut rows);
     }
     if want("closure") {
         bench_closure_micro(reps, &mut rows);

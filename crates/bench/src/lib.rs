@@ -88,6 +88,53 @@ pub fn contended_workload(k: usize) -> Prog {
     parse_program(&contended_workload_src(k)).expect("workload parses")
 }
 
+/// A symmetric fan workload as DSL source: one release-writer publishing
+/// `k` variables behind a flag, and `readers` byte-identical acquire
+/// readers. The identical readers form one symmetry class, so the
+/// state-storage benchmarks quotient their interleavings away.
+pub fn sym_fan_workload_src(k: usize, readers: usize) -> String {
+    let vars: Vec<String> = (0..k).map(|i| format!("v{i}")).collect();
+    let mut writer = String::new();
+    let mut reader = String::new();
+    for (i, v) in vars.iter().enumerate() {
+        writer.push_str(&format!("{v} := {}; ", i + 1));
+        reader.push_str(&format!("r{i} <- {v}; "));
+    }
+    writer.push_str("f :=R 1; ");
+    let mut out = format!("vars {} f;\nthread w {{ {writer} }}\n", vars.join(" "));
+    for i in 0..readers {
+        // The flag lands in r9 so data registers stay at r0..r(k-1).
+        out.push_str(&format!("thread rd{i} {{ r9 <-A f; {reader} }}\n"));
+    }
+    out
+}
+
+/// The symmetric fan workload of the state-storage benchmarks: one
+/// writer, `readers` identical acquire readers over `k` variables.
+pub fn sym_fan_workload(k: usize, readers: usize) -> Prog {
+    parse_program(&sym_fan_workload_src(k, readers)).expect("workload parses")
+}
+
+/// A symmetric contended workload as DSL source: `threads` byte-identical
+/// threads, each issuing `k` writes (of the same values — identical
+/// bodies are what makes the thread-permutation group act) to one
+/// variable. The whole program is a single symmetry class of size
+/// `threads`, the quotient's best case.
+pub fn sym_contended_workload_src(k: usize, threads: usize) -> String {
+    let body: String = (0..k).map(|i| format!("x := {}; ", i + 1)).collect();
+    let mut out = String::from("vars x;\n");
+    for i in 0..threads {
+        out.push_str(&format!("thread t{i} {{ {body} }}\n"));
+    }
+    out
+}
+
+/// The symmetric contended workload: `threads` identical threads × `k`
+/// single-variable writes each.
+pub fn sym_contended_workload(k: usize, threads: usize) -> Prog {
+    parse_program(&sym_contended_workload_src(k, threads)).expect("workload parses")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +151,17 @@ mod tests {
     fn workloads_parse() {
         assert_eq!(wide_workload(3).num_vars(), 3);
         assert_eq!(contended_workload(2).num_threads(), 2);
+    }
+
+    #[test]
+    fn symmetric_workloads_have_identical_thread_bodies() {
+        let fan = sym_fan_workload(2, 3);
+        assert_eq!(fan.num_threads(), 4);
+        assert_eq!(fan.threads[1], fan.threads[2]);
+        assert_eq!(fan.threads[2], fan.threads[3]);
+        assert_ne!(fan.threads[0], fan.threads[1]);
+        let cc = sym_contended_workload(2, 4);
+        assert_eq!(cc.num_threads(), 4);
+        assert!(cc.threads.windows(2).all(|w| w[0] == w[1]));
     }
 }

@@ -80,6 +80,36 @@ pub trait MemoryModel {
     ) -> bool {
         false
     }
+
+    /// Does this model implement the thread-relabelling hooks below
+    /// exactly? Thread ids are pure names in the interpreted semantics,
+    /// so relabelling is always a semantics equivariance — but a model
+    /// must *implement* [`MemoryModel::state_fingerprint_relabelled`]
+    /// for the symmetry quotient to merge anything. The conservative
+    /// default `false` makes symmetry reduction silently degrade to
+    /// flat keying (sound, no reduction).
+    fn symmetry_exact(&self) -> bool {
+        false
+    }
+
+    /// The fingerprint of `state` with every thread id rewritten through
+    /// `map` (`map[old] = new`, `map[0] = 0`, injective). Must equal
+    /// [`MemoryModel::state_fingerprint`] of the relabelled state. The
+    /// default ignores the map — only sound to *use* when
+    /// [`MemoryModel::symmetry_exact`] is `false` (the engine then never
+    /// calls this with a non-identity map).
+    fn state_fingerprint_relabelled(&self, state: &Self::State, _map: &[u8]) -> u128 {
+        self.state_fingerprint(state)
+    }
+
+    /// A thread-naming-independent digest of thread `t`'s contribution
+    /// to the state, used by symmetry canonicalisation to order the
+    /// members of a symmetry class. Any equivariant function works (it
+    /// only steers which relabellings get probed first); the default is
+    /// the trivially equivariant constant.
+    fn thread_mem_key(&self, _state: &Self::State, _t: ThreadId) -> u64 {
+        0
+    }
 }
 
 /// Shape-level race check shared by the models that can claim
@@ -159,6 +189,18 @@ impl MemoryModel for RaModel {
         b: (ThreadId, &ActionShape),
     ) -> bool {
         a.0 != b.0 && !shapes_race(a.1, b.1)
+    }
+
+    fn symmetry_exact(&self) -> bool {
+        true
+    }
+
+    fn state_fingerprint_relabelled(&self, state: &C11State, map: &[u8]) -> u128 {
+        state.fingerprint_relabelled(map)
+    }
+
+    fn thread_mem_key(&self, state: &C11State, t: ThreadId) -> u64 {
+        state.thread_obs_key(t)
     }
 }
 
@@ -240,6 +282,18 @@ impl MemoryModel for PreExecutionModel {
         // Pre-execution steps only append events (Prop 4.1 commutation),
         // but the shared variable-footprint rule is kept for uniformity.
         a.0 != b.0 && !shapes_race(a.1, b.1)
+    }
+
+    fn symmetry_exact(&self) -> bool {
+        true
+    }
+
+    fn state_fingerprint_relabelled(&self, state: &C11State, map: &[u8]) -> u128 {
+        state.fingerprint_relabelled(map)
+    }
+
+    fn thread_mem_key(&self, state: &C11State, t: ThreadId) -> u64 {
+        state.thread_obs_key(t)
     }
 }
 
@@ -380,6 +434,12 @@ impl MemoryModel for ScModel {
         b: (ThreadId, &ActionShape),
     ) -> bool {
         a.0 != b.0 && !shapes_race(a.1, b.1)
+    }
+
+    fn symmetry_exact(&self) -> bool {
+        // The SC store has no thread-indexed content at all, so every
+        // relabelling fixes the state: the defaults are already exact.
+        true
     }
 }
 

@@ -639,6 +639,110 @@ impl C11State {
         ])
     }
 
+    /// The fingerprint of this state *relabelled* by a thread
+    /// permutation: `map[old_tid] = new_tid` (`map[0] = 0`; injective
+    /// over the tids that occur). Mirrors [`C11State::fingerprint`]
+    /// exactly — counting-sorts events by the *mapped* tid and bakes the
+    /// mapped tid into each event record — so the result equals the
+    /// cached fingerprint of the state with every event's tid rewritten
+    /// through `map`. Never cached: symmetry canonicalisation probes
+    /// many relabellings per state.
+    ///
+    /// Well-defined because the canonical renumbering only needs the
+    /// per-thread arena order, which a tid *rename* preserves.
+    pub fn fingerprint_relabelled(&self, map: &[u8]) -> u128 {
+        let n = self.len();
+        let mut stack = [0usize; 128];
+        let mut heap = Vec::new();
+        let perm: &mut [usize] = if n <= 128 {
+            &mut stack[..n]
+        } else {
+            heap.resize(n, 0);
+            &mut heap[..]
+        };
+        let tid_of = |t: ThreadId| -> u64 { map[t.0 as usize] as u64 };
+        // Counting sort by *mapped* tid: new id = rank under
+        // (map[tid], arena order).
+        let mut start = [0usize; 257];
+        for ev in &self.events {
+            start[tid_of(ev.tid) as usize + 1] += 1;
+        }
+        for i in 1..257 {
+            start[i] += start[i - 1];
+        }
+        for (old, ev) in self.events.iter().enumerate() {
+            let slot = &mut start[tid_of(ev.tid) as usize];
+            perm[old] = *slot;
+            *slot += 1;
+        }
+        let mut events = SetFold::default();
+        for (old, ev) in self.events.iter().enumerate() {
+            let (kind, var, a, b) = match ev.action {
+                c11_lang::Action::Rd { var, val, acquire } => {
+                    (1u64, var.0, val as u64, acquire as u64)
+                }
+                c11_lang::Action::Wr { var, val, release } => {
+                    (2u64, var.0, val as u64, release as u64)
+                }
+                c11_lang::Action::Upd { var, old, new } => (3u64, var.0, old as u64, new as u64),
+            };
+            let head =
+                (perm[old] as u64) << 32 | kind << 24 | tid_of(ev.tid) << 16 | (var as u64) << 8;
+            let payload = a.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17)
+                ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f).rotate_left(39);
+            events.absorb(head ^ payload);
+        }
+        let edge_fold = |r: &Relation, tag: u64| -> u128 {
+            let mut fold = SetFold::default();
+            for (a, b) in r.pairs() {
+                fold.absorb(tag << 60 | (perm[a] as u64) << 30 | perm[b] as u64);
+            }
+            fold.digest()
+        };
+        combine128(&[
+            n as u128,
+            events.digest(),
+            edge_fold(&self.sb, 1),
+            edge_fold(&self.rf, 2),
+            edge_fold(&self.mo, 3),
+        ])
+    }
+
+    /// A thread-naming-independent digest of what thread `t` has done:
+    /// an order-*sensitive* fold over `t`'s events in arena order
+    /// (= `sb|_t` order), mixing each event's kind, variable, values and
+    /// — for writes — its rank in `mo` on its variable. Equal keys for
+    /// threads whose histories are interchangeable under a thread
+    /// rename; used by symmetry canonicalisation to sort the members of
+    /// a symmetry class before probing relabellings.
+    pub fn thread_obs_key(&self, t: ThreadId) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |w: u64| {
+            h = (h ^ w).wrapping_mul(0x100000001b3).rotate_left(29);
+        };
+        for e in self.thread_events(t) {
+            let ev = &self.events[e];
+            let (kind, var, a, b) = match ev.action {
+                c11_lang::Action::Rd { var, val, acquire } => {
+                    (1u64, var.0, val as u64, acquire as u64)
+                }
+                c11_lang::Action::Wr { var, val, release } => {
+                    (2u64, var.0, val as u64, release as u64)
+                }
+                c11_lang::Action::Upd { var, old, new } => (3u64, var.0, old as u64, new as u64),
+            };
+            mix(kind << 32 | (var as u64));
+            mix(a.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17)
+                ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f).rotate_left(39));
+            if kind != 1 {
+                // Write/update: its mo-rank on the variable is part of
+                // the observable history and independent of thread names.
+                mix(0x6d0_u64 << 48 | self.mo.preimage(e).count() as u64);
+            }
+        }
+        h
+    }
+
     /// Pretty, multi-line rendering with variable names.
     pub fn render(&self, var_names: &[String]) -> String {
         use std::fmt::Write as _;

@@ -75,11 +75,13 @@
 //! still reports.
 
 use crate::engine::{config_fingerprint, ExploreConfig, ExploreResult, TraceArena, TraceStep};
+use crate::sym::{sym_fingerprint, SymClasses};
 use c11_core::config::{Config, ConfigStep};
 use c11_core::model::MemoryModel;
 use c11_lang::step::StepShape;
 use c11_lang::{Prog, ThreadId};
-use std::collections::{HashSet, VecDeque};
+use c11_store::{AnyStore, StoreStats, VisitedStore};
+use std::collections::VecDeque;
 
 /// Sleep sets are thread-id bitmasks (bit `i` = thread `i + 1`). Programs
 /// wider than 64 threads get an always-empty mask: no reduction, still
@@ -176,12 +178,22 @@ where
         violations: Vec::new(),
         stuck: 0,
         interrupted: None,
+        store_stats: None,
+        sym_classes: None,
     };
     let track = cfg.record_traces || cfg.witness_traces;
     let mut nodes = TraceArena::new();
-    let mut visited: HashSet<u128> = HashSet::new();
+    let classes = SymClasses::of(prog);
+    let sym_on = cfg.sym_effective(model, &classes);
+    let mut visited = AnyStore::new(cfg.store);
     let mut final_nodes: Vec<usize> = Vec::new();
-    let key = |c: &Config<M>| config_fingerprint(model, c);
+    let key = |c: &Config<M>| {
+        if sym_on {
+            sym_fingerprint(model, &classes, c)
+        } else {
+            config_fingerprint(model, c)
+        }
+    };
 
     // (config, trace node, depth, threads asleep at expansion).
     type Item<M> = (Config<M>, usize, usize, SleepMask);
@@ -229,8 +241,13 @@ where
         }
         let nthreads = config.coms.len();
         // Masks are meaningless past 64 threads: fall back to exploring
-        // everything with empty sleep sets.
-        let masks_ok = nthreads <= 64;
+        // everything with empty sleep sets. The same fallback applies
+        // under symmetry quotienting — a sleeping thread's covering path
+        // can be cut by the quotient merging its target into an orbit
+        // representative reached some other way, so sleep sets and
+        // symmetric keying do not compose yet (the quotient itself
+        // already prunes far more on the programs that have symmetry).
+        let masks_ok = nthreads <= 64 && !sym_on;
         let shapes: Vec<Option<StepShape>> = config
             .thread_ids()
             .map(|t| config.step_shape_of(t))
@@ -310,6 +327,13 @@ where
             .into_iter()
             .map(|idx| nodes.trace_of(idx))
             .collect();
+    }
+    result.store_stats = Some(StoreStats {
+        sym: sym_on,
+        ..visited.stats()
+    });
+    if sym_on {
+        result.sym_classes = Some(classes);
     }
     result
 }

@@ -1,12 +1,14 @@
 //! The sequential exploration engine.
 
 use crate::budget::{Budget, Interrupt};
+use crate::sym::{sym_fingerprint, SymClasses};
 use c11_core::config::{Config, ConfigStep};
 use c11_core::fingerprint::{combine128, hash128_of};
 use c11_core::model::MemoryModel;
 use c11_lang::step::RegFile;
 use c11_lang::{Prog, RegId, StepLabel, ThreadId, Val};
-use std::collections::{HashSet, VecDeque};
+use c11_store::{AnyStore, StoreKind, StoreStats, VisitedStore};
+use std::collections::VecDeque;
 
 /// The 128-bit visited key of a configuration: fixed-seed fingerprints of
 /// the residual commands, the register files and the memory state's
@@ -48,6 +50,18 @@ pub struct ExploreConfig {
     /// Unlimited by default; a tripped budget terminates the run with
     /// [`ExploreResult::interrupted`] set (distinct from `truncated`).
     pub budget: Budget,
+    /// Which visited-store implementation backs deduplication (see
+    /// `c11_store`). [`StoreKind::Sym`] also turns on symmetric keying.
+    pub store: StoreKind,
+    /// Quotient the visited set by thread symmetry: configurations that
+    /// are thread-relabellings of each other (threads with identical
+    /// bodies) share one stored representative. Opt-in — `unique` and
+    /// `generated` legitimately shrink, so symmetric runs join the
+    /// finals-only side of the backend contract: verdicts and
+    /// (class-sorted) final snapshots stay identical, counts may not.
+    /// Silently inert for models without exact relabelling support
+    /// (`MemoryModel::symmetry_exact`).
+    pub symmetry: bool,
 }
 
 impl Default for ExploreConfig {
@@ -60,6 +74,8 @@ impl Default for ExploreConfig {
             record_traces: true,
             witness_traces: false,
             budget: Budget::default(),
+            store: StoreKind::Flat,
+            symmetry: false,
         }
     }
 }
@@ -105,6 +121,29 @@ impl ExploreConfig {
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Selects the visited-store implementation (chainable).
+    pub fn store(mut self, kind: StoreKind) -> Self {
+        self.store = kind;
+        self
+    }
+
+    /// Switches thread-symmetry quotienting of the visited set
+    /// (chainable).
+    pub fn symmetry(mut self, on: bool) -> Self {
+        self.symmetry = on;
+        self
+    }
+
+    /// `true` iff this run should canonicalise keys by thread symmetry
+    /// for `model` on `classes` — requested (explicitly or via
+    /// [`StoreKind::Sym`]), exactly supported by the model, and with
+    /// something to quotient.
+    pub(crate) fn sym_effective<M: MemoryModel>(&self, model: &M, classes: &SymClasses) -> bool {
+        (self.symmetry || self.store == StoreKind::Sym)
+            && model.symmetry_exact()
+            && !classes.is_trivial()
     }
 }
 
@@ -226,6 +265,14 @@ impl RegSnapshot {
             .map(|f| f.iter().collect())
             .unwrap_or_default()
     }
+
+    /// Canonicalises the snapshot by sorting same-class register files
+    /// (see [`SymClasses::class_sort_regs`]): two orbit-equivalent
+    /// snapshots become byte-identical. Lets callers compare finals of a
+    /// plain run against a symmetry-quotiented one.
+    pub fn class_sort(&mut self, classes: &SymClasses) {
+        classes.class_sort_regs(&mut self.regs);
+    }
 }
 
 /// The result of an exploration.
@@ -256,6 +303,14 @@ pub struct ExploreResult<M: MemoryModel> {
     /// a sane partial prefix of the search; `truncated` stays the bound
     /// verdict only.
     pub interrupted: Option<Interrupt>,
+    /// Accounting of the visited store that backed this run (`None` only
+    /// when deduplication was off — there was no store).
+    pub store_stats: Option<StoreStats>,
+    /// Set iff the run keyed the visited set by thread symmetry; carries
+    /// the symmetry classes so downstream consumers (final snapshots,
+    /// the litmus runner) can canonicalise or re-expand stored orbit
+    /// representatives.
+    pub sym_classes: Option<SymClasses>,
 }
 
 impl<M: MemoryModel> ExploreResult<M> {
@@ -274,8 +329,20 @@ impl<M: MemoryModel> ExploreResult<M> {
     /// Register snapshots of all terminated configurations, one per final
     /// (a *multiset*: distinct final configurations may share register
     /// values). Index-aligned with `finals` and `final_traces`.
+    ///
+    /// Under symmetry quotienting each stored final is an arbitrary
+    /// orbit representative (the parallel engine keeps whichever member
+    /// won the race), so the snapshots are canonicalised by sorting
+    /// same-class register files — orbit-equivalent finals then yield
+    /// byte-identical snapshots across all backends.
     pub fn final_snapshots(&self) -> Vec<RegSnapshot> {
-        self.finals.iter().map(RegSnapshot::of).collect()
+        let mut snaps: Vec<RegSnapshot> = self.finals.iter().map(RegSnapshot::of).collect();
+        if let Some(classes) = &self.sym_classes {
+            for snap in &mut snaps {
+                classes.class_sort_regs(&mut snap.regs);
+            }
+        }
+        snaps
     }
 
     /// The stats of this result, stamped with a wall time.
@@ -311,18 +378,28 @@ where
         violations: Vec::new(),
         stuck: 0,
         interrupted: None,
+        store_stats: None,
+        sym_classes: None,
     };
     // Node store for trace reconstruction — only fed when someone will
     // read the parent pointers back (mirrors the parallel engine's
     // `track` guard; an untracked run does no per-state bookkeeping).
     let track = cfg.record_traces || cfg.witness_traces;
     let mut nodes = TraceArena::new();
-    let mut visited: HashSet<u128> = HashSet::new();
+    let classes = SymClasses::of(prog);
+    let sym_on = cfg.sym_effective(model, &classes);
+    let mut visited = AnyStore::new(cfg.store);
     // Node index of each final (for witness-trace materialisation).
     let mut final_nodes: Vec<usize> = Vec::new();
 
     let initial = Config::initial(model, prog);
-    let key = |c: &Config<M>| config_fingerprint(model, c);
+    let key = |c: &Config<M>| {
+        if sym_on {
+            sym_fingerprint(model, &classes, c)
+        } else {
+            config_fingerprint(model, c)
+        }
+    };
     let mut queue: VecDeque<(Config<M>, usize, usize)> = VecDeque::new(); // (cfg, node, depth)
     if cfg.dedup {
         visited.insert(key(&initial));
@@ -411,6 +488,15 @@ where
             .into_iter()
             .map(|idx| nodes.trace_of(idx))
             .collect();
+    }
+    if cfg.dedup {
+        result.store_stats = Some(StoreStats {
+            sym: sym_on,
+            ..visited.stats()
+        });
+    }
+    if sym_on {
+        result.sym_classes = Some(classes);
     }
     result
 }

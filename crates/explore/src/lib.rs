@@ -24,9 +24,11 @@ pub mod dpor;
 pub mod engine;
 pub mod par;
 pub mod stats;
+pub mod sym;
 
 pub use backend::{AnyBackend, DporBackend, ExploreBackend, ParallelBackend, SequentialBackend};
 pub use budget::{Budget, Interrupt};
+pub use c11_store::{StoreKind, StoreStats};
 pub use dpor::{explore_dpor, explore_dpor_invariant};
 pub use engine::{
     explore_invariant_with, render_trace, ExploreConfig, ExploreResult, Explorer, RegSnapshot,
@@ -34,3 +36,4 @@ pub use engine::{
 };
 pub use par::{parallel_explore, parallel_explore_invariant};
 pub use stats::Stats;
+pub use sym::SymClasses;

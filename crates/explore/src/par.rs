@@ -18,10 +18,12 @@
 //! - **The visited set is split in two.** A worker-private `HashSet`
 //!   answers "did *I* already generate this fingerprint" without any
 //!   sharing; only on a local miss does the worker consult the global
-//!   [`VisitedFilter`] — a striped open-addressed table whose inserts are
-//!   lock-free CAS claims (the per-stripe `RwLock` is only taken
-//!   exclusively to grow the table). The filter is the linearizable
-//!   authority: exactly one worker wins each fingerprint, so the
+//!   [`ConcurrentStore`] (from `c11-store`) — for the flat and symmetry
+//!   store kinds that is the striped open-addressed table whose inserts
+//!   are lock-free CAS claims (the per-stripe `RwLock` is only taken
+//!   exclusively to grow the table), for the hash-consed kind a striped
+//!   mutex over paged stores. The store is the linearizable authority:
+//!   exactly one worker wins each fingerprint, so the
 //!   all-backends-identical-reports contract survives arbitrary
 //!   interleavings.
 //!
@@ -37,223 +39,16 @@
 
 use crate::budget::Interrupt;
 use crate::engine::{config_fingerprint, ExploreConfig, ExploreResult, TraceStep};
+use crate::sym::{sym_fingerprint, SymClasses};
 use c11_core::config::Config;
 use c11_core::model::MemoryModel;
 use c11_lang::Prog;
-use parking_lot::{Mutex, RwLock};
+use c11_store::concurrent::ConcurrentStore;
+use c11_store::StoreStats;
+use parking_lot::Mutex;
 use std::collections::{HashSet, VecDeque};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-
-// ---- the global membership filter --------------------------------------
-
-/// Stripes of the global filter. More stripes than workers keeps the
-/// probability of two workers growing the same stripe at once low.
-const FILTER_SHARDS: usize = 32;
-
-/// Initial slots per stripe (power of two; grows by doubling).
-const FILTER_INITIAL_SLOTS: usize = 32;
-
-/// Slot markers. A slot's `lo` word is `EMPTY` (free), `CLAIMED` (an
-/// insert won the CAS and is about to publish), or the key's low word.
-const SLOT_EMPTY: u64 = 0;
-const SLOT_CLAIMED: u64 = 1;
-
-/// Stripe selector: one fixed-seed FNV-1a pass over the 16 key bytes. The
-/// key is already a fingerprint, but its low bits feed the slot probing —
-/// folding all 128 bits keeps stripe choice independent of it.
-fn shard_of(key: u128) -> usize {
-    let mut fnv: u64 = 0xcbf29ce484222325;
-    for b in key.to_le_bytes() {
-        fnv ^= b as u64;
-        fnv = fnv.wrapping_mul(0x100000001b3);
-    }
-    (fnv as usize) % FILTER_SHARDS
-}
-
-/// Splits a 128-bit fingerprint into the two slot words, steering clear
-/// of the reserved `lo` markers. The remap aliases a key with
-/// `lo ∈ {0, 1}` onto one with the top bit set — a 2⁻⁶³ event folded
-/// into the fingerprinting collision stance (`c11_core::fingerprint`).
-fn split_key(key: u128) -> (u64, u64) {
-    let mut lo = key as u64;
-    let hi = (key >> 64) as u64;
-    if lo <= SLOT_CLAIMED {
-        lo |= 1 << 63;
-    }
-    (lo, hi)
-}
-
-/// Start slot for probing: a multiply-mix over both words, deliberately
-/// different from [`shard_of`] so stripe choice and probe order draw on
-/// different bits.
-fn slot_start(lo: u64, hi: u64) -> usize {
-    ((lo.rotate_left(32) ^ hi).wrapping_mul(0x9e3779b97f4a7c15) >> 11) as usize
-}
-
-/// One 128-bit entry, published in two words with a claim protocol:
-/// insert CASes `lo` from `EMPTY` to `CLAIMED`, stores `hi`, then
-/// release-stores the real `lo`. Readers that load the real `lo`
-/// (acquire) therefore see the matching `hi`.
-struct Slot {
-    lo: AtomicU64,
-    hi: AtomicU64,
-}
-
-enum Probe {
-    /// The key was absent; this call inserted it.
-    Fresh,
-    /// The key was already present.
-    Present,
-    /// Probing wrapped without finding the key or a free slot.
-    Full,
-}
-
-/// An open-addressed table of [`Slot`]s (linear probing). Concurrent
-/// inserts are plain CAS races — no lock is held per operation; the
-/// enclosing `RwLock` is only taken exclusively to double the table.
-struct Table {
-    slots: Box<[Slot]>,
-    occupied: AtomicUsize,
-}
-
-impl Table {
-    fn new(capacity: usize) -> Table {
-        debug_assert!(capacity.is_power_of_two());
-        let slots = (0..capacity)
-            .map(|_| Slot {
-                lo: AtomicU64::new(SLOT_EMPTY),
-                hi: AtomicU64::new(0),
-            })
-            .collect();
-        Table {
-            slots,
-            occupied: AtomicUsize::new(0),
-        }
-    }
-
-    /// Lock-free insert-or-find. Runs under a shared (read) guard of the
-    /// stripe lock, so growth cannot rip the table out from under it.
-    fn probe_insert(&self, lo: u64, hi: u64) -> Probe {
-        let mask = self.slots.len() - 1;
-        let mut i = slot_start(lo, hi) & mask;
-        for _ in 0..self.slots.len() {
-            let slot = &self.slots[i];
-            let mut cur = slot.lo.load(Ordering::Acquire);
-            if cur == SLOT_EMPTY {
-                match slot.lo.compare_exchange(
-                    SLOT_EMPTY,
-                    SLOT_CLAIMED,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                ) {
-                    Ok(_) => {
-                        slot.hi.store(hi, Ordering::Release);
-                        slot.lo.store(lo, Ordering::Release);
-                        self.occupied.fetch_add(1, Ordering::Relaxed);
-                        return Probe::Fresh;
-                    }
-                    Err(seen) => cur = seen,
-                }
-            }
-            // A concurrent claimer is mid-publish: its key might be ours.
-            while cur == SLOT_CLAIMED {
-                std::hint::spin_loop();
-                cur = slot.lo.load(Ordering::Acquire);
-            }
-            if cur == lo && slot.hi.load(Ordering::Acquire) == hi {
-                return Probe::Present;
-            }
-            i = (i + 1) & mask;
-        }
-        Probe::Full
-    }
-
-    /// Moves every entry into `bigger`. Exclusive access (write guard):
-    /// no claims can be in flight, so plain relaxed traffic suffices.
-    fn rehash_into(&self, bigger: &Table) {
-        let mask = bigger.slots.len() - 1;
-        for slot in self.slots.iter() {
-            let lo = slot.lo.load(Ordering::Relaxed);
-            debug_assert_ne!(lo, SLOT_CLAIMED, "claims cannot survive a write lock");
-            if lo == SLOT_EMPTY {
-                continue;
-            }
-            let hi = slot.hi.load(Ordering::Relaxed);
-            let mut i = slot_start(lo, hi) & mask;
-            loop {
-                let s = &bigger.slots[i];
-                if s.lo.load(Ordering::Relaxed) == SLOT_EMPTY {
-                    s.hi.store(hi, Ordering::Relaxed);
-                    s.lo.store(lo, Ordering::Relaxed);
-                    break;
-                }
-                i = (i + 1) & mask;
-            }
-        }
-        bigger
-            .occupied
-            .store(self.occupied.load(Ordering::Relaxed), Ordering::Relaxed);
-    }
-}
-
-/// Keeps each stripe's lock word on its own cache line so readers of
-/// neighbouring stripes don't false-share.
-#[repr(align(64))]
-struct Padded<T>(T);
-
-/// The global membership filter: `FILTER_SHARDS` independently grown
-/// tables. `insert` is the linearization point of state discovery —
-/// exactly one worker gets `true` per fingerprint.
-struct VisitedFilter {
-    shards: Vec<Padded<RwLock<Table>>>,
-}
-
-impl VisitedFilter {
-    fn new() -> VisitedFilter {
-        VisitedFilter {
-            shards: (0..FILTER_SHARDS)
-                .map(|_| Padded(RwLock::new(Table::new(FILTER_INITIAL_SLOTS))))
-                .collect(),
-        }
-    }
-
-    /// Inserts the fingerprint; `true` iff it was fresh. The hot path
-    /// takes a shared stripe guard and does one CAS; the write lock is
-    /// only taken to double a stripe past ¾ load.
-    fn insert(&self, key: u128) -> bool {
-        let (lo, hi) = split_key(key);
-        let shard = &self.shards[shard_of(key)].0;
-        loop {
-            let seen_cap = {
-                let table = shard.read();
-                // Grow ahead of ¾ load: linear probing degrades sharply
-                // past it, and headroom absorbs concurrent overshoot.
-                if table.occupied.load(Ordering::Relaxed) * 4 < table.slots.len() * 3 {
-                    match table.probe_insert(lo, hi) {
-                        Probe::Fresh => return true,
-                        Probe::Present => return false,
-                        Probe::Full => {}
-                    }
-                }
-                table.slots.len()
-            };
-            grow(shard, seen_cap);
-        }
-    }
-}
-
-/// Doubles the stripe unless another worker already did (the capacity
-/// check under the write lock decides the race).
-fn grow(shard: &RwLock<Table>, seen_cap: usize) {
-    let mut guard = shard.write();
-    if guard.slots.len() > seen_cap {
-        return;
-    }
-    let bigger = Table::new(guard.slots.len() * 2);
-    guard.rehash_into(&bigger);
-    *guard = bigger;
-}
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 // ---- the exploration engine --------------------------------------------
 
@@ -301,7 +96,7 @@ struct WorkerOut<M: MemoryModel> {
 /// `unique` feeds the racy-bounded `max_states` check, `in_flight` drives
 /// termination detection.
 struct Shared<M: MemoryModel> {
-    filter: VisitedFilter,
+    filter: ConcurrentStore,
     /// Donated work, one `Vec` per donation. Locked once per chunk, not
     /// per item.
     injector: Mutex<VecDeque<Vec<Item<M>>>>,
@@ -408,6 +203,8 @@ where
     let workers = workers.max(1);
     // Arenas are only fed when someone will read the parent pointers back.
     let track = cfg.record_traces || cfg.witness_traces;
+    let classes = SymClasses::of(prog);
+    let sym_on = cfg.sym_effective(model, &classes);
     let initial = Config::initial(model, prog);
     let initial_bad = !inv(&initial);
     if initial.is_terminated() {
@@ -429,6 +226,11 @@ where
             truncated: false,
             stuck: 0,
             interrupted: None,
+            store_stats: Some(StoreStats {
+                sym: sym_on,
+                ..ConcurrentStore::new(cfg.store, sym_on).stats()
+            }),
+            sym_classes: sym_on.then_some(classes),
         };
     }
     // A deadline already in the past (or a pre-cancelled budget) trips
@@ -450,12 +252,27 @@ where
                 },
                 stuck: 0,
                 interrupted: Some(why),
+                store_stats: Some(StoreStats {
+                    sym: sym_on,
+                    ..ConcurrentStore::new(cfg.store, sym_on).stats()
+                }),
+                sym_classes: sym_on.then_some(classes),
             };
         }
     }
 
+    // The dedup key every worker computes: symmetry-canonical when the
+    // quotient is on, the plain configuration fingerprint otherwise.
+    let key = |c: &Config<M>| {
+        if sym_on {
+            sym_fingerprint(model, &classes, c)
+        } else {
+            config_fingerprint(model, c)
+        }
+    };
+
     let shared: Shared<M> = Shared {
-        filter: VisitedFilter::new(),
+        filter: ConcurrentStore::new(cfg.store, sym_on),
         injector: Mutex::new(VecDeque::new()),
         injector_len: AtomicUsize::new(0),
         hungry: AtomicUsize::new(0),
@@ -467,7 +284,7 @@ where
         interrupt: AtomicUsize::new(0),
         panic: Mutex::new(None),
     };
-    shared.filter.insert(config_fingerprint(model, &initial));
+    shared.filter.insert(key(&initial));
     if initial_bad {
         shared
             .violations
@@ -483,6 +300,7 @@ where
             .enumerate()
             .map(|(me, seed)| {
                 let shared = &shared;
+                let key = &key;
                 scope.spawn(move |_| {
                     // The worker body runs under `catch_unwind`: a
                     // panicking user invariant must not strand siblings
@@ -567,13 +385,13 @@ where
                                 for step in successors {
                                     generated += 1;
                                     let next = step.next;
-                                    let key = config_fingerprint(model, &next);
+                                    let k = key(&next);
                                     // Private cache first — repeats this
                                     // worker generated never touch the filter.
-                                    if !seen.insert(key) {
+                                    if !seen.insert(k) {
                                         continue;
                                     }
-                                    if !shared.filter.insert(key) {
+                                    if !shared.filter.insert(k) {
                                         continue;
                                     }
                                     shared.unique.fetch_add(1, Ordering::Relaxed);
@@ -708,6 +526,11 @@ where
             2 => Some(Interrupt::Cancelled),
             _ => None,
         },
+        store_stats: Some(StoreStats {
+            sym: sym_on,
+            ..shared.filter.stats()
+        }),
+        sym_classes: sym_on.then_some(classes),
     }
 }
 
@@ -868,68 +691,7 @@ mod tests {
         assert!(res.unique >= 1, "partial stats stay sane");
     }
 
-    #[test]
-    fn shard_of_is_stable_and_in_range() {
-        for k in [0u128, 1, u128::MAX, 0xdead_beef] {
-            let s = shard_of(k);
-            assert!(s < FILTER_SHARDS);
-            assert_eq!(s, shard_of(k));
-        }
-    }
-
-    #[test]
-    fn filter_inserts_each_key_exactly_once() {
-        let filter = VisitedFilter::new();
-        // Enough keys to force several doublings of every stripe.
-        let keys: Vec<u128> = (0..10_000u128)
-            .map(|i| i.wrapping_mul(0x0123_4567_89ab_cdef_fedc_ba98_7654_3211))
-            .collect();
-        for &k in &keys {
-            assert!(filter.insert(k), "first insert of {k:x} must be fresh");
-        }
-        for &k in &keys {
-            assert!(!filter.insert(k), "second insert of {k:x} must dedup");
-        }
-    }
-
-    #[test]
-    fn filter_handles_reserved_low_words() {
-        let filter = VisitedFilter::new();
-        // Keys whose low word collides with the slot markers get remapped
-        // but must still behave as set members.
-        for k in [0u128, 1, 1 << 64, (1 << 64) | 1] {
-            assert!(filter.insert(k));
-            assert!(!filter.insert(k));
-        }
-    }
-
-    #[test]
-    fn filter_is_safe_under_concurrent_insertion() {
-        let filter = VisitedFilter::new();
-        let fresh = AtomicUsize::new(0);
-        let distinct = 4_096u128;
-        crossbeam::scope(|scope| {
-            for t in 0..4u128 {
-                let filter = &filter;
-                let fresh = &fresh;
-                scope.spawn(move |_| {
-                    // Overlapping ranges: every key is attempted by two
-                    // threads.
-                    for i in 0..distinct {
-                        let key = ((i + t * distinct / 2) % distinct)
-                            .wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835);
-                        if filter.insert(key) {
-                            fresh.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                });
-            }
-        })
-        .unwrap();
-        assert_eq!(
-            fresh.load(Ordering::Relaxed),
-            distinct as usize,
-            "each distinct key must be claimed exactly once"
-        );
-    }
+    // The CAS-filter unit tests moved to `c11_store::concurrent` with
+    // the filter itself (exact-once insertion, reserved low words,
+    // concurrent-insert safety, shard stability).
 }

@@ -9,6 +9,7 @@
 use crate::budget::Interrupt;
 use crate::engine::ExploreResult;
 use c11_core::model::MemoryModel;
+use c11_store::{StoreKind, StoreStats};
 use std::time::Duration;
 
 /// Exploration statistics: size of the search, whether any bound cut it
@@ -33,6 +34,10 @@ pub struct Stats {
     /// cancellation) before the bounds did — distinct from `truncated`,
     /// which records the *question's* bounds cutting the search short.
     pub interrupt: Option<Interrupt>,
+    /// Visited-store accounting, populated only for non-default storage
+    /// (a non-flat `--store` or symmetry quotienting) so default runs
+    /// keep their report shape byte-identical.
+    pub store: Option<StoreStats>,
 }
 
 impl Stats {
@@ -46,6 +51,9 @@ impl Stats {
             stuck: result.stuck,
             wall_micros: wall.as_micros(),
             interrupt: result.interrupted,
+            store: result
+                .store_stats
+                .filter(|s| s.kind != StoreKind::Flat || s.sym),
         }
     }
 
@@ -65,6 +73,19 @@ impl Stats {
             stuck: self.stuck + other.stuck,
             wall_micros: self.wall_micros + other.wall_micros,
             interrupt: self.interrupt.or(other.interrupt),
+            store: match (self.store, other.store) {
+                // Two stored runs (e.g. the RA and SC halves of a litmus
+                // report): sizes add like the other counters; the kind
+                // and sym flags agree by construction (one request).
+                (Some(a), Some(b)) => Some(StoreStats {
+                    kind: a.kind,
+                    sym: a.sym,
+                    bytes_resident: a.bytes_resident + b.bytes_resident,
+                    nodes: a.nodes + b.nodes,
+                    dedup_hits: a.dedup_hits + b.dedup_hits,
+                }),
+                (a, b) => a.or(b),
+            },
         }
     }
 }
@@ -83,6 +104,7 @@ mod tests {
             stuck: 0,
             wall_micros: 10,
             interrupt: None,
+            store: None,
         };
         let b = Stats {
             unique: 2,
@@ -92,6 +114,7 @@ mod tests {
             stuck: 1,
             wall_micros: 7,
             interrupt: None,
+            store: None,
         };
         let m = a.merged(&b);
         assert_eq!(m.unique, 5);

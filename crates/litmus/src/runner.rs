@@ -7,7 +7,7 @@
 use crate::corpus::{Cond, LitmusTest, Verdict};
 use c11_core::config::Config;
 use c11_core::model::{RaModel, ScModel};
-use c11_explore::{ExploreBackend, ExploreConfig, SequentialBackend, Stats};
+use c11_explore::{ExploreBackend, ExploreConfig, SequentialBackend, Stats, SymClasses};
 use c11_lang::{parse_program, Prog, RegId, ThreadId};
 use std::time::Instant;
 
@@ -65,6 +65,66 @@ pub fn outcome_holds_sc(test: &LitmusTest, prog: &Prog, cfg: &Config<ScModel>) -
     })
 }
 
+/// Does any orbit member of a terminated RA configuration exhibit the
+/// test's outcome?
+///
+/// Under symmetry quotienting the explorer keeps one representative per
+/// thread-relabelling orbit, so a register condition naming a specific
+/// thread must be checked across every class relabelling of the
+/// representative's register files ([`SymClasses::maps`]); `final:`
+/// conditions read memory, which is orbit-invariant.
+pub fn outcome_holds_ra_orbit(
+    test: &LitmusTest,
+    prog: &Prog,
+    cfg: &Config<RaModel>,
+    classes: Option<&SymClasses>,
+) -> bool {
+    let Some(classes) = classes else {
+        return outcome_holds_ra(test, prog, cfg);
+    };
+    classes.maps().iter().any(|map| {
+        test.outcome.iter().all(|c| match c {
+            Cond::Reg { thread, reg, val } => {
+                map.get(*thread as usize)
+                    .and_then(|&t| cfg.regs.get(t as usize - 1))
+                    .map(|f| f.get(RegId(*reg)))
+                    == Some(*val)
+            }
+            Cond::FinalVar { var, val } => {
+                let v = prog.var(var).expect("known variable");
+                cfg.mem.last(v).and_then(|w| cfg.mem.event(w).wrval()) == Some(*val)
+            }
+        })
+    })
+}
+
+/// Does any orbit member of a terminated SC configuration exhibit the
+/// test's outcome? See [`outcome_holds_ra_orbit`].
+pub fn outcome_holds_sc_orbit(
+    test: &LitmusTest,
+    prog: &Prog,
+    cfg: &Config<ScModel>,
+    classes: Option<&SymClasses>,
+) -> bool {
+    let Some(classes) = classes else {
+        return outcome_holds_sc(test, prog, cfg);
+    };
+    classes.maps().iter().any(|map| {
+        test.outcome.iter().all(|c| match c {
+            Cond::Reg { thread, reg, val } => {
+                map.get(*thread as usize)
+                    .and_then(|&t| cfg.regs.get(t as usize - 1))
+                    .map(|f| f.get(RegId(*reg)))
+                    == Some(*val)
+            }
+            Cond::FinalVar { var, val } => {
+                let v = prog.var(var).expect("known variable");
+                cfg.mem.mem[v.0 as usize] == *val
+            }
+        })
+    })
+}
+
 /// Runs one test under both models with the given exploration backends
 /// and per-model exploration configs (callers that override the test's
 /// own event bound — e.g. the api crate's `CheckRequest::bounds` — pass
@@ -80,11 +140,17 @@ pub fn run_test_configured(
     let t0 = Instant::now();
     let ra = ra_backend.run(&RaModel, &prog, cfg_ra);
     let ra_stats = ra.stats(t0.elapsed());
-    let observed_ra = ra.finals.iter().any(|c| outcome_holds_ra(test, &prog, c));
+    let observed_ra = ra
+        .finals
+        .iter()
+        .any(|c| outcome_holds_ra_orbit(test, &prog, c, ra.sym_classes.as_ref()));
     let t0 = Instant::now();
     let sc = sc_backend.run(&ScModel, &prog, cfg_sc);
     let sc_stats = sc.stats(t0.elapsed());
-    let observed_sc = sc.finals.iter().any(|c| outcome_holds_sc(test, &prog, c));
+    let observed_sc = sc
+        .finals
+        .iter()
+        .any(|c| outcome_holds_sc_orbit(test, &prog, c, sc.sym_classes.as_ref()));
     let expect = |v: Verdict| v == Verdict::Allowed;
     let pass = observed_ra == expect(test.expect_ra)
         && observed_sc == expect(test.expect_sc)

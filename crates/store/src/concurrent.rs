@@ -1,0 +1,473 @@
+//! Concurrent visited stores for the parallel engine.
+//!
+//! [`CasFilter`] is the striped lock-free CAS-claim membership filter the
+//! parallel engine has used since it went contention-free: inserts are
+//! plain CAS races under a shared stripe guard, the per-stripe `RwLock`
+//! is only taken exclusively to double a stripe. It serves both the
+//! flat and the symmetry store kinds — symmetry lives in the *key* the
+//! engine computes, not in the storage.
+//!
+//! [`ConcurrentStore`] dispatches between that fast path and a striped
+//! mutex wrapping of [`SharedStore`] pages for the hash-consed kind,
+//! and reports the same [`StoreStats`] as the sequential stores.
+
+use crate::{SharedStore, StoreKind, StoreStats, VisitedStore};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Stripes of the global filter. More stripes than workers keeps the
+/// probability of two workers growing the same stripe at once low.
+pub const FILTER_SHARDS: usize = 32;
+
+/// Initial slots per stripe (power of two; grows by doubling).
+const FILTER_INITIAL_SLOTS: usize = 32;
+
+/// Slot markers. A slot's `lo` word is `EMPTY` (free), `CLAIMED` (an
+/// insert won the CAS and is about to publish), or the key's low word.
+const SLOT_EMPTY: u64 = 0;
+const SLOT_CLAIMED: u64 = 1;
+
+/// Stripe selector: one fixed-seed FNV-1a pass over the 16 key bytes. The
+/// key is already a fingerprint, but its low bits feed the slot probing —
+/// folding all 128 bits keeps stripe choice independent of it.
+pub fn shard_of(key: u128) -> usize {
+    let mut fnv: u64 = 0xcbf29ce484222325;
+    for b in key.to_le_bytes() {
+        fnv ^= b as u64;
+        fnv = fnv.wrapping_mul(0x100000001b3);
+    }
+    (fnv as usize) % FILTER_SHARDS
+}
+
+/// Splits a 128-bit fingerprint into the two slot words, steering clear
+/// of the reserved `lo` markers. The remap aliases a key with
+/// `lo ∈ {0, 1}` onto one with the top bit set — a 2⁻⁶³ event folded
+/// into the fingerprinting collision stance (`c11_core::fingerprint`).
+fn split_key(key: u128) -> (u64, u64) {
+    let mut lo = key as u64;
+    let hi = (key >> 64) as u64;
+    if lo <= SLOT_CLAIMED {
+        lo |= 1 << 63;
+    }
+    (lo, hi)
+}
+
+/// Start slot for probing: a multiply-mix over both words, deliberately
+/// different from [`shard_of`] so stripe choice and probe order draw on
+/// different bits.
+fn slot_start(lo: u64, hi: u64) -> usize {
+    ((lo.rotate_left(32) ^ hi).wrapping_mul(0x9e3779b97f4a7c15) >> 11) as usize
+}
+
+/// One 128-bit entry, published in two words with a claim protocol:
+/// insert CASes `lo` from `EMPTY` to `CLAIMED`, stores `hi`, then
+/// release-stores the real `lo`. Readers that load the real `lo`
+/// (acquire) therefore see the matching `hi`.
+struct Slot {
+    lo: AtomicU64,
+    hi: AtomicU64,
+}
+
+enum Probe {
+    /// The key was absent; this call inserted it.
+    Fresh,
+    /// The key was already present.
+    Present,
+    /// Probing wrapped without finding the key or a free slot.
+    Full,
+}
+
+/// An open-addressed table of [`Slot`]s (linear probing). Concurrent
+/// inserts are plain CAS races — no lock is held per operation; the
+/// enclosing `RwLock` is only taken exclusively to double the table.
+struct Table {
+    slots: Box<[Slot]>,
+    occupied: AtomicUsize,
+}
+
+impl Table {
+    fn new(capacity: usize) -> Table {
+        debug_assert!(capacity.is_power_of_two());
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                lo: AtomicU64::new(SLOT_EMPTY),
+                hi: AtomicU64::new(0),
+            })
+            .collect();
+        Table {
+            slots,
+            occupied: AtomicUsize::new(0),
+        }
+    }
+
+    /// Lock-free insert-or-find. Runs under a shared (read) guard of the
+    /// stripe lock, so growth cannot rip the table out from under it.
+    fn probe_insert(&self, lo: u64, hi: u64) -> Probe {
+        let mask = self.slots.len() - 1;
+        let mut i = slot_start(lo, hi) & mask;
+        for _ in 0..self.slots.len() {
+            let slot = &self.slots[i];
+            let mut cur = slot.lo.load(Ordering::Acquire);
+            if cur == SLOT_EMPTY {
+                match slot.lo.compare_exchange(
+                    SLOT_EMPTY,
+                    SLOT_CLAIMED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        slot.hi.store(hi, Ordering::Release);
+                        slot.lo.store(lo, Ordering::Release);
+                        self.occupied.fetch_add(1, Ordering::Relaxed);
+                        return Probe::Fresh;
+                    }
+                    Err(seen) => cur = seen,
+                }
+            }
+            // A concurrent claimer is mid-publish: its key might be ours.
+            while cur == SLOT_CLAIMED {
+                std::hint::spin_loop();
+                cur = slot.lo.load(Ordering::Acquire);
+            }
+            if cur == lo && slot.hi.load(Ordering::Acquire) == hi {
+                return Probe::Present;
+            }
+            i = (i + 1) & mask;
+        }
+        Probe::Full
+    }
+
+    /// Moves every entry into `bigger`. Exclusive access (write guard):
+    /// no claims can be in flight, so plain relaxed traffic suffices.
+    fn rehash_into(&self, bigger: &Table) {
+        let mask = bigger.slots.len() - 1;
+        for slot in self.slots.iter() {
+            let lo = slot.lo.load(Ordering::Relaxed);
+            debug_assert_ne!(lo, SLOT_CLAIMED, "claims cannot survive a write lock");
+            if lo == SLOT_EMPTY {
+                continue;
+            }
+            let hi = slot.hi.load(Ordering::Relaxed);
+            let mut i = slot_start(lo, hi) & mask;
+            loop {
+                let s = &bigger.slots[i];
+                if s.lo.load(Ordering::Relaxed) == SLOT_EMPTY {
+                    s.hi.store(hi, Ordering::Relaxed);
+                    s.lo.store(lo, Ordering::Relaxed);
+                    break;
+                }
+                i = (i + 1) & mask;
+            }
+        }
+        bigger
+            .occupied
+            .store(self.occupied.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Keeps each stripe's lock word on its own cache line so readers of
+/// neighbouring stripes don't false-share.
+#[repr(align(64))]
+pub struct Padded<T>(pub T);
+
+/// The striped lock-free membership filter: `FILTER_SHARDS`
+/// independently grown tables. `insert` is the linearization point of
+/// state discovery — exactly one worker gets `true` per fingerprint.
+pub struct CasFilter {
+    shards: Vec<Padded<RwLock<Table>>>,
+    dedup_hits: AtomicUsize,
+}
+
+impl Default for CasFilter {
+    fn default() -> CasFilter {
+        CasFilter::new()
+    }
+}
+
+impl CasFilter {
+    /// An empty filter.
+    pub fn new() -> CasFilter {
+        CasFilter {
+            shards: (0..FILTER_SHARDS)
+                .map(|_| Padded(RwLock::new(Table::new(FILTER_INITIAL_SLOTS))))
+                .collect(),
+            dedup_hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Inserts the fingerprint; `true` iff it was fresh. The hot path
+    /// takes a shared stripe guard and does one CAS; the write lock is
+    /// only taken to double a stripe past ¾ load.
+    pub fn insert(&self, key: u128) -> bool {
+        let (lo, hi) = split_key(key);
+        let shard = &self.shards[shard_of(key)].0;
+        loop {
+            let seen_cap = {
+                let table = shard.read();
+                // Grow ahead of ¾ load: linear probing degrades sharply
+                // past it, and headroom absorbs concurrent overshoot.
+                if table.occupied.load(Ordering::Relaxed) * 4 < table.slots.len() * 3 {
+                    match table.probe_insert(lo, hi) {
+                        Probe::Fresh => return true,
+                        Probe::Present => {
+                            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                            return false;
+                        }
+                        Probe::Full => {}
+                    }
+                }
+                table.slots.len()
+            };
+            grow(shard, seen_cap);
+        }
+    }
+
+    /// Number of distinct keys stored, summed over stripes. Exact once
+    /// concurrent inserts have quiesced.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.0.read().occupied.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// `true` iff no key is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn stats(&self, kind: StoreKind, sym: bool) -> StoreStats {
+        let bytes = std::mem::size_of::<Self>()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.0.read().slots.len() * std::mem::size_of::<Slot>())
+                .sum::<usize>();
+        StoreStats {
+            kind,
+            sym,
+            bytes_resident: bytes,
+            nodes: 0,
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Doubles the stripe unless another worker already did (the capacity
+/// check under the write lock decides the race).
+fn grow(shard: &RwLock<Table>, seen_cap: usize) {
+    let mut guard = shard.write();
+    if guard.slots.len() > seen_cap {
+        return;
+    }
+    let bigger = Table::new(guard.slots.len() * 2);
+    guard.rehash_into(&bigger);
+    *guard = bigger;
+}
+
+/// The parallel engine's visited store: the lock-free CAS filter for
+/// the flat and symmetry kinds (the CAS-claim fast path is preserved —
+/// symmetry changes only the key fed in), or striped mutexes over
+/// [`SharedStore`] shards for the hash-consed kind.
+pub enum ConcurrentStore {
+    /// Lock-free CAS-claim filter (flat or symmetry-keyed).
+    Cas { filter: CasFilter, sym: bool },
+    /// Striped paged store: `FILTER_SHARDS` independently locked
+    /// [`SharedStore`]s, sharded by [`shard_of`].
+    Striped(Vec<Padded<Mutex<SharedStore>>>),
+}
+
+impl ConcurrentStore {
+    /// An empty concurrent store of the given kind. `sym` records
+    /// whether the engine feeds symmetry-canonicalised keys (it rides
+    /// into the stats; storage is unaffected).
+    pub fn new(kind: StoreKind, sym: bool) -> ConcurrentStore {
+        match kind {
+            StoreKind::Flat | StoreKind::Sym => ConcurrentStore::Cas {
+                filter: CasFilter::new(),
+                sym: sym || kind == StoreKind::Sym,
+            },
+            StoreKind::Shared => ConcurrentStore::Striped(
+                (0..FILTER_SHARDS)
+                    .map(|_| Padded(Mutex::new(SharedStore::new())))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Inserts the fingerprint; `true` iff it was fresh. The
+    /// linearization point of state discovery for the parallel engine.
+    pub fn insert(&self, key: u128) -> bool {
+        match self {
+            ConcurrentStore::Cas { filter, .. } => filter.insert(key),
+            ConcurrentStore::Striped(shards) => shards[shard_of(key)].0.lock().insert(key),
+        }
+    }
+
+    /// Number of distinct keys stored. Exact after workers quiesce.
+    pub fn len(&self) -> usize {
+        match self {
+            ConcurrentStore::Cas { filter, .. } => filter.len(),
+            ConcurrentStore::Striped(shards) => {
+                shards.iter().map(|s| VisitedStore::len(&*s.0.lock())).sum()
+            }
+        }
+    }
+
+    /// `true` iff no key is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The store's accounting snapshot (stripes summed).
+    pub fn stats(&self) -> StoreStats {
+        match self {
+            ConcurrentStore::Cas { filter, sym } => {
+                let kind = if *sym {
+                    StoreKind::Sym
+                } else {
+                    StoreKind::Flat
+                };
+                filter.stats(kind, *sym)
+            }
+            ConcurrentStore::Striped(shards) => {
+                let mut total = StoreStats {
+                    kind: StoreKind::Shared,
+                    sym: false,
+                    bytes_resident: std::mem::size_of::<Self>(),
+                    nodes: 0,
+                    dedup_hits: 0,
+                };
+                for s in shards {
+                    let st = s.0.lock().stats();
+                    total.bytes_resident += st.bytes_resident;
+                    total.nodes += st.nodes;
+                    total.dedup_hits += st.dedup_hits;
+                }
+                total
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for k in [0u128, 1, u128::MAX, 0xdead_beef] {
+            let s = shard_of(k);
+            assert!(s < FILTER_SHARDS);
+            assert_eq!(s, shard_of(k));
+        }
+    }
+
+    #[test]
+    fn filter_inserts_each_key_exactly_once() {
+        let filter = CasFilter::new();
+        // Enough keys to force several doublings of every stripe.
+        let keys: Vec<u128> = (0..10_000u128)
+            .map(|i| i.wrapping_mul(0x0123_4567_89ab_cdef_fedc_ba98_7654_3211))
+            .collect();
+        for &k in &keys {
+            assert!(filter.insert(k), "first insert of {k:x} must be fresh");
+        }
+        for &k in &keys {
+            assert!(!filter.insert(k), "second insert of {k:x} must dedup");
+        }
+        assert_eq!(filter.len(), keys.len());
+        assert_eq!(filter.stats(StoreKind::Flat, false).dedup_hits, keys.len());
+    }
+
+    #[test]
+    fn filter_handles_reserved_low_words() {
+        let filter = CasFilter::new();
+        // Keys whose low word collides with the slot markers get remapped
+        // but must still behave as set members.
+        for k in [0u128, 1, 1 << 64, (1 << 64) | 1] {
+            assert!(filter.insert(k));
+            assert!(!filter.insert(k));
+        }
+    }
+
+    #[test]
+    fn filter_is_safe_under_concurrent_insertion() {
+        let filter = CasFilter::new();
+        let fresh = AtomicUsize::new(0);
+        let distinct = 4_096u128;
+        crossbeam::scope(|scope| {
+            for t in 0..4u128 {
+                let filter = &filter;
+                let fresh = &fresh;
+                scope.spawn(move |_| {
+                    // Overlapping ranges: every key is attempted by two
+                    // threads.
+                    for i in 0..distinct {
+                        let key = ((i + t * distinct / 2) % distinct)
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835);
+                        if filter.insert(key) {
+                            fresh.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            fresh.load(Ordering::Relaxed),
+            distinct as usize,
+            "each distinct key must be claimed exactly once"
+        );
+    }
+
+    #[test]
+    fn striped_shared_store_is_safe_under_concurrent_insertion() {
+        // Satellite: SharedStore membership equivalence under concurrent
+        // inserts at 4 workers — the striped form must claim each
+        // distinct key exactly once, like the CAS filter.
+        let store = ConcurrentStore::new(StoreKind::Shared, false);
+        let fresh = AtomicUsize::new(0);
+        let distinct = 4_096u128;
+        crossbeam::scope(|scope| {
+            for t in 0..4u128 {
+                let store = &store;
+                let fresh = &fresh;
+                scope.spawn(move |_| {
+                    for i in 0..distinct {
+                        let key = ((i + t * distinct / 2) % distinct)
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835);
+                        if store.insert(key) {
+                            fresh.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(fresh.load(Ordering::Relaxed), distinct as usize);
+        assert_eq!(store.len(), distinct as usize);
+        let stats = store.stats();
+        assert_eq!(stats.kind, StoreKind::Shared);
+        assert!(stats.nodes > FILTER_SHARDS, "shards must have split pages");
+    }
+
+    #[test]
+    fn concurrent_kinds_report_their_stats() {
+        let flat = ConcurrentStore::new(StoreKind::Flat, false);
+        flat.insert(42);
+        assert_eq!(flat.stats().kind, StoreKind::Flat);
+        assert!(!flat.stats().sym);
+
+        let sym = ConcurrentStore::new(StoreKind::Sym, false);
+        sym.insert(42);
+        assert_eq!(sym.stats().kind, StoreKind::Sym);
+        assert!(sym.stats().sym);
+
+        // Flat storage with symmetry-canonical keys still reports sym.
+        let flat_sym = ConcurrentStore::new(StoreKind::Flat, true);
+        flat_sym.insert(42);
+        assert!(flat_sym.stats().sym);
+        assert_eq!(flat_sym.stats().kind, StoreKind::Sym);
+    }
+}

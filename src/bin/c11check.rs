@@ -27,6 +27,8 @@ struct Opts {
     max_events: usize,
     workers: usize,
     backend: Option<String>,
+    store: StoreKind,
+    symmetry: bool,
     json: bool,
     dot: bool,
     quiet: bool,
@@ -38,7 +40,8 @@ struct Opts {
 const BACKENDS: [&str; 3] = ["sequential", "parallel", "dpor"];
 
 const USAGE: &str = "usage: c11check <program.c11 | - | dir> [--litmus] [--sc] \
-     [--max-events N] [--backend B] [--workers N] [--json] [--dot] [--quiet]\n\
+     [--max-events N] [--backend B] [--workers N] [--store S] [--symmetry] \
+     [--json] [--dot] [--quiet]\n\
      --litmus: treat the input as a .litmus file (or a directory of \
      them, checked as one Session batch) and check expected verdicts\n\
      --backend B: pick the exploration engine; all backends produce \
@@ -51,6 +54,15 @@ const USAGE: &str = "usage: c11check <program.c11 | - | dir> [--litmus] [--sc] \
      --workers N: thread count for the parallel backend (shorthand: \
      --workers alone implies --backend parallel); in --litmus dir mode \
      N sizes the batch pool instead (jobs run N at a time)\n\
+     --store S: pick the visited-state store; all stores produce \
+     identical verdicts and outcomes:\n\
+         flat:   one hash set of state fingerprints (default)\n\
+         sym:    flat + thread-permutation symmetry quotienting (implies \
+     --symmetry; fewer unique states on programs with identical threads)\n\
+         shared: hash-consed extendible-hash pages with exact resident-\
+     byte accounting (a \"store\" block in --json stats)\n\
+     --symmetry: quotient visited states by thread-permutation symmetry \
+     with any store (changes unique/generated counts, never verdicts)\n\
      --json: emit a machine-readable c11check/v1 report, e.g.\n\
          c11check program.c11 --json --workers 4\n\
          c11check --litmus litmus/ --json --backend dpor";
@@ -70,6 +82,8 @@ fn parse_args() -> Result<Opts, ArgsEnd> {
         max_events: 24,
         workers: 0,
         backend: None,
+        store: StoreKind::Flat,
+        symmetry: false,
         json: false,
         dot: false,
         quiet: false,
@@ -109,6 +123,17 @@ fn parse_args() -> Result<Opts, ArgsEnd> {
                 }
                 opts.backend = Some(name);
             }
+            "--store" => {
+                let name = args
+                    .next()
+                    .ok_or_else(|| bad("--store needs a value".into()))?;
+                opts.store = StoreKind::parse(&name).ok_or_else(|| {
+                    bad(format!(
+                        "unknown --store {name:?}: valid stores are flat, sym, shared"
+                    ))
+                })?;
+            }
+            "--symmetry" => opts.symmetry = true,
             "-h" | "--help" => return Err(ArgsEnd::Help),
             p if opts.path.is_empty() => opts.path = p.to_string(),
             other => return Err(bad(format!("unknown argument {other:?}"))),
@@ -183,6 +208,7 @@ fn main() -> ExitCode {
             Bounds::default().max_events(opts.max_events),
         )
     };
+    let bounds = bounds.store(opts.store).symmetry(opts.symmetry);
     let request = CheckRequest::program(src.as_str())
         .model(model)
         .bounds(bounds)
@@ -284,7 +310,12 @@ fn run_litmus_mode(opts: &Opts) -> ExitCode {
     let names: Vec<String> = tests.iter().map(|t| t.name.clone()).collect();
     let batch: BatchRequest = tests
         .into_iter()
-        .map(|t| CheckRequest::litmus(t).backend(backend))
+        .map(|t| {
+            CheckRequest::litmus(t)
+                .backend(backend)
+                .store(opts.store)
+                .symmetry(opts.symmetry)
+        })
         .collect();
     let session = Session::new(SessionConfig::default().workers(pool));
     let out = session.run_batch(batch);

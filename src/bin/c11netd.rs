@@ -18,7 +18,9 @@
 //! a connection past the cap is answered with one `"overloaded"` frame
 //! and closed. Within a connection, frames are answered in order: a
 //! request frame gets a report / `"error"` / `"overloaded"` frame, and
-//! a `{"stats": true}` frame gets the live session counters. A frame
+//! a `{"stats": true}` frame gets the live session counters. Request
+//! documents carry the full `c11serve` schema, including the `store`
+//! (`"flat"`/`"sym"`/`"shared"`) and `symmetry` storage knobs. A frame
 //! that violates the protocol (oversized length, mid-frame truncation
 //! or stall) is answered once (best effort) and the connection closed —
 //! the stream cannot be resynchronised.

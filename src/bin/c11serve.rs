@@ -33,6 +33,8 @@
 //! | `mode`         | `"outcomes"` (default) / `"count"` / `"litmus"` (litmus inputs' default) |
 //! | `backend`      | `"sequential"` / `"parallel"` / `"dpor"`, or `{"kind":"parallel","workers":N}` |
 //! | `bounds`       | `{"max_events":N,"max_states":N,"max_depth":N}` (each optional) |
+//! | `store`        | `"flat"` (default) / `"sym"` / `"shared"` — visited-state store |
+//! | `symmetry`     | bool — quotient visited states by thread-permutation symmetry |
 //! | `traces`       | bool — witness schedules per outcome               |
 //! | `dot`          | integer — render up to N final executions as DOT   |
 //! | `timeout_ms`   | integer — per-request deadline, measured from when compute starts |

@@ -94,7 +94,7 @@ pub mod prelude {
     pub use c11_core::{Action, ThreadId};
     pub use c11_explore::{
         Budget, DporBackend, ExploreBackend, ExploreConfig, Explorer, Interrupt, ParallelBackend,
-        RegSnapshot, SequentialBackend, Stats,
+        RegSnapshot, SequentialBackend, Stats, StoreKind, StoreStats, SymClasses,
     };
     pub use c11_lang::ast::{BinOp, Com, Exp, Prog, RegId, Val, VarId};
     pub use c11_lang::parser::parse_program;

@@ -174,3 +174,58 @@ fn flush_without_a_path_is_a_quiet_no_op() {
     drop(session);
     assert!(!path.exists(), "cache off: no snapshot file appears");
 }
+
+#[test]
+fn held_snapshot_lock_skips_load_and_flush_with_counted_stat() {
+    let path = temp_path("flock-held");
+    {
+        let session = Session::new(SessionConfig::default().workers(1).cache_path(&path));
+        session.run(CheckRequest::program(SB)).unwrap();
+        // Dropping the session writes the snapshot (lock uncontended).
+    }
+    assert!(path.exists(), "snapshot written on drop");
+    // "Another process" holds the sidecar lock: flock conflicts are per
+    // open file description, so a second open within this process
+    // conflicts exactly like a foreign one.
+    let foreign = std::fs::OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(path.with_extension("lock"))
+        .unwrap();
+    foreign.try_lock().expect("the sidecar lock starts free");
+    let session = Session::new(SessionConfig::default().workers(1).cache_path(&path));
+    let stats = session.stats();
+    assert_eq!(
+        stats.persist_loaded, 0,
+        "held lock: the warm load is skipped"
+    );
+    assert_eq!(stats.persist_locked, 1, "…and the skip is counted");
+    session.run(CheckRequest::program(SB)).unwrap();
+    assert_eq!(
+        session.flush_cache().unwrap(),
+        0,
+        "held lock: the rewrite is skipped, not raced"
+    );
+    assert_eq!(session.stats().persist_locked, 2);
+    drop(foreign);
+    assert_eq!(
+        session.flush_cache().unwrap(),
+        1,
+        "released lock: the rewrite proceeds"
+    );
+    assert_eq!(
+        session.stats().persist_locked,
+        2,
+        "no further skips counted"
+    );
+    drop(session);
+    let warm = Session::new(SessionConfig::default().workers(1).cache_path(&path));
+    assert_eq!(
+        warm.stats().persist_loaded,
+        1,
+        "the snapshot survived intact"
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(path.with_extension("lock"));
+}
