@@ -6,7 +6,7 @@
 //! crate gives those ways a single structured request/response surface:
 //!
 //! ```
-//! use c11_api::{Backend, CheckReport, CheckRequest, ModelChoice, Mode};
+//! use c11_api::{CheckReport, CheckRequest, Engine, ModelChoice, Mode};
 //!
 //! let report = CheckRequest::program(
 //!     "vars d f;
@@ -14,7 +14,7 @@
 //!      thread t2 { r0 <-A f; r1 <- d; }",
 //! )
 //! .model(ModelChoice::Ra)
-//! .backend(Backend::Parallel { workers: 2 })
+//! .engine(Engine::Parallel { workers: 2 })
 //! .mode(Mode::Outcomes)
 //! .run()
 //! .unwrap();
@@ -45,7 +45,7 @@ use c11_core::model::{MemoryModel, PreExecutionModel, RaModel, ScModel};
 use c11_explore::{
     AnyBackend, Budget, ExploreBackend, ExploreConfig, ExploreResult, Interrupt, RegSnapshot, Stats,
 };
-pub use c11_explore::{StoreKind, StoreStats};
+pub use c11_explore::{Engine, Reduction, StoreKind, StoreStats};
 use c11_lang::step::RegFile;
 use c11_lang::{parse_program, Prog, RegId, ThreadId, Val};
 use c11_litmus::{run_test_configured, LitmusTest, Verdict};
@@ -148,13 +148,17 @@ impl Bounds {
     }
 }
 
-/// Which exploration engine runs the request. Every backend produces an
-/// identical report for the same request (pinned corpus-wide by the test
-/// suite) — they differ only in how much work it takes. Sole exception:
-/// a search cut by the `max_states` safety cap keeps an engine-dependent
-/// prefix of the state space (exploration order differs across engines),
-/// so cap-truncated reports agree on `truncated` but not necessarily on
-/// the surviving outcomes.
+/// The legacy single-axis backend spelling, kept one deprecation cycle
+/// as sugar over the [`Engine`] × [`Reduction`] pair that replaced it
+/// (see [`CheckRequest::engine`] / [`CheckRequest::reduction`]).
+///
+/// Exhaustive selections (everything reachable through this enum)
+/// produce identical reports for the same request (pinned corpus-wide
+/// by the test suite) — they differ only in how much work it takes.
+/// Sole exception: a search cut by the `max_states` safety cap keeps an
+/// engine-dependent prefix of the state space (exploration order
+/// differs across engines), so cap-truncated reports agree on
+/// `truncated` but not necessarily on the surviving outcomes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// The sequential BFS reference engine (deterministic).
@@ -169,27 +173,30 @@ pub enum Backend {
     /// The sleep-set dynamic-partial-order-reduction engine: same states
     /// and verdicts as [`Backend::Sequential`], strictly fewer generated
     /// transitions on programs with independent steps.
+    #[deprecated(
+        since = "0.10.0",
+        note = "spell it as Engine::Sequential + Reduction::SleepSet \
+                (CheckRequest::engine / CheckRequest::reduction)"
+    )]
     Dpor,
 }
 
 impl Backend {
-    fn json(&self) -> Json {
+    /// The [`Engine`] axis this legacy spelling names.
+    pub fn engine(&self) -> Engine {
+        #[allow(deprecated)]
         match self {
-            Backend::Sequential => Json::obj(vec![("kind", Json::str("sequential"))]),
-            Backend::Parallel { workers } => Json::obj(vec![
-                ("kind", Json::str("parallel")),
-                ("workers", Json::from(workers.max(&1).to_owned())),
-            ]),
-            Backend::Dpor => Json::obj(vec![("kind", Json::str("dpor"))]),
+            Backend::Sequential | Backend::Dpor => Engine::Sequential,
+            Backend::Parallel { workers } => Engine::Parallel { workers: *workers },
         }
     }
 
-    /// The pool-friendly engine handle this selection names.
-    fn any(&self) -> AnyBackend {
+    /// The [`Reduction`] axis this legacy spelling names.
+    pub fn reduction(&self) -> Reduction {
+        #[allow(deprecated)]
         match self {
-            Backend::Sequential => AnyBackend::Sequential,
-            Backend::Parallel { workers } => AnyBackend::Parallel { workers: *workers },
-            Backend::Dpor => AnyBackend::Dpor,
+            Backend::Dpor => Reduction::SleepSet,
+            _ => Reduction::None,
         }
     }
 }
@@ -363,7 +370,8 @@ pub struct CheckRequest {
     input: Input,
     model: ModelChoice,
     bounds: Bounds,
-    backend: Backend,
+    engine: Engine,
+    reduction: Reduction,
     mode: Mode,
     traces: Option<bool>,
     dot: usize,
@@ -377,7 +385,8 @@ impl CheckRequest {
             input: Input::Program(p.into()),
             model: ModelChoice::default(),
             bounds: Bounds::default(),
-            backend: Backend::default(),
+            engine: Engine::default(),
+            reduction: Reduction::default(),
             mode: Mode::default(),
             traces: None,
             dot: 0,
@@ -393,7 +402,8 @@ impl CheckRequest {
             input: Input::Litmus(test),
             model: ModelChoice::default(),
             bounds,
-            backend: Backend::default(),
+            engine: Engine::default(),
+            reduction: Reduction::default(),
             mode: Mode::LitmusVerdict,
             traces: None,
             dot: 0,
@@ -428,9 +438,29 @@ impl CheckRequest {
         self
     }
 
-    /// Selects the exploration backend.
+    /// Selects the exploration engine (who walks the state space).
+    pub fn engine(mut self, e: Engine) -> Self {
+        self.engine = e;
+        self
+    }
+
+    /// Selects the reduction layered on the engine (how much of the
+    /// state space the walk may skip). [`Reduction::SourceSet`] switches
+    /// the report to the finals-only contract: verdicts, final-snapshot
+    /// multisets and violations are identical to the sequential
+    /// engine's, while `unique`/`generated` are intentionally smaller
+    /// (surfaced in the report's `"reduction"` block).
+    pub fn reduction(mut self, r: Reduction) -> Self {
+        self.reduction = r;
+        self
+    }
+
+    /// Selects engine and reduction through the legacy [`Backend`]
+    /// spelling — sugar for [`CheckRequest::engine`] +
+    /// [`CheckRequest::reduction`], kept one deprecation cycle.
     pub fn backend(mut self, b: Backend) -> Self {
-        self.backend = b;
+        self.engine = b.engine();
+        self.reduction = b.reduction();
         self
     }
 
@@ -496,11 +526,28 @@ impl CheckRequest {
             }
             (Input::Litmus(test), false) => ResolvedInput::Program(parse(&test.source)?),
         };
+        // Reductions are sequential algorithms: a parallel engine cannot
+        // host one, and silently running sequentially would misreport
+        // what the user asked for.
+        if matches!(self.engine, Engine::Parallel { .. }) && self.reduction != Reduction::None {
+            return Err(CheckError::Unsupported(format!(
+                "the parallel engine cannot run a {} reduction; use the sequential engine",
+                self.reduction.kind_str()
+            )));
+        }
+        // Invariants quantify over every reachable configuration; the
+        // source-set reduction's finals-only contract cannot answer
+        // them, so fall back to the exhaustive sleep-set reduction.
+        let reduction = match (&self.mode, self.reduction) {
+            (Mode::Invariant(_), Reduction::SourceSet) => Reduction::SleepSet,
+            (_, r) => r,
+        };
         Ok(Resolved {
             input,
             model: self.model,
             bounds: self.bounds,
-            backend: self.backend,
+            engine: self.engine,
+            reduction,
             mode: self.mode,
             traces: self.traces,
             dot: self.dot,
@@ -519,7 +566,8 @@ pub(crate) struct Resolved {
     input: ResolvedInput,
     pub(crate) model: ModelChoice,
     pub(crate) bounds: Bounds,
-    pub(crate) backend: Backend,
+    pub(crate) engine: Engine,
+    pub(crate) reduction: Reduction,
     pub(crate) mode: Mode,
     pub(crate) traces: Option<bool>,
     pub(crate) dot: usize,
@@ -572,7 +620,8 @@ impl Resolved {
         };
         let meta = Meta {
             model: self.model,
-            backend: self.backend,
+            engine: self.engine,
+            reduction: self.reduction,
             cache_hit: false,
         };
         if let Mode::LitmusVerdict = self.mode {
@@ -587,7 +636,10 @@ impl Resolved {
                 .explore_config()
                 .record_traces(false)
                 .budget(budget);
-            let be = self.backend.any();
+            let be = AnyBackend {
+                engine: self.engine,
+                reduction: self.reduction,
+            };
             let result = run_test_configured(test, &be, &be, &cfg, &cfg);
             return CheckReport::Litmus(LitmusVerdictReport {
                 meta,
@@ -633,7 +685,10 @@ impl Resolved {
         M: MemoryModel + Sync,
         M::State: Send + Sync,
     {
-        let backend = self.backend.any();
+        let backend = AnyBackend {
+            engine: self.engine,
+            reduction: self.reduction,
+        };
         match &self.mode {
             Mode::LitmusVerdict => unreachable!("handled before model dispatch"),
             Mode::CountOnly => {
@@ -739,13 +794,41 @@ fn aggregate_outcomes<M: MemoryModel>(
 pub struct Meta {
     /// The memory model.
     pub model: ModelChoice,
-    /// The exploration backend.
-    pub backend: Backend,
+    /// The exploration engine.
+    pub engine: Engine,
+    /// The reduction layered on it.
+    pub reduction: Reduction,
     /// `true` iff this report was served from a [`Session`]'s result
     /// cache instead of a fresh exploration. A cached report is the
     /// originally-computed one verbatim (including its `wall_micros` and
-    /// the backend that computed it) with only this flag flipped.
+    /// the engine that computed it) with only this flag flipped.
     pub cache_hit: bool,
+}
+
+impl Meta {
+    /// The report's `"backend"` block: the engine that did the walking.
+    fn backend_json(&self) -> Json {
+        match self.engine {
+            Engine::Sequential => Json::obj(vec![("kind", Json::str("sequential"))]),
+            Engine::Parallel { workers } => Json::obj(vec![
+                ("kind", Json::str("parallel")),
+                ("workers", Json::from(workers.max(1))),
+            ]),
+        }
+    }
+
+    /// The report's `"reduction"` block. Only reduced runs carry the
+    /// key — reduction-free reports stay byte-identical to previous
+    /// schema emissions.
+    fn reduction_json(&self) -> Option<Json> {
+        match self.reduction {
+            Reduction::None => None,
+            r => Some(Json::obj(vec![
+                ("kind", Json::str(r.kind_str())),
+                ("contract", Json::str(r.contract_str())),
+            ])),
+        }
+    }
 }
 
 /// One distinct final register outcome (a multiset row).
@@ -991,7 +1074,10 @@ impl CheckReport {
         match self {
             CheckReport::Outcomes(r) => {
                 pairs.push(("model", Json::str(r.meta.model.as_str())));
-                pairs.push(("backend", r.meta.backend.json()));
+                pairs.push(("backend", r.meta.backend_json()));
+                if let Some(red) = r.meta.reduction_json() {
+                    pairs.push(("reduction", red));
+                }
                 pairs.push(("cache_hit", Json::from(r.meta.cache_hit)));
                 pairs.push(("stats", stats_json(&r.stats)));
                 pairs.push(("invalid_finals", Json::from(r.invalid_finals)));
@@ -1030,13 +1116,19 @@ impl CheckReport {
             }
             CheckReport::Count(r) => {
                 pairs.push(("model", Json::str(r.meta.model.as_str())));
-                pairs.push(("backend", r.meta.backend.json()));
+                pairs.push(("backend", r.meta.backend_json()));
+                if let Some(red) = r.meta.reduction_json() {
+                    pairs.push(("reduction", red));
+                }
                 pairs.push(("cache_hit", Json::from(r.meta.cache_hit)));
                 pairs.push(("stats", stats_json(&r.stats)));
             }
             CheckReport::Invariant(r) => {
                 pairs.push(("model", Json::str(r.meta.model.as_str())));
-                pairs.push(("backend", r.meta.backend.json()));
+                pairs.push(("backend", r.meta.backend_json()));
+                if let Some(red) = r.meta.reduction_json() {
+                    pairs.push(("reduction", red));
+                }
                 pairs.push(("cache_hit", Json::from(r.meta.cache_hit)));
                 pairs.push(("stats", stats_json(&r.stats)));
                 pairs.push(("invariant", Json::str(&r.invariant)));
@@ -1062,7 +1154,10 @@ impl CheckReport {
                 pairs.push(("violations", Json::Arr(rows)));
             }
             CheckReport::Litmus(r) => {
-                pairs.push(("backend", r.meta.backend.json()));
+                pairs.push(("backend", r.meta.backend_json()));
+                if let Some(red) = r.meta.reduction_json() {
+                    pairs.push(("reduction", red));
+                }
                 pairs.push(("cache_hit", Json::from(r.meta.cache_hit)));
                 pairs.push(("name", Json::str(&r.name)));
                 pairs.push(("expect_ra", Json::str(verdict_str(r.expect_ra))));
@@ -1242,21 +1337,26 @@ mod tests {
     }
 
     #[test]
-    fn json_is_stable_across_backends() {
+    fn json_is_stable_across_engines_and_reductions() {
         let mut reports = Vec::new();
-        for backend in [
-            Backend::Sequential,
-            Backend::Parallel { workers: 4 },
-            Backend::Dpor,
+        for (engine, reduction) in [
+            (Engine::Sequential, Reduction::None),
+            (Engine::Parallel { workers: 4 }, Reduction::None),
+            (Engine::Sequential, Reduction::SleepSet),
         ] {
-            let r = CheckRequest::program(SB).backend(backend).run().unwrap();
+            let r = CheckRequest::program(SB)
+                .engine(engine)
+                .reduction(reduction)
+                .run()
+                .unwrap();
             let CheckReport::Outcomes(mut o) = r else {
                 panic!()
             };
-            // Stats carry wall time, work counters (DPOR generates
-            // fewer) and backend identity — normalise.
+            // Stats carry wall time, work counters (reductions generate
+            // fewer) and engine identity — normalise.
             o.stats = Stats::default();
-            o.meta.backend = Backend::Sequential;
+            o.meta.engine = Engine::Sequential;
+            o.meta.reduction = Reduction::None;
             reports.push(CheckReport::Outcomes(o).to_json());
         }
         assert_eq!(reports[0], reports[1]);
@@ -1265,22 +1365,105 @@ mod tests {
     }
 
     #[test]
-    fn dpor_backend_reports_identical_outcomes_with_less_work() {
+    fn sleep_set_reduction_reports_identical_outcomes_with_less_work() {
         let seq = CheckRequest::program(SB).run().unwrap();
         let dpor = CheckRequest::program(SB)
-            .backend(Backend::Dpor)
+            .reduction(Reduction::SleepSet)
             .run()
             .unwrap();
         let (CheckReport::Outcomes(a), CheckReport::Outcomes(b)) = (&seq, &dpor) else {
             panic!("expected outcome reports");
         };
         assert_eq!(a.outcomes, b.outcomes);
-        assert_eq!(a.stats.unique, b.stats.unique, "DPOR keeps every state");
+        assert_eq!(
+            a.stats.unique, b.stats.unique,
+            "sleep sets keep every state"
+        );
         assert!(
             b.stats.generated < a.stats.generated,
             "SB's independent first writes must let siblings sleep"
         );
-        assert_eq!(b.meta.backend, Backend::Dpor);
-        assert!(dpor.to_json().contains("\"backend\":{\"kind\":\"dpor\"}"));
+        assert_eq!(b.meta.engine, Engine::Sequential);
+        assert_eq!(b.meta.reduction, Reduction::SleepSet);
+        assert!(dpor
+            .to_json()
+            .contains("\"backend\":{\"kind\":\"sequential\"}"));
+        assert!(dpor
+            .to_json()
+            .contains("\"reduction\":{\"kind\":\"sleep-set\",\"contract\":\"exhaustive\"}"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_dpor_backend_shims_to_sequential_sleep_set() {
+        let report = CheckRequest::program(SB)
+            .backend(Backend::Dpor)
+            .run()
+            .unwrap();
+        let meta = report.meta();
+        assert_eq!(meta.engine, Engine::Sequential);
+        assert_eq!(meta.reduction, Reduction::SleepSet);
+        assert_eq!(Backend::Dpor.engine(), Engine::Sequential);
+        assert_eq!(Backend::Dpor.reduction(), Reduction::SleepSet);
+        assert_eq!(
+            Backend::Parallel { workers: 3 }.engine(),
+            Engine::Parallel { workers: 3 }
+        );
+        assert_eq!(Backend::Sequential.reduction(), Reduction::None);
+    }
+
+    #[test]
+    fn source_set_reduction_upholds_the_finals_only_contract() {
+        let seq = CheckRequest::program(SB).run().unwrap();
+        let src = CheckRequest::program(SB)
+            .reduction(Reduction::SourceSet)
+            .run()
+            .unwrap();
+        let (CheckReport::Outcomes(a), CheckReport::Outcomes(b)) = (&seq, &src) else {
+            panic!("expected outcome reports");
+        };
+        // Finals-only contract: identical outcome multisets and
+        // validity, intentionally fewer states visited and generated.
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(b.invalid_finals, 0);
+        assert!(b.stats.unique <= a.stats.unique);
+        assert!(b.stats.generated < a.stats.generated);
+        assert!(src
+            .to_json()
+            .contains("\"reduction\":{\"kind\":\"source-set\",\"contract\":\"finals-only\"}"));
+    }
+
+    #[test]
+    fn parallel_engine_rejects_reductions() {
+        for reduction in [Reduction::SleepSet, Reduction::SourceSet] {
+            let err = CheckRequest::program(SB)
+                .engine(Engine::Parallel { workers: 2 })
+                .reduction(reduction)
+                .run();
+            let Err(CheckError::Unsupported(msg)) = err else {
+                panic!("parallel × {reduction:?} must be rejected");
+            };
+            assert!(msg.contains(reduction.kind_str()), "{msg}");
+        }
+    }
+
+    #[test]
+    fn invariant_mode_downgrades_source_set_to_sleep_set() {
+        // Invariants inspect every reachable configuration; the
+        // finals-only contract cannot answer them, so the request is
+        // answered exhaustively (and says so in its meta).
+        let inv = Invariant::new("never-both-at-2", |v: &ConfigView| {
+            !(v.pc(ThreadId(1)) == Some(2) && v.pc(ThreadId(2)) == Some(2))
+        });
+        let report = CheckRequest::program(SB_LABELED)
+            .mode(Mode::Invariant(inv))
+            .reduction(Reduction::SourceSet)
+            .run()
+            .unwrap();
+        let CheckReport::Invariant(r) = &report else {
+            panic!()
+        };
+        assert_eq!(report.meta().reduction, Reduction::SleepSet);
+        assert!(!r.holds, "RA allows the SB weak outcome");
     }
 }

@@ -35,7 +35,7 @@
 
 use crate::json::Json;
 use crate::session::SessionStats;
-use crate::{Backend, Bounds, CheckReport, CheckRequest, Mode, ModelChoice, StoreKind};
+use crate::{Bounds, CheckReport, CheckRequest, Engine, Mode, ModelChoice, Reduction, StoreKind};
 use c11_litmus::{load_litmus_file, parse_litmus};
 use std::io::{ErrorKind, Read, Write};
 
@@ -144,13 +144,15 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
 /// frames carry). Errors are strings destined for the error response.
 pub fn request_from_json(v: &Json) -> Result<CheckRequest, String> {
     let obj = v.as_obj().ok_or("request must be a JSON object")?;
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 15] = [
         "id",
         "program",
         "litmus_path",
         "litmus_source",
         "model",
         "mode",
+        "engine",
+        "reduction",
         "backend",
         "bounds",
         "store",
@@ -213,13 +215,22 @@ pub fn request_from_json(v: &Json) -> Result<CheckRequest, String> {
         });
     }
     if let Some(backend) = v.get("backend") {
-        // Two spellings: the bare kind string ("backend":"dpor") or the
-        // report-schema object ("backend":{"kind":"parallel","workers":4}).
-        req = req.backend(if let Some(kind) = backend.as_str() {
+        // The legacy single-axis spelling, kept one deprecation cycle.
+        // Two sub-spellings: the bare kind string ("backend":"dpor") or
+        // the old report-schema object
+        // ("backend":{"kind":"parallel","workers":4}). "dpor" shims to
+        // the sequential engine with the sleep-set reduction.
+        if v.get("engine").is_some() || v.get("reduction").is_some() {
+            return Err(
+                "\"backend\" is the legacy spelling of \"engine\"/\"reduction\"; send one or the other"
+                    .to_string(),
+            );
+        }
+        req = if let Some(kind) = backend.as_str() {
             match kind {
-                "sequential" => Backend::Sequential,
-                "dpor" => Backend::Dpor,
-                "parallel" => Backend::Parallel { workers: 2 },
+                "sequential" => req.engine(Engine::Sequential),
+                "dpor" => req.reduction(Reduction::SleepSet),
+                "parallel" => req.engine(Engine::Parallel { workers: 2 }),
                 _ => {
                     return Err(
                         "\"backend\" must be \"sequential\", \"parallel\" or \"dpor\"".into(),
@@ -234,14 +245,14 @@ pub fn request_from_json(v: &Json) -> Result<CheckRequest, String> {
                 }
             }
             match backend.get("kind").and_then(Json::as_str) {
-                Some("sequential") => Backend::Sequential,
-                Some("dpor") => Backend::Dpor,
-                Some("parallel") => Backend::Parallel {
+                Some("sequential") => req.engine(Engine::Sequential),
+                Some("dpor") => req.reduction(Reduction::SleepSet),
+                Some("parallel") => req.engine(Engine::Parallel {
                     workers: backend
                         .get("workers")
                         .and_then(Json::as_usize)
                         .ok_or("parallel backend needs integer \"workers\"")?,
-                },
+                }),
                 _ => {
                     return Err(
                         "\"backend\".\"kind\" must be \"sequential\", \"parallel\" or \"dpor\""
@@ -249,7 +260,76 @@ pub fn request_from_json(v: &Json) -> Result<CheckRequest, String> {
                     );
                 }
             }
-        });
+        };
+    }
+    if let Some(engine) = v.get("engine") {
+        // Same two spellings as the report's "backend" block: a bare
+        // kind string or {"kind", "workers"}.
+        req = if let Some(kind) = engine.as_str() {
+            match kind {
+                "sequential" => req.engine(Engine::Sequential),
+                "parallel" => req.engine(Engine::Parallel { workers: 2 }),
+                _ => return Err("\"engine\" must be \"sequential\" or \"parallel\"".into()),
+            }
+        } else {
+            let fields = engine.as_obj().ok_or("\"engine\" must be an object")?;
+            for (key, _) in fields {
+                if key != "kind" && key != "workers" {
+                    return Err(format!("unknown \"engine\" key {key:?}"));
+                }
+            }
+            match engine.get("kind").and_then(Json::as_str) {
+                Some("sequential") => req.engine(Engine::Sequential),
+                Some("parallel") => req.engine(Engine::Parallel {
+                    workers: engine
+                        .get("workers")
+                        .and_then(Json::as_usize)
+                        .ok_or("parallel engine needs integer \"workers\"")?,
+                }),
+                _ => {
+                    return Err("\"engine\".\"kind\" must be \"sequential\" or \"parallel\"".into());
+                }
+            }
+        };
+    }
+    if let Some(reduction) = v.get("reduction") {
+        // A bare kind string or the report-schema {"kind", "contract"}
+        // object (the contract is derived; a stated one must agree).
+        let kind = if let Some(kind) = reduction.as_str() {
+            kind
+        } else {
+            let fields = reduction
+                .as_obj()
+                .ok_or("\"reduction\" must be an object")?;
+            for (key, _) in fields {
+                if key != "kind" && key != "contract" {
+                    return Err(format!("unknown \"reduction\" key {key:?}"));
+                }
+            }
+            reduction
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or("\"reduction\" needs a string \"kind\"")?
+        };
+        let parsed = match kind {
+            "none" => Reduction::None,
+            "sleep-set" => Reduction::SleepSet,
+            "source-set" => Reduction::SourceSet,
+            _ => {
+                return Err(
+                    "\"reduction\" must be \"none\", \"sleep-set\" or \"source-set\"".into(),
+                );
+            }
+        };
+        if let Some(stated) = reduction.get("contract") {
+            if stated.as_str() != Some(parsed.contract_str()) {
+                return Err(format!(
+                    "\"reduction\" contract disagrees with kind {kind:?} (its contract is {:?})",
+                    parsed.contract_str()
+                ));
+            }
+        }
+        req = req.reduction(parsed);
     }
     if let Some(bounds) = v.get("bounds") {
         // Strictly validated like the top level: a typo'd or mis-typed
@@ -376,6 +456,15 @@ pub fn stats_line(id: &str, stats: &SessionStats) -> String {
         ("completed", Json::from(stats.completed)),
         ("cache_hits", Json::from(stats.cache_hits)),
         ("explorations", Json::from(stats.explorations)),
+        ("explorations_none", Json::from(stats.explorations_none)),
+        (
+            "explorations_sleep_set",
+            Json::from(stats.explorations_sleep_set),
+        ),
+        (
+            "explorations_source_set",
+            Json::from(stats.explorations_source_set),
+        ),
         ("errors", Json::from(stats.errors)),
         ("evictions", Json::from(stats.evictions)),
         ("overloaded", Json::from(stats.overloaded)),
@@ -533,6 +622,48 @@ mod tests {
     }
 
     #[test]
+    fn engine_and_reduction_keys_parse_as_string_or_object() {
+        let prog = r#""program":"vars x; thread t { x := 1; }""#;
+        for ok in [
+            format!(r#"{{{prog},"engine":"parallel"}}"#),
+            format!(r#"{{{prog},"engine":{{"kind":"parallel","workers":4}}}}"#),
+            format!(r#"{{{prog},"reduction":"source-set"}}"#),
+            format!(r#"{{{prog},"reduction":{{"kind":"source-set"}}}}"#),
+            format!(r#"{{{prog},"reduction":{{"kind":"sleep-set","contract":"exhaustive"}}}}"#),
+            format!(r#"{{{prog},"engine":"sequential","reduction":"sleep-set"}}"#),
+            // The legacy spelling still parses for one cycle.
+            format!(r#"{{{prog},"backend":"dpor"}}"#),
+        ] {
+            let v = Json::parse(&ok).unwrap();
+            assert!(request_from_json(&v).is_ok(), "{ok}");
+        }
+        for (bad, msg) in [
+            (
+                format!(r#"{{{prog},"engine":"dpor"}}"#),
+                "\"sequential\" or \"parallel\"",
+            ),
+            (
+                format!(r#"{{{prog},"reduction":"dpor"}}"#),
+                "\"none\", \"sleep-set\" or \"source-set\"",
+            ),
+            (
+                format!(
+                    r#"{{{prog},"reduction":{{"kind":"source-set","contract":"exhaustive"}}}}"#
+                ),
+                "disagrees",
+            ),
+            (
+                format!(r#"{{{prog},"backend":"dpor","reduction":"none"}}"#),
+                "legacy",
+            ),
+        ] {
+            let v = Json::parse(&bad).unwrap();
+            let err = request_from_json(&v).unwrap_err();
+            assert!(err.contains(msg), "{bad}: {err}");
+        }
+    }
+
+    #[test]
     fn stats_control_objects_are_recognised_strictly() {
         let ok = Json::parse(r#"{"stats":true,"id":"s"}"#).unwrap();
         assert_eq!(stats_request(&ok), Some(Ok(())));
@@ -561,6 +692,9 @@ mod tests {
             "completed",
             "cache_hits",
             "explorations",
+            "explorations_none",
+            "explorations_sleep_set",
+            "explorations_source_set",
             "errors",
             "evictions",
             "overloaded",

@@ -25,10 +25,10 @@
 //! does not survive a process.
 
 use crate::json::Json;
-use crate::session::{CacheKey, ModeKey};
+use crate::session::{CacheKey, Contract, ModeKey};
 use crate::{
-    Backend, Bounds, CheckReport, CountReport, LitmusVerdictReport, Meta, ModelChoice, OutcomeRow,
-    OutcomesReport,
+    Bounds, CheckReport, CountReport, Engine, LitmusVerdictReport, Meta, ModelChoice, OutcomeRow,
+    OutcomesReport, Reduction,
 };
 use c11_explore::{Stats, StoreKind, StoreStats};
 use c11_lang::{RegId, Val};
@@ -106,7 +106,7 @@ fn key_json(key: &CacheKey) -> Json {
         ModeKey::LitmusVerdict => "litmus",
         ModeKey::Invariant(_) => unreachable!("persist_line filters invariant keys"),
     };
-    Json::obj(vec![
+    let mut pairs = vec![
         ("fingerprint", Json::UInt(key.fingerprint)),
         ("model", Json::str(key.model.as_str())),
         (
@@ -135,7 +135,14 @@ fn key_json(key: &CacheKey) -> Json {
                 Some(ms) => Json::UInt(ms),
             },
         ),
-    ])
+    ];
+    // Exhaustive keys omit the component (absent means exhaustive on
+    // load), keeping pre-reduction snapshots readable and
+    // reduction-free snapshots byte-stable.
+    if key.contract == Contract::FinalsOnly {
+        pairs.push(("contract", Json::str("finals-only")));
+    }
+    Json::obj(pairs)
 }
 
 fn key_from_json(v: &Json) -> Result<CacheKey, String> {
@@ -196,6 +203,18 @@ fn key_from_json(v: &Json) -> Result<CacheKey, String> {
         Some(Json::UInt(ms)) => Some(*ms),
         Some(_) => return Err("key \"timeout_ms\" must be an integer or null".to_string()),
     };
+    let contract = match v.get("contract") {
+        None => Contract::Exhaustive,
+        Some(c) => match c.as_str() {
+            Some("exhaustive") => Contract::Exhaustive,
+            Some("finals-only") => Contract::FinalsOnly,
+            _ => {
+                return Err(
+                    "key \"contract\" must be \"exhaustive\" or \"finals-only\"".to_string()
+                );
+            }
+        },
+    };
     Ok(CacheKey {
         schema: SCHEMA_VERSION,
         fingerprint,
@@ -204,6 +223,7 @@ fn key_from_json(v: &Json) -> Result<CacheKey, String> {
         mode,
         traces,
         dot,
+        contract,
         timeout_ms,
     })
 }
@@ -217,17 +237,34 @@ fn model_from_str(s: &str) -> Result<ModelChoice, String> {
     }
 }
 
-fn backend_from_json(v: &Json) -> Result<Backend, String> {
+fn engine_from_json(v: &Json) -> Result<Engine, String> {
     match v.get("kind").and_then(Json::as_str) {
-        Some("sequential") => Ok(Backend::Sequential),
-        Some("dpor") => Ok(Backend::Dpor),
-        Some("parallel") => Ok(Backend::Parallel {
+        Some("sequential") => Ok(Engine::Sequential),
+        Some("parallel") => Ok(Engine::Parallel {
             workers: v
                 .get("workers")
                 .and_then(Json::as_usize)
                 .ok_or("parallel backend needs integer \"workers\"")?,
         }),
         _ => Err("unknown backend kind".to_string()),
+    }
+}
+
+/// The report's optional `"reduction"` block; absent means none.
+fn reduction_from_json(v: Option<&Json>) -> Result<Reduction, String> {
+    let Some(v) = v else {
+        return Ok(Reduction::None);
+    };
+    let reduction = match v.get("kind").and_then(Json::as_str) {
+        Some("sleep-set") => Reduction::SleepSet,
+        Some("source-set") => Reduction::SourceSet,
+        _ => return Err("unknown reduction kind".to_string()),
+    };
+    // The contract is derived, but a snapshot asserting the wrong one
+    // is corrupt, not trusted.
+    match v.get("contract").and_then(Json::as_str) {
+        Some(c) if c == reduction.contract_str() => Ok(reduction),
+        _ => Err("reduction \"contract\" disagrees with its kind".to_string()),
     }
 }
 
@@ -377,12 +414,14 @@ fn report_from_json(v: &Json) -> Result<CheckReport, String> {
                 .ok_or_else(|| format!("report needs {name:?}"))?,
         )
     };
-    let backend = backend_from_json(v.get("backend").ok_or("report needs \"backend\"")?)?;
+    let engine = engine_from_json(v.get("backend").ok_or("report needs \"backend\"")?)?;
+    let reduction = reduction_from_json(v.get("reduction"))?;
     match string_field(v, "mode")? {
         "count" => Ok(CheckReport::Count(CountReport {
             meta: Meta {
                 model: model_from_str(string_field(v, "model")?)?,
-                backend,
+                engine,
+                reduction,
                 cache_hit: false,
             },
             stats: stats_of("stats")?,
@@ -402,7 +441,8 @@ fn report_from_json(v: &Json) -> Result<CheckReport, String> {
             Ok(CheckReport::Outcomes(OutcomesReport {
                 meta: Meta {
                     model: model_from_str(string_field(v, "model")?)?,
-                    backend,
+                    engine,
+                    reduction,
                     cache_hit: false,
                 },
                 stats: stats_of("stats")?,
@@ -419,7 +459,8 @@ fn report_from_json(v: &Json) -> Result<CheckReport, String> {
             // vs SC); the cache key normalises it to the default too.
             meta: Meta {
                 model: ModelChoice::default(),
-                backend,
+                engine,
+                reduction,
                 cache_hit: false,
             },
             name: string_field(v, "name")?.to_string(),
@@ -460,6 +501,8 @@ mod tests {
             CheckRequest::program(SB).traces(true).dot(1),
             CheckRequest::program(SB).model(ModelChoice::Sc),
             CheckRequest::program(SB).timeout(std::time::Duration::from_secs(600)),
+            CheckRequest::program(SB).reduction(Reduction::SleepSet),
+            CheckRequest::program(SB).reduction(Reduction::SourceSet),
         ] {
             let (key, report) = entry(req);
             let line = persist_line(&key, &report).expect("complete report persists");

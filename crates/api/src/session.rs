@@ -10,21 +10,26 @@
 //! executed by a fixed pool of worker threads (spawned lazily on the
 //! first `submit`, so sessions used only for inline [`Session::run`]
 //! calls cost nothing). A *small* job — one whose request names the
-//! default sequential backend — runs whole on the one pool worker that
-//! picked it up; a *large* job — one carrying `Backend::Parallel` —
+//! default sequential engine — runs whole on the one pool worker that
+//! picked it up; a *large* job — one carrying `Engine::Parallel` —
 //! fans out over the parallel engine's own scoped workers
 //! from the pool thread hosting it. [`SessionConfig::parallel_threshold`]
-//! optionally upgrades wide sequential jobs to the parallel engine.
+//! optionally upgrades wide sequential reduction-free jobs to the
+//! parallel engine.
 //!
 //! ## Caching
 //!
 //! Results are cached under `(input fingerprint, model, bounds, mode,
-//! traces, dot)` — see [`Resolved::fingerprint`] for the input identity,
-//! which reuses the fixed-seed FNV/splitmix machinery behind
-//! `MemoryModel::state_fingerprint`. The backend is deliberately *not*
+//! traces, dot, contract)` — see [`Resolved::fingerprint`] for the input
+//! identity, which reuses the fixed-seed FNV/splitmix machinery behind
+//! `MemoryModel::state_fingerprint`. The engine is deliberately *not*
 //! part of the key: every engine produces the same report for the same
 //! request (a property the test suite pins corpus-wide), so a result
-//! computed by one backend can answer a request naming another. Cache
+//! computed by one engine can answer a request naming another. What *is*
+//! part of the key is the reduction's answer **contract**: a finals-only
+//! report (source-set reduction) carries intentionally smaller
+//! `unique`/`generated` counts and must never be served to an exhaustive
+//! request, nor vice versa. Cache
 //! hits return the originally-computed report with
 //! [`Meta::cache_hit`](crate::Meta::cache_hit) flipped on. Concurrent
 //! identical submissions coalesce: the first computes, the rest wait on
@@ -33,7 +38,7 @@
 
 use crate::batch::{BatchReport, BatchRequest};
 use crate::{CheckError, CheckReport, CheckRequest, Mode, Resolved};
-use c11_explore::{Budget, Interrupt};
+use c11_explore::{Budget, Engine, Interrupt, Reduction};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -158,6 +163,12 @@ pub struct SessionStats {
     /// On a warm cache this stays at one per distinct cache key no
     /// matter how many requests were served.
     pub explorations: usize,
+    /// Engine runs that used no reduction (part of `explorations`).
+    pub explorations_none: usize,
+    /// Engine runs under the sleep-set reduction (part of `explorations`).
+    pub explorations_sleep_set: usize,
+    /// Engine runs under the source-set reduction (part of `explorations`).
+    pub explorations_source_set: usize,
     /// Requests rejected before execution (parse/mode errors).
     pub errors: usize,
     /// Ready cache entries evicted to hold [`SessionConfig::cache_capacity`].
@@ -178,8 +189,33 @@ pub struct SessionStats {
     pub persist_locked: usize,
 }
 
-/// The result-cache key. The backend is deliberately absent — see the
-/// module docs for why — and [`Mode`] contributes its discriminant plus
+/// The answer contract a report satisfies: what a request under a given
+/// reduction is entitled to, and therefore what a cached report can
+/// serve. Derived from the request's [`Reduction`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub(crate) enum Contract {
+    /// Every reachable configuration visited; `unique`/`generated` are
+    /// the true state-space counts ([`Reduction::None`] and
+    /// [`Reduction::SleepSet`]).
+    #[default]
+    Exhaustive,
+    /// Finals, verdicts and violations exact; intermediate-state counts
+    /// intentionally smaller ([`Reduction::SourceSet`]).
+    FinalsOnly,
+}
+
+impl Contract {
+    pub(crate) fn of(r: Reduction) -> Contract {
+        match r {
+            Reduction::None | Reduction::SleepSet => Contract::Exhaustive,
+            Reduction::SourceSet => Contract::FinalsOnly,
+        }
+    }
+}
+
+/// The result-cache key. The engine is deliberately absent — see the
+/// module docs for why — while the reduction contributes its answer
+/// [`Contract`], and [`Mode`] contributes its discriminant plus
 /// whatever identity the variant carries.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub(crate) struct CacheKey {
@@ -194,6 +230,9 @@ pub(crate) struct CacheKey {
     pub(crate) mode: ModeKey,
     pub(crate) traces: Option<bool>,
     pub(crate) dot: usize,
+    /// The reduction's answer contract: finals-only answers never serve
+    /// exhaustive requests (and vice versa).
+    pub(crate) contract: Contract,
     /// Effective deadline in milliseconds. Part of the key so a report
     /// computed under a tight deadline can never answer a patient
     /// request (and vice versa); `None` for unbudgeted jobs.
@@ -261,6 +300,7 @@ impl CacheKey {
             mode,
             traces: if litmus { None } else { r.traces },
             dot: if litmus { 0 } else { r.dot },
+            contract: Contract::of(r.reduction),
             timeout_ms: r.timeout.map(|d| d.as_millis()),
         }
     }
@@ -331,6 +371,9 @@ struct Inner {
     completed: AtomicUsize,
     cache_hits: AtomicUsize,
     explorations: AtomicUsize,
+    explorations_none: AtomicUsize,
+    explorations_sleep_set: AtomicUsize,
+    explorations_source_set: AtomicUsize,
     errors: AtomicUsize,
     evictions: AtomicUsize,
     overloaded: AtomicUsize,
@@ -369,9 +412,16 @@ impl Inner {
     fn execute_inner(&self, req: CheckRequest, token: &Budget) -> Result<CheckReport, CheckError> {
         let mut resolved = req.resolve()?;
         // Large-job upgrade: wide programs get the parallel engine.
+        // Reduced jobs are left alone — reductions are sequential
+        // algorithms, and rewriting the request would change its
+        // contract behind the caller's back.
         let t = self.cfg.parallel_threshold;
-        if t > 0 && resolved.backend == crate::Backend::Sequential && resolved.threads() >= t {
-            resolved.backend = crate::Backend::Parallel {
+        if t > 0
+            && resolved.engine == Engine::Sequential
+            && resolved.reduction == Reduction::None
+            && resolved.threads() >= t
+        {
+            resolved.engine = Engine::Parallel {
                 workers: self.cfg.workers.max(1),
             };
         }
@@ -383,10 +433,22 @@ impl Inner {
             (a, b) => a.or(b),
         };
         if !self.cfg.cache {
-            self.explorations.fetch_add(1, Ordering::Relaxed);
+            self.count_exploration(resolved.reduction);
             return Ok(resolved.compute(token));
         }
         self.cached_compute(resolved, token)
+    }
+
+    /// Counts one engine run, total and per reduction (the service's
+    /// `session-stats` probes report both).
+    fn count_exploration(&self, reduction: Reduction) {
+        self.explorations.fetch_add(1, Ordering::Relaxed);
+        let per = match reduction {
+            Reduction::None => &self.explorations_none,
+            Reduction::SleepSet => &self.explorations_sleep_set,
+            Reduction::SourceSet => &self.explorations_source_set,
+        };
+        per.fetch_add(1, Ordering::Relaxed);
     }
 
     fn cached_compute(
@@ -443,7 +505,7 @@ impl Inner {
                 std::panic::resume_unwind(panic);
             }
         };
-        self.explorations.fetch_add(1, Ordering::Relaxed);
+        self.count_exploration(resolved.reduction);
         let interrupted = report.interrupt().is_some();
         *slot.state.lock().unwrap() = SlotState::Ready(Box::new(report.clone()));
         slot.ready.store(true, Ordering::Release);
@@ -607,6 +669,9 @@ impl Session {
                 completed: AtomicUsize::new(0),
                 cache_hits: AtomicUsize::new(0),
                 explorations: AtomicUsize::new(0),
+                explorations_none: AtomicUsize::new(0),
+                explorations_sleep_set: AtomicUsize::new(0),
+                explorations_source_set: AtomicUsize::new(0),
                 errors: AtomicUsize::new(0),
                 evictions: AtomicUsize::new(0),
                 overloaded: AtomicUsize::new(0),
@@ -859,6 +924,9 @@ impl Session {
             completed: i.completed.load(Ordering::Relaxed),
             cache_hits: i.cache_hits.load(Ordering::Relaxed),
             explorations: i.explorations.load(Ordering::Relaxed),
+            explorations_none: i.explorations_none.load(Ordering::Relaxed),
+            explorations_sleep_set: i.explorations_sleep_set.load(Ordering::Relaxed),
+            explorations_source_set: i.explorations_source_set.load(Ordering::Relaxed),
             errors: i.errors.load(Ordering::Relaxed),
             evictions: i.evictions.load(Ordering::Relaxed),
             overloaded: i.overloaded.load(Ordering::Relaxed),
@@ -935,7 +1003,7 @@ fn worker_loop(inner: &Inner) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Backend, Bounds, CheckRequest, Invariant, Mode};
+    use crate::{Bounds, CheckRequest, Invariant, Mode};
 
     const SB: &str = "vars x y;
          thread t1 { x := 1; r0 <- y; }
@@ -1051,32 +1119,77 @@ mod tests {
         let session = Session::new(SessionConfig::default().workers(3).parallel_threshold(2));
         let report = session.run(CheckRequest::program(SB)).unwrap();
         assert_eq!(
-            report.meta().backend,
-            Backend::Parallel { workers: 3 },
+            report.meta().engine,
+            Engine::Parallel { workers: 3 },
             "2-thread program at threshold 2 must be upgraded"
         );
         // Narrow jobs stay sequential; explicit choices are untouched.
         let narrow = session
             .run(CheckRequest::program("vars x; thread t { x := 1; }"))
             .unwrap();
-        assert_eq!(narrow.meta().backend, Backend::Sequential);
-        // Explicit backend choices are never rewritten (fresh program so
+        assert_eq!(narrow.meta().engine, Engine::Sequential);
+        // Explicit engine choices are never rewritten (fresh program so
         // the answer is computed, not served from the cache — a cached
-        // report always carries the backend that computed it).
+        // report always carries the engine that computed it).
         let explicit = session
             .run(
                 CheckRequest::program("vars a b; thread t1 { a := 1; } thread t2 { b := 1; }")
-                    .backend(Backend::Parallel { workers: 7 }),
+                    .engine(Engine::Parallel { workers: 7 }),
             )
             .unwrap();
-        assert_eq!(explicit.meta().backend, Backend::Parallel { workers: 7 });
-        // And the SB request re-issued with an explicit backend is a
-        // cache hit carrying the original computing backend.
+        assert_eq!(explicit.meta().engine, Engine::Parallel { workers: 7 });
+        // And the SB request re-issued with an explicit engine is a
+        // cache hit carrying the original computing engine.
         let hit = session
-            .run(CheckRequest::program(SB).backend(Backend::Parallel { workers: 7 }))
+            .run(CheckRequest::program(SB).engine(Engine::Parallel { workers: 7 }))
             .unwrap();
         assert!(hit.cache_hit());
-        assert_eq!(hit.meta().backend, Backend::Parallel { workers: 3 });
+        assert_eq!(hit.meta().engine, Engine::Parallel { workers: 3 });
+    }
+
+    #[test]
+    fn reduced_jobs_are_never_threshold_upgraded() {
+        // A wide job carrying a reduction must stay sequential: the
+        // parallel engine cannot host a reduction, and upgrading would
+        // change what the caller asked for.
+        let session = Session::new(SessionConfig::default().workers(3).parallel_threshold(2));
+        for reduction in [Reduction::SleepSet, Reduction::SourceSet] {
+            let report = session
+                .run(CheckRequest::program(SB).reduction(reduction))
+                .unwrap();
+            assert_eq!(report.meta().engine, Engine::Sequential, "{reduction:?}");
+            assert_eq!(report.meta().reduction, reduction);
+        }
+    }
+
+    #[test]
+    fn finals_only_answers_never_serve_exhaustive_requests() {
+        let session = Session::default();
+        let src = session
+            .run(CheckRequest::program(SB).reduction(Reduction::SourceSet))
+            .unwrap();
+        assert!(!src.cache_hit());
+        // The exhaustive request must recompute: the cached source-set
+        // report carries intentionally smaller state counts.
+        let seq = session.run(CheckRequest::program(SB)).unwrap();
+        assert!(!seq.cache_hit(), "contract must separate the keys");
+        assert!(seq.stats().unique > src.stats().unique);
+        // Within one contract, engine differences still coalesce: the
+        // sleep-set spelling is exhaustive and hits the sequential entry.
+        let dpor = session
+            .run(CheckRequest::program(SB).reduction(Reduction::SleepSet))
+            .unwrap();
+        assert!(dpor.cache_hit(), "exhaustive contract is engine-agnostic");
+        // Re-running source-set hits its own entry.
+        let warm = session
+            .run(CheckRequest::program(SB).reduction(Reduction::SourceSet))
+            .unwrap();
+        assert!(warm.cache_hit());
+        let stats = session.stats();
+        assert_eq!(stats.explorations, 2);
+        assert_eq!(stats.explorations_none, 1);
+        assert_eq!(stats.explorations_sleep_set, 0);
+        assert_eq!(stats.explorations_source_set, 1);
     }
 
     #[test]

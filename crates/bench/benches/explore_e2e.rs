@@ -25,8 +25,8 @@ use c11_bench::{
 };
 use c11_core::model::RaModel;
 use c11_explore::{
-    explore_dpor, parallel_explore, Budget, ExploreConfig, ExploreResult, Explorer, StoreKind,
-    SymClasses,
+    explore_dpor, explore_source, parallel_explore, Budget, ExploreConfig, ExploreResult, Explorer,
+    StoreKind, SymClasses,
 };
 use c11_litmus::{corpus, run_test};
 use std::time::{Duration, Instant};
@@ -192,6 +192,66 @@ fn bench_dpor(reps: usize, quick: bool, rows: &mut Vec<Row>) {
         rows.push(Row {
             group: "dpor",
             name,
+            size: generated,
+            nanos,
+            interrupted: false,
+            ..Row::default()
+        });
+    }
+}
+
+/// The source-set reduction group: the sleep-set group's shapes explored
+/// under the source-set engine, with the finals-only contract asserted
+/// while measuring — identical finals multiset, and the headline ≥ 2×
+/// generated reduction on the contended family. The wide (read-fan-out)
+/// shapes are recorded without a ratio gate: a stateless per-trace walk
+/// legitimately re-generates states a stateful sleep-set search dedups,
+/// so the win is shape-dependent. Row size is the generated count, so the ratio
+/// against sleep-set is derivable from the `dpor` rows of the same
+/// shape. Row names carry `reduction` so the CI gate's
+/// `--require-match reduction` anchors on them. The contended shapes run
+/// in quick mode too: E16-contended-4 is the ISSUE's acceptance shape.
+fn bench_reduction(reps: usize, quick: bool, rows: &mut Vec<Row>) {
+    let wide: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4] };
+    let shapes = wide
+        .iter()
+        .map(|&k| (format!("E13-wide-{k}"), wide_workload(k), 2 * k + 4))
+        .chain(
+            [3usize, 4]
+                .iter()
+                .map(|&k| (format!("E16-contended-{k}"), contended_workload(k), 24)),
+        );
+    for (name, prog, max_events) in shapes {
+        let cfg = ExploreConfig::default().max_events(max_events);
+        let sleep = explore_dpor(&RaModel, &prog, &cfg);
+        let contended_shape = name.starts_with("E16");
+        let mut generated = 0usize;
+        let nanos = best_of(reps, || {
+            let res = explore_source(&RaModel, &prog, &cfg);
+            let mut a = sleep.final_snapshots();
+            let mut b = res.final_snapshots();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{name}: finals multiset");
+            if contended_shape {
+                assert!(
+                    res.generated * 2 <= sleep.generated,
+                    "{name}: source-set must generate ≤ half of sleep-set ({} vs {})",
+                    res.generated,
+                    sleep.generated
+                );
+            }
+            generated = res.generated;
+            res
+        });
+        println!(
+            "source reduction {name}: generated {generated} vs sleep-set {} (ratio {:.2})",
+            sleep.generated,
+            generated as f64 / sleep.generated as f64
+        );
+        rows.push(Row {
+            group: "reduction",
+            name: format!("{name}-reduction-source"),
             size: generated,
             nanos,
             interrupted: false,
@@ -501,11 +561,12 @@ fn main() {
     // An unknown group name must error, not silently run nothing and
     // exit 0 — a CI job with a typoed `--only` would otherwise pass
     // while measuring no rows at all.
-    const GROUPS: [&str; 7] = [
+    const GROUPS: [&str; 8] = [
         "corpus",
         "wide",
         "contended",
         "dpor",
+        "reduction",
         "scaling",
         "closure",
         "store",
@@ -529,6 +590,9 @@ fn main() {
     }
     if want("dpor") {
         bench_dpor(reps, quick, &mut rows);
+    }
+    if want("reduction") {
+        bench_reduction(reps, quick, &mut rows);
     }
     if want("scaling") {
         bench_worker_scaling(reps, budget, &mut rows);

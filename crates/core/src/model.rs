@@ -110,6 +110,26 @@ pub trait MemoryModel {
     fn thread_mem_key(&self, _state: &Self::State, _t: ThreadId) -> u64 {
         0
     }
+
+    /// Placement oracle for the source-set engine: the ids of the *old*
+    /// events that the step's fresh event (`event` in `next`) was ordered
+    /// before by the step's coherence insertion, in coherence order
+    /// (the directly-overtaken event first). A write transition that
+    /// overtakes another thread's write re-derives, step for step, the
+    /// state the *reversed* execution order reaches by appending — so the
+    /// source-set engine prunes such a successor whenever the reversed
+    /// order is itself explored (the reversal is then already
+    /// scheduled). Models without placement choice (store-based SC, the
+    /// append-only pre-execution semantics) keep the empty default,
+    /// which disables the pruning.
+    fn step_overtakes(
+        &self,
+        _prev: &Self::State,
+        _next: &Self::State,
+        _event: Option<usize>,
+    ) -> Vec<usize> {
+        Vec::new()
+    }
 }
 
 /// Shape-level race check shared by the models that can claim
@@ -201,6 +221,32 @@ impl MemoryModel for RaModel {
 
     fn thread_mem_key(&self, state: &C11State, t: ThreadId) -> u64 {
         state.thread_obs_key(t)
+    }
+
+    fn step_overtakes(
+        &self,
+        _prev: &C11State,
+        next: &C11State,
+        event: Option<usize>,
+    ) -> Vec<usize> {
+        // `mo` is kept transitively closed, so the image of the fresh
+        // event is exactly the set of writes it was inserted before;
+        // `mo` restricted to one variable is total, so sorting by it
+        // puts the directly-overtaken event first.
+        let Some(e) = event else {
+            return Vec::new();
+        };
+        let mut overtaken: Vec<usize> = next.mo().image(e).collect();
+        overtaken.sort_by(|&a, &b| {
+            if a == b {
+                std::cmp::Ordering::Equal
+            } else if next.mo().contains(a, b) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        overtaken
     }
 }
 

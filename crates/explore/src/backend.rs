@@ -3,14 +3,20 @@
 //! [`ExploreBackend`] is the seam the api crate's `CheckRequest` plugs
 //! into: every engine that can enumerate the reachable configurations of a
 //! program under a memory model implements it and returns the same
-//! [`ExploreResult`]. Three implementations ship today — the sequential
-//! BFS ([`SequentialBackend`]), the parallel engine
-//! ([`ParallelBackend`]) and the sleep-set partial-order-reduction engine
-//! ([`DporBackend`], see [`crate::dpor`]).
+//! [`ExploreResult`]. The request surface selects a backend along two
+//! orthogonal axes — an [`Engine`] (who does the walking: the sequential
+//! reference or the parallel engine) × a [`Reduction`] (how much of the
+//! state space the walk may skip: none, sleep sets, or the finals-only
+//! source sets) — combined into the pool-friendly [`AnyBackend`] handle.
+//! The concrete implementations are [`SequentialBackend`],
+//! [`ParallelBackend`], the sleep-set engine [`DporBackend`]
+//! (see [`crate::dpor`]) and the source-set engine [`SourceSetBackend`]
+//! (see [`crate::source`]).
 
 use crate::dpor::explore_dpor_invariant;
 use crate::engine::{explore_invariant_with, ExploreConfig, ExploreResult};
 use crate::par::parallel_explore_invariant;
+use crate::source::explore_source_invariant;
 use c11_core::config::Config;
 use c11_core::model::MemoryModel;
 use c11_lang::Prog;
@@ -122,8 +128,101 @@ impl<M: MemoryModel> ExploreBackend<M> for DporBackend {
     }
 }
 
+/// The source-set DPOR engine (see [`crate::source`]): explores one
+/// execution per Mazurkiewicz trace under the **finals-only contract** —
+/// finals (by fingerprint multiset), litmus verdicts, violations on the
+/// configurations it does visit, and the `truncated` flag match the
+/// sequential engine, while `unique`/`generated` are intentionally
+/// smaller and transient states may be skipped entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SourceSetBackend;
+
+impl<M: MemoryModel> ExploreBackend<M> for SourceSetBackend {
+    fn name(&self) -> String {
+        "source-set".to_string()
+    }
+
+    fn run_invariant(
+        &self,
+        model: &M,
+        prog: &Prog,
+        cfg: &ExploreConfig,
+        inv: &(dyn Fn(&Config<M>) -> bool + Sync),
+    ) -> ExploreResult<M> {
+        explore_source_invariant(model, prog, cfg, |c| inv(c))
+    }
+}
+
+/// Who does the walking: the two exploration engines proper, orthogonal
+/// to the [`Reduction`] strategy layered on top.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The sequential reference engine (deterministic).
+    #[default]
+    Sequential,
+    /// The contention-free parallel engine with `workers` threads.
+    Parallel {
+        /// Worker threads (clamped to ≥ 1).
+        workers: usize,
+    },
+}
+
+impl Engine {
+    /// The canonical spelling (`"sequential"`, `"parallel"`).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Engine::Sequential => "sequential",
+            Engine::Parallel { .. } => "parallel",
+        }
+    }
+}
+
+/// How much of the state space the walk may skip.
+///
+/// `None` and `SleepSet` preserve the full exhaustive contract (identical
+/// states, finals, verdicts, violations); `SourceSet` trades the
+/// intermediate states away under the finals-only contract (see
+/// [`SourceSetBackend`]). The reductions run on the sequential engine —
+/// combining them with [`Engine::Parallel`] is rejected at the request
+/// layer (`c11_api`); this handle, which must stay total, runs the
+/// reduction sequentially.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Reduction {
+    /// No reduction: visit every reachable configuration.
+    #[default]
+    None,
+    /// Sleep-set DPOR ([`DporBackend`]): same states, fewer generated
+    /// transitions.
+    SleepSet,
+    /// Source-set DPOR ([`SourceSetBackend`]): one execution per trace,
+    /// finals-only contract.
+    SourceSet,
+}
+
+impl Reduction {
+    /// The canonical spelling (`"none"`, `"sleep-set"`, `"source-set"`).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Reduction::None => "none",
+            Reduction::SleepSet => "sleep-set",
+            Reduction::SourceSet => "source-set",
+        }
+    }
+
+    /// The report contract this reduction upholds: `"exhaustive"` for
+    /// reductions whose reports are identical to the sequential
+    /// engine's, `"finals-only"` for the source-set reduction.
+    pub fn contract_str(&self) -> &'static str {
+        match self {
+            Reduction::None | Reduction::SleepSet => "exhaustive",
+            Reduction::SourceSet => "finals-only",
+        }
+    }
+}
+
 /// A pool-friendly engine handle: a `Copy`, `Send + Sync` *value* naming
-/// one of the engines, usable for every memory model at once.
+/// an [`Engine`] × [`Reduction`] selection, usable for every memory
+/// model at once.
 ///
 /// Schedulers that multiplex many checking jobs over shared worker
 /// threads (the api crate's `Session`) cannot hold a `dyn
@@ -131,17 +230,43 @@ impl<M: MemoryModel> ExploreBackend<M> for DporBackend {
 /// request, SC for the next, both inside a litmus verdict). `AnyBackend`
 /// is the monomorphisation-deferring form: ship the handle across the
 /// pool, then let each job instantiate it at its own model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum AnyBackend {
-    /// The sequential BFS reference engine.
-    Sequential,
-    /// The contention-free parallel engine with `workers` threads.
-    Parallel {
-        /// Worker threads (clamped to ≥ 1).
-        workers: usize,
-    },
-    /// The sleep-set DPOR engine.
-    Dpor,
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct AnyBackend {
+    /// Who walks the state space.
+    pub engine: Engine,
+    /// How much of it the walk may skip.
+    pub reduction: Reduction,
+}
+
+impl AnyBackend {
+    /// The sequential engine, no reduction.
+    pub fn sequential() -> AnyBackend {
+        AnyBackend::default()
+    }
+
+    /// The parallel engine with `workers` threads, no reduction.
+    pub fn parallel(workers: usize) -> AnyBackend {
+        AnyBackend {
+            engine: Engine::Parallel { workers },
+            reduction: Reduction::None,
+        }
+    }
+
+    /// The sleep-set DPOR engine (sequential).
+    pub fn sleep_set() -> AnyBackend {
+        AnyBackend {
+            engine: Engine::Sequential,
+            reduction: Reduction::SleepSet,
+        }
+    }
+
+    /// The source-set DPOR engine (sequential, finals-only contract).
+    pub fn source_set() -> AnyBackend {
+        AnyBackend {
+            engine: Engine::Sequential,
+            reduction: Reduction::SourceSet,
+        }
+    }
 }
 
 impl<M> ExploreBackend<M> for AnyBackend
@@ -150,12 +275,14 @@ where
     M::State: Send + Sync,
 {
     fn name(&self) -> String {
-        match self {
-            AnyBackend::Sequential => ExploreBackend::<M>::name(&SequentialBackend),
-            AnyBackend::Parallel { workers } => {
-                ExploreBackend::<M>::name(&ParallelBackend::new(*workers))
+        match (self.engine, self.reduction) {
+            (Engine::Sequential, Reduction::None) => ExploreBackend::<M>::name(&SequentialBackend),
+            (Engine::Parallel { workers }, Reduction::None) => {
+                ExploreBackend::<M>::name(&ParallelBackend::new(workers))
             }
-            AnyBackend::Dpor => ExploreBackend::<M>::name(&DporBackend),
+            (engine, reduction) => {
+                format!("{}+{}", engine.kind_str(), reduction.kind_str())
+            }
         }
     }
 
@@ -166,12 +293,17 @@ where
         cfg: &ExploreConfig,
         inv: &(dyn Fn(&Config<M>) -> bool + Sync),
     ) -> ExploreResult<M> {
-        match self {
-            AnyBackend::Sequential => SequentialBackend.run_invariant(model, prog, cfg, inv),
-            AnyBackend::Parallel { workers } => {
-                ParallelBackend::new(*workers).run_invariant(model, prog, cfg, inv)
+        match (self.engine, self.reduction) {
+            (Engine::Sequential, Reduction::None) => {
+                SequentialBackend.run_invariant(model, prog, cfg, inv)
             }
-            AnyBackend::Dpor => DporBackend.run_invariant(model, prog, cfg, inv),
+            (Engine::Parallel { workers }, Reduction::None) => {
+                ParallelBackend::new(workers).run_invariant(model, prog, cfg, inv)
+            }
+            // Reductions run on the sequential engine (the request
+            // layer rejects Parallel × reduction before it gets here).
+            (_, Reduction::SleepSet) => DporBackend.run_invariant(model, prog, cfg, inv),
+            (_, Reduction::SourceSet) => SourceSetBackend.run_invariant(model, prog, cfg, inv),
         }
     }
 }
@@ -197,6 +329,8 @@ mod tests {
             Box::new(ParallelBackend::new(2)),
             Box::new(DporBackend),
         ];
+        // SourceSetBackend is exercised separately: it keeps finals and
+        // verdicts but intentionally not `unique`.
         let reference = SequentialBackend.run(&RaModel, &prog, &cfg);
         for b in &backends {
             let res = b.run(&RaModel, &prog, &cfg);
@@ -215,7 +349,7 @@ mod tests {
     }
 
     #[test]
-    fn any_backend_dispatches_to_both_engines() {
+    fn any_backend_dispatches_across_the_engine_reduction_grid() {
         let prog = parse_program(
             "vars x y;
              thread t1 { x := 1; r0 <- y; }
@@ -225,9 +359,9 @@ mod tests {
         let cfg = ExploreConfig::default();
         let reference = SequentialBackend.run(&RaModel, &prog, &cfg);
         for handle in [
-            AnyBackend::Sequential,
-            AnyBackend::Parallel { workers: 2 },
-            AnyBackend::Dpor,
+            AnyBackend::sequential(),
+            AnyBackend::parallel(2),
+            AnyBackend::sleep_set(),
         ] {
             // One Copy handle serves RA and SC without re-construction —
             // the property the session scheduler relies on.
@@ -236,8 +370,13 @@ mod tests {
             let sc = handle.run(&ScModel, &prog, &cfg);
             assert!(sc.unique <= ra.unique, "{:?}", handle);
         }
+        // The source-set handle upholds the finals-only contract: same
+        // finals, fewer (or equal) states.
+        let src = AnyBackend::source_set().run(&RaModel, &prog, &cfg);
+        assert_eq!(src.finals.len(), reference.finals.len());
+        assert!(src.unique <= reference.unique);
         assert_eq!(
-            ExploreBackend::<RaModel>::name(&AnyBackend::Parallel { workers: 3 }),
+            ExploreBackend::<RaModel>::name(&AnyBackend::parallel(3)),
             "parallel(3)"
         );
     }
@@ -253,5 +392,17 @@ mod tests {
             "parallel(4)"
         );
         assert_eq!(ExploreBackend::<RaModel>::name(&DporBackend), "dpor");
+        assert_eq!(
+            ExploreBackend::<RaModel>::name(&SourceSetBackend),
+            "source-set"
+        );
+        assert_eq!(
+            ExploreBackend::<RaModel>::name(&AnyBackend::sleep_set()),
+            "sequential+sleep-set"
+        );
+        assert_eq!(
+            ExploreBackend::<RaModel>::name(&AnyBackend::source_set()),
+            "sequential+source-set"
+        );
     }
 }

@@ -86,11 +86,11 @@ use std::collections::VecDeque;
 /// Sleep sets are thread-id bitmasks (bit `i` = thread `i + 1`). Programs
 /// wider than 64 threads get an always-empty mask: no reduction, still
 /// sound.
-type SleepMask = u64;
+pub(crate) type SleepMask = u64;
 
 /// The mask bit of thread index `t`; 0 past the mask width (so the
 /// >64-thread fallback never evaluates an overflowing shift).
-fn bit(t: usize) -> SleepMask {
+pub(crate) fn bit(t: usize) -> SleepMask {
     if t < SleepMask::BITS as usize {
         1 << t
     } else {
@@ -133,7 +133,7 @@ fn can_sleep<M: MemoryModel>(
 
 /// The sleep set carried to the successor reached by thread `t`: every
 /// sibling already explored at this state that may sleep across `t`.
-fn successor_sleep<M: MemoryModel>(
+pub(crate) fn successor_sleep<M: MemoryModel>(
     model: &M,
     mem: &M::State,
     shapes: &[Option<StepShape>],

@@ -13,20 +13,27 @@
 //! (E6), the completeness construction (E7), the Peterson verification
 //! (E11) and the benchmark baselines (E13).
 //!
-//! Three engines implement the [`ExploreBackend`] contract: the
+//! Four engines implement the [`ExploreBackend`] contract, selected
+//! along two orthogonal axes ([`Engine`] × [`Reduction`]): the
 //! sequential BFS reference, the contention-free parallel engine
-//! ([`par`]), and the sleep-set dynamic-partial-order-reduction engine
-//! ([`dpor`]) that visits the same states through fewer transitions.
+//! ([`par`]), the sleep-set dynamic-partial-order-reduction engine
+//! ([`dpor`]) that visits the same states through fewer transitions,
+//! and the source-set engine ([`source`]) that explores one execution
+//! per Mazurkiewicz trace under the finals-only contract.
 
 pub mod backend;
 pub mod budget;
 pub mod dpor;
 pub mod engine;
 pub mod par;
+pub mod source;
 pub mod stats;
 pub mod sym;
 
-pub use backend::{AnyBackend, DporBackend, ExploreBackend, ParallelBackend, SequentialBackend};
+pub use backend::{
+    AnyBackend, DporBackend, Engine, ExploreBackend, ParallelBackend, Reduction, SequentialBackend,
+    SourceSetBackend,
+};
 pub use budget::{Budget, Interrupt};
 pub use c11_store::{StoreKind, StoreStats};
 pub use dpor::{explore_dpor, explore_dpor_invariant};
@@ -35,5 +42,6 @@ pub use engine::{
     TraceStep,
 };
 pub use par::{parallel_explore, parallel_explore_invariant};
+pub use source::{explore_source, explore_source_invariant};
 pub use stats::Stats;
 pub use sym::SymClasses;

@@ -4,10 +4,11 @@
 //! [`CheckRequest`] front door (`c11_operational::api`).
 //!
 //! ```sh
-//! c11check program.c11 [--sc] [--max-events N] [--backend B] [--workers N] [--json] [--dot] [--quiet]
+//! c11check program.c11 [--sc] [--max-events N] [--engine E] [--reduction R] [--workers N] [--json] [--dot] [--quiet]
 //! echo 'vars x; thread t { x := 1; }' | c11check -
-//! c11check --litmus litmus/ --json                 # machine-readable corpus verdicts
-//! c11check --litmus litmus/ --json --backend dpor  # same verdicts, fewer states
+//! c11check --litmus litmus/ --json                        # machine-readable corpus verdicts
+//! c11check --litmus litmus/ --json --reduction sleep-set  # same verdicts, fewer states
+//! c11check --litmus litmus/ --json --reduction source-set # same verdicts, far fewer states
 //! ```
 //!
 //! Directory litmus mode runs through the `Session` batch path
@@ -26,6 +27,8 @@ struct Opts {
     sc: bool,
     max_events: usize,
     workers: usize,
+    engine: Option<String>,
+    reduction: Option<Reduction>,
     backend: Option<String>,
     store: StoreKind,
     symmetry: bool,
@@ -35,24 +38,36 @@ struct Opts {
     litmus: bool,
 }
 
-/// Valid `--backend` names, kept in one place so the error message and
-/// the help text never drift apart.
+/// Valid flag values, kept in one place so the error messages and the
+/// help text never drift apart. `BACKENDS` is the deprecated single-axis
+/// spelling, kept one cycle.
+const ENGINES: [&str; 2] = ["sequential", "parallel"];
+const REDUCTIONS: [&str; 3] = ["none", "sleep-set", "source-set"];
 const BACKENDS: [&str; 3] = ["sequential", "parallel", "dpor"];
 
 const USAGE: &str = "usage: c11check <program.c11 | - | dir> [--litmus] [--sc] \
-     [--max-events N] [--backend B] [--workers N] [--store S] [--symmetry] \
-     [--json] [--dot] [--quiet]\n\
+     [--max-events N] [--engine E] [--reduction R] [--workers N] [--store S] \
+     [--symmetry] [--json] [--dot] [--quiet]\n\
      --litmus: treat the input as a .litmus file (or a directory of \
      them, checked as one Session batch) and check expected verdicts\n\
-     --backend B: pick the exploration engine; all backends produce \
+     --engine E: pick who walks the state space; both engines produce \
      identical reports:\n\
          sequential: the deterministic BFS reference engine (default)\n\
          parallel:   work-stealing engine over --workers threads \
      (fastest on big state spaces)\n\
-         dpor:       sleep-set partial-order reduction — fewer generated \
-     states, same verdicts\n\
-     --workers N: thread count for the parallel backend (shorthand: \
-     --workers alone implies --backend parallel); in --litmus dir mode \
+     --reduction R: pick how much of the state space the walk may skip \
+     (sequential engine only):\n\
+         none:       visit every reachable configuration (default)\n\
+         sleep-set:  sleep-set DPOR — fewer generated states, otherwise \
+     identical reports\n\
+         source-set: source-set DPOR — one execution per Mazurkiewicz \
+     trace; verdicts, outcomes and validity identical, unique/generated \
+     intentionally smaller (the finals-only contract, surfaced in the \
+     JSON report's \"reduction\" block)\n\
+     --backend B: deprecated spelling of the pair, kept one cycle \
+     (sequential | parallel | dpor = sequential + sleep-set)\n\
+     --workers N: thread count for the parallel engine (shorthand: \
+     --workers alone implies --engine parallel); in --litmus dir mode \
      N sizes the batch pool instead (jobs run N at a time)\n\
      --store S: pick the visited-state store; all stores produce \
      identical verdicts and outcomes:\n\
@@ -81,6 +96,8 @@ fn parse_args() -> Result<Opts, ArgsEnd> {
         sc: false,
         max_events: 24,
         workers: 0,
+        engine: None,
+        reduction: None,
         backend: None,
         store: StoreKind::Flat,
         symmetry: false,
@@ -110,6 +127,34 @@ fn parse_args() -> Result<Opts, ArgsEnd> {
                     .ok_or_else(|| bad("--workers needs a value".into()))?
                     .parse()
                     .map_err(|e| bad(format!("bad --workers: {e}")))?;
+            }
+            "--engine" => {
+                let name = args
+                    .next()
+                    .ok_or_else(|| bad("--engine needs a value".into()))?;
+                if !ENGINES.contains(&name.as_str()) {
+                    return Err(bad(format!(
+                        "unknown --engine {name:?}: valid engines are {}",
+                        ENGINES.join(", ")
+                    )));
+                }
+                opts.engine = Some(name);
+            }
+            "--reduction" => {
+                let name = args
+                    .next()
+                    .ok_or_else(|| bad("--reduction needs a value".into()))?;
+                opts.reduction = Some(match name.as_str() {
+                    "none" => Reduction::None,
+                    "sleep-set" => Reduction::SleepSet,
+                    "source-set" => Reduction::SourceSet,
+                    _ => {
+                        return Err(bad(format!(
+                            "unknown --reduction {name:?}: valid reductions are {}",
+                            REDUCTIONS.join(", ")
+                        )));
+                    }
+                });
             }
             "--backend" => {
                 let name = args
@@ -144,24 +189,36 @@ fn parse_args() -> Result<Opts, ArgsEnd> {
             "no input file (use - for stdin); see --help".to_string()
         ));
     }
+    if opts.backend.is_some() && (opts.engine.is_some() || opts.reduction.is_some()) {
+        return Err(bad(
+            "--backend is the legacy spelling of --engine/--reduction; \
+             pass one or the other, not both"
+                .to_string(),
+        ));
+    }
     Ok(opts)
 }
 
-fn backend_of(opts: &Opts) -> Backend {
-    match opts.backend.as_deref() {
-        Some("sequential") => Backend::Sequential,
-        Some("parallel") => Backend::Parallel {
-            workers: if opts.workers > 0 { opts.workers } else { 2 },
-        },
-        Some("dpor") => Backend::Dpor,
-        Some(_) => unreachable!("validated by parse_args"),
+/// Resolve the flags to the engine × reduction pair, honouring the
+/// deprecated `--backend` spelling for one more cycle.
+fn selection_of(opts: &Opts) -> (Engine, Reduction) {
+    let workers = if opts.workers > 0 { opts.workers } else { 2 };
+    let engine = match (opts.engine.as_deref(), opts.backend.as_deref()) {
+        (Some("parallel"), _) | (None, Some("parallel")) => Engine::Parallel { workers },
+        (Some(_), _) | (None, Some(_)) => Engine::Sequential,
         // Back-compat shorthand: a bare --workers N selects the parallel
         // engine.
-        None if opts.workers > 0 => Backend::Parallel {
+        (None, None) if opts.workers > 0 => Engine::Parallel {
             workers: opts.workers,
         },
-        None => Backend::Sequential,
-    }
+        (None, None) => Engine::Sequential,
+    };
+    let reduction = match (opts.reduction, opts.backend.as_deref()) {
+        (Some(r), _) => r,
+        (None, Some("dpor")) => Reduction::SleepSet,
+        (None, _) => Reduction::None,
+    };
+    (engine, reduction)
 }
 
 fn main() -> ExitCode {
@@ -209,10 +266,12 @@ fn main() -> ExitCode {
         )
     };
     let bounds = bounds.store(opts.store).symmetry(opts.symmetry);
+    let (engine, reduction) = selection_of(&opts);
     let request = CheckRequest::program(src.as_str())
         .model(model)
         .bounds(bounds)
-        .backend(backend_of(&opts))
+        .engine(engine)
+        .reduction(reduction)
         .mode(Mode::Outcomes)
         .dot(if opts.dot { 4 } else { 0 });
     let report = match request.run() {
@@ -301,18 +360,19 @@ fn run_litmus_mode(opts: &Opts) -> ExitCode {
     // Dir mode defaults to the sequential engine per job even when
     // --workers sizes the pool (pool × per-job engine workers would
     // oversubscribe the machine for tiny tests) — but an *explicit*
-    // --backend choice is always honoured.
-    let backend = if path.is_dir() && opts.backend.is_none() {
-        Backend::Sequential
-    } else {
-        backend_of(opts)
-    };
+    // --engine (or legacy --backend) choice is always honoured, and a
+    // --reduction applies per job either way.
+    let (mut engine, reduction) = selection_of(opts);
+    if path.is_dir() && opts.engine.is_none() && opts.backend.is_none() {
+        engine = Engine::Sequential;
+    }
     let names: Vec<String> = tests.iter().map(|t| t.name.clone()).collect();
     let batch: BatchRequest = tests
         .into_iter()
         .map(|t| {
             CheckRequest::litmus(t)
-                .backend(backend)
+                .engine(engine)
+                .reduction(reduction)
                 .store(opts.store)
                 .symmetry(opts.symmetry)
         })

@@ -18,8 +18,10 @@
 //! a connection past the cap is answered with one `"overloaded"` frame
 //! and closed. Within a connection, frames are answered in order: a
 //! request frame gets a report / `"error"` / `"overloaded"` frame, and
-//! a `{"stats": true}` frame gets the live session counters. Request
-//! documents carry the full `c11serve` schema, including the `store`
+//! a `{"stats": true}` frame gets the live session counters (with
+//! per-reduction exploration counts). Request documents carry the full
+//! `c11serve` schema, including the `engine` × `reduction` pair (plus
+//! the deprecated `backend` spelling) and the `store`
 //! (`"flat"`/`"sym"`/`"shared"`) and `symmetry` storage knobs. A frame
 //! that violates the protocol (oversized length, mid-frame truncation
 //! or stall) is answered once (best effort) and the connection closed —

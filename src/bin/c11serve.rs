@@ -31,7 +31,9 @@
 //! | `litmus_source`| inline `.litmus` file text                         |
 //! | `model`        | `"ra"` (default) / `"sc"` / `"pre-execution"`      |
 //! | `mode`         | `"outcomes"` (default) / `"count"` / `"litmus"` (litmus inputs' default) |
-//! | `backend`      | `"sequential"` / `"parallel"` / `"dpor"`, or `{"kind":"parallel","workers":N}` |
+//! | `engine`       | `"sequential"` (default) / `"parallel"`, or `{"kind":"parallel","workers":N}` |
+//! | `reduction`    | `"none"` (default) / `"sleep-set"` / `"source-set"`, or `{"kind":…,"contract":…}` |
+//! | `backend`      | deprecated single-axis spelling of the pair (`"dpor"` = sequential + sleep-set); rejected alongside `engine`/`reduction` |
 //! | `bounds`       | `{"max_events":N,"max_states":N,"max_depth":N}` (each optional) |
 //! | `store`        | `"flat"` (default) / `"sym"` / `"shared"` — visited-state store |
 //! | `symmetry`     | bool — quotient visited states by thread-permutation symmetry |
@@ -45,7 +47,9 @@
 //! stats, not an error). A `{"stats": true}` control line (optionally
 //! with an `id`) is answered in stream order with the live
 //! `SessionStats` counters as a `"mode":"session-stats"` line instead
-//! of a report, and is not counted as a job. Malformed lines produce
+//! of a report (including per-reduction exploration counts:
+//! `explorations_none` / `explorations_sleep_set` /
+//! `explorations_source_set`), and is not counted as a job. Malformed lines produce
 //! `{"schema":"c11check/v1","id":…,"status":"error","error":"…"}`;
 //! submissions bounced by a full queue (`--max-queue`) produce
 //! `"status":"overloaded"` lines. Input lines are capped at 1 MiB:
@@ -73,8 +77,9 @@ const USAGE: &str = "usage: c11serve [--workers N] [--no-cache] [--auto-parallel
      JSON line per request and a final batch-summary line on stdout\n\
      --workers N: session pool size (default 2)\n\
      --no-cache: disable the fingerprint-keyed result cache\n\
-     --auto-parallel T: run sequential-backend requests whose program \
-     has ≥ T threads on the parallel engine (default 4; 0 disables)\n\
+     --auto-parallel T: run reduction-free sequential requests whose \
+     program has ≥ T threads on the parallel engine (default 4; 0 \
+     disables; reduced requests are never upgraded)\n\
      --job-timeout-ms MS: default per-job deadline (a request's own \
      timeout_ms wins when tighter)\n\
      --cache-capacity N: bound the result cache to N reports (LRU)\n\

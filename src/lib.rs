@@ -24,7 +24,9 @@
 //!   canonical consistency and the bounded Memalloy-style equivalence
 //!   checker (paper §4 + Appendix C/E).
 //! * [`explore`] — exhaustive model checkers over configurations: the
-//!   sequential reference engine and the work-stealing parallel engine,
+//!   sequential reference engine and the work-stealing parallel engine
+//!   ([`prelude::Engine`]), optionally composed with a partial-order
+//!   reduction ([`prelude::Reduction`]: sleep-set or source-set DPOR),
 //!   behind one [`explore::ExploreBackend`] trait.
 //! * [`verify`] — determinate-value / variable-ordering assertions and the
 //!   Figure-4 rule engine (paper §5), with the Peterson and message-passing
@@ -33,8 +35,8 @@
 //!
 //! ## Quickstart
 //!
-//! One request type covers every engine and question — pick a model, a
-//! backend and a mode, and get a structured report back:
+//! One request type covers every engine and question — pick a model, an
+//! engine × reduction pair and a mode, and get a structured report back:
 //!
 //! ```
 //! use c11_operational::prelude::*;
@@ -47,7 +49,7 @@
 //!      thread t2 { r0 <-A f; r1 <- d; }",
 //! )
 //! .model(ModelChoice::Ra)
-//! .backend(Backend::Parallel { workers: 2 })
+//! .engine(Engine::Parallel { workers: 2 })
 //! .mode(Mode::Outcomes)
 //! .run()
 //! .expect("program parses");
@@ -84,8 +86,8 @@ pub use c11_verify as verify;
 pub mod prelude {
     pub use c11_api::{
         Backend, BatchReport, BatchRequest, BatchStats, Bounds, CheckError, CheckReport,
-        CheckRequest, ConfigView, Invariant, JobId, Meta, Mode, ModelChoice, OutcomeRow,
-        ProgramInput, Session, SessionConfig, SessionStats,
+        CheckRequest, ConfigView, Engine, Invariant, JobId, Meta, Mode, ModelChoice, OutcomeRow,
+        ProgramInput, Reduction, Session, SessionConfig, SessionStats,
     };
     pub use c11_axiomatic::axioms::{check_validity, is_valid, Axiom, Violation};
     pub use c11_core::event::{Event, EventId};

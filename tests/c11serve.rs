@@ -187,48 +187,70 @@ fn litmus_corpus_streams_through_the_service() {
     );
 }
 
-/// The DPOR backend over the request-line surface, both spellings
-/// (`"backend":"dpor"` and `{"kind":"dpor"}`): first submission
-/// computes, resubmission in the same stream is a cache hit (the cache
-/// key is backend-free), and unknown backend names are rejected.
+/// The sleep-set reduction over the request-line surface, the new
+/// `"reduction"` key and the legacy `"backend":"dpor"` shim alike: first
+/// submission computes, resubmission in the same stream is a cache hit
+/// (an exhaustive-contract reduction does not split the cache key), and
+/// unknown names are rejected.
 #[test]
 fn dpor_backend_requests_compute_cold_and_hit_warm() {
     let input = concat!(
-        "{\"id\":\"cold\",\"litmus_path\":\"litmus/mp_ra.litmus\",\"backend\":\"dpor\"}\n",
+        "{\"id\":\"cold\",\"litmus_path\":\"litmus/mp_ra.litmus\",\"reduction\":\"sleep-set\"}\n",
         "{\"id\":\"warm\",\"litmus_path\":\"litmus/mp_ra.litmus\",\"backend\":\"dpor\"}\n",
         "{\"id\":\"obj\",\"program\":\"vars x; thread t { x := 1; }\",",
-        "\"backend\":{\"kind\":\"dpor\"}}\n",
+        "\"reduction\":{\"kind\":\"sleep-set\"}}\n",
         "{\"id\":\"bad\",\"program\":\"vars x; thread t { x := 1; }\",",
         "\"backend\":\"warp-drive\"}\n",
+        "{\"id\":\"mix\",\"program\":\"vars x; thread t { x := 1; }\",",
+        "\"backend\":\"dpor\",\"reduction\":\"none\"}\n",
     );
     let (ok, lines) = run_c11serve(&[], input);
     assert!(!ok, "the bad backend line must fail the exit code");
-    assert_eq!(lines.len(), 5, "4 reports + summary: {lines:?}");
+    assert_eq!(lines.len(), 6, "5 reports + summary: {lines:?}");
 
     let hit = |v: &Json| v.get("cache_hit").and_then(Json::as_bool);
     assert_eq!(s(&lines[0], "id"), Some("cold"));
-    assert_eq!(hit(&lines[0]), Some(false), "first dpor pass computes");
+    assert_eq!(hit(&lines[0]), Some(false), "first sleep-set pass computes");
     assert_eq!(s(&lines[1], "id"), Some("warm"));
-    assert_eq!(hit(&lines[1]), Some(true), "resubmission hits the cache");
+    assert_eq!(
+        hit(&lines[1]),
+        Some(true),
+        "legacy-spelled resubmission hits the same cache entry"
+    );
     for line in &lines[..2] {
         assert_eq!(s(line, "status"), Some("ok"));
         assert_eq!(
             line.get("backend").and_then(|b| s(b, "kind")),
-            Some("dpor"),
-            "reports carry the computing backend"
+            Some("sequential"),
+            "reports carry the computing engine"
+        );
+        assert_eq!(
+            line.get("reduction").and_then(|r| s(r, "kind")),
+            Some("sleep-set"),
+            "reports carry the computing reduction"
+        );
+        assert_eq!(
+            line.get("reduction").and_then(|r| s(r, "contract")),
+            Some("exhaustive")
         );
         assert_eq!(line.get("pass").and_then(Json::as_bool), Some(true));
     }
     assert_eq!(s(&lines[2], "status"), Some("ok"), "object spelling works");
     assert_eq!(
-        lines[2].get("backend").and_then(|b| s(b, "kind")),
-        Some("dpor")
+        lines[2].get("reduction").and_then(|r| s(r, "kind")),
+        Some("sleep-set")
     );
     assert_eq!(s(&lines[3], "status"), Some("error"));
     assert!(
         s(&lines[3], "error").unwrap().contains("dpor"),
         "the error names the valid backends: {:?}",
         lines[3]
+    );
+    assert_eq!(s(&lines[4], "status"), Some("error"));
+    assert!(
+        s(&lines[4], "error").unwrap().contains("legacy"),
+        "backend + reduction must be rejected as a legacy clash: {:?}",
+        lines[4]
     );
 }
 
@@ -323,6 +345,7 @@ fn stats_control_lines_report_session_counters() {
         concat!(
             "{{\"id\":\"warmup\",\"program\":\"{sb}\"}}\n",
             "{{\"id\":\"again\",\"program\":\"{sb}\"}}\n",
+            "{{\"id\":\"reduced\",\"program\":\"{sb}\",\"reduction\":\"source-set\"}}\n",
             "{{\"id\":\"st\",\"stats\":true}}\n",
             "{{\"id\":\"bad\",\"stats\":true,\"program\":\"vars x; thread t {{ x := 1; }}\"}}\n",
             "{{\"id\":\"off\",\"stats\":false}}\n",
@@ -331,24 +354,41 @@ fn stats_control_lines_report_session_counters() {
     );
     let (ok, lines) = run_c11serve(&[], &input);
     assert!(!ok, "the malformed stats lines must fail the exit code");
-    assert_eq!(lines.len(), 6, "5 responses + summary: {lines:?}");
-    let stats = &lines[2];
+    assert_eq!(lines.len(), 7, "6 responses + summary: {lines:?}");
+    let stats = &lines[3];
     assert_eq!(s(stats, "id"), Some("st"));
     assert_eq!(s(stats, "status"), Some("ok"));
     assert_eq!(s(stats, "mode"), Some("session-stats"));
-    assert_eq!(stats.get("explorations").and_then(Json::as_usize), Some(1));
+    // Two explorations: the exhaustive warmup and the finals-only
+    // source-set pass, which may not share a cache entry (the contract
+    // is part of the key) and is tallied under its own counter.
+    assert_eq!(stats.get("explorations").and_then(Json::as_usize), Some(2));
+    assert_eq!(
+        stats.get("explorations_none").and_then(Json::as_usize),
+        Some(1)
+    );
+    assert_eq!(
+        stats.get("explorations_sleep_set").and_then(Json::as_usize),
+        Some(0)
+    );
+    assert_eq!(
+        stats
+            .get("explorations_source_set")
+            .and_then(Json::as_usize),
+        Some(1)
+    );
     assert_eq!(stats.get("cache_hits").and_then(Json::as_usize), Some(1));
-    assert_eq!(stats.get("completed").and_then(Json::as_usize), Some(2));
+    assert_eq!(stats.get("completed").and_then(Json::as_usize), Some(3));
     assert_eq!(
         stats.get("persist_loaded").and_then(Json::as_usize),
         Some(0)
     );
     // A stats key mixed into a check request is ambiguous: rejected.
-    assert_eq!(s(&lines[3], "status"), Some("error"));
-    // So is any value other than `true`.
     assert_eq!(s(&lines[4], "status"), Some("error"));
+    // So is any value other than `true`.
+    assert_eq!(s(&lines[5], "status"), Some("error"));
     // Stats probes are not jobs: the summary counts only the real ones.
-    assert_eq!(lines[5].get("jobs").and_then(Json::as_usize), Some(4));
+    assert_eq!(lines[6].get("jobs").and_then(Json::as_usize), Some(5))
 }
 
 /// SIGINT requests the same graceful drain as SIGTERM: the service stops

@@ -5,7 +5,8 @@
 //! `CheckRequest` front door (modulo `wall_micros`/work counters, which
 //! is exactly where DPOR differs: strictly fewer generated states on
 //! programs with independent steps), and the `c11check` CLI surface
-//! (`--backend dpor`, `--help` guidance, unknown-backend rejection).
+//! (`--reduction sleep-set`, the deprecated `--backend dpor` shim,
+//! `--help` guidance, unknown-value rejection).
 
 use c11_operational::explore::{explore_dpor, Stats};
 use c11_operational::litmus::{corpus, LitmusTest};
@@ -127,35 +128,40 @@ fn dpor_matches_sequential_on_example_programs() {
     }
 }
 
-/// Normalises the parts a backend may legitimately change: wall time and
-/// work counters (`stats`) and the backend tag itself.
+/// Normalises the parts an engine/reduction choice may legitimately
+/// change: wall time and work counters (`stats`) and the engine ×
+/// reduction tags themselves.
 fn normalized_json(mut report: CheckReport) -> String {
+    let scrub = |meta: &mut Meta| {
+        meta.engine = Engine::Sequential;
+        meta.reduction = Reduction::None;
+    };
     match &mut report {
         CheckReport::Outcomes(r) => {
             r.stats = Stats::default();
-            r.meta.backend = Backend::Sequential;
+            scrub(&mut r.meta);
         }
         CheckReport::Count(r) => {
             r.stats = Stats::default();
-            r.meta.backend = Backend::Sequential;
+            scrub(&mut r.meta);
         }
         CheckReport::Invariant(r) => {
             r.stats = Stats::default();
-            r.meta.backend = Backend::Sequential;
+            scrub(&mut r.meta);
         }
         CheckReport::Litmus(r) => {
             r.ra = Stats::default();
             r.sc = Stats::default();
-            r.meta.backend = Backend::Sequential;
+            scrub(&mut r.meta);
         }
     }
     report.to_json()
 }
 
-/// The acceptance criterion, verbatim: `Backend::Dpor` produces
-/// byte-identical `CheckReport`s (modulo `wall_micros`/`stats`) to
-/// `Sequential` across the entire litmus corpus, in both litmus-verdict
-/// and outcome-enumeration modes.
+/// The acceptance criterion, verbatim: `Reduction::SleepSet` produces
+/// byte-identical `CheckReport`s (modulo `wall_micros`/`stats` and the
+/// reduction tag) to the unreduced sequential engine across the entire
+/// litmus corpus, in both litmus-verdict and outcome-enumeration modes.
 #[test]
 fn check_request_reports_byte_identical_across_backends_on_corpus() {
     for test in corpus() {
@@ -165,14 +171,14 @@ fn check_request_reports_byte_identical_across_backends_on_corpus() {
             |t| CheckRequest::litmus(t).mode(Mode::Outcomes),
         ];
         for (i, mk) in modes.iter().enumerate() {
-            let run = |backend: Backend| {
+            let run = |reduction: Reduction| {
                 mk(test.clone())
-                    .backend(backend)
+                    .reduction(reduction)
                     .run()
                     .expect("corpus programs parse")
             };
-            let seq = run(Backend::Sequential);
-            let dpor = run(Backend::Dpor);
+            let seq = run(Reduction::None);
+            let dpor = run(Reduction::SleepSet);
             assert!(
                 dpor.stats().generated <= seq.stats().generated,
                 "{name} (mode {i}): more work than sequential"
@@ -184,6 +190,22 @@ fn check_request_reports_byte_identical_across_backends_on_corpus() {
             );
         }
     }
+}
+
+/// The legacy `Backend` enum keeps working for one deprecation cycle:
+/// `Backend::Dpor` decomposes to the sequential engine + sleep-set
+/// reduction, and the `.backend(..)` sugar routes through the new axes.
+#[test]
+#[allow(deprecated)]
+fn legacy_backend_dpor_still_resolves_through_the_new_axes() {
+    assert_eq!(Backend::Dpor.engine(), Engine::Sequential);
+    assert_eq!(Backend::Dpor.reduction(), Reduction::SleepSet);
+    let report = CheckRequest::program("vars x; thread t1 { x := 1; } thread t2 { x := 2; }")
+        .backend(Backend::Dpor)
+        .run()
+        .unwrap();
+    assert_eq!(report.meta().engine, Engine::Sequential);
+    assert_eq!(report.meta().reduction, Reduction::SleepSet);
 }
 
 /// The `max_states` safety cap is the one bound outside the identical-
@@ -222,8 +244,9 @@ fn programs_past_the_mask_width_fall_back_to_plain_bfs() {
     assert!(dpor.unique > 0 && dpor.generated > 0);
 }
 
-/// Invariant mode: same verdict, same violation count, through all
-/// three backends (the property the backend-free cache key rests on).
+/// Invariant mode: same verdict, same violation count, through the
+/// parallel engine and the sleep-set reduction (the property the
+/// engine-free cache key rests on).
 #[test]
 fn invariant_mode_agrees_across_all_backends() {
     let mk_inv = || {
@@ -234,10 +257,11 @@ fn invariant_mode_agrees_across_all_backends() {
     let src = "vars x y;
          thread t1 { 1: x := 1; 2: r0 <- y; }
          thread t2 { 1: y := 1; 2: r0 <- x; }";
-    let run = |backend: Backend| {
+    let run = |engine: Engine, reduction: Reduction| {
         let report = CheckRequest::program(src)
             .mode(Mode::Invariant(mk_inv()))
-            .backend(backend)
+            .engine(engine)
+            .reduction(reduction)
             .run()
             .unwrap();
         let CheckReport::Invariant(r) = report else {
@@ -245,38 +269,46 @@ fn invariant_mode_agrees_across_all_backends() {
         };
         r
     };
-    let seq = run(Backend::Sequential);
-    for backend in [Backend::Parallel { workers: 2 }, Backend::Dpor] {
-        let other = run(backend);
-        assert_eq!(other.holds, seq.holds, "{backend:?}");
+    let seq = run(Engine::Sequential, Reduction::None);
+    for (engine, reduction) in [
+        (Engine::Parallel { workers: 2 }, Reduction::None),
+        (Engine::Sequential, Reduction::SleepSet),
+    ] {
+        let other = run(engine, reduction);
+        assert_eq!(other.holds, seq.holds, "{engine:?}+{reduction:?}");
         assert_eq!(
             other.violations.len(),
             seq.violations.len(),
-            "{backend:?}: DPOR visits every state, so it sees every violation"
+            "{engine:?}+{reduction:?}: DPOR visits every state, so it sees every violation"
         );
     }
     assert!(!seq.holds, "RA allows both threads between write and read");
 }
 
-/// DPOR through the session cache: a dpor-computed report answers a
-/// sequential request (backend is not in the key) and vice versa.
+/// DPOR through the session cache: a sleep-set-computed report answers a
+/// sequential request (the engine is not in the key, and sleep-set keeps
+/// the exhaustive contract) and vice versa.
 #[test]
 fn session_cache_is_backend_neutral_for_dpor() {
     let session = Session::new(SessionConfig::default());
-    let req = |b: Backend| {
-        CheckRequest::program("vars x y; thread t1 { x := 1; } thread t2 { y := 1; }").backend(b)
+    let req = |r: Reduction| {
+        CheckRequest::program("vars x y; thread t1 { x := 1; } thread t2 { y := 1; }").reduction(r)
     };
-    let cold = session.run(req(Backend::Dpor)).unwrap();
+    let cold = session.run(req(Reduction::SleepSet)).unwrap();
     assert!(!cold.cache_hit());
-    assert_eq!(cold.meta().backend, Backend::Dpor);
-    let warm = session.run(req(Backend::Sequential)).unwrap();
-    assert!(warm.cache_hit(), "backend must not split the cache key");
+    assert_eq!(cold.meta().reduction, Reduction::SleepSet);
+    let warm = session.run(req(Reduction::None)).unwrap();
+    assert!(
+        warm.cache_hit(),
+        "an exhaustive-contract reduction must not split the cache key"
+    );
     assert_eq!(
-        warm.meta().backend,
-        Backend::Dpor,
-        "cached reports carry the computing backend"
+        warm.meta().reduction,
+        Reduction::SleepSet,
+        "cached reports carry the computing reduction"
     );
     assert_eq!(session.stats().explorations, 1);
+    assert_eq!(session.stats().explorations_sleep_set, 1);
 }
 
 // ---- randomised programs ------------------------------------------------
@@ -360,21 +392,35 @@ mod cli {
         )
     }
 
-    /// `--help` exits 0 and names every backend with guidance.
+    /// `--help` exits 0 and names every engine and reduction with
+    /// guidance (plus the deprecated --backend spelling).
     #[test]
     fn help_lists_all_backends_with_guidance() {
         let (ok, stdout, _) = c11check(&["--help"]);
         assert!(ok, "--help must exit 0");
-        for name in ["sequential", "parallel", "dpor"] {
+        for name in [
+            "sequential",
+            "parallel",
+            "none",
+            "sleep-set",
+            "source-set",
+            "--backend",
+            "deprecated",
+        ] {
             assert!(stdout.contains(name), "--help must mention {name}");
         }
         assert!(
-            stdout.contains("fewer generated states, same verdicts"),
-            "dpor guidance line missing:\n{stdout}"
+            stdout.contains("fewer generated states"),
+            "sleep-set guidance line missing:\n{stdout}"
+        );
+        assert!(
+            stdout.contains("finals-only contract"),
+            "source-set contract guidance missing:\n{stdout}"
         );
     }
 
-    /// Unknown backends are rejected with the valid set in the error.
+    /// Unknown values are rejected with the valid set in the error, for
+    /// both new flags and the legacy one.
     #[test]
     fn unknown_backend_is_rejected_with_the_valid_set() {
         let (ok, _, stderr) = c11check(&["--backend", "bogus", "litmus/mp_ra.litmus"]);
@@ -384,15 +430,49 @@ mod cli {
             stderr.contains("sequential, parallel, dpor"),
             "error lists the valid set:\n{stderr}"
         );
+        let (ok, _, stderr) = c11check(&["--engine", "dpor", "litmus/mp_ra.litmus"]);
+        assert!(!ok, "dpor is a reduction, not an engine");
+        assert!(
+            stderr.contains("sequential, parallel"),
+            "error lists the valid engines:\n{stderr}"
+        );
+        let (ok, _, stderr) = c11check(&["--reduction", "dpor", "litmus/mp_ra.litmus"]);
+        assert!(!ok, "dpor is not a reduction name");
+        assert!(
+            stderr.contains("none, sleep-set, source-set"),
+            "error lists the valid reductions:\n{stderr}"
+        );
+        let (ok, _, stderr) = c11check(&[
+            "--backend",
+            "dpor",
+            "--reduction",
+            "none",
+            "litmus/mp_ra.litmus",
+        ]);
+        assert!(!ok, "legacy and new flags must not combine");
+        assert!(stderr.contains("legacy"), "error says why:\n{stderr}");
     }
 
-    /// The CLI end to end on the dpor backend: litmus dir mode passes
-    /// and stamps the backend into the JSON report.
+    /// The CLI end to end on the sleep-set reduction: litmus dir mode
+    /// passes and stamps the reduction into the JSON report — via the
+    /// new flag and via the deprecated `--backend dpor` shim alike.
     #[test]
     fn litmus_dir_mode_runs_on_dpor() {
-        let (ok, stdout, stderr) = c11check(&["--litmus", "litmus", "--json", "--backend", "dpor"]);
-        assert!(ok, "corpus must pass on dpor: {stderr}");
-        assert!(stdout.contains("\"backend\":{\"kind\":\"dpor\"}"));
-        assert!(stdout.contains("\"failed\":0"));
+        for flags in [
+            &["--reduction", "sleep-set"] as &[&str],
+            &["--backend", "dpor"],
+        ] {
+            let args: Vec<&str> = ["--litmus", "litmus", "--json"]
+                .iter()
+                .chain(flags)
+                .copied()
+                .collect();
+            let (ok, stdout, stderr) = c11check(&args);
+            assert!(ok, "corpus must pass on sleep-set ({flags:?}): {stderr}");
+            assert!(stdout.contains("\"backend\":{\"kind\":\"sequential\"}"));
+            assert!(stdout
+                .contains("\"reduction\":{\"kind\":\"sleep-set\",\"contract\":\"exhaustive\"}"));
+            assert!(stdout.contains("\"failed\":0"));
+        }
     }
 }

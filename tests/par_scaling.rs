@@ -240,29 +240,29 @@ proptest! {
 // ---- session cache-neutrality -------------------------------------------
 
 /// Normalises the parts the cache may legitimately change: wall time and
-/// work counters (`stats`), the backend tag, and the cache-hit marker.
+/// work counters (`stats`), the engine tag, and the cache-hit marker.
 fn normalized_json(mut report: CheckReport) -> String {
+    let scrub = |meta: &mut Meta| {
+        meta.engine = Engine::Sequential;
+        meta.cache_hit = false;
+    };
     match &mut report {
         CheckReport::Outcomes(r) => {
             r.stats = Stats::default();
-            r.meta.backend = Backend::Sequential;
-            r.meta.cache_hit = false;
+            scrub(&mut r.meta);
         }
         CheckReport::Count(r) => {
             r.stats = Stats::default();
-            r.meta.backend = Backend::Sequential;
-            r.meta.cache_hit = false;
+            scrub(&mut r.meta);
         }
         CheckReport::Invariant(r) => {
             r.stats = Stats::default();
-            r.meta.backend = Backend::Sequential;
-            r.meta.cache_hit = false;
+            scrub(&mut r.meta);
         }
         CheckReport::Litmus(r) => {
             r.ra = Stats::default();
             r.sc = Stats::default();
-            r.meta.backend = Backend::Sequential;
-            r.meta.cache_hit = false;
+            scrub(&mut r.meta);
         }
     }
     report.to_json()
@@ -285,21 +285,21 @@ fn session_parallel_reports_are_cache_neutral() {
         .unwrap();
     assert!(!cold.cache_hit());
     assert_eq!(
-        cold.meta().backend,
-        Backend::Parallel { workers: 4 },
+        cold.meta().engine,
+        Engine::Parallel { workers: 4 },
         "threshold 2 must upgrade the two-thread contended program"
     );
     // A sequential request for the same program is served from the cache
-    // (the key is backend-free) and carries the computing backend.
+    // (the key is engine-free) and carries the computing engine.
     let warm = session
         .run(
             CheckRequest::program(contended)
                 .mode(Mode::Outcomes)
-                .backend(Backend::Sequential),
+                .engine(Engine::Sequential),
         )
         .unwrap();
-    assert!(warm.cache_hit(), "backend must not split the cache key");
-    assert_eq!(warm.meta().backend, Backend::Parallel { workers: 4 });
+    assert!(warm.cache_hit(), "engine must not split the cache key");
+    assert_eq!(warm.meta().engine, Engine::Parallel { workers: 4 });
     assert_eq!(session.stats().explorations, 1);
     // The payload the cache handed back is exactly what a sequential
     // session would have computed.
@@ -307,7 +307,7 @@ fn session_parallel_reports_are_cache_neutral() {
     let seq = seq_session
         .run(CheckRequest::program(contended).mode(Mode::Outcomes))
         .unwrap();
-    assert_eq!(seq.meta().backend, Backend::Sequential);
+    assert_eq!(seq.meta().engine, Engine::Sequential);
     assert_eq!(
         normalized_json(warm),
         normalized_json(seq),
